@@ -1,0 +1,135 @@
+//! Criterion benches for the extension and validation experiments
+//! (heterogeneous clusters, fair scheduling, speculation, the design-knob
+//! ablations and the §III-B1 model check), at miniature scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::{run_once, System};
+use mapreduce::{EngineConfig, SchedKind};
+use simgrid::cluster::ClusterSpec;
+use simgrid::node::NodeSpec;
+use simgrid::time::SimDuration;
+use smapreduce::SmrConfig;
+use smr_bench::{bench_config, mini_job, MINI_INPUT_MB};
+use std::hint::black_box;
+use workloads::Puma;
+
+/// Heterogeneous cluster: uniform vs capacity-proportional manager.
+fn ext_hetero(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ext_hetero");
+    group.sample_size(10);
+    let weak = NodeSpec {
+        cores: 8.0,
+        mem_mb: 14.0 * 1024.0,
+        disk_bw: 140.0,
+        ..NodeSpec::paper_worker()
+    };
+    for (name, sys) in [
+        ("uniform", System::SMapReduce),
+        ("capacity_proportional", System::SMapReduceHetero),
+    ] {
+        group.bench_function(name, |b| {
+            let mut cfg = bench_config();
+            cfg.cluster = ClusterSpec::mixed(8, 8, weak);
+            b.iter(|| {
+                black_box(
+                    run_once(&cfg, vec![mini_job(Puma::HistogramRatings)], &sys, 1)
+                        .expect("run"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+/// FIFO vs Fair under a mixed-size queue.
+fn ext_fair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ext_fair");
+    group.sample_size(10);
+    for (name, kind) in [("fifo", SchedKind::Fifo), ("fair", SchedKind::Fair)] {
+        group.bench_function(name, |b| {
+            let mut cfg = bench_config();
+            cfg.scheduler = kind;
+            let jobs = vec![
+                Puma::Grep.job(0, MINI_INPUT_MB, 8, simgrid::time::SimTime::ZERO),
+                Puma::Grep.job(1, MINI_INPUT_MB / 4.0, 8, simgrid::time::SimTime::from_secs(5)),
+                Puma::Grep.job(2, MINI_INPUT_MB / 4.0, 8, simgrid::time::SimTime::from_secs(10)),
+            ];
+            b.iter(|| {
+                black_box(run_once(&cfg, jobs.clone(), &System::HadoopV1, 1).expect("run"))
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Speculation on a degraded cluster.
+fn ext_stragglers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ext_stragglers");
+    group.sample_size(10);
+    for (name, speculate) in [("no_speculation", false), ("speculation", true)] {
+        group.bench_function(name, |b| {
+            let mut cfg = bench_config();
+            cfg.straggler_rate = 0.05;
+            cfg.map_failure_rate = 0.03;
+            cfg.speculative_maps = speculate;
+            cfg.speculation_min_runtime = SimDuration::from_secs(5);
+            b.iter(|| {
+                black_box(
+                    run_once(&cfg, vec![mini_job(Puma::Grep)], &System::HadoopV1, 1)
+                        .expect("run"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+/// One design-knob ablation point (the full sweep runs via `reproduce`).
+fn ablation_knobs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_knobs");
+    group.sample_size(10);
+    for (name, window_s) in [("window_12s", 12u64), ("window_48s", 48)] {
+        group.bench_function(name, |b| {
+            let cfg = bench_config();
+            let smr = SmrConfig {
+                balance_window: SimDuration::from_secs(window_s),
+                ..SmrConfig::default()
+            };
+            let sys = System::SMapReduceWith(smr);
+            b.iter(|| {
+                black_box(
+                    run_once(&cfg, vec![mini_job(Puma::WordCount)], &sys, 1).expect("run"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+/// §III-B1 model evaluation (pure arithmetic — shows the analytic path is
+/// effectively free next to a simulation).
+fn model_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_check");
+    group.bench_function("predict_four_benchmarks", |b| {
+        let cfg = EngineConfig::paper_default();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for bench in harness::model_check::BENCHMARKS {
+                let (m, f) =
+                    harness::model_check::predict(&cfg, bench, MINI_INPUT_MB, 16);
+                acc += m + f;
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = extensions;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = ext_hetero, ext_fair, ext_stragglers, ablation_knobs, model_check
+}
+criterion_main!(extensions);

@@ -1,0 +1,190 @@
+//! One Criterion bench group per paper figure. Each group drives the same
+//! code path the `reproduce` binary uses for that figure, at miniature
+//! scale — so `cargo bench` both times the experiment pipelines and acts
+//! as an end-to-end smoke test of every figure generator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::{run_averaged, run_once, System};
+use smapreduce::SmrConfig;
+use smr_bench::{bench_config, mini_job, mini_multi_job};
+use std::hint::black_box;
+use workloads::Puma;
+
+fn configure(c: &mut Criterion) -> &mut Criterion {
+    c
+}
+
+/// Fig. 1 — thrashing curve point: a static-slot run at a high slot count.
+fn fig1_thrashing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_thrashing");
+    group.sample_size(10);
+    for slots in [3usize, 8] {
+        group.bench_function(format!("terasort_slots{slots}"), |b| {
+            let mut cfg = bench_config();
+            cfg.init_map_slots = slots;
+            b.iter(|| {
+                let r = run_once(&cfg, vec![mini_job(Puma::Terasort)], &System::HadoopV1, 1)
+                    .expect("run");
+                black_box(r.jobs[0].map_time())
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 3 — one benchmark cell under each system.
+fn fig3_benchmarks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_benchmarks");
+    group.sample_size(10);
+    for sys in System::all() {
+        group.bench_function(format!("histogramratings_{}", sys.label()), |b| {
+            let cfg = bench_config();
+            b.iter(|| {
+                let avg = run_averaged(&cfg, &[mini_job(Puma::HistogramRatings)], &sys, 1)
+                    .expect("run");
+                black_box(avg.total_time_s)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 4 — progress trace extraction under SMapReduce.
+fn fig4_progress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_progress");
+    group.sample_size(10);
+    group.bench_function("histogrammovies_smr_trace", |b| {
+        let cfg = bench_config();
+        b.iter(|| {
+            let r = run_once(
+                &cfg,
+                vec![mini_job(Puma::HistogramMovies)],
+                &System::SMapReduce,
+                1,
+            )
+            .expect("run");
+            black_box(r.jobs[0].progress.thinned(120))
+        });
+    });
+    group.finish();
+}
+
+/// Fig. 5 — the slot-configuration sweep (three points).
+fn fig5_slot_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_slot_sweep");
+    group.sample_size(10);
+    group.bench_function("histogramratings_3pt_sweep", |b| {
+        b.iter(|| {
+            let mut out = 0.0;
+            for slots in [1usize, 4, 8] {
+                let mut cfg = bench_config();
+                cfg.init_map_slots = slots;
+                let avg = run_averaged(
+                    &cfg,
+                    &[mini_job(Puma::HistogramRatings)],
+                    &System::SMapReduce,
+                    1,
+                )
+                .expect("run");
+                out += avg.map_time_s;
+            }
+            black_box(out)
+        });
+    });
+    group.finish();
+}
+
+/// Fig. 6 — the input-size sweep (two points).
+fn fig6_input_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_input_size");
+    group.sample_size(10);
+    for gb in [1.0f64, 3.0] {
+        group.bench_function(format!("histogramratings_{gb}gb"), |b| {
+            let cfg = bench_config();
+            let job = Puma::HistogramRatings.job(0, gb * 1024.0, 16, Default::default());
+            b.iter(|| {
+                let avg =
+                    run_averaged(&cfg, std::slice::from_ref(&job), &System::SMapReduce, 1)
+                        .expect("run");
+                black_box(avg.throughput)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 7 — the ablated slot managers.
+fn fig7_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_ablation");
+    group.sample_size(10);
+    let variants = [
+        ("full", System::SMapReduce),
+        (
+            "no_thrash_detect",
+            System::SMapReduceWith(SmrConfig::without_thrashing_detection()),
+        ),
+        (
+            "no_slow_start",
+            System::SMapReduceWith(SmrConfig::without_slow_start()),
+        ),
+    ];
+    for (name, sys) in variants {
+        group.bench_function(format!("wordcount_{name}"), |b| {
+            let cfg = bench_config();
+            b.iter(|| {
+                let avg =
+                    run_averaged(&cfg, &[mini_job(Puma::WordCount)], &sys, 1).expect("run");
+                black_box(avg.map_time_s)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 8 — concurrent Grep jobs.
+fn fig8_multijob_grep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_multijob_grep");
+    group.sample_size(10);
+    for sys in System::all() {
+        group.bench_function(sys.label(), |b| {
+            let cfg = bench_config();
+            b.iter(|| {
+                let r = run_once(&cfg, mini_multi_job(Puma::Grep), &sys, 1).expect("run");
+                black_box((r.mean_execution_time(), r.makespan()))
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Fig. 9 — concurrent InvertedIndex jobs.
+fn fig9_multijob_inverted_index(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_multijob_inverted_index");
+    group.sample_size(10);
+    for sys in System::all() {
+        group.bench_function(sys.label(), |b| {
+            let cfg = bench_config();
+            b.iter(|| {
+                let r =
+                    run_once(&cfg, mini_multi_job(Puma::InvertedIndex), &sys, 1).expect("run");
+                black_box((r.mean_execution_time(), r.makespan()))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = figures;
+    config = {
+        let mut c = Criterion::default()
+            .warm_up_time(std::time::Duration::from_millis(500))
+            .measurement_time(std::time::Duration::from_secs(2));
+        configure(&mut c);
+        c
+    };
+    targets = fig1_thrashing, fig3_benchmarks, fig4_progress, fig5_slot_sweep,
+              fig6_input_size, fig7_ablation, fig8_multijob_grep,
+              fig9_multijob_inverted_index
+}
+criterion_main!(figures);

@@ -1,0 +1,78 @@
+//! Microbenchmarks of the hot simulation kernels: the per-tick node
+//! contention allocator, the fabric's max-min water-filling, and a full
+//! engine run per simulated second (the end-to-end tick rate).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::{run_once, System};
+use simgrid::network::{Fabric, FabricConfig, Flow, FlowId};
+use simgrid::node::{allocate_node, NodeSpec, TaskDemand};
+use simgrid::NodeId;
+use smr_bench::{bench_config, mini_job};
+use std::hint::black_box;
+use workloads::Puma;
+
+fn node_allocation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("node_allocation");
+    let spec = NodeSpec::paper_worker();
+    for n in [4usize, 16, 64] {
+        let demands = vec![
+            TaskDemand {
+                cpu_cores: 3.0,
+                threads: 3,
+                mem_mb: 2000.0,
+                disk_read: 20.0,
+                disk_write: 8.0,
+            };
+            n
+        ];
+        group.bench_function(format!("{n}_tasks"), |b| {
+            b.iter(|| black_box(allocate_node(&spec, black_box(&demands))));
+        });
+    }
+    group.finish();
+}
+
+fn fabric_waterfill(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fabric_waterfill");
+    for flows in [16usize, 150, 600] {
+        let fabric = Fabric::new(FabricConfig::paper_gbe());
+        let set: Vec<Flow> = (0..flows)
+            .map(|i| Flow {
+                id: FlowId(i as u64),
+                src: NodeId(i % 16),
+                dst: NodeId((i / 16 + 1 + i % 16) % 16),
+                demand: if i % 3 == 0 { 25.0 } else { f64::INFINITY },
+            })
+            .collect();
+        group.bench_function(format!("{flows}_flows"), |b| {
+            b.iter(|| black_box(fabric.allocate(black_box(&set))));
+        });
+    }
+    group.finish();
+}
+
+fn engine_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_end_to_end");
+    group.sample_size(10);
+    for (name, sys) in [
+        ("hadoopv1", System::HadoopV1),
+        ("smapreduce", System::SMapReduce),
+    ] {
+        group.bench_function(format!("grep_2gb_{name}"), |b| {
+            let cfg = bench_config();
+            b.iter(|| {
+                black_box(run_once(&cfg, vec![mini_job(Puma::Grep)], &sys, 1).expect("run"))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = substrate;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = node_allocation, fabric_waterfill, engine_end_to_end
+}
+criterion_main!(substrate);

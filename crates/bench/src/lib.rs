@@ -1,0 +1,53 @@
+//! # smr-bench — benchmark support
+//!
+//! The Criterion benches live in `benches/`:
+//!
+//! * `figures` — one bench group per paper figure (Figs. 1, 3–9), running
+//!   the same harness code paths at miniature scale so a `cargo bench`
+//!   pass times every experiment pipeline;
+//! * `substrate` — microbenchmarks of the hot simulation kernels (node
+//!   contention allocation, fabric water-filling, a full engine run).
+//!
+//! This library exposes the shared miniature-workload constructors so the
+//! two bench binaries (and any future ones) agree on scale.
+
+use mapreduce::{EngineConfig, JobSpec};
+use simgrid::time::SimTime;
+use workloads::Puma;
+
+/// Miniature input size (MB) used by the figure benches: big enough to
+/// cross the reduce slow-start and exercise the whole pipeline, small
+/// enough that one run takes tens of milliseconds.
+pub const MINI_INPUT_MB: f64 = 2.0 * 1024.0;
+
+/// The paper's engine configuration (16 workers), as used by every bench.
+pub fn bench_config() -> EngineConfig {
+    EngineConfig::paper_default()
+}
+
+/// A miniature single job of `bench`.
+pub fn mini_job(bench: Puma) -> JobSpec {
+    bench.job(0, MINI_INPUT_MB, 16, SimTime::ZERO)
+}
+
+/// A miniature §V-F multi-job workload.
+pub fn mini_multi_job(bench: Puma) -> Vec<JobSpec> {
+    workloads::paper_multi_job(bench, MINI_INPUT_MB / 2.0, 16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use harness::{run_once, System};
+
+    #[test]
+    fn mini_workloads_run() {
+        let cfg = bench_config();
+        let r = run_once(&cfg, vec![mini_job(Puma::Grep)], &System::SMapReduce, 1).unwrap();
+        assert_eq!(r.jobs.len(), 1);
+        let jobs = mini_multi_job(Puma::Grep);
+        assert_eq!(jobs.len(), 4);
+        let r = run_once(&cfg, jobs, &System::HadoopV1, 1).unwrap();
+        assert_eq!(r.jobs.len(), 4);
+    }
+}

@@ -1,0 +1,44 @@
+//! Blocks: the unit of storage and of map-task input.
+
+use serde::{Deserialize, Serialize};
+use simgrid::cluster::NodeId;
+
+/// Identifier of one block within a [`crate::FileLayout`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct BlockId(pub usize);
+
+/// One stored block and the nodes holding its replicas.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BlockInfo {
+    pub id: BlockId,
+    /// Payload size in MB. All blocks are `block_mb` except possibly the
+    /// final partial block of a file.
+    pub size_mb: f64,
+    /// Nodes holding a replica, distinct, in placement order.
+    pub replicas: Vec<NodeId>,
+}
+
+impl BlockInfo {
+    /// True if `node` holds a replica (a map task there reads locally).
+    pub fn is_local_to(&self, node: NodeId) -> bool {
+        self.replicas.contains(&node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn locality_check() {
+        let b = BlockInfo {
+            id: BlockId(0),
+            size_mb: 128.0,
+            replicas: vec![NodeId(1), NodeId(4), NodeId(7)],
+        };
+        assert!(b.is_local_to(NodeId(4)));
+        assert!(!b.is_local_to(NodeId(0)));
+    }
+}

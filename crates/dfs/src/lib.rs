@@ -1,0 +1,25 @@
+//! # dfs — HDFS-like block storage model
+//!
+//! The evaluation in the paper runs on HDFS 1.x: files are split into
+//! 128 MB blocks, each replicated three times across the data nodes, and
+//! the MapReduce scheduler prefers to place a map task on a node holding a
+//! replica of its input block ("data locality"). What matters to the
+//! SMapReduce reproduction is exactly that interface:
+//!
+//! * given an input file size, how many map tasks are there and where can
+//!   each run locally ([`FileLayout`]);
+//! * when a map task runs *non-locally*, its input bytes cross the network
+//!   (the engine turns that into a remote-read flow on the fabric).
+//!
+//! Placement follows HDFS 1.x semantics approximately: the first replica
+//! lands on a (uniformly random) node, the remaining replicas on distinct
+//! other nodes — the testbed is a single rack, so rack-awareness degenerates
+//! to "distinct nodes", which we enforce.
+
+pub mod block;
+pub mod namenode;
+pub mod placement;
+
+pub use block::{BlockId, BlockInfo};
+pub use namenode::{FileLayout, NameNode};
+pub use placement::PlacementPolicy;

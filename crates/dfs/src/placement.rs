@@ -1,0 +1,136 @@
+//! Replica placement policy.
+
+use serde::{Deserialize, Serialize};
+use simgrid::cluster::{ClusterSpec, NodeId};
+use simgrid::rng::SimRng;
+
+/// How replicas are distributed over data nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// HDFS 1.x default on a single rack: each block's replicas land on
+    /// `replication` *distinct* uniformly-chosen nodes.
+    RandomDistinct {
+        /// Replication factor (HDFS default 3).
+        replication: usize,
+    },
+    /// Round-robin striping — not what HDFS does, but useful in tests for a
+    /// perfectly balanced layout with zero variance.
+    RoundRobin {
+        /// Replication factor.
+        replication: usize,
+    },
+}
+
+impl Default for PlacementPolicy {
+    fn default() -> Self {
+        PlacementPolicy::RandomDistinct { replication: 3 }
+    }
+}
+
+impl PlacementPolicy {
+    pub fn replication(&self) -> usize {
+        match *self {
+            PlacementPolicy::RandomDistinct { replication }
+            | PlacementPolicy::RoundRobin { replication } => replication,
+        }
+    }
+
+    /// Choose the replica set for block number `index`.
+    pub fn place(&self, cluster: &ClusterSpec, index: usize, rng: &mut SimRng) -> Vec<NodeId> {
+        let n = cluster.workers;
+        assert!(n > 0, "cannot place blocks on an empty cluster");
+        let r = self.replication().min(n).max(1);
+        match *self {
+            PlacementPolicy::RandomDistinct { .. } => rng
+                .choose_distinct(n, r)
+                .into_iter()
+                .map(NodeId)
+                .collect(),
+            PlacementPolicy::RoundRobin { .. } => {
+                (0..r).map(|k| NodeId((index + k) % n)).collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_distinct_yields_distinct_nodes() {
+        let cluster = ClusterSpec::small(8);
+        let policy = PlacementPolicy::default();
+        let mut rng = SimRng::new(11);
+        for i in 0..200 {
+            let reps = policy.place(&cluster, i, &mut rng);
+            assert_eq!(reps.len(), 3);
+            let mut s = reps.clone();
+            s.sort();
+            s.dedup();
+            assert_eq!(s.len(), 3, "replicas must be distinct");
+            assert!(reps.iter().all(|n| cluster.contains(*n)));
+        }
+    }
+
+    #[test]
+    fn replication_clamped_to_cluster_size() {
+        let cluster = ClusterSpec::small(2);
+        let policy = PlacementPolicy::RandomDistinct { replication: 3 };
+        let mut rng = SimRng::new(1);
+        let reps = policy.place(&cluster, 0, &mut rng);
+        assert_eq!(reps.len(), 2);
+    }
+
+    #[test]
+    fn round_robin_is_deterministic_and_balanced() {
+        let cluster = ClusterSpec::small(4);
+        let policy = PlacementPolicy::RoundRobin { replication: 2 };
+        let mut rng = SimRng::new(1);
+        let mut counts = vec![0usize; 4];
+        for i in 0..40 {
+            for rep in policy.place(&cluster, i, &mut rng) {
+                counts[rep.0] += 1;
+            }
+        }
+        assert!(counts.iter().all(|&c| c == 20), "{counts:?}");
+    }
+
+    #[test]
+    fn placement_spreads_load_roughly_uniformly() {
+        let cluster = ClusterSpec::small(16);
+        let policy = PlacementPolicy::default();
+        let mut rng = SimRng::new(99);
+        let mut counts = vec![0usize; 16];
+        let blocks = 1600;
+        for i in 0..blocks {
+            for rep in policy.place(&cluster, i, &mut rng) {
+                counts[rep.0] += 1;
+            }
+        }
+        let expected = blocks * 3 / 16;
+        for c in counts {
+            assert!(
+                (c as f64 - expected as f64).abs() < expected as f64 * 0.25,
+                "count {c} far from expected {expected}"
+            );
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_place_always_valid(workers in 1usize..32, idx in 0usize..1000, seed in 0u64..100) {
+            let cluster = ClusterSpec::small(workers);
+            let policy = PlacementPolicy::default();
+            let mut rng = SimRng::new(seed);
+            let reps = policy.place(&cluster, idx, &mut rng);
+            proptest::prop_assert!(!reps.is_empty());
+            proptest::prop_assert!(reps.len() <= 3);
+            proptest::prop_assert!(reps.iter().all(|n| cluster.contains(*n)));
+            let mut s = reps.clone();
+            s.sort();
+            s.dedup();
+            proptest::prop_assert_eq!(s.len(), reps.len());
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! `reproduce` — regenerate every figure of the SMapReduce paper.
+//!
+//! ```text
+//! reproduce all [--quick] [--out DIR]        # every figure + ext-hetero
+//! reproduce fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9 [--quick] [--out DIR]
+//! reproduce ext-hetero|ext-stragglers|ext-fair|ext-load   # extensions
+//! reproduce ablations|model-check            # knob sweeps / §III-B1 check
+//! reproduce headline [--quick]               # §V-A claims only
+//! ```
+//!
+//! Each figure prints its plain-text rendering and writes `<fig>.txt` +
+//! `<fig>.json` under the output directory (default `results/`).
+
+use harness::scale::Scale;
+use harness::{ablation, ext_fair, ext_hetero, ext_load, ext_stragglers, fig1, model_check, fig3, fig4, fig5, fig6, fig7, fig89, output, summary};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    target: String,
+    scale: Scale,
+    out: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut target = None;
+    let mut scale = Scale::Full;
+    let mut out = PathBuf::from("results");
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => scale = Scale::Quick,
+            "--out" => {
+                out = PathBuf::from(it.next().ok_or("--out needs a directory")?);
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other if target.is_none() => target = Some(other.to_string()),
+            other => return Err(format!("unexpected argument: {other}\n{USAGE}")),
+        }
+    }
+    Ok(Args {
+        target: target.unwrap_or_else(|| "all".to_string()),
+        scale,
+        out,
+    })
+}
+
+const USAGE: &str =
+    "usage: reproduce [all|fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ext-hetero|ext-stragglers|ext-fair|ext-load|ablations|model-check|headline] [--quick] [--out DIR]";
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let scale = args.scale;
+    let run_one = |name: &str| -> Result<(), String> {
+        let (text, json): (String, serde_json::Value) = match name {
+            "fig1" => {
+                let d = fig1::run(scale);
+                let _ = output::write_gnuplot(&args.out, "fig1", &fig1::to_gnuplot(&d));
+                (fig1::render(&d), serde_json::to_value(&d).expect("serialise"))
+            }
+            "fig3" => {
+                let d = fig3::run(scale);
+                let mut text = fig3::render(&d);
+                text.push('\n');
+                text.push_str(&summary::render(&summary::headline_claims(&d)));
+                (text, serde_json::to_value(&d).expect("serialise"))
+            }
+            "fig4" => {
+                let d = fig4::run(scale);
+                (fig4::render(&d), serde_json::to_value(&d).expect("serialise"))
+            }
+            "fig5" => {
+                let d = fig5::run(scale);
+                let _ = output::write_gnuplot(&args.out, "fig5", &fig5::to_gnuplot(&d));
+                (fig5::render(&d), serde_json::to_value(&d).expect("serialise"))
+            }
+            "fig6" => {
+                let d = fig6::run(scale);
+                let _ = output::write_gnuplot(&args.out, "fig6", &fig6::to_gnuplot(&d));
+                (fig6::render(&d), serde_json::to_value(&d).expect("serialise"))
+            }
+            "fig7" => {
+                let d = fig7::run(scale);
+                (fig7::render(&d), serde_json::to_value(&d).expect("serialise"))
+            }
+            "fig8" => {
+                let d = fig89::run_fig8(scale);
+                (
+                    fig89::render(&d, 8),
+                    serde_json::to_value(&d).expect("serialise"),
+                )
+            }
+            "fig9" => {
+                let d = fig89::run_fig9(scale);
+                (
+                    fig89::render(&d, 9),
+                    serde_json::to_value(&d).expect("serialise"),
+                )
+            }
+            "ablations" => {
+                let d = ablation::run(scale);
+                (
+                    ablation::render(&d),
+                    serde_json::to_value(&d).expect("serialise"),
+                )
+            }
+            "model-check" => {
+                let d = model_check::run(scale);
+                (
+                    model_check::render(&d),
+                    serde_json::to_value(&d).expect("serialise"),
+                )
+            }
+            "ext-load" => {
+                let d = ext_load::run(scale);
+                (
+                    ext_load::render(&d),
+                    serde_json::to_value(&d).expect("serialise"),
+                )
+            }
+            "ext-fair" => {
+                let d = ext_fair::run(scale);
+                (
+                    ext_fair::render(&d),
+                    serde_json::to_value(&d).expect("serialise"),
+                )
+            }
+            "ext-stragglers" => {
+                let d = ext_stragglers::run(scale);
+                (
+                    ext_stragglers::render(&d),
+                    serde_json::to_value(&d).expect("serialise"),
+                )
+            }
+            "ext-hetero" => {
+                let d = ext_hetero::run(scale);
+                (
+                    ext_hetero::render(&d),
+                    serde_json::to_value(&d).expect("serialise"),
+                )
+            }
+            "headline" => {
+                let d = fig3::run(scale);
+                let claims = summary::headline_claims(&d);
+                (
+                    summary::render(&claims),
+                    serde_json::to_value(&claims).expect("serialise"),
+                )
+            }
+            other => return Err(format!("unknown target: {other}\n{USAGE}")),
+        };
+        println!("{text}");
+        let (txt, js) =
+            output::write_outputs(&args.out, name, &text, &json).map_err(|e| e.to_string())?;
+        println!("[wrote {} and {}]\n", txt.display(), js.display());
+        Ok(())
+    };
+
+    let targets: Vec<&str> = if args.target == "all" {
+        vec![
+            "fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "ext-hetero",
+        ]
+    } else {
+        vec![args.target.as_str()]
+    };
+    for t in targets {
+        if let Err(msg) = run_one(t) {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

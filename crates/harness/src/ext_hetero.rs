@@ -1,0 +1,169 @@
+//! Extension experiment — heterogeneous clusters (the paper's §VII future
+//! work; no corresponding figure exists in the paper).
+//!
+//! Testbed: 8 of the paper's 16-core workers plus 8 weak workers (8 cores,
+//! half the memory, a slower disk). Compared: HadoopV1 and YARN (static /
+//! capacity, both blind to the mix), the paper's uniform SMapReduce (one
+//! target for every tracker — its stated homogeneity assumption), and the
+//! capacity-proportional [`smapreduce::hetero`] extension.
+//!
+//! Expected shape: the uniform manager still beats the baselines (the
+//! aggregate signal finds a workable compromise) but over-drives the weak
+//! nodes; the capacity-proportional variant recovers most of that loss.
+
+use crate::runner::{run_averaged, System};
+use crate::scale::Scale;
+use crate::table;
+use mapreduce::EngineConfig;
+use serde::{Deserialize, Serialize};
+use simgrid::cluster::ClusterSpec;
+use simgrid::node::NodeSpec;
+use workloads::Puma;
+
+/// One system's outcome on the mixed cluster.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HeteroCell {
+    pub system: String,
+    pub map_time_s: f64,
+    pub total_time_s: f64,
+    pub throughput: f64,
+}
+
+/// The experiment's data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExtHetero {
+    pub benchmark: String,
+    pub strong_nodes: usize,
+    pub weak_nodes: usize,
+    pub cells: Vec<HeteroCell>,
+}
+
+impl ExtHetero {
+    pub fn cell(&self, system: &str) -> &HeteroCell {
+        self.cells
+            .iter()
+            .find(|c| c.system == system)
+            .unwrap_or_else(|| panic!("no cell {system}"))
+    }
+}
+
+/// The weak machine class: half the cores and memory, a slower disk.
+pub fn weak_worker() -> NodeSpec {
+    NodeSpec {
+        cores: 8.0,
+        mem_mb: 14.0 * 1024.0,
+        disk_bw: 140.0,
+        ..NodeSpec::paper_worker()
+    }
+}
+
+/// The mixed 8+8 testbed.
+pub fn mixed_testbed() -> ClusterSpec {
+    ClusterSpec::mixed(8, 8, weak_worker())
+}
+
+/// Systems compared (the paper trio + the extension).
+pub fn systems() -> [System; 4] {
+    [
+        System::HadoopV1,
+        System::Yarn,
+        System::SMapReduce,
+        System::SMapReduceHetero,
+    ]
+}
+
+/// Run the experiment.
+pub fn run(scale: Scale) -> ExtHetero {
+    let bench = Puma::HistogramRatings;
+    let mut cfg = EngineConfig::paper_default();
+    cfg.cluster = mixed_testbed();
+    let mut cells = Vec::new();
+    for sys in systems() {
+        let job = bench.job(
+            0,
+            scale.input(bench.default_input_mb()),
+            30,
+            Default::default(),
+        );
+        let avg = run_averaged(&cfg, &[job], &sys, scale.trials()).expect("hetero run");
+        cells.push(HeteroCell {
+            system: avg.system,
+            map_time_s: avg.map_time_s,
+            total_time_s: avg.total_time_s,
+            throughput: avg.throughput,
+        });
+    }
+    ExtHetero {
+        benchmark: bench.name().to_string(),
+        strong_nodes: 8,
+        weak_nodes: 8,
+        cells,
+    }
+}
+
+/// Plain-text rendering.
+pub fn render(e: &ExtHetero) -> String {
+    let mut out = format!(
+        "Extension — heterogeneous cluster ({} strong + {} weak workers), {}\n\n",
+        e.strong_nodes, e.weak_nodes, e.benchmark
+    );
+    let headers = ["system", "map(s)", "total(s)", "thpt(MB/s)"];
+    let rows: Vec<Vec<String>> = e
+        .cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.system.clone(),
+                table::secs(c.map_time_s),
+                table::secs(c.total_time_s),
+                format!("{:.1}", c.throughput),
+            ]
+        })
+        .collect();
+    out.push_str(&table::render_table(&headers, &rows));
+    out.push_str(&format!(
+        "\ncapacity-proportional targets vs uniform SMapReduce: {} throughput\n",
+        table::pct_delta(
+            e.cell("SMapReduce-hetero").throughput,
+            e.cell("SMapReduce").throughput
+        )
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hetero_extension_beats_uniform_on_mixed_cluster() {
+        let e = run(Scale::Quick);
+        assert_eq!(e.cells.len(), 4);
+        let thpt = |s: &str| e.cell(s).throughput;
+        // At this reduced scale the *uniform* manager may not yet beat the
+        // baselines on a mixed cluster — the misfit between one target and
+        // two machine classes is exactly what the extension fixes, so the
+        // assertions pin the extension's edge. (At full scale, `reproduce
+        // ext-hetero` shows uniform SMR between YARN and hetero.)
+        assert!(
+            thpt("SMapReduce-hetero") > thpt("HadoopV1"),
+            "hetero {} must beat V1 {}",
+            thpt("SMapReduce-hetero"),
+            thpt("HadoopV1")
+        );
+        assert!(
+            thpt("SMapReduce-hetero") > thpt("SMapReduce"),
+            "capacity-proportional {} must beat uniform {} on a mixed cluster",
+            thpt("SMapReduce-hetero"),
+            thpt("SMapReduce")
+        );
+    }
+
+    #[test]
+    fn weak_worker_is_weaker() {
+        let w = weak_worker();
+        let s = NodeSpec::paper_worker();
+        assert!(w.cores < s.cores && w.mem_mb < s.mem_mb && w.disk_bw < s.disk_bw);
+        assert!(!mixed_testbed().is_homogeneous());
+    }
+}

@@ -1,0 +1,159 @@
+//! Extension experiment — stragglers, failures and speculative execution.
+//!
+//! Not a paper figure. The paper's evaluation assumes a quiet, fault-free
+//! cluster; real Hadoop 1.x deployments lean on *speculative execution* and
+//! task retry. This experiment runs a map-heavy job in a hostile
+//! environment (heavy service-time variance and a task failure rate) and
+//! measures how much speculation recovers — and that SMapReduce's slot
+//! management composes with it (the backup attempts run in the very slots
+//! the manager opens up).
+
+use crate::runner::{run_averaged, System};
+use crate::scale::Scale;
+use crate::table;
+use mapreduce::EngineConfig;
+use serde::{Deserialize, Serialize};
+use simgrid::time::SimDuration;
+use workloads::Puma;
+
+/// One (environment, system, speculation) cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StragglerCell {
+    pub environment: String,
+    pub system: String,
+    pub speculation: bool,
+    pub map_time_s: f64,
+    pub total_time_s: f64,
+    pub speculative_attempts: u64,
+    pub speculative_wins: u64,
+    pub map_failures: u64,
+}
+
+/// The experiment's data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExtStragglers {
+    pub benchmark: String,
+    pub cells: Vec<StragglerCell>,
+}
+
+impl ExtStragglers {
+    pub fn cell(&self, environment: &str, system: &str, speculation: bool) -> &StragglerCell {
+        self.cells
+            .iter()
+            .find(|c| c.environment == environment && c.system == system && c.speculation == speculation)
+            .unwrap_or_else(|| panic!("no cell {environment}/{system}/{speculation}"))
+    }
+}
+
+fn environments() -> Vec<(&'static str, f64, f64, f64)> {
+    // (label, jitter amplitude, map failure rate, degraded-task rate)
+    vec![("quiet", 0.2, 0.0, 0.0), ("hostile", 0.35, 0.03, 0.03)]
+}
+
+/// Run the grid.
+pub fn run(scale: Scale) -> ExtStragglers {
+    let bench = Puma::HistogramRatings;
+    let mut cells = Vec::new();
+    for (env, jitter, failures, degraded) in environments() {
+        for sys in [System::HadoopV1, System::SMapReduce] {
+            for speculation in [false, true] {
+                let mut cfg = EngineConfig::paper_default();
+                cfg.jitter_amp = jitter;
+                cfg.map_failure_rate = failures;
+                cfg.straggler_rate = degraded;
+                cfg.speculative_maps = speculation;
+                cfg.speculation_min_runtime = SimDuration::from_secs(10);
+                let job = bench.job(
+                    0,
+                    scale.input(bench.default_input_mb()),
+                    30,
+                    Default::default(),
+                );
+                let avg =
+                    run_averaged(&cfg, &[job], &sys, scale.trials()).expect("straggler run");
+                cells.push(StragglerCell {
+                    environment: env.to_string(),
+                    system: avg.system,
+                    speculation,
+                    map_time_s: avg.map_time_s,
+                    total_time_s: avg.total_time_s,
+                    speculative_attempts: avg.sample.speculative_attempts,
+                    speculative_wins: avg.sample.speculative_wins,
+                    map_failures: avg.sample.map_failures,
+                });
+            }
+        }
+    }
+    ExtStragglers {
+        benchmark: bench.name().to_string(),
+        cells,
+    }
+}
+
+/// Plain-text rendering.
+pub fn render(e: &ExtStragglers) -> String {
+    let mut out = format!(
+        "Extension — stragglers & speculative execution, {}\n\n",
+        e.benchmark
+    );
+    let headers = [
+        "env", "system", "spec", "map(s)", "total(s)", "backups", "wins", "failures",
+    ];
+    let rows: Vec<Vec<String>> = e
+        .cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.environment.clone(),
+                c.system.clone(),
+                if c.speculation { "on" } else { "off" }.into(),
+                table::secs(c.map_time_s),
+                table::secs(c.total_time_s),
+                c.speculative_attempts.to_string(),
+                c.speculative_wins.to_string(),
+                c.map_failures.to_string(),
+            ]
+        })
+        .collect();
+    out.push_str(&table::render_table(&headers, &rows));
+    let gain = |sys: &str| {
+        let off = e.cell("hostile", sys, false).map_time_s;
+        let on = e.cell("hostile", sys, true).map_time_s;
+        (off / on - 1.0) * 100.0
+    };
+    out.push_str(&format!(
+        "\nhostile-environment speculation gain: HadoopV1 {:+.0}% map throughput, SMapReduce {:+.0}%\n",
+        gain("HadoopV1"),
+        gain("SMapReduce"),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speculation_helps_in_hostile_environment() {
+        let e = run(Scale::Quick);
+        assert_eq!(e.cells.len(), 8);
+        // hostile without speculation must be slower than quiet
+        let v1_quiet = e.cell("quiet", "HadoopV1", false).map_time_s;
+        let v1_hostile = e.cell("hostile", "HadoopV1", false).map_time_s;
+        assert!(
+            v1_hostile > v1_quiet,
+            "failures+variance must hurt: {v1_hostile} vs {v1_quiet}"
+        );
+        // speculation must claw some of it back
+        let v1_spec = e.cell("hostile", "HadoopV1", true);
+        assert!(
+            v1_spec.map_time_s < v1_hostile,
+            "speculation should shorten the straggler tail: {} vs {v1_hostile}",
+            v1_spec.map_time_s
+        );
+        assert!(v1_spec.speculative_attempts > 0);
+        // quiet runs inject no failures
+        assert_eq!(e.cell("quiet", "SMapReduce", false).map_failures, 0);
+        assert!(e.cell("hostile", "SMapReduce", false).map_failures > 0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Figure 1 — the thrashing phenomenon.
+//!
+//! "In the Terasort, TermVector, and Grep benchmarks, the curves of the
+//! throughput of the map slots versus the number of map slots in each node
+//! begins to fall when the number of map slots reaches the thrashing
+//! point." Static HadoopV1 runs with the map-slot count swept; the plotted
+//! throughput is map-phase throughput (input MB / map time).
+//!
+//! Expected shape: each curve rises, flattens and falls; Grep (map-heavy)
+//! peaks at a higher slot count than TermVector, which peaks above
+//! Terasort (reduce-heavy).
+
+use crate::runner::{run_averaged, System};
+use crate::scale::Scale;
+use crate::table;
+use mapreduce::EngineConfig;
+use serde::{Deserialize, Serialize};
+use workloads::Puma;
+
+/// One benchmark's throughput curve.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThrashCurve {
+    pub benchmark: String,
+    /// `(map slots per node, map-phase throughput MB/s)`.
+    pub points: Vec<(usize, f64)>,
+    /// Slot count with the maximum observed throughput.
+    pub peak_slots: usize,
+}
+
+/// The figure's data: one curve per benchmark.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig1 {
+    pub curves: Vec<ThrashCurve>,
+}
+
+/// The benchmarks the paper plots.
+pub const BENCHMARKS: [Puma; 3] = [Puma::Terasort, Puma::TermVector, Puma::Grep];
+
+/// Slot counts swept.
+pub fn slot_sweep() -> Vec<usize> {
+    (1..=10).collect()
+}
+
+/// Run the experiment.
+pub fn run(scale: Scale) -> Fig1 {
+    let curves = BENCHMARKS
+        .iter()
+        .map(|&bench| {
+            let mut points = Vec::new();
+            for slots in slot_sweep() {
+                let mut cfg = EngineConfig::paper_default();
+                cfg.init_map_slots = slots;
+                let job = bench.job(0, scale.input(bench.default_input_mb()), 30, Default::default());
+                let avg = run_averaged(&cfg, &[job], &System::HadoopV1, scale.trials())
+                    .expect("fig1 run");
+                let throughput = avg.sample.jobs[0].input_mb / avg.map_time_s;
+                points.push((slots, throughput));
+            }
+            let peak_slots = points
+                .iter()
+                .copied()
+                .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+                .expect("non-empty sweep")
+                .0;
+            ThrashCurve {
+                benchmark: bench.name().to_string(),
+                points,
+                peak_slots,
+            }
+        })
+        .collect();
+    Fig1 { curves }
+}
+
+/// Figure as gnuplot series.
+pub fn to_gnuplot(f: &Fig1) -> crate::output::GnuplotFigure {
+    crate::output::GnuplotFigure {
+        title: "Fig. 1 — map throughput vs map slots per node".into(),
+        xlabel: "map slots per node".into(),
+        ylabel: "map throughput (MB/s)".into(),
+        series: f
+            .curves
+            .iter()
+            .map(|c| {
+                (
+                    c.benchmark.clone(),
+                    c.points.iter().map(|&(x, y)| (x as f64, y)).collect(),
+                )
+            })
+            .collect(),
+    }
+}
+
+/// Plain-text rendering.
+pub fn render(f: &Fig1) -> String {
+    let mut out = String::from(
+        "Figure 1 — Thrashing: map throughput (MB/s) vs map slots per node (HadoopV1 static)\n\n",
+    );
+    let mut headers = vec!["slots".to_string()];
+    headers.extend(f.curves.iter().map(|c| c.benchmark.clone()));
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let n = f.curves[0].points.len();
+    let rows: Vec<Vec<String>> = (0..n)
+        .map(|i| {
+            let mut row = vec![f.curves[0].points[i].0.to_string()];
+            row.extend(f.curves.iter().map(|c| format!("{:.1}", c.points[i].1)));
+            row
+        })
+        .collect();
+    out.push_str(&table::render_table(&headers_ref, &rows));
+    out.push('\n');
+    for c in &f.curves {
+        out.push_str(&format!(
+            "{}: thrashing point at ~{} map slots/node\n",
+            c.benchmark, c.peak_slots
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curves_rise_then_fall_with_ordered_knees() {
+        // tiny inputs: the *shape* is what matters
+        let f = run(Scale::Quick);
+        assert_eq!(f.curves.len(), 3);
+        let knee = |name: &str| {
+            f.curves
+                .iter()
+                .find(|c| c.benchmark == name)
+                .expect("curve present")
+                .peak_slots
+        };
+        let (ts, tv, gr) = (knee("Terasort"), knee("TermVector"), knee("Grep"));
+        assert!(ts < gr, "Terasort must thrash before Grep: {ts} vs {gr}");
+        assert!(tv <= gr && tv >= ts, "TermVector in between: {ts} {tv} {gr}");
+        // every curve declines after its peak
+        for c in &f.curves {
+            let peak_thpt = c
+                .points
+                .iter()
+                .find(|p| p.0 == c.peak_slots)
+                .expect("peak present")
+                .1;
+            let last = c.points.last().expect("sweep non-empty").1;
+            if c.peak_slots < c.points.last().unwrap().0 {
+                assert!(
+                    last < peak_thpt,
+                    "{}: throughput must fall past the knee",
+                    c.benchmark
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn render_contains_all_benchmarks() {
+        let f = Fig1 {
+            curves: vec![ThrashCurve {
+                benchmark: "X".into(),
+                points: vec![(1, 10.0), (2, 20.0)],
+                peak_slots: 2,
+            }],
+        };
+        let s = render(&f);
+        assert!(s.contains('X'));
+        assert!(s.contains("thrashing point at ~2"));
+    }
+}

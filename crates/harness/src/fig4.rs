@@ -1,0 +1,143 @@
+//! Figure 4 — progress percentage over time for the HistogramMovies
+//! benchmark (total progress runs to 200 %: map 100 % + reduce 100 %).
+//!
+//! Expected shape: all three systems start at the same slope; SMapReduce's
+//! curve steepens as the slot manager converges on the optimal slot count,
+//! while HadoopV1 and YARN stay straight; every curve has a sharp turn just
+//! above the 100 % mark (the barrier).
+
+use crate::runner::{run_once, System};
+use crate::scale::Scale;
+use mapreduce::EngineConfig;
+use serde::{Deserialize, Serialize};
+use workloads::Puma;
+
+/// One system's progress curve.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProgressCurve {
+    pub system: String,
+    /// `(seconds, progress-percent 0..200)`.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// The figure's data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig4 {
+    pub benchmark: String,
+    pub curves: Vec<ProgressCurve>,
+}
+
+/// Run the experiment (single seed: the figure shows one trace per system).
+pub fn run(scale: Scale) -> Fig4 {
+    let cfg = EngineConfig::paper_default();
+    let bench = Puma::HistogramMovies;
+    let curves = System::all()
+        .iter()
+        .map(|sys| {
+            let job = bench.job(
+                0,
+                scale.input(bench.default_input_mb()),
+                30,
+                Default::default(),
+            );
+            let report = run_once(&cfg, vec![job], sys, cfg.seed).expect("fig4 run");
+            let points = report.jobs[0]
+                .progress
+                .thinned(120)
+                .into_iter()
+                .map(|(t, v)| (t.as_secs_f64(), v))
+                .collect();
+            ProgressCurve {
+                system: sys.label().to_string(),
+                points,
+            }
+        })
+        .collect();
+    Fig4 {
+        benchmark: bench.name().to_string(),
+        curves,
+    }
+}
+
+/// Plain-text rendering: one column block per system.
+pub fn render(f: &Fig4) -> String {
+    let mut out = format!(
+        "Figure 4 — Progress percentage over time, {} (map% + reduce%, 0-200)\n\n",
+        f.benchmark
+    );
+    for c in &f.curves {
+        out.push_str(&crate::table::render_series(
+            &c.system,
+            "t(s)",
+            "progress(%)",
+            &c.points,
+        ));
+        out.push('\n');
+    }
+    // comparative summary: time to reach 100% (barrier region) and 200%
+    for c in &f.curves {
+        let reach = |level: f64| {
+            c.points
+                .iter()
+                .find(|p| p.1 >= level)
+                .map(|p| p.0)
+                .unwrap_or(f64::NAN)
+        };
+        out.push_str(&format!(
+            "{}: 100% at {:.0}s, done at {:.0}s\n",
+            c.system,
+            reach(100.0),
+            reach(199.0)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn progress_curves_shape() {
+        let f = run(Scale::Quick);
+        assert_eq!(f.curves.len(), 3);
+        for c in &f.curves {
+            let last = c.points.last().expect("non-empty").1;
+            assert!(last > 195.0, "{} ends at {last}", c.system);
+            for w in c.points.windows(2) {
+                assert!(w[1].1 >= w[0].1 - 1e-6, "{} must be monotone", c.system);
+            }
+        }
+        // SMapReduce finishes no later than HadoopV1 on this map-heavy job
+        let done = |name: &str| {
+            f.curves
+                .iter()
+                .find(|c| c.system == name)
+                .expect("curve present")
+                .points
+                .last()
+                .expect("non-empty")
+                .0
+        };
+        assert!(
+            done("SMapReduce") <= done("HadoopV1"),
+            "SMR {} vs V1 {}",
+            done("SMapReduce"),
+            done("HadoopV1")
+        );
+    }
+
+    #[test]
+    fn render_mentions_systems() {
+        let f = Fig4 {
+            benchmark: "B".into(),
+            curves: vec![ProgressCurve {
+                system: "HadoopV1".into(),
+                points: vec![(0.0, 0.0), (10.0, 100.0), (20.0, 200.0)],
+            }],
+        };
+        let s = render(&f);
+        assert!(s.contains("HadoopV1"));
+        assert!(s.contains("100% at 10s"));
+    }
+}

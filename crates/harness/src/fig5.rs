@@ -1,0 +1,155 @@
+//! Figure 5 — HistogramRatings map time under different initial map-slot
+//! configurations (1..8 per node), all three systems.
+//!
+//! Expected shape: HadoopV1's map time is U-shaped in the configured slot
+//! count (too few ⇒ underutilised, too many ⇒ thrashing); YARN is similar
+//! but flatter; SMapReduce is nearly flat — wherever it starts, the slot
+//! manager converges to the same operating point, and at the baselines'
+//! optimal configuration it matches them.
+
+use crate::runner::{run_averaged, System};
+use crate::scale::Scale;
+use crate::table;
+use mapreduce::EngineConfig;
+use serde::{Deserialize, Serialize};
+use workloads::Puma;
+
+/// One system's map time per initial slot configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SlotSweepCurve {
+    pub system: String,
+    /// `(initial map slots per node, map time seconds)`.
+    pub points: Vec<(usize, f64)>,
+}
+
+/// The figure's data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig5 {
+    pub benchmark: String,
+    pub curves: Vec<SlotSweepCurve>,
+}
+
+/// Run the sweep.
+pub fn run(scale: Scale) -> Fig5 {
+    let bench = Puma::HistogramRatings;
+    let sweep = workloads::map_slot_sweep();
+    let curves = System::all()
+        .iter()
+        .map(|sys| {
+            let points = sweep
+                .iter()
+                .map(|&slots| {
+                    let mut cfg = EngineConfig::paper_default();
+                    cfg.init_map_slots = slots;
+                    let job = bench.job(
+                        0,
+                        scale.input(bench.default_input_mb()),
+                        30,
+                        Default::default(),
+                    );
+                    let avg =
+                        run_averaged(&cfg, &[job], sys, scale.trials()).expect("fig5 run");
+                    (slots, avg.map_time_s)
+                })
+                .collect();
+            SlotSweepCurve {
+                system: sys.label().to_string(),
+                points,
+            }
+        })
+        .collect();
+    Fig5 {
+        benchmark: bench.name().to_string(),
+        curves,
+    }
+}
+
+/// Figure as gnuplot series.
+pub fn to_gnuplot(f: &Fig5) -> crate::output::GnuplotFigure {
+    crate::output::GnuplotFigure {
+        title: format!("Fig. 5 — {} map time vs configured map slots", f.benchmark),
+        xlabel: "initial map slots per node".into(),
+        ylabel: "map time (s)".into(),
+        series: f
+            .curves
+            .iter()
+            .map(|c| {
+                (
+                    c.system.clone(),
+                    c.points.iter().map(|&(x, y)| (x as f64, y)).collect(),
+                )
+            })
+            .collect(),
+    }
+}
+
+/// Plain-text rendering.
+pub fn render(f: &Fig5) -> String {
+    let mut out = format!(
+        "Figure 5 — {} map time (s) vs configured map slots per node\n\n",
+        f.benchmark
+    );
+    let mut headers = vec!["slots".to_string()];
+    headers.extend(f.curves.iter().map(|c| c.system.clone()));
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let rows: Vec<Vec<String>> = (0..f.curves[0].points.len())
+        .map(|i| {
+            let mut row = vec![f.curves[0].points[i].0.to_string()];
+            row.extend(f.curves.iter().map(|c| table::secs(c.points[i].1)));
+            row
+        })
+        .collect();
+    out.push_str(&table::render_table(&headers_ref, &rows));
+    // variability summary: SMapReduce should be the flattest curve
+    for c in &f.curves {
+        let times: Vec<f64> = c.points.iter().map(|p| p.1).collect();
+        let min = times.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = times.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        out.push_str(&format!(
+            "{}: worst/best config ratio {:.2}\n",
+            c.system,
+            max / min
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smapreduce_is_least_sensitive_to_configuration() {
+        let f = run(Scale::Quick);
+        let spread = |name: &str| {
+            let c = f
+                .curves
+                .iter()
+                .find(|c| c.system == name)
+                .expect("curve present");
+            let times: Vec<f64> = c.points.iter().map(|p| p.1).collect();
+            let min = times.iter().copied().fold(f64::INFINITY, f64::min);
+            let max = times.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            max / min
+        };
+        assert!(
+            spread("SMapReduce") < spread("HadoopV1"),
+            "SMR spread {:.2} must beat V1 {:.2}",
+            spread("SMapReduce"),
+            spread("HadoopV1")
+        );
+    }
+
+    #[test]
+    fn render_has_ratio_lines() {
+        let f = Fig5 {
+            benchmark: "B".into(),
+            curves: vec![SlotSweepCurve {
+                system: "S".into(),
+                points: vec![(1, 100.0), (2, 50.0)],
+            }],
+        };
+        let s = render(&f);
+        assert!(s.contains("worst/best config ratio 2.00"));
+    }
+}

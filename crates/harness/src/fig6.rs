@@ -1,0 +1,174 @@
+//! Figure 6 — HistogramRatings job throughput vs input size (50–250 GB).
+//!
+//! Expected shape: HadoopV1 and YARN throughputs are flat in input size;
+//! SMapReduce's *rises* with input size (a longer job gives the slot
+//! manager more time at the converged optimum), reaching roughly 2× the
+//! HadoopV1 throughput and ~1.3× YARN at the largest size.
+
+use crate::runner::{run_averaged, System};
+use crate::scale::Scale;
+use crate::table;
+use mapreduce::EngineConfig;
+use serde::{Deserialize, Serialize};
+use workloads::Puma;
+
+/// One system's throughput per input size.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SizeCurve {
+    pub system: String,
+    /// `(input GB, job throughput MB/s)`.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// The figure's data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig6 {
+    pub benchmark: String,
+    pub curves: Vec<SizeCurve>,
+}
+
+impl Fig6 {
+    /// Throughput ratio SMapReduce / `baseline` at the largest input.
+    pub fn final_ratio(&self, baseline: &str) -> f64 {
+        let last = |name: &str| {
+            self.curves
+                .iter()
+                .find(|c| c.system == name)
+                .expect("curve present")
+                .points
+                .last()
+                .expect("non-empty")
+                .1
+        };
+        last("SMapReduce") / last(baseline)
+    }
+}
+
+/// Run the sweep.
+pub fn run(scale: Scale) -> Fig6 {
+    let bench = Puma::HistogramRatings;
+    let cfg = EngineConfig::paper_default();
+    let sizes = workloads::input_sweep_gb();
+    let curves = System::all()
+        .iter()
+        .map(|sys| {
+            let points = sizes
+                .iter()
+                .map(|&gb| {
+                    let job = bench.job(0, scale.input(gb * 1024.0), 30, Default::default());
+                    let avg =
+                        run_averaged(&cfg, &[job], sys, scale.trials()).expect("fig6 run");
+                    (gb, avg.throughput)
+                })
+                .collect();
+            SizeCurve {
+                system: sys.label().to_string(),
+                points,
+            }
+        })
+        .collect();
+    Fig6 {
+        benchmark: bench.name().to_string(),
+        curves,
+    }
+}
+
+/// Figure as gnuplot series.
+pub fn to_gnuplot(f: &Fig6) -> crate::output::GnuplotFigure {
+    crate::output::GnuplotFigure {
+        title: format!("Fig. 6 — {} throughput vs input size", f.benchmark),
+        xlabel: "input size (GB)".into(),
+        ylabel: "job throughput (MB/s)".into(),
+        series: f
+            .curves
+            .iter()
+            .map(|c| (c.system.clone(), c.points.clone()))
+            .collect(),
+    }
+}
+
+/// Plain-text rendering.
+pub fn render(f: &Fig6) -> String {
+    let mut out = format!(
+        "Figure 6 — {} job throughput (MB/s) vs input size (GB)\n\n",
+        f.benchmark
+    );
+    let mut headers = vec!["GB".to_string()];
+    headers.extend(f.curves.iter().map(|c| c.system.clone()));
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let rows: Vec<Vec<String>> = (0..f.curves[0].points.len())
+        .map(|i| {
+            let mut row = vec![format!("{:.0}", f.curves[0].points[i].0)];
+            row.extend(f.curves.iter().map(|c| format!("{:.1}", c.points[i].1)));
+            row
+        })
+        .collect();
+    out.push_str(&table::render_table(&headers_ref, &rows));
+    out.push_str(&format!(
+        "\nAt the largest input: SMapReduce/HadoopV1 = {:.2}x, SMapReduce/YARN = {:.2}x\n",
+        f.final_ratio("HadoopV1"),
+        f.final_ratio("YARN"),
+    ));
+    out.push_str("(paper: ~2.0x and ~1.3x at 250 GB)\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smapreduce_throughput_grows_with_input() {
+        let f = run(Scale::Quick);
+        let smr = f
+            .curves
+            .iter()
+            .find(|c| c.system == "SMapReduce")
+            .expect("curve present");
+        let first = smr.points.first().expect("non-empty").1;
+        let last = smr.points.last().expect("non-empty").1;
+        assert!(
+            last > first * 1.05,
+            "SMR throughput should grow with input: {first} -> {last}"
+        );
+        // baselines stay roughly flat
+        for name in ["HadoopV1", "YARN"] {
+            let c = f
+                .curves
+                .iter()
+                .find(|c| c.system == name)
+                .expect("curve present");
+            let first = c.points.first().unwrap().1;
+            let last = c.points.last().unwrap().1;
+            assert!(
+                (last / first - 1.0).abs() < 0.25,
+                "{name} should be ~flat: {first} -> {last}"
+            );
+        }
+        assert!(f.final_ratio("HadoopV1") > f.final_ratio("YARN"));
+    }
+
+    #[test]
+    fn render_shows_ratios() {
+        let f = Fig6 {
+            benchmark: "B".into(),
+            curves: vec![
+                SizeCurve {
+                    system: "HadoopV1".into(),
+                    points: vec![(50.0, 100.0)],
+                },
+                SizeCurve {
+                    system: "YARN".into(),
+                    points: vec![(50.0, 150.0)],
+                },
+                SizeCurve {
+                    system: "SMapReduce".into(),
+                    points: vec![(50.0, 200.0)],
+                },
+            ],
+        };
+        let s = render(&f);
+        assert!(s.contains("2.00x"));
+        assert!(s.contains("1.33x"));
+    }
+}

@@ -1,0 +1,168 @@
+//! Figure 7 — map time with and without thrashing detection, and with and
+//! without the slow-start policy (two benchmarks).
+//!
+//! Expected shape: without thrashing detection the slot manager climbs past
+//! the knee and keeps going — map time becomes *much worse* than even
+//! HadoopV1. Without slow start the manager acts on the unreliable early
+//! statistics; the outcome is erratic (sometimes better, usually worse than
+//! full SMapReduce). Full SMapReduce is the best configuration.
+
+use crate::runner::{run_averaged, System};
+use crate::scale::Scale;
+use crate::table;
+use mapreduce::EngineConfig;
+use serde::{Deserialize, Serialize};
+use smapreduce::SmrConfig;
+use workloads::Puma;
+
+/// One (benchmark, variant) map time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig7Cell {
+    pub benchmark: String,
+    pub variant: String,
+    pub map_time_s: f64,
+}
+
+/// The figure's data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig7 {
+    pub cells: Vec<Fig7Cell>,
+}
+
+impl Fig7 {
+    pub fn map_time(&self, benchmark: &str, variant: &str) -> f64 {
+        self.cells
+            .iter()
+            .find(|c| c.benchmark == benchmark && c.variant == variant)
+            .unwrap_or_else(|| panic!("no cell {benchmark}/{variant}"))
+            .map_time_s
+    }
+}
+
+/// The two benchmarks exercised. Both are medium (WordCount-class) jobs:
+/// their shuffle has ample headroom, so the balance factor alone never
+/// stops the climb — exactly the regime where the paper observes that
+/// "without detecting thrashing, the map time of SMapReduce is much longer
+/// than that of HadoopV1". (On reduce-heavy jobs the balance check itself
+/// halts over-allocation, masking the ablation.)
+pub const BENCHMARKS: [Puma; 2] = [Puma::WordCount, Puma::KMeans];
+
+/// The compared variants.
+pub fn variants() -> Vec<(String, System)> {
+    vec![
+        ("HadoopV1".into(), System::HadoopV1),
+        ("YARN".into(), System::Yarn),
+        ("SMapReduce".into(), System::SMapReduce),
+        (
+            "SMR-noThrashDetect".into(),
+            System::SMapReduceWith(SmrConfig::without_thrashing_detection()),
+        ),
+        (
+            "SMR-noSlowStart".into(),
+            System::SMapReduceWith(SmrConfig::without_slow_start()),
+        ),
+    ]
+}
+
+/// Run the ablation grid.
+pub fn run(scale: Scale) -> Fig7 {
+    let cfg = EngineConfig::paper_default();
+    let mut cells = Vec::new();
+    for bench in BENCHMARKS {
+        for (label, sys) in variants() {
+            let job = bench.job(
+                0,
+                scale.input(bench.default_input_mb()),
+                30,
+                Default::default(),
+            );
+            let avg = run_averaged(&cfg, &[job], &sys, scale.trials()).expect("fig7 run");
+            cells.push(Fig7Cell {
+                benchmark: bench.name().to_string(),
+                variant: label,
+                map_time_s: avg.map_time_s,
+            });
+        }
+    }
+    Fig7 { cells }
+}
+
+/// Plain-text rendering.
+pub fn render(f: &Fig7) -> String {
+    let mut out = String::from(
+        "Figure 7 — Map time (s) with/without thrashing detection and slow start\n\n",
+    );
+    let headers = ["benchmark", "variant", "map(s)"];
+    let rows: Vec<Vec<String>> = f
+        .cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.benchmark.clone(),
+                c.variant.clone(),
+                table::secs(c.map_time_s),
+            ]
+        })
+        .collect();
+    out.push_str(&table::render_table(&headers, &rows));
+    for bench in BENCHMARKS {
+        let b = bench.name();
+        out.push_str(&format!(
+            "\n{b}: noThrashDetect is {} vs full SMapReduce; noSlowStart is {}\n",
+            table::pct_delta(f.map_time(b, "SMR-noThrashDetect"), f.map_time(b, "SMapReduce")),
+            table::pct_delta(f.map_time(b, "SMR-noSlowStart"), f.map_time(b, "SMapReduce")),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablations_hurt() {
+        // a single benchmark, but with enough input that the unchecked
+        // climb has time to reach (and suffer at) the slot cap before the
+        // last map wave is assigned
+        let cfg = EngineConfig::paper_default();
+        let bench = Puma::WordCount;
+        let job = || bench.job(0, 60.0 * 1024.0, 30, Default::default());
+        let full = run_averaged(&cfg, &[job()], &System::SMapReduce, 1)
+            .unwrap()
+            .map_time_s;
+        let v1 = run_averaged(&cfg, &[job()], &System::HadoopV1, 1)
+            .unwrap()
+            .map_time_s;
+        let no_thrash = run_averaged(
+            &cfg,
+            &[job()],
+            &System::SMapReduceWith(SmrConfig::without_thrashing_detection()),
+            1,
+        )
+        .unwrap()
+        .map_time_s;
+        assert!(
+            no_thrash > full * 1.15,
+            "removing thrashing detection must hurt: {no_thrash} vs full {full}"
+        );
+        assert!(
+            no_thrash > v1,
+            "paper: without detection SMapReduce is slower than even HadoopV1              ({no_thrash} vs {v1})"
+        );
+    }
+
+    #[test]
+    fn variant_list_is_complete() {
+        let v = variants();
+        assert_eq!(v.len(), 5);
+        assert!(v.iter().any(|(l, _)| l == "SMR-noThrashDetect"));
+        assert!(v.iter().any(|(l, _)| l == "SMR-noSlowStart"));
+    }
+
+    #[test]
+    fn lookup_panics_on_missing() {
+        let f = Fig7 { cells: vec![] };
+        assert!(std::panic::catch_unwind(|| f.map_time("a", "b")).is_err());
+    }
+}

@@ -1,0 +1,163 @@
+//! Figures 8 and 9 — multiple concurrent jobs (§V-F): four identical jobs
+//! submitted 5 s apart; mean execution time and last-finish time under
+//! HadoopV1 (FIFO), YARN (capacity) and SMapReduce (FIFO + slot manager).
+//!
+//! Fig. 8 runs Grep, Fig. 9 InvertedIndex. Expected shape: SMapReduce has
+//! both the shortest mean and the shortest makespan; in the paper's Grep
+//! workload SMapReduce's times are ~60 % of HadoopV1's and ~70 % of
+//! YARN's.
+
+use crate::runner::{run_averaged, System};
+use crate::scale::Scale;
+use crate::table;
+use mapreduce::EngineConfig;
+use serde::{Deserialize, Serialize};
+use workloads::Puma;
+
+/// One system's multi-job metrics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MultiJobCell {
+    pub system: String,
+    pub mean_execution_s: f64,
+    pub last_finish_s: f64,
+}
+
+/// Data for one of the two figures.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FigMultiJob {
+    pub benchmark: String,
+    pub cells: Vec<MultiJobCell>,
+}
+
+impl FigMultiJob {
+    pub fn cell(&self, system: &str) -> &MultiJobCell {
+        self.cells
+            .iter()
+            .find(|c| c.system == system)
+            .unwrap_or_else(|| panic!("no cell {system}"))
+    }
+}
+
+/// Run the §V-F workload for `bench`.
+pub fn run(bench: Puma, scale: Scale) -> FigMultiJob {
+    let cfg = EngineConfig::paper_default();
+    // four jobs share the cluster: size each so the whole workload stays
+    // tractable while still overlapping heavily
+    let per_job_mb = scale.input(bench.default_input_mb() / 2.0);
+    let jobs = workloads::paper_multi_job(bench, per_job_mb, 30);
+    let cells = System::all()
+        .iter()
+        .map(|sys| {
+            let avg = run_averaged(&cfg, &jobs, sys, scale.trials()).expect("multi-job run");
+            MultiJobCell {
+                system: sys.label().to_string(),
+                mean_execution_s: avg.mean_execution_s,
+                last_finish_s: avg.makespan_s,
+            }
+        })
+        .collect();
+    FigMultiJob {
+        benchmark: bench.name().to_string(),
+        cells,
+    }
+}
+
+/// Figure 8: Grep.
+pub fn run_fig8(scale: Scale) -> FigMultiJob {
+    run(Puma::Grep, scale)
+}
+
+/// Figure 9: InvertedIndex.
+pub fn run_fig9(scale: Scale) -> FigMultiJob {
+    run(Puma::InvertedIndex, scale)
+}
+
+/// Plain-text rendering.
+pub fn render(f: &FigMultiJob, figure_no: u8) -> String {
+    let mut out = format!(
+        "Figure {figure_no} — 4 concurrent {} jobs (5 s stagger): mean and last-finish time\n\n",
+        f.benchmark
+    );
+    let headers = ["system", "mean(s)", "last-finish(s)"];
+    let rows: Vec<Vec<String>> = f
+        .cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.system.clone(),
+                table::secs(c.mean_execution_s),
+                table::secs(c.last_finish_s),
+            ]
+        })
+        .collect();
+    out.push_str(&table::render_table(&headers, &rows));
+    let smr = f.cell("SMapReduce");
+    let v1 = f.cell("HadoopV1");
+    let yarn = f.cell("YARN");
+    out.push_str(&format!(
+        "\nSMapReduce mean = {:.0}% of HadoopV1, {:.0}% of YARN (paper Grep: ~60%, ~70%)\n",
+        100.0 * smr.mean_execution_s / v1.mean_execution_s,
+        100.0 * smr.mean_execution_s / yarn.mean_execution_s,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smapreduce_wins_multi_job_grep() {
+        let f = run_fig8(Scale::Quick);
+        let smr = f.cell("SMapReduce");
+        let v1 = f.cell("HadoopV1");
+        assert!(
+            smr.mean_execution_s < v1.mean_execution_s,
+            "SMR mean {} vs V1 {}",
+            smr.mean_execution_s,
+            v1.mean_execution_s
+        );
+        assert!(
+            smr.last_finish_s < v1.last_finish_s,
+            "SMR makespan {} vs V1 {}",
+            smr.last_finish_s,
+            v1.last_finish_s
+        );
+    }
+
+    #[test]
+    fn render_shows_percentages() {
+        let f = FigMultiJob {
+            benchmark: "Grep".into(),
+            cells: vec![
+                MultiJobCell {
+                    system: "HadoopV1".into(),
+                    mean_execution_s: 100.0,
+                    last_finish_s: 200.0,
+                },
+                MultiJobCell {
+                    system: "YARN".into(),
+                    mean_execution_s: 90.0,
+                    last_finish_s: 180.0,
+                },
+                MultiJobCell {
+                    system: "SMapReduce".into(),
+                    mean_execution_s: 60.0,
+                    last_finish_s: 120.0,
+                },
+            ],
+        };
+        let s = render(&f, 8);
+        assert!(s.contains("60% of HadoopV1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "no cell")]
+    fn missing_system_panics() {
+        let f = FigMultiJob {
+            benchmark: "x".into(),
+            cells: vec![],
+        };
+        let _ = f.cell("YARN");
+    }
+}

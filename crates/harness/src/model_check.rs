@@ -1,0 +1,197 @@
+//! Analytical cross-check — the paper's §III-B1 time model vs the
+//! simulator.
+//!
+//! The slot manager's design rests on two closed-form expressions for the
+//! *front stretch* (start → end of the first-wave shuffle):
+//!
+//! * matched case (`R_s` keeps up):      `t = M / T_m`
+//! * unmatched case (shuffle lags):      `t = M/T_m + (R − (M/T_m)·T_r1)/T_r2`
+//!
+//! This module instantiates those formulas from first principles — the
+//! node contention model supplies `T_m`, the per-reducer ingest caps supply
+//! `T_r1`/`T_r2` — and compares the prediction against a full HadoopV1
+//! simulation (static slots: the regime the equations describe). Agreement
+//! within tens of percent is the acceptance bar; the fluid model ignores
+//! wave quantisation, ramp-up and jitter.
+
+use crate::runner::{run_once, System};
+use crate::scale::Scale;
+use crate::table;
+use mapreduce::{EngineConfig, Event};
+use serde::{Deserialize, Serialize};
+use simgrid::node::allocate_node;
+use smapreduce::balance;
+use workloads::Puma;
+
+/// One benchmark's prediction vs measurement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelCell {
+    pub benchmark: String,
+    /// Predicted map time (s), `M / T_m`.
+    pub predicted_map_s: f64,
+    pub measured_map_s: f64,
+    /// Predicted front stretch (s): map time plus residual shuffle.
+    pub predicted_front_s: f64,
+    /// Measured front stretch: start → last first-wave shuffle completion.
+    pub measured_front_s: f64,
+}
+
+impl ModelCell {
+    pub fn map_error(&self) -> f64 {
+        (self.predicted_map_s / self.measured_map_s - 1.0).abs()
+    }
+
+    pub fn front_error(&self) -> f64 {
+        (self.predicted_front_s / self.measured_front_s - 1.0).abs()
+    }
+}
+
+/// The check's data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelCheck {
+    pub cells: Vec<ModelCell>,
+}
+
+/// Benchmarks spanning the matched (map-heavy) and unmatched
+/// (reduce-heavy) regimes.
+pub const BENCHMARKS: [Puma; 4] = [
+    Puma::Grep,
+    Puma::WordCount,
+    Puma::InvertedIndex,
+    Puma::Terasort,
+];
+
+/// Predict `(map_time, front_stretch)` for `bench` from the analytic model.
+pub fn predict(cfg: &EngineConfig, bench: Puma, input_mb: f64, num_reduces: usize) -> (f64, f64) {
+    let p = bench.profile();
+    let workers = cfg.cluster.workers as f64;
+    let spec = &cfg.cluster.node;
+    let slots = cfg.init_map_slots;
+
+    // steady-state per-node allocation: `slots` maps + the node's share of
+    // shuffling reducers
+    let reducers_per_node = (num_reduces as f64 / workers).ceil() as usize;
+    let mut demands = vec![p.map_demand(); slots];
+    demands.extend(vec![p.shuffle_demand(); reducers_per_node]);
+    let scales = allocate_node(spec, &demands);
+    let map_scale: f64 = scales[..slots].iter().sum();
+    let shuffle_scale: f64 = scales[slots..].iter().sum::<f64>() / reducers_per_node as f64;
+
+    // M: equivalent-MB of map work, T_m: cluster map work rate
+    let n_tasks = (input_mb / cfg.block_mb).ceil();
+    let work_per_task = cfg.block_mb * (1.0 + p.spill_weight * p.map_selectivity)
+        + p.map_rate * mapreduce::task::MapTask::MAP_SETUP_S;
+    let m_work = n_tasks * work_per_task;
+    let t_m = workers * p.map_rate * map_scale;
+    let map_time = m_work / t_m;
+
+    // R: shuffle volume; T_r1 in-flight, T_r2 post-barrier ingest capacity
+    let r_volume = input_mb * p.map_selectivity;
+    let t_r1 = num_reduces as f64 * p.shuffle_merge_rate * shuffle_scale;
+    let t_r2 = num_reduces as f64 * p.shuffle_merge_rate * p.shuffle_barrier_boost;
+    let front = balance::front_stretch_unmatched(m_work, t_m, r_volume, t_r1, t_r2);
+    (map_time, front)
+}
+
+/// Run the cross-check.
+pub fn run(scale: Scale) -> ModelCheck {
+    let mut cfg = EngineConfig::paper_default();
+    cfg.record_events = true;
+    cfg.jitter_amp = 0.0; // the model is deterministic; compare like for like
+    let cells = BENCHMARKS
+        .iter()
+        .map(|&bench| {
+            let input = scale.input(bench.default_input_mb());
+            let (predicted_map_s, predicted_front_s) = predict(&cfg, bench, input, 30);
+            let job = bench.job(0, input, 30, Default::default());
+            let r = run_once(&cfg, vec![job], &System::HadoopV1, cfg.seed).expect("model run");
+            let j = &r.jobs[0];
+            let start = j.started_at;
+            let measured_front_s = r
+                .events
+                .events()
+                .iter()
+                .filter_map(|e| match e {
+                    Event::ShuffleCompleted { at, .. } => Some(at.since(start).as_secs_f64()),
+                    _ => None,
+                })
+                .fold(0.0, f64::max);
+            ModelCell {
+                benchmark: bench.name().to_string(),
+                predicted_map_s,
+                measured_map_s: j.map_time().as_secs_f64(),
+                predicted_front_s,
+                measured_front_s,
+            }
+        })
+        .collect();
+    ModelCheck { cells }
+}
+
+/// Plain-text rendering.
+pub fn render(m: &ModelCheck) -> String {
+    let mut out = String::from(
+        "Model cross-check — §III-B1 equations vs simulation (HadoopV1, no jitter)\n\n",
+    );
+    let headers = [
+        "benchmark",
+        "map pred(s)",
+        "map sim(s)",
+        "err",
+        "front pred(s)",
+        "front sim(s)",
+        "err",
+    ];
+    let rows: Vec<Vec<String>> = m
+        .cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.benchmark.clone(),
+                table::secs(c.predicted_map_s),
+                table::secs(c.measured_map_s),
+                format!("{:.0}%", c.map_error() * 100.0),
+                table::secs(c.predicted_front_s),
+                table::secs(c.measured_front_s),
+                format!("{:.0}%", c.front_error() * 100.0),
+            ]
+        })
+        .collect();
+    out.push_str(&table::render_table(&headers, &rows));
+    out.push_str(
+        "\n(fluid model: ignores wave quantisation, ramp-up, and heartbeat latency)\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_tracks_simulation() {
+        let m = run(Scale::Quick);
+        assert_eq!(m.cells.len(), 4);
+        for c in &m.cells {
+            assert!(
+                c.map_error() < 0.35,
+                "{}: map prediction off by {:.0}% ({} vs {})",
+                c.benchmark,
+                c.map_error() * 100.0,
+                c.predicted_map_s,
+                c.measured_map_s
+            );
+            assert!(
+                c.front_error() < 0.40,
+                "{}: front-stretch prediction off by {:.0}% ({} vs {})",
+                c.benchmark,
+                c.front_error() * 100.0,
+                c.predicted_front_s,
+                c.measured_front_s
+            );
+            // front stretch cannot precede the barrier
+            assert!(c.measured_front_s >= c.measured_map_s - 1e-6);
+            assert!(c.predicted_front_s >= c.predicted_map_s - 1e-6);
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Persisting figure data: each experiment writes a plain-text rendering
+//! (what the paper's figure shows) and a JSON file with the raw numbers.
+
+use serde::Serialize;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Write `<name>.txt` and `<name>.json` under `dir`, creating it if needed.
+/// Returns the two paths written.
+pub fn write_outputs<T: Serialize>(
+    dir: &Path,
+    name: &str,
+    text: &str,
+    data: &T,
+) -> io::Result<(PathBuf, PathBuf)> {
+    fs::create_dir_all(dir)?;
+    let txt = dir.join(format!("{name}.txt"));
+    let json = dir.join(format!("{name}.json"));
+    fs::write(&txt, text)?;
+    let payload = serde_json::to_string_pretty(data)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    fs::write(&json, payload)?;
+    Ok((txt, json))
+}
+
+/// A figure as aligned series for gnuplot export: every series shares the
+/// x grid (row `i` of each series has the same x).
+#[derive(Debug, Clone)]
+pub struct GnuplotFigure {
+    pub title: String,
+    pub xlabel: String,
+    pub ylabel: String,
+    /// `(legend label, points)`; all point vectors must share x values.
+    pub series: Vec<(String, Vec<(f64, f64)>)>,
+}
+
+/// Write `<name>.dat` (x + one column per series) and `<name>.gp` (a
+/// ready-to-run gnuplot script producing `<name>.png`).
+pub fn write_gnuplot(dir: &Path, name: &str, fig: &GnuplotFigure) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    assert!(!fig.series.is_empty(), "gnuplot export needs data");
+    let rows = fig.series[0].1.len();
+    for (label, pts) in &fig.series {
+        assert_eq!(
+            pts.len(),
+            rows,
+            "series '{label}' length differs; the x grids must align"
+        );
+    }
+    let labels: Vec<String> = fig
+        .series
+        .iter()
+        .map(|(l, _)| l.replace(' ', "_"))
+        .collect();
+    let mut dat = format!("# {}\n# x {}\n", fig.title, labels.join(" "));
+    for i in 0..rows {
+        dat.push_str(&format!("{}", fig.series[0].1[i].0));
+        for (_, pts) in &fig.series {
+            dat.push_str(&format!(" {}", pts[i].1));
+        }
+        dat.push('\n');
+    }
+    let dat_path = dir.join(format!("{name}.dat"));
+    fs::write(&dat_path, dat)?;
+
+    let mut gp = String::new();
+    gp.push_str("set terminal pngcairo size 900,540\n");
+    gp.push_str(&format!("set output '{name}.png'\n"));
+    gp.push_str(&format!("set title \"{}\"\n", fig.title));
+    gp.push_str(&format!("set xlabel \"{}\"\n", fig.xlabel));
+    gp.push_str(&format!("set ylabel \"{}\"\n", fig.ylabel));
+    gp.push_str("set key outside right\nset grid\nplot ");
+    let plots: Vec<String> = fig
+        .series
+        .iter()
+        .enumerate()
+        .map(|(k, (label, _))| {
+            format!(
+                "'{name}.dat' using 1:{} with linespoints title \"{label}\"",
+                k + 2
+            )
+        })
+        .collect();
+    gp.push_str(&plots.join(", \\\n     "));
+    gp.push('\n');
+    let gp_path = dir.join(format!("{name}.gp"));
+    fs::write(&gp_path, gp)?;
+    Ok(gp_path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_both_files() {
+        let dir = std::env::temp_dir().join(format!("smr-out-{}", std::process::id()));
+        let (txt, json) = write_outputs(&dir, "fig0", "hello\n", &vec![1, 2, 3]).unwrap();
+        assert_eq!(fs::read_to_string(&txt).unwrap(), "hello\n");
+        let v: Vec<i32> = serde_json::from_str(&fs::read_to_string(&json).unwrap()).unwrap();
+        assert_eq!(v, vec![1, 2, 3]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn gnuplot_files_well_formed() {
+        let dir = std::env::temp_dir().join(format!("smr-gp-{}", std::process::id()));
+        let fig = GnuplotFigure {
+            title: "t".into(),
+            xlabel: "x".into(),
+            ylabel: "y".into(),
+            series: vec![
+                ("a".into(), vec![(1.0, 10.0), (2.0, 20.0)]),
+                ("b series".into(), vec![(1.0, 5.0), (2.0, 7.0)]),
+            ],
+        };
+        write_gnuplot(&dir, "fig", &fig).unwrap();
+        let dat = fs::read_to_string(dir.join("fig.dat")).unwrap();
+        assert!(dat.contains("1 10 5\n"));
+        assert!(dat.contains("2 20 7\n"));
+        assert!(dat.contains("b_series"));
+        let gp = fs::read_to_string(dir.join("fig.gp")).unwrap();
+        assert!(gp.contains("using 1:2"));
+        assert!(gp.contains("using 1:3"));
+        assert!(gp.contains("fig.png"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "length differs")]
+    fn gnuplot_rejects_misaligned_series() {
+        let fig = GnuplotFigure {
+            title: "t".into(),
+            xlabel: "x".into(),
+            ylabel: "y".into(),
+            series: vec![
+                ("a".into(), vec![(1.0, 10.0)]),
+                ("b".into(), vec![(1.0, 5.0), (2.0, 7.0)]),
+            ],
+        };
+        let _ = write_gnuplot(std::env::temp_dir().as_path(), "bad", &fig);
+    }
+}

@@ -1,0 +1,210 @@
+//! Running one workload under each of the three systems, with seed
+//! averaging.
+//!
+//! The paper averages two physical trials; we average `trials` seeded
+//! simulation runs (default 3). Sweeps fan out across OS threads with
+//! `crossbeam::scope` — each run is independent and deterministic, so the
+//! parallelism changes wall-clock time only.
+
+use mapreduce::policy::{SlotPolicy, StaticSlotPolicy};
+use mapreduce::{Engine, EngineConfig, JobSpec, RunReport};
+use serde::{Deserialize, Serialize};
+use simgrid::error::SimError;
+use smapreduce::{HeteroSlotManagerPolicy, SlotManagerPolicy, SmrConfig};
+use yarn::CapacityPolicy;
+
+/// Which system to run a workload under.
+#[derive(Debug, Clone)]
+pub enum System {
+    /// Static slots (HadoopV1).
+    HadoopV1,
+    /// Container budget with map priority (YARN).
+    Yarn,
+    /// The paper's slot manager, default configuration.
+    SMapReduce,
+    /// The slot manager under a custom configuration (ablations).
+    SMapReduceWith(SmrConfig),
+    /// The §VII heterogeneous extension: capacity-proportional targets.
+    SMapReduceHetero,
+}
+
+impl System {
+    /// The three systems of every comparison figure.
+    pub fn all() -> [System; 3] {
+        [System::HadoopV1, System::Yarn, System::SMapReduce]
+    }
+
+    pub fn label(&self) -> &'static str {
+        match self {
+            System::HadoopV1 => "HadoopV1",
+            System::Yarn => "YARN",
+            System::SMapReduce | System::SMapReduceWith(_) => "SMapReduce",
+            System::SMapReduceHetero => "SMapReduce-hetero",
+        }
+    }
+
+    fn make_policy(&self) -> Box<dyn SlotPolicy> {
+        match self {
+            System::HadoopV1 => Box::new(StaticSlotPolicy),
+            System::Yarn => Box::new(CapacityPolicy),
+            System::SMapReduce => Box::new(SlotManagerPolicy::paper_default()),
+            System::SMapReduceWith(cfg) => Box::new(SlotManagerPolicy::new(cfg.clone())),
+            System::SMapReduceHetero => Box::new(HeteroSlotManagerPolicy::paper_default()),
+        }
+    }
+}
+
+/// Seed-averaged timings of one (workload, system) cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AveragedRun {
+    pub system: String,
+    /// Mean per-job map time (s) — averaged across trials, then jobs.
+    pub map_time_s: f64,
+    /// Mean per-job reduce time (s).
+    pub reduce_time_s: f64,
+    /// Mean per-job total time (s).
+    pub total_time_s: f64,
+    /// Mean per-job throughput (MB/s of input).
+    pub throughput: f64,
+    /// Mean of per-trial mean execution times (multi-job workloads).
+    pub mean_execution_s: f64,
+    /// Mean of per-trial makespans.
+    pub makespan_s: f64,
+    /// One representative full report (first trial) for series data.
+    pub sample: RunReport,
+}
+
+/// Run `jobs` under `system` once with the given seed.
+pub fn run_once(
+    cfg: &EngineConfig,
+    jobs: Vec<JobSpec>,
+    system: &System,
+    seed: u64,
+) -> Result<RunReport, SimError> {
+    let mut cfg = cfg.clone();
+    cfg.seed = seed;
+    let mut policy = system.make_policy();
+    Engine::new(cfg).run(jobs, policy.as_mut())
+}
+
+/// Run `jobs` under `system` for `trials` seeds and average the timings.
+pub fn run_averaged(
+    cfg: &EngineConfig,
+    jobs: &[JobSpec],
+    system: &System,
+    trials: usize,
+) -> Result<AveragedRun, SimError> {
+    assert!(trials >= 1);
+    let mut reports = Vec::with_capacity(trials);
+    for t in 0..trials {
+        let seed = cfg.seed.wrapping_add(1000 * t as u64);
+        reports.push(run_once(cfg, jobs.to_vec(), system, seed)?);
+    }
+    let njobs = reports[0].jobs.len() as f64;
+    let nt = trials as f64;
+    let mean_over = |f: &dyn Fn(&RunReport) -> f64| -> f64 {
+        reports.iter().map(f).sum::<f64>() / nt
+    };
+    let per_job = |f: &dyn Fn(&mapreduce::JobReport) -> f64| -> f64 {
+        reports
+            .iter()
+            .map(|r| r.jobs.iter().map(f).sum::<f64>() / njobs)
+            .sum::<f64>()
+            / nt
+    };
+    Ok(AveragedRun {
+        system: system.label().to_string(),
+        map_time_s: per_job(&|j| j.map_time().as_secs_f64()),
+        reduce_time_s: per_job(&|j| j.reduce_time().as_secs_f64()),
+        total_time_s: per_job(&|j| j.total_time().as_secs_f64()),
+        throughput: per_job(&|j| j.throughput()),
+        mean_execution_s: mean_over(&|r| r.mean_execution_time().as_secs_f64()),
+        makespan_s: mean_over(&|r| r.makespan().as_secs_f64()),
+        sample: reports.swap_remove(0),
+    })
+}
+
+/// Run the same workload under all three systems (in parallel threads).
+pub fn run_comparison(
+    cfg: &EngineConfig,
+    jobs: &[JobSpec],
+    trials: usize,
+) -> Result<Vec<AveragedRun>, SimError> {
+    let systems = System::all();
+    let mut out: Vec<Option<Result<AveragedRun, SimError>>> =
+        systems.iter().map(|_| None).collect();
+    crossbeam::scope(|s| {
+        for (slot, system) in out.iter_mut().zip(systems.iter()) {
+            s.spawn(move |_| {
+                *slot = Some(run_averaged(cfg, jobs, system, trials));
+            });
+        }
+    })
+    .expect("comparison threads");
+    out.into_iter()
+        .map(|r| r.expect("thread filled slot"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simgrid::time::SimTime;
+    use workloads::Puma;
+
+    fn small_cfg() -> EngineConfig {
+        EngineConfig::small_test(4, 11)
+    }
+
+    fn small_job() -> JobSpec {
+        Puma::Grep.job(0, 2048.0, 8, SimTime::ZERO)
+    }
+
+    #[test]
+    fn run_once_all_systems() {
+        let cfg = small_cfg();
+        for sys in System::all() {
+            let r = run_once(&cfg, vec![small_job()], &sys, 1).expect("completes");
+            assert_eq!(r.policy, sys.label());
+            assert_eq!(r.jobs.len(), 1);
+        }
+    }
+
+    #[test]
+    fn averaging_is_sane() {
+        let cfg = small_cfg();
+        let avg = run_averaged(&cfg, &[small_job()], &System::HadoopV1, 2).unwrap();
+        assert!(avg.total_time_s > 0.0);
+        assert!(
+            (avg.map_time_s + avg.reduce_time_s - avg.total_time_s).abs() < 1e-6,
+            "map+reduce = total per definition"
+        );
+        assert!(avg.throughput > 0.0);
+    }
+
+    #[test]
+    fn comparison_runs_three_systems() {
+        let cfg = small_cfg();
+        let rows = run_comparison(&cfg, &[small_job()], 1).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].system, "HadoopV1");
+        assert_eq!(rows[1].system, "YARN");
+        assert_eq!(rows[2].system, "SMapReduce");
+    }
+
+    #[test]
+    fn ablation_system_uses_custom_config() {
+        let cfg = small_cfg();
+        let sys = System::SMapReduceWith(SmrConfig::without_slow_start());
+        let r = run_once(&cfg, vec![small_job()], &sys, 1).unwrap();
+        assert_eq!(r.policy, "SMapReduce");
+    }
+
+    #[test]
+    fn same_seed_same_average() {
+        let cfg = small_cfg();
+        let a = run_averaged(&cfg, &[small_job()], &System::SMapReduce, 2).unwrap();
+        let b = run_averaged(&cfg, &[small_job()], &System::SMapReduce, 2).unwrap();
+        assert_eq!(a.total_time_s.to_bits(), b.total_time_s.to_bits());
+    }
+}

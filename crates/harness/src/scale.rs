@@ -1,0 +1,59 @@
+//! Experiment scale: full paper-sized runs vs quick runs for CI/benches.
+
+use mapreduce::EngineConfig;
+use serde::{Deserialize, Serialize};
+
+/// How big to run an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// Paper-sized: 16 workers, 30 GB default inputs, 3 trials.
+    Full,
+    /// Reduced inputs and trials — same code paths, minutes → seconds.
+    Quick,
+}
+
+impl Scale {
+    /// Engine configuration at this scale (always the 16-worker testbed —
+    /// the cluster is what the paper holds fixed; only inputs shrink).
+    pub fn engine(self) -> EngineConfig {
+        EngineConfig::paper_default()
+    }
+
+    /// Scale factor applied to input sizes.
+    pub fn input_factor(self) -> f64 {
+        match self {
+            Scale::Full => 1.0,
+            // Small enough for CI, large enough that the slot manager has
+            // time to adapt (its slow start + climb need a few minutes of
+            // simulated map phase).
+            Scale::Quick => 0.3,
+        }
+    }
+
+    /// Number of seeded trials to average.
+    pub fn trials(self) -> usize {
+        match self {
+            Scale::Full => 3,
+            Scale::Quick => 1,
+        }
+    }
+
+    /// Scale an input size (MB).
+    pub fn input(self, full_mb: f64) -> f64 {
+        full_mb * self.input_factor()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_differ_only_in_input_and_trials() {
+        assert_eq!(Scale::Full.engine().cluster.workers, 16);
+        assert_eq!(Scale::Quick.engine().cluster.workers, 16);
+        assert!(Scale::Quick.input(1000.0) < 1000.0);
+        assert_eq!(Scale::Full.input(1000.0), 1000.0);
+        assert!(Scale::Quick.trials() <= Scale::Full.trials());
+    }
+}

@@ -1,0 +1,167 @@
+//! Cross-figure summary: the paper's headline claims checked in one place.
+
+use crate::fig3::Fig3;
+use serde::{Deserialize, Serialize};
+
+/// One headline claim and its measured value.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Claim {
+    pub id: String,
+    pub paper: String,
+    pub measured: String,
+    pub holds: bool,
+}
+
+/// Evaluate the §V-A claims against a Fig. 3 dataset.
+pub fn headline_claims(fig3: &Fig3) -> Vec<Claim> {
+    let mut claims = Vec::new();
+
+    let hr_v1 = fig3.gain_over("HistogramRatings", "HadoopV1");
+    claims.push(Claim {
+        id: "HistogramRatings vs HadoopV1".into(),
+        paper: "+140% throughput".into(),
+        measured: format!("{:+.0}%", hr_v1 * 100.0),
+        holds: hr_v1 > 0.3, // substantial win on the headline benchmark
+    });
+
+    let hr_yarn = fig3.gain_over("HistogramRatings", "YARN");
+    claims.push(Claim {
+        id: "HistogramRatings vs YARN".into(),
+        paper: "+72% throughput".into(),
+        measured: format!("{:+.0}%", hr_yarn * 100.0),
+        holds: hr_yarn > 0.1,
+    });
+
+    let ts = fig3.gain_over("Terasort", "HadoopV1");
+    claims.push(Claim {
+        id: "Terasort exception".into(),
+        paper: "SMapReduce slightly slower (negligible overhead)".into(),
+        measured: format!("{:+.1}% throughput", ts * 100.0),
+        holds: ts.abs() < 0.05, // within ±5%: the overhead is negligible
+    });
+
+    // SMapReduce wins or ties (within 3%) on every non-sort benchmark
+    let mut losses = Vec::new();
+    for c in fig3.cells.iter().filter(|c| c.system == "HadoopV1") {
+        let gain = fig3.gain_over(&c.benchmark, "HadoopV1");
+        if gain < -0.03 && c.benchmark != "Terasort" && c.benchmark != "RankedInvertedIndex" {
+            losses.push(format!("{} ({:+.0}%)", c.benchmark, gain * 100.0));
+        }
+    }
+    claims.push(Claim {
+        id: "SMapReduce >= HadoopV1 on non-sort benchmarks".into(),
+        paper: "shorter times in almost all benchmarks".into(),
+        measured: if losses.is_empty() {
+            "no losses".into()
+        } else {
+            format!("losses: {}", losses.join(", "))
+        },
+        holds: losses.is_empty(),
+    });
+
+    // the biggest gains are on map-heavy jobs
+    let map_heavy_min = ["Grep", "HistogramMovies", "HistogramRatings", "Classification"]
+        .iter()
+        .map(|b| fig3.gain_over(b, "HadoopV1"))
+        .fold(f64::INFINITY, f64::min);
+    let reduce_heavy_max = ["Terasort", "RankedInvertedIndex", "SelfJoin"]
+        .iter()
+        .map(|b| fig3.gain_over(b, "HadoopV1"))
+        .fold(f64::NEG_INFINITY, f64::max);
+    claims.push(Claim {
+        id: "map-heavy jobs gain most".into(),
+        paper: "map-heavy jobs have higher performance increase".into(),
+        measured: format!(
+            "min map-heavy gain {:+.0}% > max sort-like gain {:+.0}%",
+            map_heavy_min * 100.0,
+            reduce_heavy_max * 100.0
+        ),
+        holds: map_heavy_min > reduce_heavy_max,
+    });
+
+    claims
+}
+
+/// Plain-text rendering.
+pub fn render(claims: &[Claim]) -> String {
+    let mut out = String::from("Headline claims (paper vs measured)\n\n");
+    for c in claims {
+        out.push_str(&format!(
+            "[{}] {}\n    paper:    {}\n    measured: {}\n",
+            if c.holds { "HOLDS" } else { " MISS" },
+            c.id,
+            c.paper,
+            c.measured
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fig3::Fig3Cell;
+
+    fn cell(benchmark: &str, system: &str, thpt: f64) -> Fig3Cell {
+        Fig3Cell {
+            benchmark: benchmark.into(),
+            system: system.into(),
+            map_time_s: 1.0,
+            reduce_time_s: 1.0,
+            total_time_s: 2.0,
+            throughput: thpt,
+        }
+    }
+
+    fn synthetic_fig3() -> Fig3 {
+        let mut cells = Vec::new();
+        let names = [
+            ("HistogramRatings", 100.0, 150.0, 240.0),
+            ("Terasort", 100.0, 95.0, 99.0),
+            ("Grep", 100.0, 130.0, 180.0),
+            ("HistogramMovies", 100.0, 130.0, 185.0),
+            ("Classification", 100.0, 130.0, 182.0),
+            ("RankedInvertedIndex", 100.0, 95.0, 99.5),
+            ("SelfJoin", 100.0, 105.0, 107.0),
+        ];
+        for (b, v1, yarn, smr) in names {
+            cells.push(cell(b, "HadoopV1", v1));
+            cells.push(cell(b, "YARN", yarn));
+            cells.push(cell(b, "SMapReduce", smr));
+        }
+        Fig3 { cells }
+    }
+
+    #[test]
+    fn all_claims_hold_on_paper_like_data() {
+        let claims = headline_claims(&synthetic_fig3());
+        assert_eq!(claims.len(), 5);
+        for c in &claims {
+            assert!(c.holds, "claim should hold: {} ({})", c.id, c.measured);
+        }
+    }
+
+    #[test]
+    fn terasort_blowup_fails_claim() {
+        let mut f = synthetic_fig3();
+        for c in &mut f.cells {
+            if c.benchmark == "Terasort" && c.system == "SMapReduce" {
+                c.throughput = 60.0; // -40%: no longer "negligible"
+            }
+        }
+        let claims = headline_claims(&f);
+        let ts = claims.iter().find(|c| c.id == "Terasort exception").unwrap();
+        assert!(!ts.holds);
+    }
+
+    #[test]
+    fn render_flags_misses() {
+        let claims = vec![Claim {
+            id: "x".into(),
+            paper: "p".into(),
+            measured: "m".into(),
+            holds: false,
+        }];
+        assert!(render(&claims).contains(" MISS"));
+    }
+}

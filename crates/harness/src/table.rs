@@ -1,0 +1,117 @@
+//! Plain-text rendering of figure data: aligned tables and series blocks.
+
+/// Render an aligned table. `headers.len()` must equal each row's length.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width mismatch");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<&str>, widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, (c, w)) in cells.iter().zip(widths).enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{c:>w$}", w = w));
+        }
+        line.push('\n');
+        line
+    };
+    out.push_str(&fmt_row(headers.to_vec(), &widths));
+    out.push_str(&fmt_row(
+        widths.iter().map(|_| "-").collect::<Vec<_>>(),
+        &widths,
+    ));
+    // note: the dash row renders one dash per column, right-aligned; widen
+    let dash_line: String = widths
+        .iter()
+        .enumerate()
+        .map(|(i, w)| {
+            let sep = if i > 0 { "  " } else { "" };
+            format!("{sep}{}", "-".repeat(*w))
+        })
+        .collect::<Vec<_>>()
+        .join("");
+    // replace the placeholder dash row with full-width dashes
+    let mut lines: Vec<&str> = out.lines().collect();
+    let header_line = lines.remove(0).to_string();
+    let mut rebuilt = String::new();
+    rebuilt.push_str(&header_line);
+    rebuilt.push('\n');
+    rebuilt.push_str(&dash_line);
+    rebuilt.push('\n');
+    for row in rows {
+        rebuilt.push_str(&fmt_row(row.iter().map(|s| s.as_str()).collect(), &widths));
+    }
+    rebuilt
+}
+
+/// Format seconds with one decimal.
+pub fn secs(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Format a ratio as a percentage delta ("+140%", "-3%").
+pub fn pct_delta(new: f64, baseline: f64) -> String {
+    if baseline <= 0.0 {
+        return "n/a".into();
+    }
+    let d = (new / baseline - 1.0) * 100.0;
+    format!("{d:+.0}%")
+}
+
+/// Render a `(x, y)` series as two aligned columns.
+pub fn render_series(title: &str, xlabel: &str, ylabel: &str, points: &[(f64, f64)]) -> String {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|&(x, y)| vec![format!("{x:.1}"), format!("{y:.2}")])
+        .collect();
+    format!("# {title}\n{}", render_table(&[xlabel, ylabel], &rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[1].chars().all(|c| c == '-' || c == ' '));
+        // right-aligned: "a" padded to the width of "longer"
+        assert!(lines[2].trim_start().starts_with('a'));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_rows_panic() {
+        let _ = render_table(&["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn pct_delta_formats() {
+        assert_eq!(pct_delta(24.0, 10.0), "+140%");
+        assert_eq!(pct_delta(9.0, 10.0), "-10%");
+        assert_eq!(pct_delta(10.0, 0.0), "n/a");
+    }
+
+    #[test]
+    fn series_renders() {
+        let s = render_series("t", "x", "y", &[(1.0, 2.0), (3.0, 4.5)]);
+        assert!(s.starts_with("# t\n"));
+        assert!(s.contains("4.50"));
+    }
+}

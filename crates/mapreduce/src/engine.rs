@@ -1,0 +1,1386 @@
+//! The simulation engine: binds the MapReduce framework to the `simgrid`
+//! substrate and advances everything in fixed ticks.
+//!
+//! Per tick the engine (1) on heartbeat boundaries runs the heartbeat
+//! round — harvest tracker statistics, aggregate them, let the
+//! [`SlotPolicy`] issue slot directives, and assign tasks to free slots —
+//! then (2) integrates the physics: per-node contention scales every
+//! running task's rate, the fabric allocates bandwidth to remote-read and
+//! shuffle flows, tasks advance and complete.
+//!
+//! The engine is deterministic for a given [`EngineConfig::seed`].
+
+use crate::events::{Event, EventLog};
+use crate::job::{JobProfile, JobSpec};
+use crate::policy::{PolicyContext, SlotPolicy, TrackerSnapshot};
+use crate::report::{JobReport, RunReport};
+use crate::scheduler::{FifoScheduler, JobInProgress};
+use crate::slots::SlotSet;
+use crate::stats::{ClusterStats, TrackerMeters};
+use crate::task::{MapAttemptId, MapTask, MapTaskId, ReducePhase, ReduceTask, ReduceTaskId};
+use dfs::NameNode;
+use serde::{Deserialize, Serialize};
+use simgrid::cluster::{ClusterSpec, NodeId};
+use simgrid::error::SimError;
+use simgrid::metrics::TimeSeries;
+use simgrid::network::{Fabric, FabricConfig, Flow, FlowId};
+use simgrid::node::allocate_node;
+use simgrid::rng::SimRng;
+use simgrid::time::{SimDuration, SimTime, TickConfig};
+use std::collections::{BTreeMap, HashMap};
+
+/// All knobs of one simulated deployment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineConfig {
+    pub cluster: ClusterSpec,
+    pub fabric: FabricConfig,
+    pub tick: TickConfig,
+    /// Task-tracker heartbeat interval (Hadoop default 3 s).
+    pub heartbeat: SimDuration,
+    /// Progress/slot-series sampling period.
+    pub sample_period: SimDuration,
+    /// Initial (user-configured) map slots per tracker.
+    pub init_map_slots: usize,
+    /// Initial reduce slots per tracker.
+    pub init_reduce_slots: usize,
+    /// Fraction of maps that must complete before reduces may launch.
+    pub reduce_slowstart: f64,
+    /// Job-ordering discipline (paper: FIFO).
+    pub scheduler: crate::scheduler::SchedKind,
+    /// Per-task service-time jitter amplitude.
+    pub jitter_amp: f64,
+    /// Rate at which a reduce copies map output residing on its own node
+    /// (MB/s; disk-to-disk, no network).
+    pub local_copy_rate: f64,
+    /// HDFS block size (MB).
+    pub block_mb: f64,
+    /// Record a task-lifecycle [`crate::events::EventLog`] in the run
+    /// report (off by default: long runs emit tens of thousands of
+    /// events).
+    pub record_events: bool,
+    /// Launch speculative backup attempts for straggling map tasks once a
+    /// job's pending maps are exhausted (Hadoop's
+    /// `mapred.map.tasks.speculative.execution`). Off by default so the
+    /// paper-calibrated experiments are unaffected; the straggler studies
+    /// turn it on.
+    pub speculative_maps: bool,
+    /// Minimum runtime before an attempt may be considered a straggler.
+    pub speculation_min_runtime: SimDuration,
+    /// Relative progress gap below the job's mean running progress that
+    /// marks a straggler (Hadoop's 20 %).
+    pub speculation_gap: f64,
+    /// Probability that a map attempt fails mid-run and must be retried
+    /// (fault injection; 0.0 = fault-free, the paper's setting). Failed
+    /// attempts release their slot and the block is re-queued, exactly
+    /// Hadoop's task-retry path.
+    pub map_failure_rate: f64,
+    /// Probability that a map attempt lands on a degraded execution path
+    /// (failing disk, swapping neighbour VM…) and runs
+    /// [`EngineConfig::straggler_slowdown`]× slower — the pathology
+    /// speculative execution exists for.
+    pub straggler_rate: f64,
+    /// Slowdown factor of a degraded attempt.
+    pub straggler_slowdown: f64,
+    pub seed: u64,
+}
+
+impl EngineConfig {
+    /// The paper's testbed: 16 workers, 1 GbE, 128 MB blocks, 3 map +
+    /// 2 reduce slots per tracker, 3 s heartbeats.
+    pub fn paper_default() -> EngineConfig {
+        EngineConfig {
+            cluster: ClusterSpec::paper_testbed(),
+            fabric: FabricConfig::paper_gbe(),
+            tick: TickConfig::default(),
+            heartbeat: SimDuration::from_secs(3),
+            sample_period: SimDuration::from_secs(1),
+            init_map_slots: 3,
+            init_reduce_slots: 2,
+            reduce_slowstart: 0.05,
+            scheduler: crate::scheduler::SchedKind::Fifo,
+            jitter_amp: 0.20,
+            local_copy_rate: 180.0,
+            block_mb: 128.0,
+            record_events: false,
+            speculative_maps: false,
+            speculation_min_runtime: SimDuration::from_secs(15),
+            speculation_gap: 0.25,
+            map_failure_rate: 0.0,
+            straggler_rate: 0.0,
+            straggler_slowdown: 5.0,
+            seed: 42,
+        }
+    }
+
+    /// A small fast deployment for tests.
+    pub fn small_test(workers: usize, seed: u64) -> EngineConfig {
+        EngineConfig {
+            cluster: ClusterSpec::small(workers),
+            seed,
+            ..EngineConfig::paper_default()
+        }
+    }
+
+    fn validate(&self) -> Result<(), SimError> {
+        if self.cluster.workers == 0 {
+            return Err(SimError::InvalidConfig("cluster has no workers".into()));
+        }
+        if self.init_map_slots == 0 {
+            return Err(SimError::InvalidConfig("need >=1 initial map slot".into()));
+        }
+        if self.init_reduce_slots == 0 {
+            return Err(SimError::InvalidConfig(
+                "need >=1 initial reduce slot".into(),
+            ));
+        }
+        if !SimTime(self.heartbeat.0).is_multiple_of(self.tick.tick) {
+            return Err(SimError::InvalidConfig(
+                "heartbeat must be a multiple of the tick".into(),
+            ));
+        }
+        if !SimTime(self.sample_period.0).is_multiple_of(self.tick.tick) {
+            return Err(SimError::InvalidConfig(
+                "sample period must be a multiple of the tick".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.reduce_slowstart) {
+            return Err(SimError::InvalidConfig(
+                "reduce_slowstart must be in [0,1]".into(),
+            ));
+        }
+        if !(0.0..1.0).contains(&self.map_failure_rate) {
+            return Err(SimError::InvalidConfig(
+                "map_failure_rate must be in [0,1)".into(),
+            ));
+        }
+        if !(0.0..1.0).contains(&self.straggler_rate) || self.straggler_slowdown < 1.0 {
+            return Err(SimError::InvalidConfig(
+                "straggler_rate in [0,1) and slowdown >= 1 required".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One task tracker (node-local slot + meter state).
+#[derive(Debug)]
+struct Tracker {
+    node: NodeId,
+    map_slots: SlotSet,
+    reduce_slots: SlotSet,
+    meters: TrackerMeters,
+    /// Remaining management-overhead stall (ms) charged by slot changes.
+    stall_ms: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+enum TaskRef {
+    Map(MapAttemptId),
+    Reduce(ReduceTaskId),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum FlowPurpose {
+    /// Remote input stream feeding a non-local map task.
+    MapRead(MapAttemptId),
+    /// Shuffle fetch of `reduce` from source node.
+    Fetch(ReduceTaskId, NodeId),
+}
+
+/// The engine. Construct with a config, then [`Engine::run`] a workload
+/// under a policy. An engine can run multiple workloads; each run is
+/// independent (fresh RNG derivation from the seed).
+#[derive(Debug, Clone)]
+pub struct Engine {
+    config: EngineConfig,
+}
+
+impl Engine {
+    pub fn new(config: EngineConfig) -> Engine {
+        Engine { config }
+    }
+
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Run `jobs` to completion under `policy`.
+    pub fn run(
+        &self,
+        jobs: Vec<JobSpec>,
+        policy: &mut dyn SlotPolicy,
+    ) -> Result<RunReport, SimError> {
+        self.config.validate()?;
+        if jobs.is_empty() {
+            return Err(SimError::InvalidConfig("no jobs submitted".into()));
+        }
+        let mut sim = Sim::new(&self.config, jobs, policy)?;
+        sim.run_to_completion()
+    }
+}
+
+/// Mutable state of one run.
+struct Sim<'p> {
+    cfg: EngineConfig,
+    policy: &'p mut dyn SlotPolicy,
+    jobs: Vec<JobInProgress>,
+    /// Immutable per-job profile copies (avoids borrow tangles).
+    profiles: Vec<JobProfile>,
+    trackers: Vec<Tracker>,
+    running_maps: BTreeMap<MapAttemptId, MapTask>,
+    running_reduces: BTreeMap<ReduceTaskId, ReduceTask>,
+    sched: FifoScheduler,
+    fabric: Fabric,
+    rng: SimRng,
+    now: SimTime,
+    map_slot_series: TimeSeries,
+    reduce_slot_series: TimeSeries,
+    slot_changes: u64,
+    heartbeat_round: u64,
+    events: EventLog,
+    speculative_attempts: u64,
+    speculative_wins: u64,
+    /// Injected failure points: attempt → progress fraction at which it
+    /// dies. Decided at launch so runs stay deterministic.
+    failure_points: HashMap<MapAttemptId, f64>,
+    map_failures: u64,
+    /// Integral of granted CPU (core·s) across the run.
+    cpu_granted_core_s: f64,
+    /// Integral of offered CPU capacity (core·s) while any job was active.
+    cpu_offered_core_s: f64,
+    /// Total bytes moved over the fabric (shuffle fetches + remote reads).
+    network_mb: f64,
+}
+
+impl<'p> Sim<'p> {
+    fn new(
+        cfg: &EngineConfig,
+        specs: Vec<JobSpec>,
+        policy: &'p mut dyn SlotPolicy,
+    ) -> Result<Sim<'p>, SimError> {
+        let root = SimRng::new(cfg.seed);
+        let mut namenode = NameNode::new(
+            cfg.cluster.clone(),
+            dfs::PlacementPolicy::default(),
+            cfg.block_mb,
+            root.derive("dfs"),
+        );
+        let mut jobs = Vec::with_capacity(specs.len());
+        let mut profiles = Vec::with_capacity(specs.len());
+        for (i, spec) in specs.into_iter().enumerate() {
+            if spec.id.0 != i {
+                return Err(SimError::InvalidConfig(format!(
+                    "job ids must be dense submission order (job {i} has id {})",
+                    spec.id.0
+                )));
+            }
+            let layout = namenode.create_file(spec.input_mb);
+            profiles.push(spec.profile.clone());
+            jobs.push(JobInProgress::new(spec, layout, cfg.cluster.workers));
+        }
+        let trackers = cfg
+            .cluster
+            .nodes()
+            .map(|node| Tracker {
+                node,
+                map_slots: SlotSet::new(cfg.init_map_slots),
+                reduce_slots: SlotSet::new(cfg.init_reduce_slots),
+                meters: TrackerMeters::new(SimTime::ZERO),
+                stall_ms: 0,
+            })
+            .collect();
+        Ok(Sim {
+            sched: FifoScheduler {
+                reduce_slowstart: cfg.reduce_slowstart,
+                kind: cfg.scheduler,
+            },
+            fabric: Fabric::new(cfg.fabric),
+            rng: root.derive("engine"),
+            cfg: cfg.clone(),
+            policy,
+            jobs,
+            profiles,
+            trackers,
+            running_maps: BTreeMap::new(),
+            running_reduces: BTreeMap::new(),
+            now: SimTime::ZERO,
+            map_slot_series: TimeSeries::new(),
+            reduce_slot_series: TimeSeries::new(),
+            slot_changes: 0,
+            heartbeat_round: 0,
+            events: EventLog::new(cfg.record_events),
+            speculative_attempts: 0,
+            speculative_wins: 0,
+            failure_points: HashMap::new(),
+            map_failures: 0,
+            cpu_granted_core_s: 0.0,
+            cpu_offered_core_s: 0.0,
+            network_mb: 0.0,
+        })
+    }
+
+    fn run_to_completion(&mut self) -> Result<RunReport, SimError> {
+        loop {
+            if self.now.is_multiple_of(self.cfg.heartbeat) {
+                self.heartbeat_round();
+            }
+            self.advance_tick();
+            if self.now.is_multiple_of(self.cfg.sample_period) {
+                self.sample();
+            }
+            self.now += self.cfg.tick.tick;
+            if self.jobs.iter().all(|j| j.is_finished()) {
+                self.sample();
+                break;
+            }
+            if self.now > self.cfg.tick.horizon {
+                let pending: Vec<String> = self
+                    .jobs
+                    .iter()
+                    .filter(|j| !j.is_finished())
+                    .map(|j| {
+                        format!(
+                            "{}: {}/{} maps, {}/{} reduces",
+                            j.spec.profile.name,
+                            j.completed_maps,
+                            j.total_maps(),
+                            j.completed_reduces,
+                            j.total_reduces()
+                        )
+                    })
+                    .collect();
+                return Err(SimError::HorizonExceeded {
+                    horizon: self.cfg.tick.horizon,
+                    pending_work: pending.join("; "),
+                });
+            }
+        }
+        Ok(self.build_report())
+    }
+
+    // ------------------------------------------------------------------
+    // Heartbeat round: stats → policy → assignment
+    // ------------------------------------------------------------------
+
+    fn heartbeat_round(&mut self) {
+        let stats = self.aggregate_stats();
+        let snapshots: Vec<TrackerSnapshot> = self
+            .trackers
+            .iter()
+            .map(|t| TrackerSnapshot {
+                node: t.node,
+                cores: self.cfg.cluster.node_spec(t.node).cores,
+                map_target: t.map_slots.target(),
+                map_occupied: t.map_slots.occupied(),
+                reduce_target: t.reduce_slots.target(),
+                reduce_occupied: t.reduce_slots.occupied(),
+            })
+            .collect();
+        let ctx = PolicyContext {
+            now: self.now,
+            stats: &stats,
+            trackers: &snapshots,
+            init_map_slots: self.cfg.init_map_slots,
+            init_reduce_slots: self.cfg.init_reduce_slots,
+        };
+        let directives = self.policy.decide(&ctx);
+        let overhead = self.policy.directive_overhead_ms();
+        for d in directives {
+            let tr = &mut self.trackers[d.node.0];
+            let mut changed = tr.map_slots.set_target(d.map_slots);
+            changed |= tr.reduce_slots.set_target(d.reduce_slots);
+            if changed {
+                self.slot_changes += 1;
+                tr.stall_ms += overhead;
+                self.events.push(Event::SlotTargetsChanged {
+                    at: self.now,
+                    node: d.node,
+                    map_slots: d.map_slots,
+                    reduce_slots: d.reduce_slots,
+                });
+            }
+        }
+        self.assign_tasks();
+        if self.cfg.speculative_maps {
+            self.launch_speculative_backups();
+        }
+        self.heartbeat_round += 1;
+    }
+
+    /// Harvest every tracker's meters and aggregate active-job state.
+    fn aggregate_stats(&mut self) -> ClusterStats {
+        let mut s = ClusterStats {
+            now: self.now,
+            ..ClusterStats::default()
+        };
+        for tr in &mut self.trackers {
+            let hb = tr.meters.harvest(self.now);
+            s.map_input_rate += hb.map_input_rate;
+            s.map_output_rate += hb.map_output_rate;
+            s.shuffle_rate += hb.shuffle_rate;
+            s.map_slot_target += tr.map_slots.target();
+            s.reduce_slot_target += tr.reduce_slots.target();
+        }
+        for (rid, r) in &self.running_reduces {
+            if r.phase == ReducePhase::Shuffle && self.jobs[rid.job.0].is_active(self.now) {
+                s.shuffling_reduces += 1;
+            }
+        }
+        let now = self.now;
+        for job in self.jobs.iter().filter(|j| j.is_active(now)) {
+            s.total_maps += job.total_maps();
+            s.pending_maps += job.pending_map_blocks.len();
+            s.running_maps += job.running_maps;
+            s.completed_maps += job.completed_maps;
+            s.total_reduces += job.total_reduces();
+            s.pending_reduces += job.pending_reduce_parts.len();
+            if job.reduces_eligible(self.cfg.reduce_slowstart) {
+                s.eligible_pending_reduces += job.pending_reduce_parts.len();
+            }
+            s.running_reduces += job.running_reduces;
+            s.completed_reduces += job.completed_reduces;
+            s.map_output_mb += job.shuffle.total_output_mb();
+            s.est_shuffle_total_mb += job.spec.expected_shuffle_mb();
+        }
+        if s.total_reduces > 0 {
+            s.est_shuffle_per_reduce_mb = s.est_shuffle_total_mb / s.total_reduces as f64;
+        }
+        s
+    }
+
+    /// Offer free slots to the scheduler, rotating the starting tracker
+    /// each round so assignment pressure spreads evenly.
+    fn assign_tasks(&mut self) {
+        let workers = self.trackers.len();
+        let start = (self.heartbeat_round as usize) % workers;
+        for k in 0..workers {
+            let i = (start + k) % workers;
+            let node = self.trackers[i].node;
+            while self.trackers[i].map_slots.free() > 0 {
+                let Some(a) = self.sched.pick_map(&mut self.jobs, node, self.now) else {
+                    break;
+                };
+                let jitter = self.draw_map_jitter();
+                let task = MapTask::new(
+                    a.id,
+                    node,
+                    &self.profiles[a.id.job.0],
+                    a.input_mb,
+                    a.remote_src,
+                    jitter,
+                    self.now,
+                );
+                self.trackers[i].map_slots.launch();
+                self.events.push(Event::MapLaunched {
+                    at: self.now,
+                    id: a.id,
+                    node,
+                    remote_read: a.remote_src.is_some(),
+                });
+                if a.remote_src.is_some() {
+                    self.jobs[a.id.job.0].remote_launches += 1;
+                } else {
+                    self.jobs[a.id.job.0].local_launches += 1;
+                }
+                let aid = MapAttemptId::original(a.id);
+                self.maybe_inject_failure(aid);
+                self.running_maps.insert(aid, task);
+            }
+            while self.trackers[i].reduce_slots.free() > 0 {
+                let Some(rid) = self.sched.pick_reduce(&mut self.jobs, self.now) else {
+                    break;
+                };
+                let jitter = self.rng.jitter(self.cfg.jitter_amp);
+                let task = ReduceTask::with_profile_overheads(
+                    rid,
+                    node,
+                    workers,
+                    &self.profiles[rid.job.0],
+                    jitter,
+                    self.now,
+                );
+                self.trackers[i].reduce_slots.launch();
+                self.events.push(Event::ReduceLaunched {
+                    at: self.now,
+                    id: rid,
+                    node,
+                });
+                self.running_reduces.insert(rid, task);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Physics: one tick of resource allocation and task progress
+    // ------------------------------------------------------------------
+
+    fn advance_tick(&mut self) {
+        let dt = self.cfg.tick.dt_secs();
+        let scales = self.allocate_nodes();
+        let (flows, purposes) = self.build_flows(dt, &scales);
+        let rates = self.fabric.allocate(&flows);
+
+        // index flow grants by purpose
+        let mut map_read_rate: HashMap<MapAttemptId, f64> = HashMap::new();
+        let mut fetch_rate: HashMap<(ReduceTaskId, NodeId), f64> = HashMap::new();
+        for (fid, purpose) in &purposes {
+            let rate = rates.get(fid).copied().unwrap_or(0.0);
+            match *purpose {
+                FlowPurpose::MapRead(id) => {
+                    map_read_rate.insert(id, rate);
+                }
+                FlowPurpose::Fetch(rid, src) => {
+                    fetch_rate.insert((rid, src), rate);
+                }
+            }
+        }
+
+        self.advance_maps(dt, &scales, &map_read_rate);
+        self.advance_reduces(dt, &scales, &fetch_rate);
+
+        // decay management stalls
+        let tick_ms = self.cfg.tick.tick.as_millis();
+        for tr in &mut self.trackers {
+            tr.stall_ms = tr.stall_ms.saturating_sub(tick_ms);
+        }
+    }
+
+    /// Per-node contention scales for every running task, including the
+    /// management-overhead stall factor.
+    fn allocate_nodes(&mut self) -> BTreeMap<TaskRef, f64> {
+        let workers = self.trackers.len();
+        let mut node_tasks: Vec<Vec<(TaskRef, simgrid::node::TaskDemand)>> =
+            vec![Vec::new(); workers];
+        for (id, t) in &self.running_maps {
+            let profile = &self.profiles[id.task.job.0];
+            node_tasks[t.node.0].push((TaskRef::Map(*id), profile.map_demand()));
+        }
+        for (id, t) in &self.running_reduces {
+            let profile = &self.profiles[id.job.0];
+            node_tasks[t.node.0].push((TaskRef::Reduce(*id), t.demand(profile)));
+        }
+        let tick_ms = self.cfg.tick.tick.as_millis() as f64;
+        let dt = self.cfg.tick.dt_secs();
+        let any_active = self
+            .jobs
+            .iter()
+            .any(|j| j.is_active(self.now));
+        let mut out = BTreeMap::new();
+        for (n, tasks) in node_tasks.iter().enumerate() {
+            if any_active {
+                self.cpu_offered_core_s += self.cfg.cluster.node_spec(NodeId(n)).cores * dt;
+            }
+            if tasks.is_empty() {
+                continue;
+            }
+            let demands: Vec<simgrid::node::TaskDemand> = tasks.iter().map(|t| t.1).collect();
+            let scales = allocate_node(self.cfg.cluster.node_spec(NodeId(n)), &demands);
+            let stall = self.trackers[n].stall_ms.min(tick_ms as u64) as f64 / tick_ms;
+            let stall_factor = 1.0 - stall;
+            for ((r, d), s) in tasks.iter().zip(scales) {
+                self.cpu_granted_core_s += d.cpu_cores * s * stall_factor * dt;
+                out.insert(*r, s * stall_factor);
+            }
+        }
+        out
+    }
+
+    /// Construct this tick's network flows: remote map reads and shuffle
+    /// fetches (the latter capped by each reduce's merge throughput).
+    fn build_flows(
+        &self,
+        dt: f64,
+        scales: &BTreeMap<TaskRef, f64>,
+    ) -> (Vec<Flow>, Vec<(FlowId, FlowPurpose)>) {
+        let mut flows = Vec::new();
+        let mut purposes = Vec::new();
+        let mut next = 0u64;
+
+        for (id, t) in &self.running_maps {
+            let Some(src) = t.remote_src else { continue };
+            if t.input_remaining <= 1e-9 {
+                continue;
+            }
+            let profile = &self.profiles[id.task.job.0];
+            let scale = scales.get(&TaskRef::Map(*id)).copied().unwrap_or(0.0);
+            // input consumption rate implied by the granted work rate
+            let work_rate = profile.map_rate * scale;
+            let input_rate = if t.work_total > 0.0 {
+                work_rate * t.input_mb / t.work_total
+            } else {
+                0.0
+            };
+            let demand = input_rate.min(t.input_remaining / dt);
+            if demand <= 0.0 {
+                continue;
+            }
+            let fid = FlowId(next);
+            next += 1;
+            flows.push(Flow {
+                id: fid,
+                src,
+                dst: t.node,
+                demand,
+            });
+            purposes.push((fid, FlowPurpose::MapRead(*id)));
+        }
+
+        for (rid, r) in &self.running_reduces {
+            if r.phase != ReducePhase::Shuffle {
+                continue;
+            }
+            let profile = &self.profiles[rid.job.0];
+            let job = &self.jobs[rid.job.0];
+            let scale = scales.get(&TaskRef::Reduce(*rid)).copied().unwrap_or(0.0);
+            // merge-throughput budget for this tick, shared across sources;
+            // T_r2 > T_r1: the cap rises once the barrier frees the sources
+            let boost = if job.shuffle.maps_all_done() {
+                profile.shuffle_barrier_boost
+            } else {
+                1.0
+            };
+            let mut budget = profile.shuffle_merge_rate * scale * boost;
+            // local copy consumes part of the budget without the fabric
+            let local_rem = job.shuffle.remaining_from(r, r.node);
+            if local_rem > 0.0 {
+                budget -= (local_rem / dt).min(self.cfg.local_copy_rate).min(budget);
+            }
+            for (src, rem) in job
+                .shuffle
+                .fetch_sources(r, profile.shuffle_fetchers as usize)
+            {
+                if src == r.node || budget <= 1e-9 {
+                    continue;
+                }
+                let demand = (rem / dt).min(budget);
+                budget -= demand;
+                let fid = FlowId(next);
+                next += 1;
+                flows.push(Flow {
+                    id: fid,
+                    src,
+                    dst: r.node,
+                    demand,
+                });
+                purposes.push((fid, FlowPurpose::Fetch(*rid, src)));
+            }
+        }
+        (flows, purposes)
+    }
+
+    fn advance_maps(
+        &mut self,
+        dt: f64,
+        scales: &BTreeMap<TaskRef, f64>,
+        map_read_rate: &HashMap<MapAttemptId, f64>,
+    ) {
+        let mut done = Vec::new();
+        let mut failed = Vec::new();
+        let Sim {
+            running_maps,
+            profiles,
+            trackers,
+            failure_points,
+            network_mb,
+            ..
+        } = self;
+        for (id, t) in running_maps.iter_mut() {
+            let profile = &profiles[id.task.job.0];
+            let scale = scales.get(&TaskRef::Map(*id)).copied().unwrap_or(0.0);
+            let mut work_step = profile.map_rate * scale * dt;
+            if t.remote_src.is_some() && t.input_remaining > 1e-9 {
+                // input arrives over the network; cap work by delivery
+                let delivered = map_read_rate.get(id).copied().unwrap_or(0.0) * dt;
+                *network_mb += delivered.min(t.input_remaining);
+                let work_cap = if t.input_mb > 0.0 {
+                    delivered * t.work_total / t.input_mb
+                } else {
+                    work_step
+                };
+                work_step = work_step.min(work_cap);
+            }
+            let (consumed, _produced) = t.advance(work_step);
+            trackers[t.node.0].meters.map_input.record(consumed);
+            if let Some(&fail_at) = failure_points.get(id) {
+                if t.progress() >= fail_at {
+                    failed.push(*id);
+                    continue;
+                }
+            }
+            if t.is_done() {
+                done.push(*id);
+            }
+        }
+        for id in failed {
+            self.fail_map(id);
+        }
+        for id in done {
+            self.complete_map(id);
+        }
+    }
+
+    /// Kill a failed attempt and re-queue its block (Hadoop task retry).
+    fn fail_map(&mut self, aid: MapAttemptId) {
+        let task = self.running_maps.remove(&aid).expect("failing unknown map");
+        self.failure_points.remove(&aid);
+        self.trackers[task.node.0].map_slots.release();
+        let job = &mut self.jobs[aid.task.job.0];
+        job.running_maps -= 1;
+        self.map_failures += 1;
+        // the block returns to the pending queue unless a sibling attempt
+        // is still running it or has already delivered it
+        let sibling = MapAttemptId {
+            task: aid.task,
+            attempt: 1 - aid.attempt,
+        };
+        if !job.completed_blocks[aid.task.index] && !self.running_maps.contains_key(&sibling) {
+            job.pending_map_blocks.push(aid.task.index);
+        }
+    }
+
+    /// Service-time factor for a new map attempt: base jitter, possibly
+    /// multiplied by the degraded-path slowdown.
+    fn draw_map_jitter(&mut self) -> f64 {
+        let mut j = self.rng.jitter(self.cfg.jitter_amp);
+        if self.cfg.straggler_rate > 0.0 && self.rng.unit() < self.cfg.straggler_rate {
+            j *= self.cfg.straggler_slowdown;
+        }
+        j
+    }
+
+    /// Roll the dice for an attempt's injected failure.
+    fn maybe_inject_failure(&mut self, aid: MapAttemptId) {
+        if self.cfg.map_failure_rate > 0.0 && self.rng.unit() < self.cfg.map_failure_rate {
+            // die somewhere in the middle of the run
+            let fail_at = 0.1 + 0.8 * self.rng.unit();
+            self.failure_points.insert(aid, fail_at);
+        }
+    }
+
+    fn complete_map(&mut self, aid: MapAttemptId) {
+        let task = self
+            .running_maps
+            .remove(&aid)
+            .expect("completing unknown map attempt");
+        self.failure_points.remove(&aid);
+        let id = aid.task;
+        let job = &mut self.jobs[id.job.0];
+        self.trackers[task.node.0].map_slots.release();
+        job.running_maps -= 1;
+        if job.completed_blocks[id.index] {
+            // a sibling attempt already delivered this block; this one
+            // raced to the end and its work is discarded
+            return;
+        }
+        job.completed_blocks[id.index] = true;
+        if aid.attempt > 0 {
+            self.speculative_wins += 1;
+        }
+        // §IV-B: the MapTask records its output size upon completion; both
+        // the meter and the shuffle availability are credited here. (The
+        // slot manager averages the resulting lumpy rate over its balance
+        // window — crediting production *continuously* instead would make
+        // R_m lead R_s by a full task duration after every slot increase
+        // and fake a shuffle lag.)
+        self.trackers[task.node.0]
+            .meters
+            .map_output
+            .record(task.output_mb);
+        job.shuffle.on_map_complete(task.node, task.output_mb);
+        job.completed_maps += 1;
+        job.map_durations
+            .push(self.now.since(task.started_at).as_secs_f64());
+        self.events.push(Event::MapCompleted {
+            at: self.now,
+            id,
+            node: task.node,
+            output_mb: task.output_mb,
+        });
+        // kill the losing sibling attempt, if any
+        let sibling = MapAttemptId {
+            task: id,
+            attempt: 1 - aid.attempt,
+        };
+        if let Some(loser) = self.running_maps.remove(&sibling) {
+            self.trackers[loser.node.0].map_slots.release();
+            self.jobs[id.job.0].running_maps -= 1;
+            self.events.push(Event::MapKilled {
+                at: self.now,
+                id,
+                node: loser.node,
+            });
+        }
+        let job = &mut self.jobs[id.job.0];
+        if job.all_maps_done() {
+            job.maps_done_at.get_or_insert(self.now);
+            job.shuffle.set_maps_all_done();
+            self.events.push(Event::BarrierCrossed {
+                at: self.now,
+                job: id.job,
+            });
+        }
+    }
+
+    /// Hadoop-style speculative execution: once a job has no pending maps,
+    /// idle map slots may run backup attempts of its slowest running maps.
+    fn launch_speculative_backups(&mut self) {
+        let now = self.now;
+        let min_rt = self.cfg.speculation_min_runtime;
+        for j in 0..self.jobs.len() {
+            let job = &self.jobs[j];
+            if !job.is_active(now) || !job.pending_map_blocks.is_empty() || job.all_maps_done()
+            {
+                continue;
+            }
+            // LATE-style trigger: an original attempt is a straggler when
+            // it has already run longer than the job's completed tasks
+            // typically take (by the configured gap) yet is still short of
+            // done. Comparing against *completed* durations (not the
+            // running mean) keeps the trigger alive in the last wave,
+            // where only stragglers remain running.
+            if job.map_durations.len() < 5 {
+                continue; // not enough history to call anyone slow
+            }
+            let mean_dur: f64 =
+                job.map_durations.iter().sum::<f64>() / job.map_durations.len() as f64;
+            let overdue = mean_dur * (1.0 + self.cfg.speculation_gap);
+            let mut stragglers: Vec<(MapAttemptId, f64)> = self
+                .running_maps
+                .iter()
+                .filter(|(a, t)| {
+                    a.task.job.0 == j
+                        && a.attempt == 0
+                        && now.since(t.started_at) >= min_rt
+                        && now.since(t.started_at).as_secs_f64() > overdue
+                        && t.progress() < 0.95
+                        && !self.running_maps.contains_key(&MapAttemptId::backup(a.task))
+                        && !self.jobs[j].completed_blocks[a.task.index]
+                })
+                .map(|(a, t)| (*a, t.progress()))
+                .collect();
+            stragglers.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite progress"));
+            for (aid, _) in stragglers {
+                let origin = self.running_maps[&aid].node;
+                // pick the tracker with the most free map slots, avoiding
+                // the straggler's own (possibly overloaded) node
+                let Some(i) = (0..self.trackers.len())
+                    .filter(|&i| self.trackers[i].map_slots.free() > 0 && NodeId(i) != origin)
+                    .max_by_key(|&i| self.trackers[i].map_slots.free())
+                else {
+                    break; // no free slots anywhere else
+                };
+                let node = self.trackers[i].node;
+                let (block_mb, remote_src) = {
+                    let block = &self.jobs[j].layout.blocks[aid.task.index];
+                    let src = if block.is_local_to(node) {
+                        None
+                    } else {
+                        Some(block.replicas[0])
+                    };
+                    (block.size_mb, src)
+                };
+                let jitter = self.draw_map_jitter();
+                let backup = MapTask::new(
+                    aid.task,
+                    node,
+                    &self.profiles[j],
+                    block_mb,
+                    remote_src,
+                    jitter,
+                    now,
+                );
+                self.trackers[i].map_slots.launch();
+                self.jobs[j].running_maps += 1;
+                self.speculative_attempts += 1;
+                self.events.push(Event::MapLaunched {
+                    at: now,
+                    id: aid.task,
+                    node,
+                    remote_read: remote_src.is_some(),
+                });
+                let bid = MapAttemptId::backup(aid.task);
+                self.maybe_inject_failure(bid);
+                self.running_maps.insert(bid, backup);
+            }
+        }
+    }
+
+    fn advance_reduces(
+        &mut self,
+        dt: f64,
+        scales: &BTreeMap<TaskRef, f64>,
+        fetch_rate: &HashMap<(ReduceTaskId, NodeId), f64>,
+    ) {
+        let mut done = Vec::new();
+        let Sim {
+            running_reduces,
+            jobs,
+            profiles,
+            trackers,
+            cfg,
+            now,
+            events,
+            network_mb,
+            ..
+        } = self;
+        for (rid, r) in running_reduces.iter_mut() {
+            let profile = &profiles[rid.job.0];
+            let job = &jobs[rid.job.0];
+            match r.phase {
+                ReducePhase::Shuffle => {
+                    let scale = scales.get(&TaskRef::Reduce(*rid)).copied().unwrap_or(0.0);
+                    let boost = if job.shuffle.maps_all_done() {
+                        profile.shuffle_barrier_boost
+                    } else {
+                        1.0
+                    };
+                    // local copy first (no fabric), bounded by merge budget
+                    let budget = profile.shuffle_merge_rate * scale * boost * dt;
+                    let mut used = 0.0;
+                    let local_rem = job.shuffle.remaining_from(r, r.node);
+                    if local_rem > 0.0 {
+                        let mb = local_rem.min(cfg.local_copy_rate * dt).min(budget);
+                        if mb > 0.0 {
+                            r.record_fetch(r.node, mb);
+                            trackers[r.node.0].meters.shuffle.record(mb);
+                            used += mb;
+                        }
+                    }
+                    // granted fabric fetches
+                    for src in 0..trackers.len() {
+                        let src_id = NodeId(src);
+                        if src_id == r.node {
+                            continue;
+                        }
+                        let Some(&rate) = fetch_rate.get(&(*rid, src_id)) else {
+                            continue;
+                        };
+                        if rate <= 0.0 {
+                            continue;
+                        }
+                        let rem = job.shuffle.remaining_from(r, src_id);
+                        let mb = (rate * dt).min(rem).min((budget - used).max(0.0));
+                        if mb > 0.0 {
+                            r.record_fetch(src_id, mb);
+                            trackers[r.node.0].meters.shuffle.record(mb);
+                            *network_mb += mb;
+                            used += mb;
+                        }
+                    }
+                    if job.shuffle.shuffle_complete(r) {
+                        let partition = job
+                            .shuffle
+                            .partition_mb()
+                            .expect("barrier implies known partition");
+                        r.finish_shuffle(partition, *now);
+                        events.push(Event::ShuffleCompleted {
+                            at: *now,
+                            id: *rid,
+                            partition_mb: partition,
+                        });
+                    }
+                }
+                ReducePhase::Sort | ReducePhase::Reduce => {
+                    let scale = scales.get(&TaskRef::Reduce(*rid)).copied().unwrap_or(0.0);
+                    let work = r.phase_rate(profile) * scale * dt;
+                    if r.advance_compute(work) {
+                        done.push(*rid);
+                    }
+                }
+                ReducePhase::Done => done.push(*rid),
+            }
+        }
+        for rid in done {
+            self.complete_reduce(rid);
+        }
+    }
+
+    fn complete_reduce(&mut self, rid: ReduceTaskId) {
+        let task = self
+            .running_reduces
+            .remove(&rid)
+            .expect("completing unknown reduce");
+        let job = &mut self.jobs[rid.job.0];
+        self.trackers[task.node.0].reduce_slots.release();
+        job.running_reduces -= 1;
+        job.completed_reduces += 1;
+        job.reduce_durations
+            .push(self.now.since(task.started_at).as_secs_f64());
+        self.events.push(Event::ReduceCompleted {
+            at: self.now,
+            id: rid,
+            node: task.node,
+        });
+        if job.completed_reduces == job.total_reduces() && job.all_maps_done() {
+            job.finished_at.get_or_insert(self.now);
+            self.events.push(Event::JobFinished {
+                at: self.now,
+                job: rid.job,
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Sampling and reporting
+    // ------------------------------------------------------------------
+
+    fn sample(&mut self) {
+        let map_slots: usize = self.trackers.iter().map(|t| t.map_slots.target()).sum();
+        let reduce_slots: usize = self.trackers.iter().map(|t| t.reduce_slots.target()).sum();
+        self.map_slot_series.push(self.now, map_slots as f64);
+        self.reduce_slot_series.push(self.now, reduce_slots as f64);
+
+        // per-job progress: map% + reduce% in [0, 200]
+        let mut map_progress = vec![0.0_f64; self.jobs.len()];
+        let mut reduce_progress = vec![0.0_f64; self.jobs.len()];
+        // with speculation two attempts of one task may run; count the
+        // task's best attempt, not the sum. (BTreeMap: iteration order must
+        // be deterministic or float summation order would vary per run.)
+        let mut best: BTreeMap<MapTaskId, f64> = BTreeMap::new();
+        for (id, t) in &self.running_maps {
+            let e = best.entry(id.task).or_insert(0.0);
+            *e = e.max(t.progress());
+        }
+        for (id, p) in best {
+            map_progress[id.job.0] += p;
+        }
+        for (id, t) in &self.running_reduces {
+            reduce_progress[id.job.0] += t.progress();
+        }
+        let now = self.now;
+        for (i, job) in self.jobs.iter_mut().enumerate() {
+            if !job.is_submitted(now) {
+                continue;
+            }
+            if job.is_finished()
+                && job
+                    .progress
+                    .last()
+                    .is_some_and(|(_, v)| v >= 200.0 - 1e-6)
+            {
+                // final 200% sample already recorded
+                continue;
+            }
+            let mp = (job.completed_maps as f64 + map_progress[i]) / job.total_maps() as f64;
+            let rp =
+                (job.completed_reduces as f64 + reduce_progress[i]) / job.total_reduces() as f64;
+            job.progress.push(now, (mp + rp) * 100.0);
+        }
+    }
+
+    fn build_report(&self) -> RunReport {
+        let jobs = self
+            .jobs
+            .iter()
+            .map(|j| JobReport {
+                job: j.spec.id,
+                name: j.spec.profile.name.clone(),
+                submit_at: j.spec.submit_at,
+                started_at: j.first_launch.expect("finished job must have started"),
+                maps_done_at: j.maps_done_at.expect("finished job crossed the barrier"),
+                finished_at: j.finished_at.expect("job finished"),
+                input_mb: j.spec.input_mb,
+                shuffle_mb: j.shuffle.total_output_mb(),
+                num_maps: j.total_maps(),
+                num_reduces: j.total_reduces(),
+                progress: j.progress.clone(),
+                map_task_durations: simgrid::metrics::Summary::of(&j.map_durations),
+                reduce_task_durations: simgrid::metrics::Summary::of(&j.reduce_durations),
+                local_map_fraction: {
+                    let total = j.local_launches + j.remote_launches;
+                    if total == 0 {
+                        1.0
+                    } else {
+                        j.local_launches as f64 / total as f64
+                    }
+                },
+            })
+            .collect();
+        RunReport {
+            policy: self.policy.name().to_string(),
+            jobs,
+            map_slot_series: self.map_slot_series.clone(),
+            reduce_slot_series: self.reduce_slot_series.clone(),
+            slot_changes: self.slot_changes,
+            events: self.events.clone(),
+            speculative_attempts: self.speculative_attempts,
+            speculative_wins: self.speculative_wins,
+            map_failures: self.map_failures,
+            cpu_utilisation: if self.cpu_offered_core_s > 0.0 {
+                self.cpu_granted_core_s / self.cpu_offered_core_s
+            } else {
+                0.0
+            },
+            network_mb: self.network_mb,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobProfile;
+    use crate::policy::StaticSlotPolicy;
+
+    fn run_single(profile: JobProfile, input_mb: f64, workers: usize, seed: u64) -> RunReport {
+        let cfg = EngineConfig::small_test(workers, seed);
+        let job = JobSpec::new(0, profile, input_mb, workers * 2, SimTime::ZERO);
+        Engine::new(cfg)
+            .run(vec![job], &mut StaticSlotPolicy)
+            .expect("run completes")
+    }
+
+    #[test]
+    fn map_heavy_job_completes() {
+        let r = run_single(JobProfile::synthetic_map_heavy(), 2048.0, 4, 1);
+        let j = r.single();
+        assert_eq!(j.num_maps, 16);
+        assert!(j.map_time().as_secs_f64() > 0.0);
+        assert!(j.reduce_time().as_secs_f64() > 0.0);
+        assert!(j.finished_at > j.maps_done_at);
+        assert!(j.maps_done_at > j.started_at);
+        // tiny shuffle for map-heavy profile
+        assert!((j.shuffle_mb - 2048.0 * 0.02).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reduce_heavy_job_completes_with_full_shuffle() {
+        let r = run_single(JobProfile::synthetic_reduce_heavy(), 1024.0, 4, 2);
+        let j = r.single();
+        assert!((j.shuffle_mb - 1024.0).abs() < 1e-6);
+        // reduce-heavy: the tail (sort+reduce of the full input) dominates
+        assert!(j.reduce_time().as_secs_f64() > 1.0);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_timings() {
+        let a = run_single(JobProfile::synthetic_map_heavy(), 1024.0, 4, 7);
+        let b = run_single(JobProfile::synthetic_map_heavy(), 1024.0, 4, 7);
+        assert_eq!(
+            a.single().finished_at.as_millis(),
+            b.single().finished_at.as_millis()
+        );
+        assert_eq!(
+            a.single().maps_done_at.as_millis(),
+            b.single().maps_done_at.as_millis()
+        );
+    }
+
+    #[test]
+    fn different_seeds_vary_slightly() {
+        let a = run_single(JobProfile::synthetic_map_heavy(), 1024.0, 4, 1);
+        let b = run_single(JobProfile::synthetic_map_heavy(), 1024.0, 4, 2);
+        // jitter and placement differ; totals should be close but the runs
+        // are genuinely different executions
+        let ta = a.single().total_time().as_secs_f64();
+        let tb = b.single().total_time().as_secs_f64();
+        assert!((ta - tb).abs() / ta < 0.30, "ta={ta} tb={tb}");
+    }
+
+    #[test]
+    fn progress_reaches_200_percent() {
+        let r = run_single(JobProfile::synthetic_map_heavy(), 1024.0, 4, 3);
+        let j = r.single();
+        let (_, last) = j.progress.last().expect("progress recorded");
+        assert!(last > 195.0, "final progress {last}");
+        // and it is monotone non-decreasing
+        let pts = j.progress.points();
+        for w in pts.windows(2) {
+            assert!(w[1].1 >= w[0].1 - 1e-6);
+        }
+    }
+
+    #[test]
+    fn multi_job_fifo_ordering() {
+        let cfg = EngineConfig::small_test(4, 5);
+        let jobs = vec![
+            JobSpec::new(
+                0,
+                JobProfile::synthetic_map_heavy(),
+                1024.0,
+                8,
+                SimTime::ZERO,
+            ),
+            JobSpec::new(
+                1,
+                JobProfile::synthetic_map_heavy(),
+                1024.0,
+                8,
+                SimTime::from_secs(5),
+            ),
+        ];
+        let r = Engine::new(cfg).run(jobs, &mut StaticSlotPolicy).unwrap();
+        assert_eq!(r.jobs.len(), 2);
+        // FIFO: the first job finishes first
+        assert!(r.jobs[0].finished_at <= r.jobs[1].finished_at);
+        assert!(r.makespan() >= r.jobs[1].execution_time());
+        assert!(r.mean_execution_time().as_secs_f64() > 0.0);
+    }
+
+    #[test]
+    fn static_policy_never_changes_slots() {
+        let r = run_single(JobProfile::synthetic_map_heavy(), 1024.0, 4, 1);
+        assert_eq!(r.slot_changes, 0);
+        // slot series is flat at workers * init
+        for &(_, v) in r.map_slot_series.points() {
+            assert_eq!(v, 12.0); // 4 workers * 3 slots
+        }
+        for &(_, v) in r.reduce_slot_series.points() {
+            assert_eq!(v, 8.0);
+        }
+    }
+
+    #[test]
+    fn rejects_empty_and_invalid() {
+        let cfg = EngineConfig::small_test(4, 1);
+        assert!(Engine::new(cfg.clone())
+            .run(vec![], &mut StaticSlotPolicy)
+            .is_err());
+        let mut bad = cfg.clone();
+        bad.init_map_slots = 0;
+        let job = JobSpec::new(0, JobProfile::synthetic_map_heavy(), 128.0, 1, SimTime::ZERO);
+        assert!(Engine::new(bad)
+            .run(vec![job.clone()], &mut StaticSlotPolicy)
+            .is_err());
+        let mut bad2 = cfg;
+        bad2.heartbeat = SimDuration::from_millis(150);
+        assert!(Engine::new(bad2)
+            .run(vec![job], &mut StaticSlotPolicy)
+            .is_err());
+    }
+
+    #[test]
+    fn rejects_non_dense_job_ids() {
+        let cfg = EngineConfig::small_test(2, 1);
+        let job = JobSpec::new(3, JobProfile::synthetic_map_heavy(), 128.0, 1, SimTime::ZERO);
+        assert!(Engine::new(cfg).run(vec![job], &mut StaticSlotPolicy).is_err());
+    }
+
+    #[test]
+    fn more_input_takes_longer() {
+        let small = run_single(JobProfile::synthetic_map_heavy(), 512.0, 4, 1);
+        let large = run_single(JobProfile::synthetic_map_heavy(), 4096.0, 4, 1);
+        assert!(
+            large.single().total_time() > small.single().total_time(),
+            "8x input must take longer"
+        );
+    }
+
+    #[test]
+    fn speculation_races_and_wins_on_stragglers() {
+        let mut cfg = EngineConfig::small_test(4, 21);
+        cfg.jitter_amp = 0.6; // strong stragglers
+        cfg.speculative_maps = true;
+        cfg.speculation_min_runtime = SimDuration::from_secs(5);
+        cfg.record_events = true;
+        let job = JobSpec::new(
+            0,
+            JobProfile::synthetic_map_heavy(),
+            2048.0,
+            8,
+            SimTime::ZERO,
+        );
+        let r = Engine::new(cfg)
+            .run(vec![job], &mut StaticSlotPolicy)
+            .unwrap();
+        assert!(
+            r.speculative_attempts > 0,
+            "stragglers should trigger backups"
+        );
+        assert!(r.speculative_wins <= r.speculative_attempts);
+        // output conservation: every block delivered exactly once
+        let j = r.single();
+        assert!((j.shuffle_mb - 2048.0 * 0.02).abs() < 1e-6);
+        // every race ends either with the losing attempt killed (still
+        // running when the winner delivered) or silently discarded (it
+        // finished after delivery) — never more kills than races
+        let kills = r
+            .events
+            .count(|e| matches!(e, crate::events::Event::MapKilled { .. }));
+        assert!(kills as u64 <= r.speculative_attempts);
+        assert_eq!(r.map_failures, 0);
+    }
+
+    #[test]
+    fn speculation_off_means_zero_attempts() {
+        let r = run_single(JobProfile::synthetic_map_heavy(), 1024.0, 4, 1);
+        assert_eq!(r.speculative_attempts, 0);
+        assert_eq!(r.speculative_wins, 0);
+    }
+
+    #[test]
+    fn injected_failures_are_retried_to_completion() {
+        let mut cfg = EngineConfig::small_test(4, 8);
+        cfg.map_failure_rate = 0.15;
+        let job = JobSpec::new(
+            0,
+            JobProfile::synthetic_map_heavy(),
+            2048.0,
+            8,
+            SimTime::ZERO,
+        );
+        let r = Engine::new(cfg)
+            .run(vec![job], &mut StaticSlotPolicy)
+            .unwrap();
+        let j = r.single();
+        assert!(r.map_failures > 0, "failures should have been injected");
+        assert_eq!(j.num_maps, 16, "all blocks still delivered");
+        assert!((j.shuffle_mb - 2048.0 * 0.02).abs() < 1e-6, "no double output");
+        let (_, p) = j.progress.last().unwrap();
+        assert!(p >= 200.0 - 1e-6);
+    }
+
+    #[test]
+    fn failures_plus_speculation_compose() {
+        let mut cfg = EngineConfig::small_test(4, 13);
+        cfg.map_failure_rate = 0.1;
+        cfg.speculative_maps = true;
+        cfg.jitter_amp = 0.5;
+        cfg.speculation_min_runtime = SimDuration::from_secs(5);
+        let job = JobSpec::new(
+            0,
+            JobProfile::synthetic_reduce_heavy(),
+            1024.0,
+            8,
+            SimTime::ZERO,
+        );
+        let r = Engine::new(cfg)
+            .run(vec![job], &mut StaticSlotPolicy)
+            .unwrap();
+        let j = r.single();
+        assert!((j.shuffle_mb - 1024.0).abs() < 1e-6, "exactly-once delivery");
+    }
+
+    #[test]
+    fn invalid_failure_rate_rejected() {
+        let mut cfg = EngineConfig::small_test(2, 1);
+        cfg.map_failure_rate = 1.0;
+        let job = JobSpec::new(0, JobProfile::synthetic_map_heavy(), 128.0, 1, SimTime::ZERO);
+        assert!(Engine::new(cfg).run(vec![job], &mut StaticSlotPolicy).is_err());
+    }
+
+    #[test]
+    fn map_time_scales_with_map_slots() {
+        // more map slots (below thrashing) => shorter map time
+        let mut cfg = EngineConfig::small_test(4, 9);
+        cfg.init_map_slots = 2;
+        let job = JobSpec::new(
+            0,
+            JobProfile::synthetic_map_heavy(),
+            2048.0,
+            8,
+            SimTime::ZERO,
+        );
+        let slow = Engine::new(cfg.clone())
+            .run(vec![job.clone()], &mut StaticSlotPolicy)
+            .unwrap();
+        cfg.init_map_slots = 6;
+        let fast = Engine::new(cfg).run(vec![job], &mut StaticSlotPolicy).unwrap();
+        assert!(
+            fast.single().map_time() < slow.single().map_time(),
+            "6 slots {:?} should beat 2 slots {:?}",
+            fast.single().map_time(),
+            slow.single().map_time()
+        );
+    }
+}

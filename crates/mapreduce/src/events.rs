@@ -1,0 +1,239 @@
+//! Task-lifecycle event log.
+//!
+//! When enabled ([`crate::EngineConfig::record_events`]), the engine
+//! appends one [`Event`] per lifecycle transition — task launches and
+//! completions, barrier crossings, slot-target changes, job completions —
+//! giving downstream users the same debugging surface Hadoop's job history
+//! files provide. Events are strictly time-ordered; invariants such as
+//! "every completion has a launch" are enforced by the integration tests.
+
+use crate::job::JobId;
+use crate::task::{MapTaskId, ReduceTaskId};
+use serde::{Deserialize, Serialize};
+use simgrid::cluster::NodeId;
+use simgrid::time::SimTime;
+
+/// One lifecycle transition.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    MapLaunched {
+        at: SimTime,
+        id: MapTaskId,
+        node: NodeId,
+        /// `true` when the input block had no replica on `node`.
+        remote_read: bool,
+    },
+    MapCompleted {
+        at: SimTime,
+        id: MapTaskId,
+        node: NodeId,
+        output_mb: f64,
+    },
+    /// A speculative attempt lost the race and was killed.
+    MapKilled {
+        at: SimTime,
+        id: MapTaskId,
+        node: NodeId,
+    },
+    ReduceLaunched {
+        at: SimTime,
+        id: ReduceTaskId,
+        node: NodeId,
+    },
+    /// The reduce finished fetching its whole partition (necessarily at or
+    /// after the job's barrier).
+    ShuffleCompleted {
+        at: SimTime,
+        id: ReduceTaskId,
+        partition_mb: f64,
+    },
+    ReduceCompleted {
+        at: SimTime,
+        id: ReduceTaskId,
+        node: NodeId,
+    },
+    /// The job's last map finished (the synchronisation barrier).
+    BarrierCrossed {
+        at: SimTime,
+        job: JobId,
+    },
+    /// A tracker accepted new slot targets from the job tracker.
+    SlotTargetsChanged {
+        at: SimTime,
+        node: NodeId,
+        map_slots: usize,
+        reduce_slots: usize,
+    },
+    JobFinished {
+        at: SimTime,
+        job: JobId,
+    },
+}
+
+impl Event {
+    /// The instant the event occurred.
+    pub fn at(&self) -> SimTime {
+        match *self {
+            Event::MapLaunched { at, .. }
+            | Event::MapCompleted { at, .. }
+            | Event::MapKilled { at, .. }
+            | Event::ReduceLaunched { at, .. }
+            | Event::ShuffleCompleted { at, .. }
+            | Event::ReduceCompleted { at, .. }
+            | Event::BarrierCrossed { at, .. }
+            | Event::SlotTargetsChanged { at, .. }
+            | Event::JobFinished { at, .. } => at,
+        }
+    }
+}
+
+/// An append-only, time-ordered event log. Disabled logs drop events with
+/// no allocation cost.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EventLog {
+    enabled: bool,
+    events: Vec<Event>,
+}
+
+impl EventLog {
+    pub fn new(enabled: bool) -> EventLog {
+        EventLog {
+            enabled,
+            events: Vec::new(),
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Append an event (no-op when disabled). Time order is enforced in
+    /// debug builds.
+    pub fn push(&mut self, e: Event) {
+        if !self.enabled {
+            return;
+        }
+        debug_assert!(
+            self.events.last().is_none_or(|last| last.at() <= e.at()),
+            "events must be appended in time order"
+        );
+        self.events.push(e);
+    }
+
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events of one job, in order.
+    pub fn for_job(&self, job: JobId) -> impl Iterator<Item = &Event> {
+        self.events.iter().filter(move |e| match e {
+            Event::MapLaunched { id, .. }
+            | Event::MapCompleted { id, .. }
+            | Event::MapKilled { id, .. } => id.job == job,
+            Event::ReduceLaunched { id, .. }
+            | Event::ShuffleCompleted { id, .. }
+            | Event::ReduceCompleted { id, .. } => id.job == job,
+            Event::BarrierCrossed { job: j, .. } | Event::JobFinished { job: j, .. } => *j == job,
+            Event::SlotTargetsChanged { .. } => false,
+        })
+    }
+
+    /// Count of events matching a predicate.
+    pub fn count(&self, pred: impl Fn(&Event) -> bool) -> usize {
+        self.events.iter().filter(|e| pred(e)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mid(job: usize, index: usize) -> MapTaskId {
+        MapTaskId {
+            job: JobId(job),
+            index,
+        }
+    }
+
+    #[test]
+    fn disabled_log_drops_everything() {
+        let mut log = EventLog::new(false);
+        log.push(Event::BarrierCrossed {
+            at: SimTime::ZERO,
+            job: JobId(0),
+        });
+        assert!(log.is_empty());
+        assert!(!log.is_enabled());
+    }
+
+    #[test]
+    fn enabled_log_appends_in_order() {
+        let mut log = EventLog::new(true);
+        log.push(Event::MapLaunched {
+            at: SimTime::from_secs(1),
+            id: mid(0, 0),
+            node: NodeId(0),
+            remote_read: false,
+        });
+        log.push(Event::MapCompleted {
+            at: SimTime::from_secs(5),
+            id: mid(0, 0),
+            node: NodeId(0),
+            output_mb: 12.0,
+        });
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.events()[0].at(), SimTime::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    #[cfg(debug_assertions)]
+    fn out_of_order_push_panics_in_debug() {
+        let mut log = EventLog::new(true);
+        log.push(Event::BarrierCrossed {
+            at: SimTime::from_secs(5),
+            job: JobId(0),
+        });
+        log.push(Event::BarrierCrossed {
+            at: SimTime::from_secs(1),
+            job: JobId(0),
+        });
+    }
+
+    #[test]
+    fn per_job_filtering() {
+        let mut log = EventLog::new(true);
+        log.push(Event::MapLaunched {
+            at: SimTime::ZERO,
+            id: mid(0, 0),
+            node: NodeId(0),
+            remote_read: false,
+        });
+        log.push(Event::MapLaunched {
+            at: SimTime::ZERO,
+            id: mid(1, 0),
+            node: NodeId(1),
+            remote_read: true,
+        });
+        log.push(Event::SlotTargetsChanged {
+            at: SimTime::ZERO,
+            node: NodeId(0),
+            map_slots: 4,
+            reduce_slots: 2,
+        });
+        assert_eq!(log.for_job(JobId(0)).count(), 1);
+        assert_eq!(log.for_job(JobId(1)).count(), 1);
+        assert_eq!(
+            log.count(|e| matches!(e, Event::SlotTargetsChanged { .. })),
+            1
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! The slot-policy interface: who decides how many slots each tracker has.
+//!
+//! The engine calls [`SlotPolicy::decide`] once per heartbeat round with the
+//! aggregated [`ClusterStats`] and a per-tracker snapshot; the policy
+//! returns slot-target directives which the job tracker sends to the
+//! trackers in its heartbeat responses (and the trackers apply lazily).
+//!
+//! * HadoopV1 ⇒ [`StaticSlotPolicy`] (never changes anything);
+//! * YARN ⇒ `yarn::CapacityPolicy` (flexible container budget,
+//!   map-priority);
+//! * SMapReduce ⇒ `smapreduce::SlotManagerPolicy` (the paper).
+
+use crate::stats::ClusterStats;
+use serde::{Deserialize, Serialize};
+use simgrid::cluster::NodeId;
+use simgrid::time::SimTime;
+
+/// Per-tracker state visible to policies.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TrackerSnapshot {
+    pub node: NodeId,
+    /// CPU cores of this tracker's machine (policies that scale targets to
+    /// node capacity — the heterogeneous extension — read this; the
+    /// paper's uniform policies ignore it).
+    pub cores: f64,
+    pub map_target: usize,
+    pub map_occupied: usize,
+    pub reduce_target: usize,
+    pub reduce_occupied: usize,
+}
+
+/// Everything a policy may consult when deciding.
+#[derive(Debug, Clone)]
+pub struct PolicyContext<'a> {
+    pub now: SimTime,
+    pub stats: &'a ClusterStats,
+    pub trackers: &'a [TrackerSnapshot],
+    /// Initial (user-configured) slot counts, the baseline the paper's
+    /// slot manager starts from.
+    pub init_map_slots: usize,
+    pub init_reduce_slots: usize,
+}
+
+/// A slot-target command for one tracker, delivered via its next heartbeat
+/// response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlotDirective {
+    pub node: NodeId,
+    pub map_slots: usize,
+    pub reduce_slots: usize,
+}
+
+/// A slot-management policy.
+pub trait SlotPolicy {
+    /// Stable display name ("HadoopV1", "YARN", "SMapReduce").
+    fn name(&self) -> &'static str;
+
+    /// Called once per heartbeat round. Returning an empty vec leaves all
+    /// targets unchanged.
+    fn decide(&mut self, ctx: &PolicyContext<'_>) -> Vec<SlotDirective>;
+
+    /// Per-decision bookkeeping overhead in equivalent milliseconds of
+    /// engine stall, charged once per *applied* directive. Models the small
+    /// management cost the paper observes on Terasort. Zero by default.
+    fn directive_overhead_ms(&self) -> u64 {
+        0
+    }
+}
+
+/// HadoopV1: statically configured slots, never adjusted at runtime.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StaticSlotPolicy;
+
+impl SlotPolicy for StaticSlotPolicy {
+    fn name(&self) -> &'static str {
+        "HadoopV1"
+    }
+
+    fn decide(&mut self, _ctx: &PolicyContext<'_>) -> Vec<SlotDirective> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_policy_never_directs() {
+        let stats = ClusterStats::default();
+        let trackers = [TrackerSnapshot {
+            node: NodeId(0),
+            cores: 16.0,
+            map_target: 3,
+            map_occupied: 1,
+            reduce_target: 2,
+            reduce_occupied: 0,
+        }];
+        let ctx = PolicyContext {
+            now: SimTime::from_secs(10),
+            stats: &stats,
+            trackers: &trackers,
+            init_map_slots: 3,
+            init_reduce_slots: 2,
+        };
+        let mut p = StaticSlotPolicy;
+        assert!(p.decide(&ctx).is_empty());
+        assert_eq!(p.name(), "HadoopV1");
+        assert_eq!(p.directive_overhead_ms(), 0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Run results: the measurements every figure is built from.
+
+use crate::events::EventLog;
+use crate::job::JobId;
+use serde::{Deserialize, Serialize};
+use simgrid::metrics::{Summary, TimeSeries};
+use simgrid::time::{SimDuration, SimTime};
+
+/// Timing and volume record of one completed job.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobReport {
+    pub job: JobId,
+    pub name: String,
+    pub submit_at: SimTime,
+    /// First task launch.
+    pub started_at: SimTime,
+    /// Barrier: last map finished ("map time" in the paper's figures ends
+    /// here — the stretch where maps run in parallel with shuffles).
+    pub maps_done_at: SimTime,
+    pub finished_at: SimTime,
+    pub input_mb: f64,
+    /// Actual total map-output (= shuffle) volume (MB).
+    pub shuffle_mb: f64,
+    pub num_maps: usize,
+    pub num_reduces: usize,
+    /// Progress percentage over time (0–200).
+    pub progress: TimeSeries,
+    /// Distribution of completed map-task durations (s).
+    pub map_task_durations: Option<Summary>,
+    /// Distribution of completed reduce-task durations (s).
+    pub reduce_task_durations: Option<Summary>,
+    /// Fraction of original map attempts that ran data-local.
+    pub local_map_fraction: f64,
+}
+
+impl JobReport {
+    /// The paper's "map time": start → barrier.
+    pub fn map_time(&self) -> SimDuration {
+        self.maps_done_at - self.started_at
+    }
+
+    /// The paper's "reduce time": barrier → job end.
+    pub fn reduce_time(&self) -> SimDuration {
+        self.finished_at - self.maps_done_at
+    }
+
+    /// start → end.
+    pub fn total_time(&self) -> SimDuration {
+        self.finished_at - self.started_at
+    }
+
+    /// submit → end (includes queueing; used for multi-job means).
+    pub fn execution_time(&self) -> SimDuration {
+        self.finished_at - self.submit_at
+    }
+
+    /// Job throughput in MB/s of input processed — the metric of Fig. 6.
+    pub fn throughput(&self) -> f64 {
+        let t = self.total_time().as_secs_f64();
+        if t <= 0.0 {
+            0.0
+        } else {
+            self.input_mb / t
+        }
+    }
+}
+
+/// Result of one engine run (one or more jobs under one policy).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    pub policy: String,
+    pub jobs: Vec<JobReport>,
+    /// Cluster-wide Σ map-slot targets over time.
+    pub map_slot_series: TimeSeries,
+    /// Cluster-wide Σ reduce-slot targets over time.
+    pub reduce_slot_series: TimeSeries,
+    /// Total slot-change directives applied across the run.
+    pub slot_changes: u64,
+    /// Task-lifecycle events (empty unless
+    /// [`crate::EngineConfig::record_events`] was set).
+    pub events: EventLog,
+    /// Speculative map attempts launched (0 unless
+    /// [`crate::EngineConfig::speculative_maps`] was set).
+    pub speculative_attempts: u64,
+    /// Speculative attempts that finished before the original.
+    pub speculative_wins: u64,
+    /// Map attempts lost to injected failures (0 unless
+    /// [`crate::EngineConfig::map_failure_rate`] was set).
+    pub map_failures: u64,
+    /// Mean fraction of the cluster's CPU capacity actually granted to
+    /// tasks while jobs were active — the "full utilisation of the CPU"
+    /// the paper's introduction sets as the goal.
+    pub cpu_utilisation: f64,
+    /// Total MB moved over the fabric (shuffle fetches + remote reads).
+    pub network_mb: f64,
+}
+
+impl RunReport {
+    /// Mean execution time over jobs (Fig. 8/9 left bars).
+    pub fn mean_execution_time(&self) -> SimDuration {
+        if self.jobs.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let total_ms: u64 = self
+            .jobs
+            .iter()
+            .map(|j| j.execution_time().as_millis())
+            .sum();
+        SimDuration::from_millis(total_ms / self.jobs.len() as u64)
+    }
+
+    /// First submit → last finish (Fig. 8/9 right bars).
+    pub fn makespan(&self) -> SimDuration {
+        let first = self.jobs.iter().map(|j| j.submit_at).min();
+        let last = self.jobs.iter().map(|j| j.finished_at).max();
+        match (first, last) {
+            (Some(a), Some(b)) => b - a,
+            _ => SimDuration::ZERO,
+        }
+    }
+
+    /// Report of a single-job run.
+    pub fn single(&self) -> &JobReport {
+        assert_eq!(self.jobs.len(), 1, "single() on a multi-job report");
+        &self.jobs[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(submit: u64, start: u64, barrier: u64, end: u64) -> JobReport {
+        JobReport {
+            job: JobId(0),
+            name: "t".into(),
+            submit_at: SimTime::from_secs(submit),
+            started_at: SimTime::from_secs(start),
+            maps_done_at: SimTime::from_secs(barrier),
+            finished_at: SimTime::from_secs(end),
+            input_mb: 1000.0,
+            shuffle_mb: 500.0,
+            num_maps: 8,
+            num_reduces: 4,
+            progress: TimeSeries::new(),
+            map_task_durations: None,
+            reduce_task_durations: None,
+            local_map_fraction: 1.0,
+        }
+    }
+
+    #[test]
+    fn job_times_partition_the_run() {
+        let j = report(0, 1, 51, 101);
+        assert_eq!(j.map_time().as_secs_f64(), 50.0);
+        assert_eq!(j.reduce_time().as_secs_f64(), 50.0);
+        assert_eq!(j.total_time().as_secs_f64(), 100.0);
+        assert_eq!(j.execution_time().as_secs_f64(), 101.0);
+        assert!((j.throughput() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_aggregates() {
+        let run = RunReport {
+            policy: "HadoopV1".into(),
+            jobs: vec![report(0, 0, 10, 100), report(5, 6, 20, 205)],
+            map_slot_series: TimeSeries::new(),
+            reduce_slot_series: TimeSeries::new(),
+            slot_changes: 0,
+            events: EventLog::default(),
+            speculative_attempts: 0,
+            speculative_wins: 0,
+            map_failures: 0,
+            cpu_utilisation: 0.0,
+            network_mb: 0.0,
+        };
+        assert_eq!(run.mean_execution_time().as_secs_f64(), 150.0);
+        assert_eq!(run.makespan().as_secs_f64(), 205.0);
+    }
+
+    #[test]
+    fn empty_run_is_degenerate_not_panicky() {
+        let run = RunReport {
+            policy: "x".into(),
+            jobs: vec![],
+            map_slot_series: TimeSeries::new(),
+            reduce_slot_series: TimeSeries::new(),
+            slot_changes: 0,
+            events: EventLog::default(),
+            speculative_attempts: 0,
+            speculative_wins: 0,
+            map_failures: 0,
+            cpu_utilisation: 0.0,
+            network_mb: 0.0,
+        };
+        assert_eq!(run.mean_execution_time(), SimDuration::ZERO);
+        assert_eq!(run.makespan(), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "multi-job")]
+    fn single_on_multijob_panics() {
+        let run = RunReport {
+            policy: "x".into(),
+            jobs: vec![report(0, 0, 1, 2), report(0, 0, 1, 2)],
+            map_slot_series: TimeSeries::new(),
+            reduce_slot_series: TimeSeries::new(),
+            slot_changes: 0,
+            events: EventLog::default(),
+            speculative_attempts: 0,
+            speculative_wins: 0,
+            map_failures: 0,
+            cpu_utilisation: 0.0,
+            network_mb: 0.0,
+        };
+        let _ = run.single();
+    }
+}

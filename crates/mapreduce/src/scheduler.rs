@@ -1,0 +1,432 @@
+//! Job bookkeeping and the FIFO task scheduler.
+//!
+//! The job tracker holds one [`JobInProgress`] per submitted job and
+//! assigns tasks to trackers on heartbeats: map tasks prefer a data-local
+//! block (HDFS replica on the requesting node), reduce tasks start once the
+//! job has passed its *reduce slow-start* fraction of completed maps
+//! (Hadoop's `mapred.reduce.slowstart.completed.maps`, default 0.05 —
+//! distinct from the slot manager's own 10 % slow start). Jobs are served
+//! in submission order (the FIFO scheduler used in the paper's multi-job
+//! experiments).
+
+use crate::job::JobSpec;
+use crate::shuffle::ShuffleState;
+use crate::task::{MapTaskId, ReduceTaskId};
+use dfs::FileLayout;
+use simgrid::cluster::NodeId;
+use simgrid::metrics::TimeSeries;
+use simgrid::time::SimTime;
+
+/// Job-tracker-side state of one job.
+#[derive(Debug, Clone)]
+pub struct JobInProgress {
+    pub spec: JobSpec,
+    pub layout: FileLayout,
+    /// Block indices of maps not yet launched.
+    pub pending_map_blocks: Vec<usize>,
+    /// Which blocks have been delivered by a finished attempt (guards
+    /// against double-counting when speculative attempts race).
+    pub completed_blocks: Vec<bool>,
+    pub running_maps: usize,
+    pub completed_maps: usize,
+    /// Partition indices of reduces not yet launched.
+    pub pending_reduce_parts: Vec<usize>,
+    pub running_reduces: usize,
+    pub completed_reduces: usize,
+    pub shuffle: ShuffleState,
+    /// First task launch (job start for timing purposes).
+    pub first_launch: Option<SimTime>,
+    /// Barrier instant: the last map finished.
+    pub maps_done_at: Option<SimTime>,
+    pub finished_at: Option<SimTime>,
+    /// Progress percentage over time (0–200: map% + reduce%).
+    pub progress: TimeSeries,
+    /// Completed map-task durations (s), winning attempts only.
+    pub map_durations: Vec<f64>,
+    /// Map attempts launched on a node holding the input block.
+    pub local_launches: usize,
+    /// Map attempts that had to stream input from a remote replica.
+    pub remote_launches: usize,
+    /// Completed reduce-task durations (s).
+    pub reduce_durations: Vec<f64>,
+}
+
+impl JobInProgress {
+    pub fn new(spec: JobSpec, layout: FileLayout, workers: usize) -> JobInProgress {
+        let num_maps = layout.num_blocks();
+        assert!(num_maps > 0, "job {} has no input blocks", spec.profile.name);
+        let num_reduces = spec.num_reduces;
+        JobInProgress {
+            shuffle: ShuffleState::new(workers, num_reduces),
+            pending_map_blocks: (0..num_maps).collect(),
+            completed_blocks: vec![false; num_maps],
+            pending_reduce_parts: (0..num_reduces).collect(),
+            spec,
+            layout,
+            running_maps: 0,
+            completed_maps: 0,
+            running_reduces: 0,
+            completed_reduces: 0,
+            first_launch: None,
+            maps_done_at: None,
+            finished_at: None,
+            progress: TimeSeries::new(),
+            map_durations: Vec::new(),
+            reduce_durations: Vec::new(),
+            local_launches: 0,
+            remote_launches: 0,
+        }
+    }
+
+    pub fn total_maps(&self) -> usize {
+        self.layout.num_blocks()
+    }
+
+    pub fn total_reduces(&self) -> usize {
+        self.spec.num_reduces
+    }
+
+    pub fn is_submitted(&self, now: SimTime) -> bool {
+        self.spec.submit_at <= now
+    }
+
+    pub fn is_finished(&self) -> bool {
+        self.finished_at.is_some()
+    }
+
+    /// Active = submitted and not yet finished.
+    pub fn is_active(&self, now: SimTime) -> bool {
+        self.is_submitted(now) && !self.is_finished()
+    }
+
+    pub fn all_maps_done(&self) -> bool {
+        self.completed_maps == self.total_maps()
+    }
+
+    /// Whether reduces may start (slow-start fraction of maps completed).
+    pub fn reduces_eligible(&self, slowstart: f64) -> bool {
+        let needed = (slowstart * self.total_maps() as f64).ceil() as usize;
+        self.completed_maps >= needed.min(self.total_maps())
+    }
+}
+
+/// Job-ordering discipline of the task scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub enum SchedKind {
+    /// Hadoop's default: jobs served strictly in submission order.
+    #[default]
+    Fifo,
+    /// The Hadoop Fair Scheduler, simplified to equal shares: each free
+    /// slot goes to the active job furthest *below* its fair share of
+    /// running tasks (ties broken by submission order). Small jobs stop
+    /// starving behind a monster job.
+    Fair,
+}
+
+/// The task scheduler of the job tracker (paper: FIFO; the Fair variant is
+/// provided for the multi-tenancy extension experiments).
+#[derive(Debug, Clone, Copy)]
+pub struct FifoScheduler {
+    /// Reduce slow-start fraction of completed maps.
+    pub reduce_slowstart: f64,
+    /// Job-ordering discipline.
+    pub kind: SchedKind,
+}
+
+impl Default for FifoScheduler {
+    fn default() -> Self {
+        FifoScheduler {
+            reduce_slowstart: 0.05,
+            kind: SchedKind::Fifo,
+        }
+    }
+}
+
+/// A map-task assignment decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MapAssignment {
+    pub id: MapTaskId,
+    pub block_index: usize,
+    pub input_mb: f64,
+    /// `None` if the block is local to the requesting node, else the
+    /// replica node the input will stream from.
+    pub remote_src: Option<NodeId>,
+}
+
+impl FifoScheduler {
+    /// Order in which jobs are offered a free slot. FIFO: submission
+    /// (vector) order. Fair: ascending running-task count, so the most
+    /// under-served job goes first.
+    fn job_order(
+        &self,
+        jobs: &[JobInProgress],
+        now: SimTime,
+        eligible: impl Fn(&JobInProgress) -> bool,
+        load: impl Fn(&JobInProgress) -> usize,
+    ) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..jobs.len())
+            .filter(|&i| jobs[i].is_active(now) && eligible(&jobs[i]))
+            .collect();
+        if self.kind == SchedKind::Fair {
+            order.sort_by_key(|&i| (load(&jobs[i]), i));
+        }
+        order
+    }
+
+    /// Pick the next map task for a free map slot on `node`, preferring a
+    /// data-local block; jobs are offered the slot per [`SchedKind`].
+    pub fn pick_map(
+        &self,
+        jobs: &mut [JobInProgress],
+        node: NodeId,
+        now: SimTime,
+    ) -> Option<MapAssignment> {
+        let order = self.job_order(
+            jobs,
+            now,
+            |j| !j.pending_map_blocks.is_empty(),
+            |j| j.running_maps,
+        );
+        for ji in order {
+            let job = &mut jobs[ji];
+            // local block if any, else the head of the queue
+            let pos = job
+                .pending_map_blocks
+                .iter()
+                .position(|&b| job.layout.is_local(dfs::BlockId(b), node))
+                .unwrap_or(0);
+            let block_index = job.pending_map_blocks.remove(pos);
+            let block = &job.layout.blocks[block_index];
+            let remote_src = if block.is_local_to(node) {
+                None
+            } else {
+                // stream from the first replica holder (HDFS picks the
+                // "closest"; on one rack any holder is equivalent)
+                Some(block.replicas[0])
+            };
+            job.running_maps += 1;
+            job.first_launch.get_or_insert(now);
+            return Some(MapAssignment {
+                id: MapTaskId {
+                    job: job.spec.id,
+                    index: block_index,
+                },
+                block_index,
+                input_mb: block.size_mb,
+                remote_src,
+            });
+        }
+        None
+    }
+
+    /// Pick the next reduce task for a free reduce slot (reduces have no
+    /// locality preference).
+    pub fn pick_reduce(&self, jobs: &mut [JobInProgress], now: SimTime) -> Option<ReduceTaskId> {
+        let slowstart = self.reduce_slowstart;
+        let order = self.job_order(
+            jobs,
+            now,
+            |j| !j.pending_reduce_parts.is_empty() && j.reduces_eligible(slowstart),
+            |j| j.running_reduces,
+        );
+        for ji in order {
+            let job = &mut jobs[ji];
+            let partition = job.pending_reduce_parts.remove(0);
+            job.running_reduces += 1;
+            job.first_launch.get_or_insert(now);
+            return Some(ReduceTaskId {
+                job: job.spec.id,
+                partition,
+            });
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobProfile;
+    use dfs::NameNode;
+    use simgrid::cluster::ClusterSpec;
+    use simgrid::rng::SimRng;
+
+    fn job(id: usize, input_mb: f64, submit: u64) -> JobInProgress {
+        let mut nn = NameNode::paper_default(ClusterSpec::small(4), SimRng::new(id as u64 + 1));
+        let layout = nn.create_file(input_mb);
+        JobInProgress::new(
+            JobSpec::new(
+                id,
+                JobProfile::synthetic_map_heavy(),
+                input_mb,
+                4,
+                SimTime::from_secs(submit),
+            ),
+            layout,
+            4,
+        )
+    }
+
+    #[test]
+    fn new_job_counts() {
+        let j = job(0, 1024.0, 0);
+        assert_eq!(j.total_maps(), 8);
+        assert_eq!(j.pending_map_blocks.len(), 8);
+        assert_eq!(j.total_reduces(), 4);
+        assert!(!j.all_maps_done());
+        assert!(j.is_active(SimTime::ZERO));
+    }
+
+    #[test]
+    fn submission_time_respected() {
+        let j = job(0, 128.0, 10);
+        assert!(!j.is_submitted(SimTime::from_secs(9)));
+        assert!(j.is_submitted(SimTime::from_secs(10)));
+    }
+
+    #[test]
+    fn fifo_prefers_local_blocks() {
+        let mut jobs = vec![job(0, 2048.0, 0)];
+        let sched = FifoScheduler::default();
+        // node 0: first assignment should be a block with a replica on 0
+        // if one exists in the pending list
+        let has_local = jobs[0]
+            .layout
+            .blocks
+            .iter()
+            .any(|b| b.is_local_to(NodeId(0)));
+        let a = sched
+            .pick_map(&mut jobs, NodeId(0), SimTime::ZERO)
+            .expect("work available");
+        if has_local {
+            assert!(a.remote_src.is_none(), "should have picked a local block");
+        }
+        assert_eq!(jobs[0].running_maps, 1);
+        assert_eq!(jobs[0].pending_map_blocks.len(), 15);
+        assert_eq!(jobs[0].first_launch, Some(SimTime::ZERO));
+    }
+
+    #[test]
+    fn remote_assignment_names_a_replica_holder() {
+        let mut jobs = vec![job(0, 2048.0, 0)];
+        let sched = FifoScheduler::default();
+        // Drain every task from node 3's perspective; remote ones must
+        // stream from an actual replica holder.
+        loop {
+            match sched.pick_map(&mut jobs, NodeId(3), SimTime::ZERO) {
+                None => break,
+                Some(a) => {
+                    let block = &jobs[0].layout.blocks[a.block_index];
+                    match a.remote_src {
+                        None => assert!(block.is_local_to(NodeId(3))),
+                        Some(src) => {
+                            assert!(block.replicas.contains(&src));
+                            assert!(!block.is_local_to(NodeId(3)));
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(jobs[0].running_maps, 16);
+    }
+
+    #[test]
+    fn fifo_serves_earlier_job_first() {
+        let mut jobs = vec![job(0, 256.0, 0), job(1, 256.0, 0)];
+        let sched = FifoScheduler::default();
+        let a = sched.pick_map(&mut jobs, NodeId(1), SimTime::ZERO).unwrap();
+        assert_eq!(a.id.job.0, 0);
+        // drain job 0, then job 1 is served
+        while !jobs[0].pending_map_blocks.is_empty() {
+            sched.pick_map(&mut jobs, NodeId(1), SimTime::ZERO).unwrap();
+        }
+        let b = sched.pick_map(&mut jobs, NodeId(1), SimTime::ZERO).unwrap();
+        assert_eq!(b.id.job.0, 1);
+    }
+
+    #[test]
+    fn unsubmitted_job_not_scheduled() {
+        let mut jobs = vec![job(0, 256.0, 100)];
+        let sched = FifoScheduler::default();
+        assert!(sched.pick_map(&mut jobs, NodeId(0), SimTime::ZERO).is_none());
+        assert!(sched
+            .pick_map(&mut jobs, NodeId(0), SimTime::from_secs(100))
+            .is_some());
+    }
+
+    #[test]
+    fn reduces_wait_for_slowstart() {
+        let mut jobs = vec![job(0, 2048.0, 0)]; // 16 maps
+        let sched = FifoScheduler {
+            reduce_slowstart: 0.25,
+            kind: SchedKind::Fifo,
+        };
+        assert!(sched.pick_reduce(&mut jobs, SimTime::ZERO).is_none());
+        jobs[0].completed_maps = 3;
+        assert!(sched.pick_reduce(&mut jobs, SimTime::ZERO).is_none());
+        jobs[0].completed_maps = 4; // 25% of 16
+        let r = sched.pick_reduce(&mut jobs, SimTime::ZERO).unwrap();
+        assert_eq!(r.partition, 0);
+        assert_eq!(jobs[0].running_reduces, 1);
+        let r2 = sched.pick_reduce(&mut jobs, SimTime::ZERO).unwrap();
+        assert_eq!(r2.partition, 1);
+    }
+
+    #[test]
+    fn zero_slowstart_still_requires_no_maps() {
+        let mut jobs = vec![job(0, 256.0, 0)];
+        let sched = FifoScheduler {
+            reduce_slowstart: 0.0,
+            kind: SchedKind::Fifo,
+        };
+        // ceil(0 * n) = 0 completed needed: eligible immediately
+        assert!(sched.pick_reduce(&mut jobs, SimTime::ZERO).is_some());
+    }
+
+    #[test]
+    fn fair_scheduler_serves_underserved_job_first() {
+        let mut jobs = vec![job(0, 512.0, 0), job(1, 512.0, 0)];
+        let sched = FifoScheduler {
+            reduce_slowstart: 0.05,
+            kind: SchedKind::Fair,
+        };
+        // give job 0 a head start of two running maps
+        jobs[0].running_maps = 2;
+        let a = sched.pick_map(&mut jobs, NodeId(0), SimTime::ZERO).unwrap();
+        assert_eq!(a.id.job.0, 1, "fair share: job 1 is behind, serve it");
+        // now both have... job1 has 1 running vs job0 2: job1 again
+        let b = sched.pick_map(&mut jobs, NodeId(0), SimTime::ZERO).unwrap();
+        assert_eq!(b.id.job.0, 1);
+        // 2 vs 2: tie breaks to the earlier job
+        let c = sched.pick_map(&mut jobs, NodeId(0), SimTime::ZERO).unwrap();
+        assert_eq!(c.id.job.0, 0);
+    }
+
+    #[test]
+    fn fifo_vs_fair_reduce_ordering() {
+        let mut jobs = vec![job(0, 512.0, 0), job(1, 512.0, 0)];
+        jobs[0].completed_maps = 4;
+        jobs[1].completed_maps = 4;
+        jobs[0].running_reduces = 3;
+        let fair = FifoScheduler {
+            reduce_slowstart: 0.05,
+            kind: SchedKind::Fair,
+        };
+        let r = fair.pick_reduce(&mut jobs, SimTime::ZERO).unwrap();
+        assert_eq!(r.job.0, 1, "fair: job 1 has fewer running reduces");
+        let fifo = FifoScheduler::default();
+        let r = fifo.pick_reduce(&mut jobs, SimTime::ZERO).unwrap();
+        assert_eq!(r.job.0, 0, "fifo: submission order regardless of load");
+    }
+
+    #[test]
+    fn reduce_pool_exhausts() {
+        let mut jobs = vec![job(0, 256.0, 0)];
+        jobs[0].completed_maps = 2;
+        let sched = FifoScheduler::default();
+        for _ in 0..4 {
+            assert!(sched.pick_reduce(&mut jobs, SimTime::ZERO).is_some());
+        }
+        assert!(sched.pick_reduce(&mut jobs, SimTime::ZERO).is_none());
+    }
+}

@@ -1,0 +1,203 @@
+//! Working slots with the paper's *lazy* changing semantics (§III-D).
+//!
+//! A [`SlotSet`] tracks the slot-manager's **target** and the tasks
+//! currently **occupying** slots. The two may disagree after a decrease:
+//! shutting a busy slot down would kill a mid-progress task and force a
+//! reschedule, so the task launcher instead remembers the deficit and
+//! retires slots as their tasks finish. Increases take effect immediately.
+//!
+//! Concretely: `free() = target.saturating_sub(occupied)`. While
+//! `occupied > target` no task can launch, and each completion shrinks the
+//! overshoot by one — exactly the behaviour §IV-B implements in the
+//! `TaskTracker` class.
+
+use serde::{Deserialize, Serialize};
+
+/// One tracker's slots of one kind (map or reduce).
+///
+/// ```
+/// use mapreduce::slots::SlotSet;
+///
+/// let mut s = SlotSet::new(3);
+/// s.launch();
+/// s.launch();
+/// s.launch();
+/// // manager shrinks to 1: nothing is killed, two retire lazily
+/// s.set_target(1);
+/// assert_eq!(s.occupied(), 3);
+/// assert_eq!(s.pending_shutdown(), 2);
+/// s.release();            // first finisher retires its slot
+/// assert_eq!(s.free(), 0);
+/// s.release();
+/// s.release();            // now below target: a launchable slot appears
+/// assert_eq!(s.free(), 1);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SlotSet {
+    target: usize,
+    occupied: usize,
+    /// Cumulative count of slot-change commands applied (for the overhead
+    /// accounting and for tests).
+    changes: u64,
+}
+
+impl SlotSet {
+    pub fn new(target: usize) -> SlotSet {
+        SlotSet {
+            target,
+            occupied: 0,
+            changes: 0,
+        }
+    }
+
+    /// The slot count the manager currently wants.
+    pub fn target(&self) -> usize {
+        self.target
+    }
+
+    /// Tasks currently holding a slot.
+    pub fn occupied(&self) -> usize {
+        self.occupied
+    }
+
+    /// Slots available for launching right now (lazy rule).
+    pub fn free(&self) -> usize {
+        self.target.saturating_sub(self.occupied)
+    }
+
+    /// Slots that still must retire before `occupied <= target`.
+    pub fn pending_shutdown(&self) -> usize {
+        self.occupied.saturating_sub(self.target)
+    }
+
+    /// Number of slot-change commands applied so far.
+    pub fn changes(&self) -> u64 {
+        self.changes
+    }
+
+    /// Apply a slot-change command from the job tracker. Never interrupts
+    /// running tasks. Returns `true` if the target actually changed.
+    pub fn set_target(&mut self, target: usize) -> bool {
+        if target == self.target {
+            return false;
+        }
+        self.target = target;
+        self.changes += 1;
+        true
+    }
+
+    /// Occupy one slot for a launching task. Panics if no slot is free —
+    /// callers must check [`SlotSet::free`] first (the scheduler does).
+    pub fn launch(&mut self) {
+        assert!(self.free() > 0, "launch without a free slot");
+        self.occupied += 1;
+    }
+
+    /// Release the slot of a finished task. If the set is over target the
+    /// slot retires silently (lazy shutdown); otherwise it becomes free.
+    pub fn release(&mut self) {
+        assert!(self.occupied > 0, "release with no occupied slot");
+        self.occupied -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_set_is_all_free() {
+        let s = SlotSet::new(3);
+        assert_eq!(s.free(), 3);
+        assert_eq!(s.occupied(), 0);
+        assert_eq!(s.pending_shutdown(), 0);
+    }
+
+    #[test]
+    fn launch_and_release_cycle() {
+        let mut s = SlotSet::new(2);
+        s.launch();
+        assert_eq!(s.free(), 1);
+        s.launch();
+        assert_eq!(s.free(), 0);
+        s.release();
+        assert_eq!(s.free(), 1);
+    }
+
+    #[test]
+    fn increase_takes_effect_immediately() {
+        let mut s = SlotSet::new(1);
+        s.launch();
+        assert_eq!(s.free(), 0);
+        assert!(s.set_target(3));
+        assert_eq!(s.free(), 2, "increase adds launchable slots at once");
+    }
+
+    #[test]
+    fn decrease_never_kills_running_tasks() {
+        let mut s = SlotSet::new(3);
+        s.launch();
+        s.launch();
+        s.launch();
+        assert!(s.set_target(1));
+        // all three tasks keep running
+        assert_eq!(s.occupied(), 3);
+        assert_eq!(s.free(), 0);
+        assert_eq!(s.pending_shutdown(), 2);
+        // first completion retires a slot rather than freeing it
+        s.release();
+        assert_eq!(s.free(), 0);
+        assert_eq!(s.pending_shutdown(), 1);
+        s.release();
+        assert_eq!(s.free(), 0);
+        assert_eq!(s.pending_shutdown(), 0);
+        // now at target: the next release frees a launchable slot
+        s.release();
+        assert_eq!(s.free(), 1);
+        assert_eq!(s.occupied(), 0);
+    }
+
+    #[test]
+    fn redundant_set_target_is_not_a_change() {
+        let mut s = SlotSet::new(2);
+        assert!(!s.set_target(2));
+        assert_eq!(s.changes(), 0);
+        assert!(s.set_target(4));
+        assert!(s.set_target(2));
+        assert_eq!(s.changes(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "without a free slot")]
+    fn launch_without_free_slot_panics() {
+        let mut s = SlotSet::new(0);
+        s.launch();
+    }
+
+    #[test]
+    #[should_panic(expected = "no occupied slot")]
+    fn release_empty_panics() {
+        let mut s = SlotSet::new(1);
+        s.release();
+    }
+
+    proptest::proptest! {
+        /// Invariant under any interleaving of valid operations:
+        /// free + occupied >= target is violated never; free is exactly
+        /// target - occupied when occupied <= target, else 0.
+        #[test]
+        fn prop_lazy_invariants(ops in proptest::collection::vec(0u8..3, 0..200)) {
+            let mut s = SlotSet::new(3);
+            for op in ops {
+                match op {
+                    0 => { if s.free() > 0 { s.launch(); } }
+                    1 => { if s.occupied() > 0 { s.release(); } }
+                    _ => { let t = (s.changes() as usize * 7 + 1) % 9; s.set_target(t); }
+                }
+                let (t, o, f) = (s.target(), s.occupied(), s.free());
+                proptest::prop_assert_eq!(f, t.saturating_sub(o));
+                proptest::prop_assert_eq!(s.pending_shutdown(), o.saturating_sub(t));
+            }
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Runtime statistics: what heartbeats carry and what the slot manager sees.
+//!
+//! §III-C: each task tracker piggy-backs on its heartbeat *the map input
+//! processing rate, the shuffle rate and the map output rate*; the job
+//! tracker aggregates them. [`TrackerMeters`] is the tracker side,
+//! [`ClusterStats`] the aggregated job-tracker side handed to the
+//! [`crate::policy::SlotPolicy`].
+
+use serde::{Deserialize, Serialize};
+use simgrid::metrics::RateMeter;
+use simgrid::time::SimTime;
+
+/// Per-tracker accumulation between heartbeats.
+#[derive(Debug, Clone)]
+pub struct TrackerMeters {
+    /// Input MB consumed by map tasks on this tracker.
+    pub map_input: RateMeter,
+    /// Output MB produced by map tasks (credited on task completion, as the
+    /// paper's `MapTask` modification records output size at completion).
+    pub map_output: RateMeter,
+    /// MB fetched by reduce shuffles running on this tracker.
+    pub shuffle: RateMeter,
+}
+
+impl TrackerMeters {
+    pub fn new(now: SimTime) -> TrackerMeters {
+        TrackerMeters {
+            map_input: RateMeter::new(now),
+            map_output: RateMeter::new(now),
+            shuffle: RateMeter::new(now),
+        }
+    }
+
+    /// Close the heartbeat window, yielding the three rates (MB/s).
+    pub fn harvest(&mut self, now: SimTime) -> HeartbeatStats {
+        HeartbeatStats {
+            map_input_rate: self.map_input.harvest(now),
+            map_output_rate: self.map_output.harvest(now),
+            shuffle_rate: self.shuffle.harvest(now),
+        }
+    }
+}
+
+/// The statistics block added to each heartbeat message.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct HeartbeatStats {
+    pub map_input_rate: f64,
+    pub map_output_rate: f64,
+    pub shuffle_rate: f64,
+}
+
+/// Aggregated cluster-wide view computed by the job tracker's heartbeat
+/// handler each heartbeat round; the input to slot-management decisions.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ClusterStats {
+    pub now: SimTime,
+    /// Σ map input rate over trackers (MB/s).
+    pub map_input_rate: f64,
+    /// Σ map output rate over trackers (MB/s) — `R_t` in §IV-A3.
+    pub map_output_rate: f64,
+    /// Σ shuffle rate over trackers (MB/s) — `R_s`.
+    pub shuffle_rate: f64,
+    pub total_maps: usize,
+    pub pending_maps: usize,
+    pub running_maps: usize,
+    pub completed_maps: usize,
+    pub total_reduces: usize,
+    pub pending_reduces: usize,
+    /// Pending reduces whose job has passed its reduce slow-start (i.e.
+    /// the scheduler would launch them now, given a free slot). What a
+    /// container-based RM sees as live reduce demand.
+    pub eligible_pending_reduces: usize,
+    pub running_reduces: usize,
+    /// Running reduces currently in their **shuffle** phase — the `n` of
+    /// the paper's `R_m = (n/N)·R_t`: only these consume map output, so
+    /// only their partitions' production rate is comparable to `R_s`.
+    /// (A reduce that has crossed into sort/reduce no longer fetches.)
+    pub shuffling_reduces: usize,
+    pub completed_reduces: usize,
+    /// Σ per-tracker map slot targets.
+    pub map_slot_target: usize,
+    /// Σ per-tracker reduce slot targets.
+    pub reduce_slot_target: usize,
+    /// Observed total map-output volume so far (MB).
+    pub map_output_mb: f64,
+    /// Estimated total shuffle volume of all active jobs (MB), from the
+    /// specs' expected selectivity — used by the tail-stretch guard.
+    pub est_shuffle_total_mb: f64,
+    /// Estimated shuffle volume per reduce task (MB).
+    pub est_shuffle_per_reduce_mb: f64,
+}
+
+impl ClusterStats {
+    /// Fraction of map tasks finished, in `[0, 1]`; 1.0 when there are no
+    /// maps (nothing to wait for).
+    pub fn map_completion_fraction(&self) -> f64 {
+        if self.total_maps == 0 {
+            1.0
+        } else {
+            self.completed_maps as f64 / self.total_maps as f64
+        }
+    }
+
+    /// `R_m` of §IV-A3: the map output rate of the partitions belonging to
+    /// the *shuffling* reduce tasks, estimated under uniform partitioning:
+    /// `R_m = (n / N) · R_t`.
+    pub fn partition_output_rate(&self) -> f64 {
+        if self.total_reduces == 0 {
+            return 0.0;
+        }
+        (self.shuffling_reduces as f64 / self.total_reduces as f64) * self.map_output_rate
+    }
+
+    /// The balance factor `f = R_s / R_m`. `None` when `R_m` is ~zero (no
+    /// map output flowing — comparison meaningless, e.g. before slow start
+    /// or after the barrier).
+    pub fn balance_factor(&self) -> Option<f64> {
+        let rm = self.partition_output_rate();
+        if rm <= 1e-9 {
+            None
+        } else {
+            Some(self.shuffle_rate / rm)
+        }
+    }
+
+    /// True when every map task of every active job has finished (the tail
+    /// stretch).
+    pub fn all_maps_done(&self) -> bool {
+        self.completed_maps == self.total_maps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meters_harvest_rates() {
+        let mut m = TrackerMeters::new(SimTime::ZERO);
+        m.map_input.record(30.0);
+        m.map_output.record(15.0);
+        m.shuffle.record(6.0);
+        let hb = m.harvest(SimTime::from_secs(3));
+        assert!((hb.map_input_rate - 10.0).abs() < 1e-12);
+        assert!((hb.map_output_rate - 5.0).abs() < 1e-12);
+        assert!((hb.shuffle_rate - 2.0).abs() < 1e-12);
+    }
+
+    fn stats() -> ClusterStats {
+        ClusterStats {
+            total_maps: 100,
+            completed_maps: 25,
+            total_reduces: 30,
+            running_reduces: 15,
+            shuffling_reduces: 15,
+            map_output_rate: 80.0,
+            shuffle_rate: 30.0,
+            ..ClusterStats::default()
+        }
+    }
+
+    #[test]
+    fn completion_fraction() {
+        assert!((stats().map_completion_fraction() - 0.25).abs() < 1e-12);
+        let empty = ClusterStats::default();
+        assert_eq!(empty.map_completion_fraction(), 1.0);
+    }
+
+    #[test]
+    fn partition_output_rate_follows_equation() {
+        // R_m = (n/N) * R_t = (15/30) * 80 = 40
+        assert!((stats().partition_output_rate() - 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balance_factor_is_rs_over_rm() {
+        // f = 30 / 40
+        let f = stats().balance_factor().unwrap();
+        assert!((f - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn balance_factor_none_without_map_output() {
+        let mut s = stats();
+        s.map_output_rate = 0.0;
+        assert!(s.balance_factor().is_none());
+        s.map_output_rate = 80.0;
+        s.shuffling_reduces = 0;
+        assert!(
+            s.balance_factor().is_none(),
+            "reduces that finished shuffling are not consumers"
+        );
+    }
+
+    #[test]
+    fn all_maps_done_flag() {
+        let mut s = stats();
+        assert!(!s.all_maps_done());
+        s.completed_maps = 100;
+        assert!(s.all_maps_done());
+    }
+}

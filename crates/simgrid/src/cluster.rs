@@ -1,0 +1,136 @@
+//! Cluster topology: the set of simulated machines.
+
+use crate::node::NodeSpec;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Index of a node within a [`ClusterSpec`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+/// A set of worker nodes. The job tracker / resource manager and the HDFS
+/// name node run on dedicated machines outside this set, as in the paper's
+/// 18-node testbed (16 workers + 2 masters), so master overhead never
+/// competes with tasks.
+///
+/// The paper's evaluation cluster is homogeneous (`overrides` empty); the
+/// per-node `overrides` support the heterogeneous-cluster extension the
+/// paper names as future work (§VII).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Default per-worker hardware description.
+    pub node: NodeSpec,
+    /// Number of worker nodes (task trackers / node managers / data nodes).
+    pub workers: usize,
+    /// Per-node exceptions to `node`, keyed by worker index.
+    #[serde(default)]
+    pub overrides: BTreeMap<usize, NodeSpec>,
+}
+
+impl ClusterSpec {
+    /// The paper's evaluation testbed: 16 workers of [`NodeSpec::paper_worker`].
+    pub fn paper_testbed() -> ClusterSpec {
+        ClusterSpec {
+            node: NodeSpec::paper_worker(),
+            workers: 16,
+            overrides: BTreeMap::new(),
+        }
+    }
+
+    /// A small testbed for fast unit/integration tests.
+    pub fn small(workers: usize) -> ClusterSpec {
+        ClusterSpec {
+            node: NodeSpec::paper_worker(),
+            workers,
+            overrides: BTreeMap::new(),
+        }
+    }
+
+    /// A two-class heterogeneous testbed: `strong` workers of the default
+    /// spec followed by `weak` workers of `weak_spec` (the §VII future-work
+    /// setting: "the heterogeneous environment, which may be a common
+    /// setting in some small clusters").
+    pub fn mixed(strong: usize, weak: usize, weak_spec: NodeSpec) -> ClusterSpec {
+        let mut overrides = BTreeMap::new();
+        for i in strong..strong + weak {
+            overrides.insert(i, weak_spec);
+        }
+        ClusterSpec {
+            node: NodeSpec::paper_worker(),
+            workers: strong + weak,
+            overrides,
+        }
+    }
+
+    /// The hardware of one worker.
+    pub fn node_spec(&self, id: NodeId) -> &NodeSpec {
+        self.overrides.get(&id.0).unwrap_or(&self.node)
+    }
+
+    /// True when every worker shares the default spec.
+    pub fn is_homogeneous(&self) -> bool {
+        self.overrides.is_empty()
+    }
+
+    /// Iterator over the worker node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.workers).map(NodeId)
+    }
+
+    /// Whether `id` names a worker in this cluster.
+    pub fn contains(&self, id: NodeId) -> bool {
+        id.0 < self.workers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_matches_section_v() {
+        let c = ClusterSpec::paper_testbed();
+        assert_eq!(c.workers, 16);
+        assert_eq!(c.node.cores, 16.0);
+        assert_eq!(c.node.nic_bw, 125.0);
+    }
+
+    #[test]
+    fn nodes_enumerates_all_workers() {
+        let c = ClusterSpec::small(4);
+        let ids: Vec<NodeId> = c.nodes().collect();
+        assert_eq!(ids, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        assert!(c.contains(NodeId(3)));
+        assert!(!c.contains(NodeId(4)));
+    }
+
+    #[test]
+    fn node_id_display() {
+        assert_eq!(NodeId(7).to_string(), "node7");
+    }
+
+    #[test]
+    fn mixed_cluster_overrides_tail_nodes() {
+        let weak = NodeSpec {
+            cores: 8.0,
+            ..NodeSpec::paper_worker()
+        };
+        let c = ClusterSpec::mixed(3, 2, weak);
+        assert_eq!(c.workers, 5);
+        assert!(!c.is_homogeneous());
+        assert_eq!(c.node_spec(NodeId(0)).cores, 16.0);
+        assert_eq!(c.node_spec(NodeId(2)).cores, 16.0);
+        assert_eq!(c.node_spec(NodeId(3)).cores, 8.0);
+        assert_eq!(c.node_spec(NodeId(4)).cores, 8.0);
+        assert!(ClusterSpec::small(2).is_homogeneous());
+    }
+}

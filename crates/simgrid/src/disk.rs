@@ -1,0 +1,81 @@
+//! Standalone helpers for reasoning about shared-disk behaviour.
+//!
+//! The per-tick disk arbitration itself lives in [`crate::node::allocate_node`]
+//! (disk contention interacts with CPU and memory there); this module
+//! provides the *planning* helpers used by the framework: how long a given
+//! volume of sequential I/O will take under a given number of concurrent
+//! streams, used e.g. to size spill phases and for analytical cross-checks
+//! in tests.
+
+use crate::node::{disk_efficiency, NodeSpec};
+
+/// Effective aggregate disk bandwidth (MB/s) with `streams` concurrent
+/// sequential streams.
+pub fn effective_bandwidth(spec: &NodeSpec, streams: usize) -> f64 {
+    spec.disk_bw * disk_efficiency(spec, streams as f64)
+}
+
+/// Per-stream bandwidth when `streams` streams share the disk fairly.
+pub fn per_stream_bandwidth(spec: &NodeSpec, streams: usize) -> f64 {
+    if streams == 0 {
+        return 0.0;
+    }
+    effective_bandwidth(spec, streams) / streams as f64
+}
+
+/// Time (seconds) for one stream among `streams` equals to move `mb`
+/// megabytes, assuming steady state.
+pub fn transfer_time_secs(spec: &NodeSpec, streams: usize, mb: f64) -> f64 {
+    let bw = per_stream_bandwidth(spec, streams);
+    if bw <= 0.0 {
+        f64::INFINITY
+    } else {
+        mb / bw
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_stream_gets_full_disk() {
+        let spec = NodeSpec::paper_worker();
+        assert_eq!(effective_bandwidth(&spec, 1), spec.disk_bw);
+        assert_eq!(per_stream_bandwidth(&spec, 1), spec.disk_bw);
+    }
+
+    #[test]
+    fn aggregate_declines_with_seeking() {
+        let spec = NodeSpec::paper_worker();
+        let few = effective_bandwidth(&spec, 2);
+        let many = effective_bandwidth(&spec, 20);
+        assert!(many < few);
+    }
+
+    #[test]
+    fn per_stream_monotone_decreasing() {
+        let spec = NodeSpec::paper_worker();
+        let mut prev = f64::INFINITY;
+        for s in 1..30 {
+            let b = per_stream_bandwidth(&spec, s);
+            assert!(b < prev);
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn zero_streams_zero_bandwidth() {
+        let spec = NodeSpec::paper_worker();
+        assert_eq!(per_stream_bandwidth(&spec, 0), 0.0);
+        assert!(transfer_time_secs(&spec, 0, 10.0).is_infinite());
+    }
+
+    #[test]
+    fn transfer_time_scales_with_volume() {
+        let spec = NodeSpec::paper_worker();
+        let t1 = transfer_time_secs(&spec, 1, 100.0);
+        let t2 = transfer_time_secs(&spec, 1, 200.0);
+        assert!((t2 - 2.0 * t1).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,59 @@
+//! Error type shared by the simulation substrate.
+
+use crate::time::SimTime;
+use std::fmt;
+
+/// Errors a simulation run can surface. Resource arithmetic itself is
+/// total; errors come from configuration and from the safety horizon.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The simulated clock crossed the configured horizon before the
+    /// workload completed — almost always a mis-configured experiment
+    /// (e.g. zero slots everywhere) rather than a slow one.
+    HorizonExceeded {
+        horizon: SimTime,
+        pending_work: String,
+    },
+    /// A configuration that cannot produce a meaningful run.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::HorizonExceeded {
+                horizon,
+                pending_work,
+            } => write!(
+                f,
+                "simulation horizon {horizon} exceeded with pending work: {pending_work}"
+            ),
+            SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SimError::HorizonExceeded {
+            horizon: SimTime::from_secs(60),
+            pending_work: "3 map tasks".into(),
+        };
+        assert!(e.to_string().contains("60.0s"));
+        assert!(e.to_string().contains("3 map tasks"));
+        let e = SimError::InvalidConfig("zero workers".into());
+        assert!(e.to_string().contains("zero workers"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&SimError::InvalidConfig("x".into()));
+    }
+}

@@ -1,0 +1,487 @@
+//! Switched-fabric network model.
+//!
+//! Nodes are connected through a non-blocking switch (the paper's testbed:
+//! one 16-port GbE switch), so the only capacity constraints are the NICs:
+//! each node has an egress cap and an ingress cap of `nic_bw` MB/s.
+//! Bandwidth is divided among active [`Flow`]s by **max-min fairness**
+//! (progressive filling / water-filling): repeatedly find the most
+//! constrained port, give every unfrozen flow through it an equal share,
+//! freeze those flows, subtract, and continue. Flows may also carry a finite
+//! demand cap (a shuffle fetch cannot consume more than the data remaining).
+//!
+//! **Incast**: when many senders converge on one receiver, TCP throughput
+//! collapses below the link rate. The paper mitigates (not eliminates) this
+//! by lowering `RTO_min` from 200 ms to 1 ms; we model the residual effect
+//! as a receiver-side efficiency factor that decays gently with the number
+//! of concurrent incoming flows. This is what makes "too many reduce slots
+//! jam the network" true in the reproduction, exactly the behaviour §III-B3
+//! relies on.
+
+use crate::cluster::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Identifier of a flow within one allocation round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(pub u64);
+
+/// One point-to-point transfer competing for bandwidth this tick.
+#[derive(Debug, Clone, Copy)]
+pub struct Flow {
+    pub id: FlowId,
+    pub src: NodeId,
+    pub dst: NodeId,
+    /// Upper bound on useful rate (MB/s); `f64::INFINITY` for "as fast as
+    /// the network allows".
+    pub demand: f64,
+}
+
+/// Fabric-wide parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct FabricConfig {
+    /// Per-node NIC bandwidth in each direction (MB/s).
+    pub nic_bw: f64,
+    /// Incast decay coefficient per concurrent incoming flow beyond
+    /// `incast_free_flows`. With the paper's 1 ms `RTO_min` tuning this is
+    /// mild; set higher to model an untuned network.
+    pub incast_coeff: f64,
+    /// Number of concurrent incoming flows a receiver sustains at full
+    /// efficiency.
+    pub incast_free_flows: f64,
+    /// Per-flow protocol efficiency cap (TCP never achieves 100% of line
+    /// rate; headers, ACK clocking).
+    pub protocol_eff: f64,
+}
+
+impl FabricConfig {
+    /// The paper's testbed: 1 GbE per node, `RTO_min` = 1 ms (mild incast).
+    pub fn paper_gbe() -> FabricConfig {
+        FabricConfig {
+            nic_bw: 125.0,
+            // Residual incast after the RTO_min=1 ms tuning: mild around
+            // the default 2-reducers-per-node regime (~10 incoming flows),
+            // but heavy fan-in (5+ reducers × 5 fetchers converging on one
+            // port) still collapses badly — the "network jam" §III-B3
+            // guards against.
+            incast_coeff: 0.08,
+            incast_free_flows: 10.0,
+            protocol_eff: 0.94,
+        }
+    }
+
+    /// Effective ingress capacity of a receiver with `n` concurrent
+    /// incoming flows.
+    pub fn ingress_capacity(&self, n: usize) -> f64 {
+        let n = n as f64;
+        let eff = if n <= self.incast_free_flows {
+            1.0
+        } else {
+            1.0 / (1.0 + self.incast_coeff * (n - self.incast_free_flows))
+        };
+        self.nic_bw * self.protocol_eff * eff
+    }
+
+    /// Egress capacity of a sender (no incast on the send side).
+    pub fn egress_capacity(&self) -> f64 {
+        self.nic_bw * self.protocol_eff
+    }
+}
+
+/// The fabric allocator. Stateless between rounds; kept as a struct so the
+/// engine can hold one with its config.
+///
+/// ```
+/// use simgrid::network::{Fabric, FabricConfig, Flow, FlowId};
+/// use simgrid::cluster::NodeId;
+///
+/// let fabric = Fabric::new(FabricConfig::paper_gbe());
+/// // two flows into one receiver: the NIC is shared max-min fairly
+/// let flows = vec![
+///     Flow { id: FlowId(0), src: NodeId(1), dst: NodeId(0), demand: f64::INFINITY },
+///     Flow { id: FlowId(1), src: NodeId(2), dst: NodeId(0), demand: f64::INFINITY },
+/// ];
+/// let rates = fabric.allocate(&flows);
+/// assert!((rates[&FlowId(0)] - rates[&FlowId(1)]).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fabric {
+    pub config: FabricConfig,
+}
+
+/// Result of one allocation round: rate per flow (MB/s).
+pub type FlowRates = HashMap<FlowId, f64>;
+
+impl Fabric {
+    pub fn new(config: FabricConfig) -> Fabric {
+        Fabric { config }
+    }
+
+    /// Max-min fair allocation of the given flows.
+    ///
+    /// Guarantees (checked by unit and property tests):
+    /// * no flow exceeds its demand;
+    /// * per-port totals respect ingress/egress capacities;
+    /// * the allocation is max-min fair: a flow's rate can only be below
+    ///   the fair share of every port it crosses if its demand caps it.
+    pub fn allocate(&self, flows: &[Flow]) -> FlowRates {
+        let mut rates: FlowRates = HashMap::with_capacity(flows.len());
+        if flows.is_empty() {
+            return rates;
+        }
+
+        // Remaining capacity per port. Ports are (node, direction).
+        let mut egress_cap: HashMap<NodeId, f64> = HashMap::new();
+        let mut ingress_cap: HashMap<NodeId, f64> = HashMap::new();
+        let mut incoming_count: HashMap<NodeId, usize> = HashMap::new();
+        for f in flows {
+            *incoming_count.entry(f.dst).or_insert(0) += 1;
+        }
+        for f in flows {
+            egress_cap
+                .entry(f.src)
+                .or_insert_with(|| self.config.egress_capacity());
+            ingress_cap
+                .entry(f.dst)
+                .or_insert_with(|| self.config.ingress_capacity(incoming_count[&f.dst]));
+        }
+
+        // Unfrozen flow indices, sorted for determinism.
+        let mut active: Vec<usize> = (0..flows.len()).collect();
+
+        // Progressive filling: at each step compute the bottleneck fair
+        // share; freeze demand-limited flows below it first.
+        while !active.is_empty() {
+            // Count unfrozen flows per port.
+            let mut eg_users: HashMap<NodeId, usize> = HashMap::new();
+            let mut in_users: HashMap<NodeId, usize> = HashMap::new();
+            for &i in &active {
+                *eg_users.entry(flows[i].src).or_insert(0) += 1;
+                *in_users.entry(flows[i].dst).or_insert(0) += 1;
+            }
+            // Bottleneck share = min over ports of remaining/users.
+            let mut share = f64::INFINITY;
+            for (n, &u) in &eg_users {
+                share = share.min(egress_cap[n] / u as f64);
+            }
+            for (n, &u) in &in_users {
+                share = share.min(ingress_cap[n] / u as f64);
+            }
+            // Guard against accumulated float error driving a port's
+            // remaining capacity a hair below zero.
+            let share_floor = share.max(0.0);
+
+            // Flows whose demand is at or below the share freeze at demand.
+            let demand_limited: Vec<usize> = active
+                .iter()
+                .copied()
+                .filter(|&i| flows[i].demand <= share + 1e-12)
+                .collect();
+
+            if !demand_limited.is_empty() {
+                for i in demand_limited {
+                    let r = flows[i].demand.max(0.0);
+                    rates.insert(flows[i].id, r);
+                    *egress_cap.get_mut(&flows[i].src).expect("src port") -= r;
+                    *ingress_cap.get_mut(&flows[i].dst).expect("dst port") -= r;
+                    active.retain(|&a| a != i);
+                }
+                continue; // recompute shares with capacity released
+            }
+
+            // Otherwise freeze every flow crossing a bottleneck port.
+            let mut bottleneck_ports_eg: Vec<NodeId> = Vec::new();
+            let mut bottleneck_ports_in: Vec<NodeId> = Vec::new();
+            for (n, &u) in &eg_users {
+                if (egress_cap[n] / u as f64 - share).abs() < 1e-9 {
+                    bottleneck_ports_eg.push(*n);
+                }
+            }
+            for (n, &u) in &in_users {
+                if (ingress_cap[n] / u as f64 - share).abs() < 1e-9 {
+                    bottleneck_ports_in.push(*n);
+                }
+            }
+            let frozen: Vec<usize> = active
+                .iter()
+                .copied()
+                .filter(|&i| {
+                    bottleneck_ports_eg.contains(&flows[i].src)
+                        || bottleneck_ports_in.contains(&flows[i].dst)
+                })
+                .collect();
+            debug_assert!(!frozen.is_empty(), "progressive filling must progress");
+            for i in frozen {
+                rates.insert(flows[i].id, share_floor);
+                *egress_cap.get_mut(&flows[i].src).expect("src port") -= share_floor;
+                *ingress_cap.get_mut(&flows[i].dst).expect("dst port") -= share_floor;
+                active.retain(|&a| a != i);
+            }
+        }
+        rates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flows_of(specs: &[(u64, usize, usize, f64)]) -> Vec<Flow> {
+        specs
+            .iter()
+            .map(|&(id, s, d, dem)| Flow {
+                id: FlowId(id),
+                src: NodeId(s),
+                dst: NodeId(d),
+                demand: dem,
+            })
+            .collect()
+    }
+
+    fn fabric() -> Fabric {
+        Fabric::new(FabricConfig::paper_gbe())
+    }
+
+    #[test]
+    fn empty_is_empty() {
+        assert!(fabric().allocate(&[]).is_empty());
+    }
+
+    #[test]
+    fn single_flow_gets_line_rate() {
+        let f = fabric();
+        let r = f.allocate(&flows_of(&[(1, 0, 1, f64::INFINITY)]));
+        let line = f.config.egress_capacity();
+        assert!((r[&FlowId(1)] - line).abs() < 1e-9);
+    }
+
+    #[test]
+    fn demand_cap_respected() {
+        let f = fabric();
+        let r = f.allocate(&flows_of(&[(1, 0, 1, 10.0)]));
+        assert!((r[&FlowId(1)] - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_flows_share_receiver_equally() {
+        let f = fabric();
+        let r = f.allocate(&flows_of(&[
+            (1, 0, 2, f64::INFINITY),
+            (2, 1, 2, f64::INFINITY),
+        ]));
+        assert!((r[&FlowId(1)] - r[&FlowId(2)]).abs() < 1e-9);
+        let total = r[&FlowId(1)] + r[&FlowId(2)];
+        assert!(total <= f.config.ingress_capacity(2) + 1e-9);
+        assert!(total >= f.config.ingress_capacity(2) - 1e-6, "work-conserving");
+    }
+
+    #[test]
+    fn small_demand_releases_capacity_to_others() {
+        let f = fabric();
+        let r = f.allocate(&flows_of(&[(1, 0, 2, 5.0), (2, 1, 2, f64::INFINITY)]));
+        let cap = f.config.ingress_capacity(2);
+        assert!((r[&FlowId(1)] - 5.0).abs() < 1e-12);
+        assert!((r[&FlowId(2)] - (cap - 5.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sender_side_bottleneck() {
+        let f = fabric();
+        // one sender fanning out to two receivers: egress is the bottleneck
+        let r = f.allocate(&flows_of(&[
+            (1, 0, 1, f64::INFINITY),
+            (2, 0, 2, f64::INFINITY),
+        ]));
+        let eg = f.config.egress_capacity();
+        assert!((r[&FlowId(1)] + r[&FlowId(2)] - eg).abs() < 1e-6);
+    }
+
+    #[test]
+    fn incast_degrades_aggregate_ingress() {
+        let f = fabric();
+        // 30 senders into one receiver: aggregate below line rate
+        let flows: Vec<Flow> = (0..30)
+            .map(|i| Flow {
+                id: FlowId(i),
+                src: NodeId(i as usize + 1),
+                dst: NodeId(0),
+                demand: f64::INFINITY,
+            })
+            .collect();
+        let r = f.allocate(&flows);
+        let total: f64 = r.values().sum();
+        assert!(total < f.config.nic_bw * f.config.protocol_eff - 1.0);
+        assert!((total - f.config.ingress_capacity(30)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn capacities_never_exceeded() {
+        let f = fabric();
+        let flows = flows_of(&[
+            (1, 0, 3, f64::INFINITY),
+            (2, 1, 3, 40.0),
+            (3, 2, 3, f64::INFINITY),
+            (4, 0, 4, 80.0),
+            (5, 2, 4, f64::INFINITY),
+        ]);
+        let r = f.allocate(&flows);
+        check_feasible(&f, &flows, &r);
+    }
+
+    fn check_feasible(f: &Fabric, flows: &[Flow], rates: &FlowRates) {
+        let mut eg: HashMap<NodeId, f64> = HashMap::new();
+        let mut ing: HashMap<NodeId, f64> = HashMap::new();
+        let mut cnt: HashMap<NodeId, usize> = HashMap::new();
+        for fl in flows {
+            *cnt.entry(fl.dst).or_insert(0) += 1;
+        }
+        for fl in flows {
+            let r = rates[&fl.id];
+            assert!(r >= 0.0);
+            assert!(r <= fl.demand + 1e-9, "flow exceeds demand");
+            *eg.entry(fl.src).or_insert(0.0) += r;
+            *ing.entry(fl.dst).or_insert(0.0) += r;
+        }
+        for (_, v) in eg {
+            assert!(v <= f.config.egress_capacity() + 1e-6);
+        }
+        for (n, v) in ing {
+            assert!(v <= f.config.ingress_capacity(cnt[&n]) + 1e-6);
+        }
+    }
+
+    #[test]
+    fn deterministic_allocation() {
+        let f = fabric();
+        let flows = flows_of(&[
+            (1, 0, 3, f64::INFINITY),
+            (2, 1, 3, 40.0),
+            (3, 2, 3, f64::INFINITY),
+        ]);
+        let a = f.allocate(&flows);
+        let b = f.allocate(&flows);
+        for (k, v) in &a {
+            assert_eq!(v.to_bits(), b[k].to_bits());
+        }
+    }
+
+    #[test]
+    fn zero_demand_flow_gets_zero() {
+        let f = fabric();
+        let r = f.allocate(&flows_of(&[(1, 0, 1, 0.0), (2, 0, 1, f64::INFINITY)]));
+        assert_eq!(r[&FlowId(1)], 0.0);
+        assert!(r[&FlowId(2)] > 0.0);
+    }
+
+    /// The max-min criterion: every flow is either capped by its own
+    /// demand, or crosses at least one *saturated* port on which no other
+    /// flow holds a strictly larger rate (so its rate cannot be raised
+    /// without lowering an equal-or-smaller flow).
+    fn check_max_min(f: &Fabric, flows: &[Flow], rates: &FlowRates) {
+        let mut eg_used: HashMap<NodeId, f64> = HashMap::new();
+        let mut in_used: HashMap<NodeId, f64> = HashMap::new();
+        let mut cnt: HashMap<NodeId, usize> = HashMap::new();
+        for fl in flows {
+            *cnt.entry(fl.dst).or_insert(0) += 1;
+        }
+        for fl in flows {
+            *eg_used.entry(fl.src).or_insert(0.0) += rates[&fl.id];
+            *in_used.entry(fl.dst).or_insert(0.0) += rates[&fl.id];
+        }
+        for fl in flows {
+            let r = rates[&fl.id];
+            if r >= fl.demand - 1e-6 {
+                continue; // demand-capped
+            }
+            let eg_sat = eg_used[&fl.src] >= f.config.egress_capacity() - 1e-6;
+            let in_sat = in_used[&fl.dst] >= f.config.ingress_capacity(cnt[&fl.dst]) - 1e-6;
+            assert!(
+                eg_sat || in_sat,
+                "flow {:?} below demand but crosses no saturated port",
+                fl.id
+            );
+            // the flow must be maximal on at least one of its saturated
+            // ports (that port is its bottleneck: raising the flow would
+            // require lowering an equal-or-smaller co-flow there)
+            let max_on = |same_port: &dyn Fn(&Flow) -> bool| {
+                flows
+                    .iter()
+                    .filter(|o| o.id != fl.id && same_port(o))
+                    .all(|o| rates[&o.id] <= r + 1e-6)
+            };
+            let eg_bottleneck = eg_sat && max_on(&|o: &Flow| o.src == fl.src);
+            let in_bottleneck = in_sat && max_on(&|o: &Flow| o.dst == fl.dst);
+            assert!(
+                eg_bottleneck || in_bottleneck,
+                "flow {:?} ({r}) is not maximal on any saturated port it crosses",
+                fl.id
+            );
+        }
+    }
+
+    #[test]
+    fn max_min_criterion_on_fixed_topology() {
+        let f = fabric();
+        let flows = flows_of(&[
+            (1, 0, 3, f64::INFINITY),
+            (2, 1, 3, 40.0),
+            (3, 2, 3, f64::INFINITY),
+            (4, 0, 4, 80.0),
+            (5, 2, 4, f64::INFINITY),
+            (6, 5, 6, 3.0),
+        ]);
+        let rates = f.allocate(&flows);
+        check_max_min(&f, &flows, &rates);
+    }
+
+    proptest::proptest! {
+        /// Full max-min fairness on random topologies.
+        #[test]
+        fn prop_max_min_fair(
+            specs in proptest::collection::vec(
+                (0u64..1000, 0usize..6, 0usize..6, 0f64..300.0), 1..25)
+        ) {
+            let mut seen = std::collections::HashSet::new();
+            let flows: Vec<Flow> = specs.iter()
+                .filter(|(id, s, d, _)| *s != *d && seen.insert(*id))
+                .map(|&(id, s, d, dem)| Flow {
+                    id: FlowId(id), src: NodeId(s), dst: NodeId(d), demand: dem,
+                })
+                .collect();
+            let f = fabric();
+            let rates = f.allocate(&flows);
+            check_max_min(&f, &flows, &rates);
+        }
+
+        #[test]
+        fn prop_feasible_and_demand_capped(
+            specs in proptest::collection::vec(
+                (0u64..1000, 0usize..8, 0usize..8, 0f64..200.0), 1..40)
+        ) {
+            // de-duplicate flow ids and drop self-flows
+            let mut seen = std::collections::HashSet::new();
+            let flows: Vec<Flow> = specs.iter()
+                .filter(|(id, s, d, _)| *s != *d && seen.insert(*id))
+                .map(|&(id, s, d, dem)| Flow {
+                    id: FlowId(id), src: NodeId(s), dst: NodeId(d), demand: dem,
+                })
+                .collect();
+            let f = fabric();
+            let rates = f.allocate(&flows);
+            proptest::prop_assert_eq!(rates.len(), flows.len());
+            check_feasible(&f, &flows, &rates);
+        }
+
+        #[test]
+        fn prop_work_conserving_single_receiver(n in 1usize..25) {
+            // all-infinite demands into one receiver must saturate it
+            let flows: Vec<Flow> = (0..n).map(|i| Flow {
+                id: FlowId(i as u64), src: NodeId(i + 1), dst: NodeId(0),
+                demand: f64::INFINITY,
+            }).collect();
+            let f = fabric();
+            let total: f64 = f.allocate(&flows).values().sum();
+            let cap = f.config.ingress_capacity(n);
+            proptest::prop_assert!((total - cap).abs() < 1e-6);
+        }
+    }
+}

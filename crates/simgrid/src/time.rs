@@ -1,0 +1,214 @@
+//! Simulated time.
+//!
+//! Time is an integer count of milliseconds since simulation start. Using an
+//! integer (rather than `f64` seconds) keeps tick arithmetic exact: a
+//! 100 ms tick repeated ten times is *exactly* one second, heartbeat
+//! boundaries compare with `==`, and runs are bit-for-bit reproducible.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time (milliseconds since simulation start).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time (milliseconds).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// Simulation origin.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from whole seconds.
+    pub fn from_secs(s: u64) -> Self {
+        SimTime(s * 1000)
+    }
+
+    /// Construct from milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        SimTime(ms)
+    }
+
+    /// This instant expressed as (possibly fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// Milliseconds since origin.
+    pub fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Time elapsed since `earlier`, saturating at zero.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// True when this instant lies on a multiple of `period` (used for
+    /// heartbeat and manager-period scheduling on tick boundaries).
+    pub fn is_multiple_of(self, period: SimDuration) -> bool {
+        period.0 != 0 && self.0.is_multiple_of(period.0)
+    }
+}
+
+impl SimDuration {
+    /// Zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from whole seconds.
+    pub fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1000)
+    }
+
+    /// Construct from milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        SimDuration(ms)
+    }
+
+    /// Span as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// Span in milliseconds.
+    pub fn as_millis(self) -> u64 {
+        self.0
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}s", self.as_secs_f64())
+    }
+}
+
+/// Tick configuration shared by every simulation loop in the workspace.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TickConfig {
+    /// Length of one integration step.
+    pub tick: SimDuration,
+    /// Hard wall: a simulation that has not converged by this simulated
+    /// instant is aborted (guards against livelocked configurations).
+    pub horizon: SimTime,
+}
+
+impl Default for TickConfig {
+    fn default() -> Self {
+        TickConfig {
+            tick: SimDuration::from_millis(100),
+            horizon: SimTime::from_secs(24 * 3600),
+        }
+    }
+}
+
+impl TickConfig {
+    /// Tick length in fractional seconds (the `dt` for rate integration).
+    pub fn dt_secs(&self) -> f64 {
+        self.tick.as_secs_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_round_trips() {
+        assert_eq!(SimTime::from_secs(3), SimTime::from_millis(3000));
+        assert_eq!(SimTime::from_secs(3).as_secs_f64(), 3.0);
+        assert_eq!(SimDuration::from_secs(2).as_millis(), 2000);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_secs(5) + SimDuration::from_millis(500);
+        assert_eq!(t.as_millis(), 5500);
+        assert_eq!((t - SimTime::from_secs(5)).as_millis(), 500);
+        // subtraction saturates rather than panicking
+        assert_eq!((SimTime::ZERO - SimTime::from_secs(1)).as_millis(), 0);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut t = SimTime::ZERO;
+        for _ in 0..10 {
+            t += SimDuration::from_millis(100);
+        }
+        assert_eq!(t, SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn multiple_of_detects_period_boundaries() {
+        let hb = SimDuration::from_secs(3);
+        assert!(SimTime::ZERO.is_multiple_of(hb));
+        assert!(SimTime::from_secs(3).is_multiple_of(hb));
+        assert!(!SimTime::from_millis(3100).is_multiple_of(hb));
+        assert!(!SimTime::from_secs(1).is_multiple_of(SimDuration::ZERO));
+    }
+
+    #[test]
+    fn since_saturates() {
+        let a = SimTime::from_secs(1);
+        let b = SimTime::from_secs(2);
+        assert_eq!(b.since(a).as_millis(), 1000);
+        assert_eq!(a.since(b).as_millis(), 0);
+    }
+
+    #[test]
+    fn display_is_seconds() {
+        assert_eq!(SimTime::from_millis(1500).to_string(), "1.5s");
+        assert_eq!(SimDuration::from_millis(100).to_string(), "0.1s");
+    }
+
+    #[test]
+    fn default_tick_is_100ms() {
+        let tc = TickConfig::default();
+        assert_eq!(tc.tick.as_millis(), 100);
+        assert!((tc.dt_secs() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ordering_is_chronological() {
+        assert!(SimTime::from_secs(1) < SimTime::from_secs(2));
+        assert!(SimDuration::from_millis(1) < SimDuration::from_secs(1));
+    }
+}

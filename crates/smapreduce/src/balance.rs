@@ -1,0 +1,167 @@
+//! Balancing map and shuffle throughput (§III-B1, §IV-A3).
+//!
+//! The slot manager estimates the map output rate of the partitions owned
+//! by the *running* reduces, `R_m = (n/N)·R_t`, compares it to the achieved
+//! shuffle rate `R_s` through the balance factor `f = R_s/R_m`, and
+//! classifies the instant as map-heavy (`f` above the upper bound: shuffle
+//! keeps up, push maps harder), reduce-heavy (`f` below the lower bound:
+//! shuffle drowning, back off maps) or balanced.
+//!
+//! This module also encodes the paper's §III-B1 front-stretch time model,
+//! used in tests to check the argument SMapReduce is built on and exported
+//! for the analytical cross-checks in EXPERIMENTS.md.
+
+use serde::{Deserialize, Serialize};
+
+/// Classification of the current balance state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BalanceVerdict {
+    /// Shuffle keeps up with map output: allocate more map slots.
+    MapHeavy,
+    /// Shuffle cannot keep up: shed map slots.
+    ReduceHeavy,
+    /// In the [lower, upper] band: the balanced state, do nothing.
+    Balanced,
+    /// No meaningful signal (no map output flowing, or no reduces running).
+    Inconclusive,
+}
+
+/// Classify a balance factor against the configured bounds.
+pub fn classify(f: Option<f64>, lower: f64, upper: f64) -> BalanceVerdict {
+    debug_assert!(lower < upper);
+    match f {
+        None => BalanceVerdict::Inconclusive,
+        Some(f) if f > upper => BalanceVerdict::MapHeavy,
+        Some(f) if f < lower => BalanceVerdict::ReduceHeavy,
+        Some(_) => BalanceVerdict::Balanced,
+    }
+}
+
+/// §III-B1, matched case: when the shuffle rate can match the map output
+/// rate the front stretch takes `t = M / T_m`.
+pub fn front_stretch_matched(map_workload: f64, map_throughput: f64) -> f64 {
+    assert!(map_throughput > 0.0);
+    map_workload / map_throughput
+}
+
+/// §III-B1, unmatched case: shuffle left over after the barrier runs at
+/// `T_r2`: `t = M/T_m + (R − (M/T_m)·T_r1) / T_r2`.
+pub fn front_stretch_unmatched(
+    map_workload: f64,
+    map_throughput: f64,
+    shuffle_workload: f64,
+    shuffle_rate_during_maps: f64,
+    shuffle_rate_after_maps: f64,
+) -> f64 {
+    assert!(map_throughput > 0.0 && shuffle_rate_after_maps > 0.0);
+    let map_time = map_workload / map_throughput;
+    let shuffled_during = map_time * shuffle_rate_during_maps;
+    let residual = (shuffle_workload - shuffled_during).max(0.0);
+    map_time + residual / shuffle_rate_after_maps
+}
+
+/// The paper's simplified form under the constant-total-throughput
+/// assumption `T = T_m + T_r1` (resources shift between map and shuffle):
+/// `t = (R+M)/T_r2 − (T − T_r2)·M / (T_m·T_r2)`.
+pub fn front_stretch_simplified(
+    map_workload: f64,
+    map_throughput: f64,
+    shuffle_workload: f64,
+    total_throughput: f64,
+    shuffle_rate_after_maps: f64,
+) -> f64 {
+    assert!(map_throughput > 0.0 && shuffle_rate_after_maps > 0.0);
+    (shuffle_workload + map_workload) / shuffle_rate_after_maps
+        - (total_throughput - shuffle_rate_after_maps) * map_workload
+            / (map_throughput * shuffle_rate_after_maps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_bands() {
+        assert_eq!(classify(None, 0.5, 0.9), BalanceVerdict::Inconclusive);
+        assert_eq!(classify(Some(1.2), 0.5, 0.9), BalanceVerdict::MapHeavy);
+        assert_eq!(classify(Some(0.3), 0.5, 0.9), BalanceVerdict::ReduceHeavy);
+        assert_eq!(classify(Some(0.7), 0.5, 0.9), BalanceVerdict::Balanced);
+        // boundary values are balanced (strict inequalities in the paper)
+        assert_eq!(classify(Some(0.9), 0.5, 0.9), BalanceVerdict::Balanced);
+        assert_eq!(classify(Some(0.5), 0.5, 0.9), BalanceVerdict::Balanced);
+    }
+
+    #[test]
+    fn matched_case_is_inverse_in_throughput() {
+        // map-heavy argument: faster maps => shorter front stretch
+        let slow = front_stretch_matched(1000.0, 10.0);
+        let fast = front_stretch_matched(1000.0, 20.0);
+        assert!(fast < slow);
+        assert!((slow - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unmatched_reduces_to_matched_when_shuffle_keeps_up() {
+        // if everything is shuffled by the time maps end, t = M/Tm
+        let t = front_stretch_unmatched(1000.0, 10.0, 500.0, 10.0, 50.0);
+        assert!((t - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unmatched_adds_residual_shuffle_time() {
+        // maps end at 100s having shuffled 100*2=200 of 500; residual 300
+        // at 30 MB/s = 10s extra
+        let t = front_stretch_unmatched(1000.0, 10.0, 500.0, 2.0, 30.0);
+        assert!((t - 110.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn papers_core_argument_slower_maps_help_reduce_heavy_jobs() {
+        // Under the constant-total-throughput assumption T = Tm + Tr1:
+        // decreasing Tm (shifting resources to shuffle) shortens the front
+        // stretch while the shuffle is the bottleneck. This is the
+        // paper's justification for *decrementing* map slots (§III-B1).
+        let total = 60.0;
+        let tr2 = 40.0;
+        let (m, r) = (1000.0, 2000.0);
+        let t_fast_maps = front_stretch_simplified(m, 50.0, r, total, tr2);
+        let t_slow_maps = front_stretch_simplified(m, 30.0, r, total, tr2);
+        assert!(
+            t_slow_maps < t_fast_maps,
+            "slower maps must shorten the unmatched front stretch: {t_slow_maps} vs {t_fast_maps}"
+        );
+    }
+
+    #[test]
+    fn simplified_equals_unmatched_under_assumption() {
+        // with Tr1 = T - Tm the two formulations agree
+        let (m, r, total, tr2) = (1200.0, 1800.0, 70.0, 45.0);
+        for tm in [20.0_f64, 30.0, 40.0, 55.0] {
+            let tr1 = total - tm;
+            let a = front_stretch_unmatched(m, tm, r, tr1, tr2);
+            let b = front_stretch_simplified(m, tm, r, total, tr2);
+            // only equal while the residual is positive (unmatched regime)
+            if r - (m / tm) * tr1 > 0.0 {
+                assert!((a - b).abs() < 1e-9, "tm={tm}: {a} vs {b}");
+            }
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_classify_total(f in 0.0f64..5.0) {
+            let v = classify(Some(f), 0.55, 0.88);
+            let expected = if f > 0.88 { BalanceVerdict::MapHeavy }
+                else if f < 0.55 { BalanceVerdict::ReduceHeavy }
+                else { BalanceVerdict::Balanced };
+            proptest::prop_assert_eq!(v, expected);
+        }
+
+        #[test]
+        fn prop_matched_monotone(m in 1.0f64..1e6, tm1 in 0.1f64..1e3, dtm in 0.1f64..1e3) {
+            let t1 = front_stretch_matched(m, tm1);
+            let t2 = front_stretch_matched(m, tm1 + dtm);
+            proptest::prop_assert!(t2 <= t1);
+        }
+    }
+}

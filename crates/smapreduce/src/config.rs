@@ -1,0 +1,181 @@
+//! Configuration of the SMapReduce slot manager.
+
+use serde::{Deserialize, Serialize};
+use simgrid::time::SimDuration;
+
+/// All knobs of the slot manager. Defaults follow the paper where it gives
+/// values (10 % slow start, two suspected-thrashing chances) and otherwise
+/// use values calibrated on the reproduction testbed; the Fig. 7 ablations
+/// flip `detect_thrashing` / `slow_start_enabled`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SmrConfig {
+    /// Decision period of the slot-manager thread. The paper runs it
+    /// "after every time period" long enough for all trackers to have
+    /// reported; two heartbeats is the natural choice.
+    pub period: SimDuration,
+    /// Fraction of map tasks that must have completed before the manager
+    /// starts acting (§IV-A1; default 10 %).
+    pub slow_start_fraction: f64,
+    /// Master switch for the slow-start gate (Fig. 7 ablation).
+    pub slow_start_enabled: bool,
+    /// Upper bound on the balance factor `f = R_s/R_m`: above it the
+    /// shuffle is keeping up and the job is treated as map-heavy (§IV-A3).
+    ///
+    /// Note on calibration: `R_s` is the *achieved* fetch rate, so "keeping
+    /// up" manifests as `f ≈ 1`, not `f ≫ 1`; the bound therefore sits just
+    /// below 1.
+    pub f_upper: f64,
+    /// Lower bound on `f`: below it the shuffle cannot keep up
+    /// (reduce-heavy).
+    pub f_lower: f64,
+    /// EWMA weight for smoothing the heartbeat rates before computing `f`.
+    pub rate_alpha: f64,
+    /// Horizon over which the balance rates `R_s`/`R_t` are averaged.
+    /// Shuffle traffic is bursty (a completed map's output is fetched in
+    /// one gulp), so `f` is only meaningful over several burst cycles.
+    pub balance_window: SimDuration,
+    /// Time the map rate is given to re-stabilise after a slot change
+    /// before it may be used in thrashing comparisons (§IV-A2).
+    pub stabilise: SimDuration,
+    /// Consecutive suspected observations before thrashing is confirmed
+    /// (§IV-A2: "give the system another chance" ⇒ 2).
+    pub suspect_threshold: u32,
+    /// Consecutive healthy observations accepting an increase (1: with
+    /// settled-occupancy gating a single stable good window suffices, and
+    /// climbing speed is what converts into map-heavy speedup).
+    pub healthy_threshold: u32,
+    /// EWMA weight of the detector's per-slot-count rate estimates (kept
+    /// snappier than `rate_alpha`: each level sees few samples).
+    pub detector_alpha: f64,
+    /// Rate ratio under which a stable observation counts as suspected.
+    pub suspect_margin: f64,
+    /// Master switch for thrashing detection (Fig. 7 ablation).
+    pub detect_thrashing: bool,
+    /// Bounds on the per-tracker map slot target.
+    pub min_map_slots: usize,
+    pub max_map_slots: usize,
+    /// Cap on the per-tracker reduce slot target (kept small: "a large
+    /// number of reduce slots can cause network jam", §IV-A2).
+    pub max_reduce_slots: usize,
+    /// Master switch for tail-stretch map→reduce slot switching (§III-B3).
+    pub tail_switching: bool,
+    /// Grow reduce slots in the tail only when the estimated shuffle
+    /// volume per reduce task is below this (MB) — the "job shuffle size
+    /// is small" guard of §III-B3.
+    pub tail_shuffle_per_reduce_max_mb: f64,
+    /// Management overhead charged to a tracker per applied slot change
+    /// (equivalent stall milliseconds) — the small cost visible on
+    /// Terasort in Fig. 3.
+    pub directive_overhead_ms: u64,
+}
+
+impl Default for SmrConfig {
+    fn default() -> Self {
+        SmrConfig {
+            period: SimDuration::from_secs(6),
+            slow_start_fraction: 0.10,
+            slow_start_enabled: true,
+            f_upper: 0.88,
+            f_lower: 0.50,
+            rate_alpha: 0.30,
+            balance_window: SimDuration::from_secs(48),
+            stabilise: SimDuration::from_secs(4),
+            suspect_threshold: 2,
+            healthy_threshold: 1,
+            detector_alpha: 0.5,
+            suspect_margin: 0.97,
+            detect_thrashing: true,
+            min_map_slots: 1,
+            max_map_slots: 16,
+            max_reduce_slots: 4,
+            tail_switching: true,
+            tail_shuffle_per_reduce_max_mb: 256.0,
+            directive_overhead_ms: 25,
+        }
+    }
+}
+
+impl SmrConfig {
+    /// The Fig. 7 "without detecting thrashing" ablation.
+    pub fn without_thrashing_detection() -> SmrConfig {
+        SmrConfig {
+            detect_thrashing: false,
+            ..SmrConfig::default()
+        }
+    }
+
+    /// The Fig. 7 "without slow start" ablation.
+    pub fn without_slow_start() -> SmrConfig {
+        SmrConfig {
+            slow_start_enabled: false,
+            ..SmrConfig::default()
+        }
+    }
+
+    /// Panics on nonsensical settings; called by the policy constructor.
+    pub fn validate(&self) {
+        assert!(self.period.as_millis() > 0, "period must be positive");
+        assert!(
+            (0.0..=1.0).contains(&self.slow_start_fraction),
+            "slow-start fraction in [0,1]"
+        );
+        assert!(
+            self.f_lower < self.f_upper,
+            "balance bounds must satisfy lower < upper"
+        );
+        assert!(self.rate_alpha > 0.0 && self.rate_alpha <= 1.0);
+        assert!(self.min_map_slots >= 1, "min map slots >= 1");
+        assert!(
+            self.min_map_slots <= self.max_map_slots,
+            "map slot bounds inverted"
+        );
+        assert!(self.max_reduce_slots >= 1);
+        assert!(self.suspect_threshold >= 1);
+        assert!(self.healthy_threshold >= 1);
+        assert!(self.detector_alpha > 0.0 && self.detector_alpha <= 1.0);
+        assert!(self.suspect_margin > 0.0 && self.suspect_margin <= 1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_matches_paper_constants() {
+        let c = SmrConfig::default();
+        c.validate();
+        assert!((c.slow_start_fraction - 0.10).abs() < 1e-12, "paper: 10%");
+        assert_eq!(c.suspect_threshold, 2, "paper: one extra chance");
+        assert!(c.detect_thrashing && c.slow_start_enabled && c.tail_switching);
+    }
+
+    #[test]
+    fn ablation_constructors() {
+        assert!(!SmrConfig::without_thrashing_detection().detect_thrashing);
+        assert!(SmrConfig::without_thrashing_detection().slow_start_enabled);
+        assert!(!SmrConfig::without_slow_start().slow_start_enabled);
+        assert!(SmrConfig::without_slow_start().detect_thrashing);
+    }
+
+    #[test]
+    #[should_panic(expected = "lower < upper")]
+    fn inverted_bounds_rejected() {
+        let c = SmrConfig {
+            f_lower: 1.0,
+            f_upper: 0.5,
+            ..SmrConfig::default()
+        };
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "min map slots")]
+    fn zero_min_map_slots_rejected() {
+        let c = SmrConfig {
+            min_map_slots: 0,
+            ..SmrConfig::default()
+        };
+        c.validate();
+    }
+}

@@ -1,0 +1,54 @@
+//! # smapreduce — dynamic working-slot management (the paper's contribution)
+//!
+//! SMapReduce (Liang & Lau, IPPS 2015) adds a *slot manager* to the
+//! slot-based Hadoop 1.x design: instead of statically configured map and
+//! reduce slot counts, the job tracker continuously decides the proper
+//! number of concurrent tasks per node from runtime statistics, balancing
+//! map throughput against shuffle throughput across the map→reduce
+//! synchronisation barrier, while detecting (and retreating from) the
+//! thrashing point.
+//!
+//! This crate implements that slot manager as a
+//! [`mapreduce::policy::SlotPolicy`]:
+//!
+//! * [`balance`] — the balance factor `f = R_s/R_m` and the §III-B1 time
+//!   model;
+//! * [`thrashing`] — the suspected→confirmed thrashing state machine with
+//!   the post-change stabilisation window;
+//! * [`slow_start`] — the 10 % slow-start gate;
+//! * [`tail`] — tail-stretch map→reduce slot switching with the
+//!   network-jam guard;
+//! * [`slot_manager`] — the decision loop tying them together;
+//! * [`hetero`] — the §VII future-work extension: capacity-proportional
+//!   targets for heterogeneous clusters.
+//!
+//! The *lazy* slot changer the paper pairs with the manager lives with the
+//! task-tracker model, in [`mapreduce::slots`], because HadoopV1's trackers
+//! host that mechanism.
+//!
+//! ```
+//! use mapreduce::{Engine, EngineConfig, JobProfile, JobSpec};
+//! use smapreduce::SlotManagerPolicy;
+//! use simgrid::SimTime;
+//!
+//! let cfg = EngineConfig::small_test(4, 7);
+//! let job = JobSpec::new(0, JobProfile::synthetic_map_heavy(), 2048.0, 8, SimTime::ZERO);
+//! let mut policy = SlotManagerPolicy::paper_default();
+//! let report = Engine::new(cfg).run(vec![job], &mut policy).unwrap();
+//! assert!(report.slot_changes > 0, "the slot manager adapts at runtime");
+//! ```
+
+pub mod balance;
+pub mod config;
+pub mod hetero;
+pub mod slot_manager;
+pub mod slow_start;
+pub mod tail;
+pub mod thrashing;
+
+pub use balance::{classify, BalanceVerdict};
+pub use config::SmrConfig;
+pub use hetero::HeteroSlotManagerPolicy;
+pub use slot_manager::{Decision, SlotManagerPolicy};
+pub use slow_start::SlowStartGate;
+pub use thrashing::{ThrashVerdict, ThrashingDetector};

@@ -1,0 +1,73 @@
+//! The slow-start gate (§IV-A1).
+//!
+//! Right after submission the statistics flowing back from the trackers are
+//! not "substantive" — e.g. the shuffle rate is zero while map output is
+//! already non-zero, which would misclassify any job as reduce-heavy. The
+//! slot manager therefore stays inert until a configured fraction of the
+//! map tasks (10 % by default) have completed.
+
+use serde::{Deserialize, Serialize};
+
+/// Gate that opens once enough of the map work has finished.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SlowStartGate {
+    fraction: f64,
+    enabled: bool,
+}
+
+impl SlowStartGate {
+    pub fn new(fraction: f64, enabled: bool) -> SlowStartGate {
+        assert!((0.0..=1.0).contains(&fraction));
+        SlowStartGate { fraction, enabled }
+    }
+
+    /// May the slot manager act, given current map completion?
+    pub fn open(&self, completed_maps: usize, total_maps: usize) -> bool {
+        if !self.enabled {
+            return true;
+        }
+        if total_maps == 0 {
+            return false; // nothing running: no decisions either
+        }
+        completed_maps as f64 / total_maps as f64 >= self.fraction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_opens_at_fraction() {
+        let g = SlowStartGate::new(0.10, true);
+        assert!(!g.open(0, 100));
+        assert!(!g.open(9, 100));
+        assert!(g.open(10, 100));
+        assert!(g.open(100, 100));
+    }
+
+    #[test]
+    fn disabled_gate_is_always_open() {
+        let g = SlowStartGate::new(0.10, false);
+        assert!(g.open(0, 100));
+        assert!(g.open(0, 0));
+    }
+
+    #[test]
+    fn no_maps_keeps_gate_closed() {
+        let g = SlowStartGate::new(0.10, true);
+        assert!(!g.open(0, 0));
+    }
+
+    #[test]
+    fn zero_fraction_opens_immediately_with_work() {
+        let g = SlowStartGate::new(0.0, true);
+        assert!(g.open(0, 10));
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_fraction_rejected() {
+        let _ = SlowStartGate::new(1.5, true);
+    }
+}

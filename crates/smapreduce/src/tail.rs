@@ -1,0 +1,114 @@
+//! Tail-stretch slot switching (§III-B3).
+//!
+//! When the front stretch ends — no map tasks left to assign — fewer map
+//! slots are needed; the manager shrinks the map target toward what the
+//! still-running maps occupy and *may* grow the reduce target to speed up
+//! the remaining reduces. Growth is guarded: "we will only increase the
+//! reduce slots in the tail stretch when the job shuffle size is small",
+//! because extra reduce slots mean extra copy threads that jam the network.
+
+use mapreduce::stats::ClusterStats;
+
+/// Is the workload in its tail stretch? True when every map task of every
+/// active job has been assigned (the last wave is draining) — from then on
+/// spare map slots can never be used.
+pub fn in_tail_stretch(stats: &ClusterStats) -> bool {
+    stats.total_maps > 0 && stats.pending_maps == 0
+}
+
+/// Map-slot target for the tail: just enough per-tracker slots to cover the
+/// maps still running (never below `min_map_slots`, so a following job
+/// finds slots to start on).
+pub fn tail_map_target(stats: &ClusterStats, workers: usize, min_map_slots: usize) -> usize {
+    let per_node = stats.running_maps.div_ceil(workers.max(1));
+    per_node.max(min_map_slots)
+}
+
+/// Reduce-slot target for the tail. Grows by one over `current` when the
+/// estimated shuffle per reduce is small (the jam guard) and there are
+/// still reduces to place; otherwise holds.
+pub fn tail_reduce_target(
+    stats: &ClusterStats,
+    workers: usize,
+    current: usize,
+    max_reduce_slots: usize,
+    shuffle_per_reduce_max_mb: f64,
+) -> usize {
+    let waiting = stats.pending_reduces;
+    if waiting == 0 {
+        return current;
+    }
+    if stats.est_shuffle_per_reduce_mb > shuffle_per_reduce_max_mb {
+        return current; // large shuffle: more copiers would jam the network
+    }
+    // grow one slot per decision, bounded by the cap and by what is useful
+    let useful = (stats.running_reduces + waiting).div_ceil(workers.max(1));
+    (current + 1).min(max_reduce_slots).min(useful.max(current))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(pending_maps: usize, running_maps: usize) -> ClusterStats {
+        ClusterStats {
+            total_maps: 100,
+            pending_maps,
+            running_maps,
+            completed_maps: 100 - pending_maps - running_maps,
+            total_reduces: 30,
+            pending_reduces: 10,
+            running_reduces: 20,
+            est_shuffle_per_reduce_mb: 50.0,
+            ..ClusterStats::default()
+        }
+    }
+
+    #[test]
+    fn tail_detection() {
+        assert!(!in_tail_stretch(&stats(5, 10)));
+        assert!(in_tail_stretch(&stats(0, 10)));
+        assert!(in_tail_stretch(&stats(0, 0)));
+        // idle cluster (no jobs) is not "tail"
+        assert!(!in_tail_stretch(&ClusterStats::default()));
+    }
+
+    #[test]
+    fn map_target_covers_running_maps() {
+        let s = stats(0, 9);
+        assert_eq!(tail_map_target(&s, 4, 1), 3); // ceil(9/4)
+        assert_eq!(tail_map_target(&stats(0, 0), 4, 1), 1); // floor at min
+        assert_eq!(tail_map_target(&stats(0, 2), 4, 2), 2); // min wins
+    }
+
+    #[test]
+    fn reduce_target_grows_when_shuffle_small() {
+        let s = stats(0, 0);
+        assert_eq!(tail_reduce_target(&s, 4, 2, 4, 256.0), 3);
+        // capped at max
+        assert_eq!(tail_reduce_target(&s, 4, 4, 4, 256.0), 4);
+    }
+
+    #[test]
+    fn jam_guard_blocks_growth_for_big_shuffles() {
+        let mut s = stats(0, 0);
+        s.est_shuffle_per_reduce_mb = 2000.0;
+        assert_eq!(tail_reduce_target(&s, 4, 2, 4, 256.0), 2);
+    }
+
+    #[test]
+    fn no_waiting_reduces_no_growth() {
+        let mut s = stats(0, 0);
+        s.pending_reduces = 0;
+        assert_eq!(tail_reduce_target(&s, 4, 2, 4, 256.0), 2);
+    }
+
+    #[test]
+    fn growth_capped_by_usefulness() {
+        let mut s = stats(0, 0);
+        s.running_reduces = 2;
+        s.pending_reduces = 1;
+        // ceil(3/4) = 1 useful per node; current 2 already exceeds it
+        assert_eq!(tail_reduce_target(&s, 4, 2, 4, 256.0), 2);
+    }
+}

@@ -1,0 +1,356 @@
+//! Thrashing detection (§III-B2, §IV-A2).
+//!
+//! For every per-tracker map-slot count the detector keeps the stable
+//! average map processing rate observed at that count. After the manager
+//! *increases* the slot count, the rate is known to dip briefly, so
+//! observations inside a stabilisation window are discarded. Once stable,
+//! if the rate at the new count is below the recorded rate of the previous
+//! count the state is marked *suspected*; a configurable number of
+//! consecutive suspicions confirms thrashing, the manager steps back to the
+//! previous count and a **ceiling** prevents climbing past it again.
+
+use serde::{Deserialize, Serialize};
+use simgrid::metrics::Ewma;
+use simgrid::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+/// Outcome of feeding one observation to the detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ThrashVerdict {
+    /// Nothing learned (window not stable, or no previous level to compare).
+    Inconclusive,
+    /// Rate at the new level held up: the increase is accepted.
+    Healthy,
+    /// Rate dropped vs the previous level; within the grace chances.
+    Suspected,
+    /// Confirmed: the contained value is the last *good* slot count — the
+    /// ceiling the manager must retreat to.
+    Confirmed(usize),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingCheck {
+    from: usize,
+    to: usize,
+    since: SimTime,
+}
+
+/// The thrashing detector state machine.
+///
+/// ```
+/// use smapreduce::thrashing::{ThrashingDetector, ThrashVerdict};
+/// use simgrid::time::{SimDuration, SimTime};
+///
+/// let mut d = ThrashingDetector::new(SimDuration::from_secs(4), 2, 1, 1.0, 1.0);
+/// let t = |s| SimTime::from_secs(s);
+/// d.observe(3, 100.0, t(0), true);          // baseline at 3 slots
+/// d.on_slot_change(3, 4, t(6));             // manager increments
+/// d.observe(4, 80.0, t(8), true);           // still stabilising: ignored
+/// assert_eq!(d.observe(4, 80.0, t(12), true), ThrashVerdict::Suspected);
+/// assert_eq!(d.observe(4, 75.0, t(18), true), ThrashVerdict::Confirmed(3));
+/// assert_eq!(d.ceiling(), Some(3));         // never climb past 3 again
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThrashingDetector {
+    stabilise: SimDuration,
+    threshold: u32,
+    healthy_threshold: u32,
+    alpha: f64,
+    /// Rate ratio below which an observation counts as suspected; slightly
+    /// under 1.0 so measurement noise alone does not trigger.
+    margin: f64,
+    /// Stable mean map rate per slot count.
+    rate_by_slots: BTreeMap<usize, Ewma>,
+    pending: Option<PendingCheck>,
+    suspected: u32,
+    healthy_streak: u32,
+    ceiling: Option<usize>,
+}
+
+impl ThrashingDetector {
+    pub fn new(
+        stabilise: SimDuration,
+        threshold: u32,
+        healthy_threshold: u32,
+        alpha: f64,
+        margin: f64,
+    ) -> ThrashingDetector {
+        assert!(threshold >= 1);
+        assert!(healthy_threshold >= 1);
+        assert!(margin > 0.0 && margin <= 1.0, "margin in (0,1]");
+        ThrashingDetector {
+            stabilise,
+            threshold,
+            healthy_threshold,
+            alpha,
+            margin,
+            rate_by_slots: BTreeMap::new(),
+            pending: None,
+            suspected: 0,
+            healthy_streak: 0,
+            ceiling: None,
+        }
+    }
+
+    /// The maximum slot count the manager may use, if thrashing was
+    /// confirmed.
+    pub fn ceiling(&self) -> Option<usize> {
+        self.ceiling
+    }
+
+    /// True while an increase is under evaluation (stabilising or within
+    /// its grace chances). The manager must not increase further until the
+    /// check resolves, or no level would ever accumulate a stable rate.
+    pub fn check_pending(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Forget everything (the active job mix changed, so past rates are no
+    /// longer comparable).
+    pub fn reset(&mut self) {
+        self.rate_by_slots.clear();
+        self.pending = None;
+        self.suspected = 0;
+        self.healthy_streak = 0;
+        self.ceiling = None;
+    }
+
+    /// Inform the detector of a slot-target change. Only increases arm a
+    /// thrashing check; a decrease cancels any pending check (the paper
+    /// compares rates only when the count was incremented).
+    pub fn on_slot_change(&mut self, from: usize, to: usize, now: SimTime) {
+        if to > from {
+            self.pending = Some(PendingCheck {
+                from,
+                to,
+                since: now,
+            });
+        } else {
+            self.pending = None;
+        }
+        self.suspected = 0;
+        self.healthy_streak = 0;
+    }
+
+    /// Feed the current cluster map processing rate observed while running
+    /// with `slots` map slots per tracker. `settled` must be false while
+    /// the trackers' actual occupancy still differs from the target (lazy
+    /// shrinking can take a whole task duration): rates measured mid-
+    /// transition belong to no level and would poison the baselines.
+    pub fn observe(
+        &mut self,
+        slots: usize,
+        rate: f64,
+        now: SimTime,
+        settled: bool,
+    ) -> ThrashVerdict {
+        if !settled {
+            return ThrashVerdict::Inconclusive;
+        }
+        match self.pending {
+            Some(p) if p.to == slots => {
+                if now.since(p.since) < self.stabilise {
+                    // §IV-A2: the rate right after a change always dips;
+                    // comparing now would "almost always give the result of
+                    // the occurrence of thrashing".
+                    return ThrashVerdict::Inconclusive;
+                }
+                let prev = self.rate_by_slots.get(&p.from).and_then(|e| e.value());
+                self.record(slots, rate);
+                let Some(prev_rate) = prev else {
+                    self.pending = None;
+                    return ThrashVerdict::Inconclusive;
+                };
+                // compare the *smoothed* estimate at the new level against
+                // the previous level's stable estimate
+                let now_rate = self
+                    .rate_at(slots)
+                    .expect("just recorded an observation at this level");
+                if now_rate < prev_rate * self.margin {
+                    self.suspected += 1;
+                    self.healthy_streak = 0;
+                    if self.suspected >= self.threshold {
+                        self.ceiling = Some(p.from);
+                        self.pending = None;
+                        self.suspected = 0;
+                        // the poisoned level's estimate would bias future
+                        // comparisons made after the retreat
+                        self.rate_by_slots.remove(&slots);
+                        return ThrashVerdict::Confirmed(p.from);
+                    }
+                    ThrashVerdict::Suspected
+                } else {
+                    self.suspected = 0;
+                    self.healthy_streak += 1;
+                    if self.healthy_streak >= self.healthy_threshold {
+                        self.pending = None;
+                        self.healthy_streak = 0;
+                        ThrashVerdict::Healthy
+                    } else {
+                        ThrashVerdict::Inconclusive
+                    }
+                }
+            }
+            _ => {
+                // steady state at some level: keep its estimate fresh
+                self.record(slots, rate);
+                ThrashVerdict::Inconclusive
+            }
+        }
+    }
+
+    fn record(&mut self, slots: usize, rate: f64) {
+        self.rate_by_slots
+            .entry(slots)
+            .or_insert_with(|| Ewma::new(self.alpha))
+            .observe(rate);
+    }
+
+    /// Stable rate estimate for a slot count, if any (for diagnostics).
+    pub fn rate_at(&self, slots: usize) -> Option<f64> {
+        self.rate_by_slots.get(&slots).and_then(|e| e.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn detector() -> ThrashingDetector {
+        ThrashingDetector::new(SimDuration::from_secs(5), 2, 1, 1.0, 1.0)
+    }
+
+    #[test]
+    fn healthy_increase_is_accepted() {
+        let mut d = detector();
+        d.observe(3, 100.0, t(0), true);
+        d.on_slot_change(3, 4, t(10));
+        // inside stabilisation window: ignored
+        assert_eq!(d.observe(4, 10.0, t(12), true), ThrashVerdict::Inconclusive);
+        // stable and faster than before: healthy
+        assert_eq!(d.observe(4, 120.0, t(16), true), ThrashVerdict::Healthy);
+        assert_eq!(d.ceiling(), None);
+    }
+
+    #[test]
+    fn two_suspicions_confirm() {
+        let mut d = detector();
+        d.observe(3, 100.0, t(0), true);
+        d.on_slot_change(3, 4, t(6));
+        assert_eq!(d.observe(4, 90.0, t(12), true), ThrashVerdict::Suspected);
+        assert_eq!(d.observe(4, 85.0, t(18), true), ThrashVerdict::Confirmed(3));
+        assert_eq!(d.ceiling(), Some(3));
+    }
+
+    #[test]
+    fn single_suspicion_recovers() {
+        let mut d = detector();
+        d.observe(3, 100.0, t(0), true);
+        d.on_slot_change(3, 4, t(6));
+        assert_eq!(d.observe(4, 90.0, t(12), true), ThrashVerdict::Suspected);
+        // second chance: rate recovered above the previous level
+        assert_eq!(d.observe(4, 115.0, t(18), true), ThrashVerdict::Healthy);
+        assert_eq!(d.ceiling(), None);
+    }
+
+    #[test]
+    fn decrease_disarms_check() {
+        let mut d = detector();
+        d.observe(3, 100.0, t(0), true);
+        d.on_slot_change(3, 2, t(6));
+        // lower rate at fewer slots is expected, not thrashing
+        assert_eq!(d.observe(2, 70.0, t(12), true), ThrashVerdict::Inconclusive);
+        assert_eq!(d.ceiling(), None);
+    }
+
+    #[test]
+    fn no_baseline_no_verdict() {
+        let mut d = detector();
+        d.on_slot_change(3, 4, t(0));
+        assert_eq!(d.observe(4, 50.0, t(10), true), ThrashVerdict::Inconclusive);
+    }
+
+    #[test]
+    fn unsettled_observations_are_ignored() {
+        let mut d = detector();
+        d.observe(3, 100.0, t(0), true);
+        d.on_slot_change(3, 4, t(6));
+        // rates measured while occupancy lags the target must not count
+        for k in 0..10 {
+            assert_eq!(
+                d.observe(4, 1.0, t(12 + 6 * k), false),
+                ThrashVerdict::Inconclusive
+            );
+        }
+        assert_eq!(d.ceiling(), None);
+        // once settled, the comparison proceeds normally
+        assert_eq!(d.observe(4, 120.0, t(90), true), ThrashVerdict::Healthy);
+    }
+
+    #[test]
+    fn reset_clears_ceiling() {
+        let mut d = detector();
+        d.observe(3, 100.0, t(0), true);
+        d.on_slot_change(3, 4, t(6));
+        d.observe(4, 90.0, t(12), true);
+        d.observe(4, 85.0, t(18), true);
+        assert_eq!(d.ceiling(), Some(3));
+        d.reset();
+        assert_eq!(d.ceiling(), None);
+        assert_eq!(d.rate_at(3), None);
+    }
+
+    #[test]
+    fn confirmed_level_forgets_poisoned_rate() {
+        let mut d = detector();
+        d.observe(3, 100.0, t(0), true);
+        d.on_slot_change(3, 4, t(6));
+        d.observe(4, 90.0, t(12), true);
+        assert_eq!(d.observe(4, 80.0, t(18), true), ThrashVerdict::Confirmed(3));
+        assert_eq!(d.rate_at(4), None, "poisoned estimate dropped");
+        assert_eq!(d.rate_at(3), Some(100.0));
+    }
+
+    #[test]
+    fn stabilisation_window_really_gates() {
+        let mut d = ThrashingDetector::new(SimDuration::from_secs(30), 2, 1, 1.0, 1.0);
+        d.observe(3, 100.0, t(0), true);
+        d.on_slot_change(3, 4, t(10));
+        for s in 11..39 {
+            assert_eq!(d.observe(4, 1.0, t(s), true), ThrashVerdict::Inconclusive);
+        }
+        // at exactly since + stabilise, comparisons begin
+        assert_eq!(d.observe(4, 1.0, t(40), true), ThrashVerdict::Suspected);
+    }
+
+    proptest::proptest! {
+        /// The detector never confirms without at least `threshold` stable
+        /// below-baseline observations in a row.
+        #[test]
+        fn prop_needs_threshold_consecutive(rates in proptest::collection::vec(0.0f64..200.0, 1..30)) {
+            let mut d = detector();
+            d.observe(3, 100.0, t(0), true);
+            d.on_slot_change(3, 4, t(6));
+            let mut consecutive = 0u32;
+            let mut time = 12u64;
+            for r in rates {
+                let v = d.observe(4, r, t(time), true);
+                time += 6;
+                match v {
+                    ThrashVerdict::Confirmed(_) => {
+                        consecutive += 1;
+                        proptest::prop_assert!(consecutive >= 2);
+                        break;
+                    }
+                    ThrashVerdict::Suspected => consecutive += 1,
+                    ThrashVerdict::Healthy => { break; } // check disarmed
+                    ThrashVerdict::Inconclusive => {}
+                }
+            }
+        }
+    }
+}

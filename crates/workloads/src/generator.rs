@@ -1,0 +1,73 @@
+//! Workload generators: parameter sweeps and job-set builders used by the
+//! experiment harness.
+
+use crate::puma::Puma;
+use mapreduce::job::JobSpec;
+use simgrid::time::SimTime;
+
+/// One job of `bench` with explicit input size (for the Fig. 6 input-size
+/// sweep), 30 reduces, submitted at t = 0.
+pub fn sized_job(bench: Puma, input_mb: f64) -> JobSpec {
+    bench.job(0, input_mb, 30, SimTime::ZERO)
+}
+
+/// The Fig. 6 sweep: input sizes in GB.
+pub fn input_sweep_gb() -> Vec<f64> {
+    vec![50.0, 100.0, 150.0, 200.0, 250.0]
+}
+
+/// The Fig. 1 / Fig. 5 map-slot sweep.
+pub fn map_slot_sweep() -> Vec<usize> {
+    (1..=8).collect()
+}
+
+/// `count` identical jobs of `bench`, each submitted `stagger` after the
+/// previous — the multi-job workload of §V-F.
+pub fn staggered_jobs(
+    bench: Puma,
+    count: usize,
+    input_mb: f64,
+    num_reduces: usize,
+    stagger: simgrid::time::SimDuration,
+) -> Vec<JobSpec> {
+    (0..count)
+        .map(|i| {
+            bench.job(
+                i,
+                input_mb,
+                num_reduces,
+                SimTime(stagger.0 * i as u64),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simgrid::time::SimDuration;
+
+    #[test]
+    fn sized_job_uses_requested_size() {
+        let j = sized_job(Puma::HistogramRatings, 4096.0);
+        assert_eq!(j.input_mb, 4096.0);
+        assert_eq!(j.num_reduces, 30);
+    }
+
+    #[test]
+    fn sweeps_match_paper_ranges() {
+        assert_eq!(input_sweep_gb(), vec![50.0, 100.0, 150.0, 200.0, 250.0]);
+        assert_eq!(map_slot_sweep(), vec![1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn staggered_jobs_are_spaced_and_dense() {
+        let jobs = staggered_jobs(Puma::Grep, 4, 1024.0, 8, SimDuration::from_secs(5));
+        assert_eq!(jobs.len(), 4);
+        for (i, j) in jobs.iter().enumerate() {
+            assert_eq!(j.id.0, i, "ids must be dense for the engine");
+            assert_eq!(j.submit_at, SimTime::from_secs(5 * i as u64));
+            assert_eq!(j.profile.name, "Grep");
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! # workloads — the PUMA benchmark catalog and workload generators
+//!
+//! The paper evaluates SMapReduce on the Purdue MapReduce Benchmarks Suite
+//! (PUMA). This crate provides the thirteen benchmarks as parametric
+//! resource profiles ([`puma::Puma`]) plus the generators for every
+//! evaluation workload: single paper-standard jobs, the Fig. 5 slot sweep,
+//! the Fig. 6 input-size sweep and the §V-F staggered multi-job mixes.
+//!
+//! ```
+//! use workloads::Puma;
+//!
+//! let job = Puma::HistogramRatings.paper_job();
+//! assert_eq!(job.num_reduces, 30);
+//! assert_eq!(Puma::ALL.len(), 13);
+//! ```
+
+pub mod generator;
+pub mod multijob;
+pub mod puma;
+pub mod trace;
+
+pub use generator::{input_sweep_gb, map_slot_sweep, sized_job, staggered_jobs};
+pub use multijob::paper_multi_job;
+pub use puma::{JobClass, Puma};
+pub use trace::TraceSpec;

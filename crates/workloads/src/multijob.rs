@@ -1,0 +1,36 @@
+//! The §V-F multi-job workloads: "we submit 4 jobs of the same benchmark
+//! in total to the system, and each job is submitted 5 seconds after the
+//! previous job."
+
+use crate::generator::staggered_jobs;
+use crate::puma::Puma;
+use mapreduce::job::JobSpec;
+use simgrid::time::SimDuration;
+
+/// Number of jobs in the paper's concurrent workload.
+pub const PAPER_JOB_COUNT: usize = 4;
+
+/// Submission stagger between consecutive jobs.
+pub const PAPER_STAGGER: SimDuration = SimDuration(5_000);
+
+/// The paper's concurrent workload for `bench` at a given per-job input
+/// size (Figs. 8 and 9 use Grep and InvertedIndex).
+pub fn paper_multi_job(bench: Puma, input_mb: f64, num_reduces: usize) -> Vec<JobSpec> {
+    staggered_jobs(bench, PAPER_JOB_COUNT, input_mb, num_reduces, PAPER_STAGGER)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simgrid::time::SimTime;
+
+    #[test]
+    fn paper_workload_shape() {
+        let jobs = paper_multi_job(Puma::InvertedIndex, 8192.0, 30);
+        assert_eq!(jobs.len(), 4);
+        assert_eq!(jobs[0].submit_at, SimTime::ZERO);
+        assert_eq!(jobs[3].submit_at, SimTime::from_secs(15));
+        assert!(jobs.iter().all(|j| j.profile.name == "InvertedIndex"));
+        assert!(jobs.iter().all(|j| j.input_mb == 8192.0));
+    }
+}

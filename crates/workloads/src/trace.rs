@@ -1,0 +1,163 @@
+//! Arrival traces: sustained multi-job load.
+//!
+//! The paper's introduction motivates runtime management with "the
+//! workload is typically always changing in the cluster"; its §V-F
+//! experiment approximates that with four identical staggered jobs. This
+//! module generates the fuller version — a Poisson arrival process over a
+//! mixed benchmark set — used by the sustained-load extension experiment.
+
+use crate::puma::Puma;
+use mapreduce::job::JobSpec;
+use simgrid::rng::SimRng;
+use simgrid::time::SimTime;
+
+/// Parameters of a synthetic arrival trace.
+#[derive(Debug, Clone)]
+pub struct TraceSpec {
+    /// Mean inter-arrival gap (seconds); arrivals are exponential.
+    pub mean_interarrival_s: f64,
+    /// Jobs stop arriving after this instant (the trace's horizon).
+    pub horizon_s: f64,
+    /// Benchmarks drawn from (uniformly).
+    pub mix: Vec<Puma>,
+    /// Input size range (MB), uniform.
+    pub input_mb: (f64, f64),
+    /// Reduce tasks per job.
+    pub num_reduces: usize,
+}
+
+impl TraceSpec {
+    /// A mixed interactive/batch load: map-heavy scans, a medium
+    /// aggregation and one sort-like job class.
+    pub fn mixed_load() -> TraceSpec {
+        TraceSpec {
+            mean_interarrival_s: 45.0,
+            horizon_s: 600.0,
+            mix: vec![
+                Puma::Grep,
+                Puma::HistogramRatings,
+                Puma::WordCount,
+                Puma::InvertedIndex,
+            ],
+            input_mb: (2.0 * 1024.0, 10.0 * 1024.0),
+            num_reduces: 12,
+        }
+    }
+
+    /// A calmer batch load: fewer, larger jobs with long stable stretches
+    /// between arrivals — the regime the paper's Fig. 6 shows the slot
+    /// manager needs.
+    pub fn batch_load() -> TraceSpec {
+        TraceSpec {
+            mean_interarrival_s: 180.0,
+            horizon_s: 600.0,
+            mix: vec![
+                Puma::Grep,
+                Puma::HistogramRatings,
+                Puma::WordCount,
+                Puma::InvertedIndex,
+            ],
+            input_mb: (15.0 * 1024.0, 35.0 * 1024.0),
+            num_reduces: 24,
+        }
+    }
+
+    /// Generate the trace deterministically from `seed`. At least one job
+    /// is always produced (at t = 0).
+    pub fn generate(&self, seed: u64) -> Vec<JobSpec> {
+        assert!(!self.mix.is_empty(), "need at least one benchmark");
+        assert!(self.mean_interarrival_s > 0.0 && self.horizon_s >= 0.0);
+        assert!(self.input_mb.0 > 0.0 && self.input_mb.1 >= self.input_mb.0);
+        let mut rng = SimRng::new(seed).derive("trace");
+        let mut jobs = Vec::new();
+        let mut t = 0.0_f64;
+        loop {
+            let bench = self.mix[rng.below(self.mix.len())];
+            let input =
+                self.input_mb.0 + rng.unit() * (self.input_mb.1 - self.input_mb.0);
+            jobs.push(bench.job(
+                jobs.len(),
+                input,
+                self.num_reduces,
+                SimTime::from_millis((t * 1000.0) as u64),
+            ));
+            // exponential inter-arrival
+            let gap = -self.mean_interarrival_s * (1.0 - rng.unit()).ln();
+            t += gap;
+            if t > self.horizon_s {
+                break;
+            }
+        }
+        jobs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_deterministic_and_ordered() {
+        let spec = TraceSpec::mixed_load();
+        let a = spec.generate(7);
+        let b = spec.generate(7);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.submit_at, y.submit_at);
+            assert_eq!(x.profile.name, y.profile.name);
+            assert_eq!(x.input_mb, y.input_mb);
+        }
+        // ids dense, times non-decreasing, within horizon
+        for (i, j) in a.iter().enumerate() {
+            assert_eq!(j.id.0, i);
+            assert!(j.submit_at.as_secs_f64() <= spec.horizon_s + 1e-9);
+        }
+        for w in a.windows(2) {
+            assert!(w[0].submit_at <= w[1].submit_at);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let spec = TraceSpec::mixed_load();
+        let a = spec.generate(1);
+        let b = spec.generate(2);
+        assert!(
+            a.len() != b.len()
+                || a.iter()
+                    .zip(&b)
+                    .any(|(x, y)| x.submit_at != y.submit_at || x.input_mb != y.input_mb)
+        );
+    }
+
+    #[test]
+    fn arrival_rate_roughly_matches_mean() {
+        let mut spec = TraceSpec::mixed_load();
+        spec.horizon_s = 20_000.0;
+        spec.mean_interarrival_s = 50.0;
+        let jobs = spec.generate(3);
+        let expected = spec.horizon_s / spec.mean_interarrival_s;
+        let n = jobs.len() as f64;
+        assert!(
+            (n - expected).abs() < expected * 0.25,
+            "{n} arrivals vs ~{expected}"
+        );
+    }
+
+    #[test]
+    fn always_at_least_one_job() {
+        let mut spec = TraceSpec::mixed_load();
+        spec.horizon_s = 0.0;
+        let jobs = spec.generate(9);
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].submit_at, SimTime::ZERO);
+    }
+
+    #[test]
+    fn input_sizes_within_range() {
+        let spec = TraceSpec::mixed_load();
+        for j in spec.generate(11) {
+            assert!(j.input_mb >= spec.input_mb.0 && j.input_mb <= spec.input_mb.1);
+        }
+    }
+}

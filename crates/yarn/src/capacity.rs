@@ -1,0 +1,234 @@
+//! The capacity scheduler as a slot policy: container flexibility with map
+//! priority.
+//!
+//! The paper's description (§V-F, §VI): the capacity scheduler behaves like
+//! FIFO but gives map tasks higher scheduling priority than reduce tasks.
+//! Structurally, YARN's improvement over HadoopV1's static partition is
+//! that a node's resources form *one* budget: while no reduce containers
+//! are wanted, map containers can use the whole node; once reduces pass
+//! their slow-start the application master's reduce requests reserve their
+//! share again; after the maps drain, freed resources serve pending
+//! reduces. What YARN still does **not** do — the paper's target — is adapt
+//! the total concurrency to the observed throughput (no thrashing
+//! awareness, no map/shuffle balancing).
+//!
+//! Per-tracker targets are recomputed every heartbeat from demand:
+//!
+//! ```text
+//! budget        = init_map + init_reduce            (container capacity)
+//! reserve       = min(init_reduce, reduce_need)     (AM's reduce requests)
+//!                 halved while map demand saturates the cluster
+//!                 (reduce ramp-up throttle under map priority)
+//! map_target    = min(map_need, budget - reserve)   (maps first)
+//! reduce_target = min(reduce_need, budget - map_target)  (backfill)
+//! ```
+
+use mapreduce::policy::{PolicyContext, SlotDirective, SlotPolicy};
+use mapreduce::stats::ClusterStats;
+
+/// Per-node targets computed by the capacity rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeTargets {
+    pub map: usize,
+    pub reduce: usize,
+}
+
+/// Pure capacity computation (unit-testable without an engine).
+pub fn capacity_targets(
+    stats: &ClusterStats,
+    workers: usize,
+    init_map: usize,
+    init_reduce: usize,
+) -> NodeTargets {
+    let workers = workers.max(1);
+    let budget = init_map + init_reduce;
+    let map_need = (stats.pending_maps + stats.running_maps).div_ceil(workers);
+    let reduce_need =
+        (stats.eligible_pending_reduces + stats.running_reduces).div_ceil(workers);
+    // Map priority: while map demand saturates the cluster, reduce
+    // containers are held to half their configured share (the AM's reduce
+    // ramp-up throttle); the moment map demand drops below capacity,
+    // reduces get their full reservation and then backfill freed budget.
+    let full_reserve = init_reduce.min(reduce_need);
+    let reserve = if map_need > budget {
+        full_reserve.min(init_reduce.div_ceil(2))
+    } else {
+        full_reserve
+    };
+    let map = map_need.min(budget - reserve).max(if map_need > 0 { 1 } else { 0 });
+    let reduce = reduce_need.min(budget - map.min(budget));
+    NodeTargets { map, reduce }
+}
+
+/// YARN's capacity scheduler as a [`SlotPolicy`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CapacityPolicy;
+
+impl SlotPolicy for CapacityPolicy {
+    fn name(&self) -> &'static str {
+        "YARN"
+    }
+
+    fn decide(&mut self, ctx: &PolicyContext<'_>) -> Vec<SlotDirective> {
+        let t = capacity_targets(
+            ctx.stats,
+            ctx.trackers.len(),
+            ctx.init_map_slots,
+            ctx.init_reduce_slots,
+        );
+        // idle cluster: return to the configured baseline
+        let (map, reduce) = if ctx.stats.total_maps == 0 {
+            (ctx.init_map_slots, ctx.init_reduce_slots)
+        } else {
+            (t.map.max(1), t.reduce)
+        };
+        ctx.trackers
+            .iter()
+            .filter(|tr| tr.map_target != map || tr.reduce_target != reduce)
+            .map(|tr| SlotDirective {
+                node: tr.node,
+                map_slots: map,
+                reduce_slots: reduce,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapreduce::policy::TrackerSnapshot;
+    use simgrid::cluster::NodeId;
+    use simgrid::time::SimTime;
+
+    fn stats(
+        pending_maps: usize,
+        running_maps: usize,
+        eligible_reduces: usize,
+        running_reduces: usize,
+    ) -> ClusterStats {
+        ClusterStats {
+            total_maps: pending_maps + running_maps + 100,
+            pending_maps,
+            running_maps,
+            completed_maps: 100,
+            total_reduces: 30,
+            pending_reduces: eligible_reduces,
+            eligible_pending_reduces: eligible_reduces,
+            running_reduces,
+            ..ClusterStats::default()
+        }
+    }
+
+    #[test]
+    fn early_phase_maps_use_whole_budget() {
+        // plenty of maps pending, reduces not yet eligible
+        let t = capacity_targets(&stats(500, 48, 0, 0), 16, 3, 2);
+        assert_eq!(t, NodeTargets { map: 5, reduce: 0 });
+    }
+
+    #[test]
+    fn overlap_phase_throttles_reduces_under_map_pressure() {
+        // reduces eligible but map demand still saturates the cluster:
+        // the ramp-up throttle holds reduces to half their share
+        let t = capacity_targets(&stats(500, 48, 30, 0), 16, 3, 2);
+        assert_eq!(t, NodeTargets { map: 4, reduce: 1 });
+        // once map demand fits the cluster, the full reservation returns
+        let t = capacity_targets(&stats(0, 70, 30, 2), 16, 3, 2);
+        assert_eq!(t, NodeTargets { map: 3, reduce: 2 });
+    }
+
+    #[test]
+    fn tail_phase_reduces_backfill() {
+        // no maps left; 30 reduces over 16 nodes need 2/node
+        let t = capacity_targets(&stats(0, 0, 10, 20), 16, 3, 2);
+        assert_eq!(t.map, 0);
+        assert_eq!(t.reduce, 2);
+    }
+
+    #[test]
+    fn reduce_demand_capped_by_budget_minus_maps() {
+        // tons of reduces eligible and maps still pending: throttle holds
+        let t = capacity_targets(&stats(500, 48, 300, 0), 4, 3, 2);
+        assert_eq!(t.map, 4, "maps take the throttled reducer's container");
+        assert_eq!(t.reduce, 1, "reduces throttled under map pressure");
+    }
+
+    #[test]
+    fn small_map_demand_frees_capacity() {
+        // only 4 maps left cluster-wide on 4 nodes -> 1 per node
+        let t = capacity_targets(&stats(0, 4, 40, 0), 4, 3, 2);
+        assert_eq!(t.map, 1);
+        assert_eq!(t.reduce, 4, "freed map budget serves reduces");
+    }
+
+    #[test]
+    fn policy_emits_directives_only_on_change() {
+        let mut p = CapacityPolicy;
+        assert_eq!(p.name(), "YARN");
+        let s = stats(500, 48, 0, 0);
+        let trackers: Vec<TrackerSnapshot> = (0..4)
+            .map(|i| TrackerSnapshot {
+                node: NodeId(i),
+                cores: 16.0,
+                map_target: 5,
+                map_occupied: 3,
+                reduce_target: 0,
+                reduce_occupied: 0,
+            })
+            .collect();
+        let ctx = PolicyContext {
+            now: SimTime::from_secs(3),
+            stats: &s,
+            trackers: &trackers,
+            init_map_slots: 3,
+            init_reduce_slots: 2,
+        };
+        assert!(p.decide(&ctx).is_empty(), "already at computed targets");
+    }
+
+    #[test]
+    fn idle_cluster_returns_to_baseline() {
+        let mut p = CapacityPolicy;
+        let s = ClusterStats::default();
+        let trackers = vec![TrackerSnapshot {
+            node: NodeId(0),
+            cores: 16.0,
+            map_target: 5,
+            map_occupied: 0,
+            reduce_target: 0,
+            reduce_occupied: 0,
+        }];
+        let ctx = PolicyContext {
+            now: SimTime::from_secs(3),
+            stats: &s,
+            trackers: &trackers,
+            init_map_slots: 3,
+            init_reduce_slots: 2,
+        };
+        let ds = p.decide(&ctx);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].map_slots, 3);
+        assert_eq!(ds[0].reduce_slots, 2);
+    }
+
+    proptest::proptest! {
+        /// The budget is never exceeded and map priority holds: whenever
+        /// map demand saturates its share, reduces never squeeze maps below
+        /// min(map_need, budget - min(init_reduce, reduce_need)).
+        #[test]
+        fn prop_budget_respected(
+            pm in 0usize..2000, rm in 0usize..200,
+            er in 0usize..300, rr in 0usize..64,
+            workers in 1usize..32,
+        ) {
+            let s = stats(pm, rm, er, rr);
+            let t = capacity_targets(&s, workers, 3, 2);
+            proptest::prop_assert!(t.map + t.reduce <= 5);
+            let map_need = (pm + rm).div_ceil(workers);
+            if map_need >= 4 {
+                proptest::prop_assert!(t.map >= 3, "maps keep at least their reserved share");
+            }
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Container resource model.
+//!
+//! YARN abandons slots for containers sized in memory and vcores; the node
+//! manager fits as many containers as its resources allow. The paper's
+//! point (§I): the user still has to *guess* the container size — size them
+//! too large and a few containers fill the node leaving resources idle,
+//! too small and tasks die of memory starvation. This module computes the
+//! concurrency a given sizing yields, which is how the YARN columns of
+//! Figs. 3/5 are configured ("YARN is configured to be able to run 3 map
+//! containers and 2 reduce containers concurrently").
+
+use serde::{Deserialize, Serialize};
+
+/// Resource vector of one container request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ContainerSpec {
+    pub mem_mb: f64,
+    pub vcores: f64,
+}
+
+impl ContainerSpec {
+    pub fn new(mem_mb: f64, vcores: f64) -> ContainerSpec {
+        assert!(mem_mb > 0.0 && vcores > 0.0, "container resources positive");
+        ContainerSpec { mem_mb, vcores }
+    }
+}
+
+/// Resources a node manager offers to containers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeResources {
+    pub mem_mb: f64,
+    pub vcores: f64,
+}
+
+impl NodeResources {
+    /// The paper's worker sized for YARN: 28 GB usable, 16 vcores.
+    pub fn paper_worker() -> NodeResources {
+        NodeResources {
+            mem_mb: 28.0 * 1024.0,
+            vcores: 16.0,
+        }
+    }
+
+    /// How many containers of `spec` fit concurrently.
+    pub fn fit(&self, spec: ContainerSpec) -> usize {
+        let by_mem = (self.mem_mb / spec.mem_mb).floor() as usize;
+        let by_cores = (self.vcores / spec.vcores).floor() as usize;
+        by_mem.min(by_cores)
+    }
+
+    /// How many `map_spec` containers fit alongside `reserved` containers
+    /// of `other_spec` (e.g. map containers next to reserved reduce
+    /// containers).
+    pub fn fit_alongside(
+        &self,
+        spec: ContainerSpec,
+        other_spec: ContainerSpec,
+        reserved: usize,
+    ) -> usize {
+        let mem = self.mem_mb - other_spec.mem_mb * reserved as f64;
+        let cores = self.vcores - other_spec.vcores * reserved as f64;
+        if mem <= 0.0 || cores <= 0.0 {
+            return 0;
+        }
+        NodeResources {
+            mem_mb: mem,
+            vcores: cores,
+        }
+        .fit(spec)
+    }
+
+    /// Container sizing that yields exactly `n` concurrent containers on
+    /// this node (memory-driven, generous vcores) — the inverse knob used
+    /// to express "configured to run n containers" in experiments.
+    pub fn sizing_for_concurrency(&self, n: usize) -> ContainerSpec {
+        assert!(n > 0);
+        ContainerSpec {
+            mem_mb: self.mem_mb / n as f64,
+            vcores: (self.vcores / n as f64).min(1.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_is_min_of_dimensions() {
+        let node = NodeResources::paper_worker();
+        // 4 GB, 1 core: memory allows 7, cores allow 16 -> 7
+        assert_eq!(node.fit(ContainerSpec::new(4096.0, 1.0)), 7);
+        // tiny memory, huge cores: cores bind
+        assert_eq!(node.fit(ContainerSpec::new(64.0, 8.0)), 2);
+    }
+
+    #[test]
+    fn oversized_container_fits_zero() {
+        let node = NodeResources::paper_worker();
+        assert_eq!(node.fit(ContainerSpec::new(64.0 * 1024.0, 1.0)), 0);
+    }
+
+    #[test]
+    fn fit_alongside_subtracts_reservation() {
+        let node = NodeResources::paper_worker();
+        let map = ContainerSpec::new(4096.0, 2.0);
+        let reduce = ContainerSpec::new(6144.0, 2.0);
+        let alone = node.fit(map);
+        let with_reduces = node.fit_alongside(map, reduce, 2);
+        assert!(with_reduces < alone);
+        // fully reserved node fits nothing
+        assert_eq!(node.fit_alongside(map, reduce, 100), 0);
+    }
+
+    #[test]
+    fn sizing_round_trips_concurrency() {
+        let node = NodeResources::paper_worker();
+        for n in 1..=10 {
+            let spec = node.sizing_for_concurrency(n);
+            assert_eq!(node.fit(spec), n, "sizing for {n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_sized_container_rejected() {
+        let _ = ContainerSpec::new(0.0, 1.0);
+    }
+
+    #[test]
+    fn sizing_expresses_fig5_configurations() {
+        // Fig. 5 sweeps "map slots" 1..8; in YARN terms each point is a
+        // container sizing — this is the mapping the experiments rely on
+        // when they reuse `init_map_slots` for the container count.
+        let node = NodeResources::paper_worker();
+        for slots in 1..=8 {
+            let spec = node.sizing_for_concurrency(slots);
+            assert_eq!(node.fit(spec), slots);
+            // the sizing is memory-driven: per-container memory shrinks as
+            // concurrency grows
+            if slots > 1 {
+                let prev = node.sizing_for_concurrency(slots - 1);
+                assert!(spec.mem_mb < prev.mem_mb);
+            }
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_fit_monotone_in_container_size(mem in 256.0f64..32768.0) {
+            let node = NodeResources::paper_worker();
+            let small = node.fit(ContainerSpec::new(mem, 1.0));
+            let large = node.fit(ContainerSpec::new(mem * 2.0, 1.0));
+            proptest::prop_assert!(large <= small);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Job anatomy: replay one job's task-lifecycle event log as a timeline —
+//! wave structure, the barrier, shuffle completions, and (under
+//! SMapReduce) the slot-target changes interleaved with them.
+//!
+//! ```text
+//! cargo run --release --example job_anatomy [benchmark] [input_gb]
+//! ```
+
+use harness::{run_once, System};
+use mapreduce::{EngineConfig, Event};
+use workloads::Puma;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let bench = args
+        .next()
+        .and_then(|n| Puma::from_name(&n))
+        .unwrap_or(Puma::InvertedIndex);
+    let input_gb: f64 = args
+        .next()
+        .map(|s| s.parse().expect("input_gb"))
+        .unwrap_or(6.0);
+
+    let mut cfg = EngineConfig::paper_default();
+    cfg.record_events = true;
+    let job = bench.job(0, input_gb * 1024.0, 30, Default::default());
+    let report = run_once(&cfg, vec![job], &System::SMapReduce, cfg.seed).expect("simulation");
+
+    println!(
+        "{} ({:.0} GB) under SMapReduce — {} events\n",
+        bench.name(),
+        input_gb,
+        report.events.len()
+    );
+
+    // aggregate per-second counters for a compact timeline
+    let mut last_sec = u64::MAX;
+    let (mut ml, mut mc, mut sc) = (0usize, 0usize, 0usize);
+    let flush = |sec: u64, ml: &mut usize, mc: &mut usize, sc: &mut usize| {
+        if *ml + *mc + *sc > 0 {
+            println!(
+                "  t={sec:>4}s  +{:<2} maps launched  +{:<2} maps done  +{:<2} shuffles done",
+                ml, mc, sc
+            );
+        }
+        (*ml, *mc, *sc) = (0, 0, 0);
+    };
+    for e in report.events.events() {
+        let sec = e.at().as_millis() / 1000;
+        if sec != last_sec && last_sec != u64::MAX && (sec / 10) != (last_sec / 10) {
+            flush(last_sec, &mut ml, &mut mc, &mut sc);
+        }
+        last_sec = sec;
+        match e {
+            Event::MapLaunched { .. } => ml += 1,
+            Event::MapCompleted { .. } => mc += 1,
+            Event::ShuffleCompleted { .. } => sc += 1,
+            Event::BarrierCrossed { at, .. } => {
+                flush(sec, &mut ml, &mut mc, &mut sc);
+                println!("  t={:>4.0}s  ──── BARRIER: last map finished ────", at.as_secs_f64());
+            }
+            Event::SlotTargetsChanged {
+                at,
+                node,
+                map_slots,
+                reduce_slots,
+            }
+                if node.0 == 0 => {
+                    // one representative tracker; targets are uniform
+                    println!(
+                        "  t={:>4.0}s  slot targets -> {map_slots} map / {reduce_slots} reduce per node",
+                        at.as_secs_f64()
+                    );
+                }
+            Event::JobFinished { at, .. } => {
+                flush(sec, &mut ml, &mut mc, &mut sc);
+                println!("  t={:>4.0}s  job finished", at.as_secs_f64());
+            }
+            _ => {}
+        }
+    }
+
+    let j = &report.jobs[0];
+    println!(
+        "\nmap {:.1}s | reduce {:.1}s | total {:.1}s | {} slot changes",
+        j.map_time().as_secs_f64(),
+        j.reduce_time().as_secs_f64(),
+        j.total_time().as_secs_f64(),
+        report.slot_changes
+    );
+}

@@ -1,0 +1,64 @@
+//! Multi-tenant cluster: the paper's §V-F scenario — four identical jobs
+//! submitted five seconds apart — shown per job, so the queueing behaviour
+//! of the FIFO scheduler and the benefit of runtime slot management are
+//! both visible.
+//!
+//! ```text
+//! cargo run --release --example multi_tenant [benchmark] [jobs] [input_gb]
+//! ```
+
+use harness::{run_once, System};
+use mapreduce::EngineConfig;
+use simgrid::time::SimDuration;
+use workloads::{staggered_jobs, Puma};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let bench = args
+        .next()
+        .and_then(|n| Puma::from_name(&n))
+        .unwrap_or(Puma::Grep);
+    let count: usize = args.next().map(|s| s.parse().expect("jobs")).unwrap_or(4);
+    let input_gb: f64 = args
+        .next()
+        .map(|s| s.parse().expect("input_gb"))
+        .unwrap_or(8.0);
+
+    let jobs = staggered_jobs(
+        bench,
+        count,
+        input_gb * 1024.0,
+        30,
+        SimDuration::from_secs(5),
+    );
+    println!(
+        "{count} {} jobs of {:.0} GB each, submitted 5 s apart\n",
+        bench.name(),
+        input_gb
+    );
+
+    let cfg = EngineConfig::paper_default();
+    for sys in System::all() {
+        let report = run_once(&cfg, jobs.clone(), &sys, cfg.seed).expect("simulation");
+        println!("== {}", report.policy);
+        println!(
+            "   {:<6} {:>10} {:>10} {:>10} {:>12}",
+            "job", "submit(s)", "start(s)", "finish(s)", "exec time(s)"
+        );
+        for j in &report.jobs {
+            println!(
+                "   {:<6} {:>10.1} {:>10.1} {:>10.1} {:>12.1}",
+                j.job.0,
+                j.submit_at.as_secs_f64(),
+                j.started_at.as_secs_f64(),
+                j.finished_at.as_secs_f64(),
+                j.execution_time().as_secs_f64()
+            );
+        }
+        println!(
+            "   mean execution {:.1}s, last job finishes at {:.1}s\n",
+            report.mean_execution_time().as_secs_f64(),
+            report.makespan().as_secs_f64()
+        );
+    }
+}

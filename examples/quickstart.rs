@@ -1,0 +1,62 @@
+//! Quickstart: run one PUMA benchmark under HadoopV1, YARN and SMapReduce
+//! on the paper's 16-node testbed and compare the outcomes.
+//!
+//! ```text
+//! cargo run --release --example quickstart [benchmark] [input_gb]
+//! ```
+
+use harness::{run_comparison, Scale};
+use mapreduce::EngineConfig;
+use workloads::Puma;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let bench = args
+        .next()
+        .map(|name| {
+            Puma::from_name(&name).unwrap_or_else(|| {
+                eprintln!("unknown benchmark '{name}'; available:");
+                for p in Puma::ALL {
+                    eprintln!("  {}", p.name());
+                }
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(Puma::HistogramRatings);
+    let input_gb: f64 = args
+        .next()
+        .map(|s| s.parse().expect("input_gb must be a number"))
+        .unwrap_or(20.0);
+
+    println!(
+        "Running {} on {:.0} GB over 16 simulated workers (3 map + 2 reduce slots)…\n",
+        bench.name(),
+        input_gb
+    );
+
+    let cfg = EngineConfig::paper_default();
+    let job = bench.job(0, input_gb * 1024.0, 30, Default::default());
+    let rows = run_comparison(&cfg, &[job], Scale::Quick.trials()).expect("simulation");
+
+    println!(
+        "{:<12} {:>9} {:>10} {:>9} {:>12}",
+        "system", "map (s)", "reduce (s)", "total (s)", "thpt (MB/s)"
+    );
+    for r in &rows {
+        println!(
+            "{:<12} {:>9.1} {:>10.1} {:>9.1} {:>12.1}",
+            r.system, r.map_time_s, r.reduce_time_s, r.total_time_s, r.throughput
+        );
+    }
+    let v1 = &rows[0];
+    let smr = &rows[2];
+    println!(
+        "\nSMapReduce throughput vs HadoopV1: {:+.0}%  (class: {:?})",
+        (smr.throughput / v1.throughput - 1.0) * 100.0,
+        bench.class()
+    );
+    println!(
+        "slot changes applied by the slot manager: {}",
+        smr.sample.slot_changes
+    );
+}

@@ -1,0 +1,58 @@
+//! Watch the slot manager think: run one benchmark under SMapReduce and
+//! print every decision the manager takes (increments, decrements,
+//! thrashing retreats, tail switches), next to the cluster-wide slot-count
+//! trajectory — the anatomy behind Fig. 4's steepening progress curve.
+//!
+//! ```text
+//! cargo run --release --example slot_manager_log [benchmark] [input_gb]
+//! ```
+
+use mapreduce::{Engine, EngineConfig};
+use smapreduce::{Decision, SlotManagerPolicy};
+use workloads::Puma;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let bench = args
+        .next()
+        .and_then(|n| Puma::from_name(&n))
+        .unwrap_or(Puma::WordCount);
+    let input_gb: f64 = args
+        .next()
+        .map(|s| s.parse().expect("input_gb"))
+        .unwrap_or(30.0);
+
+    let cfg = EngineConfig::paper_default();
+    let mut policy = SlotManagerPolicy::paper_default();
+    let job = bench.job(0, input_gb * 1024.0, 30, Default::default());
+    let report = Engine::new(cfg)
+        .run(vec![job], &mut policy)
+        .expect("simulation");
+    let j = &report.jobs[0];
+
+    println!(
+        "{} ({:.0} GB): map {:.1}s + reduce {:.1}s = {:.1}s total, {} slot changes\n",
+        bench.name(),
+        input_gb,
+        j.map_time().as_secs_f64(),
+        j.reduce_time().as_secs_f64(),
+        j.total_time().as_secs_f64(),
+        report.slot_changes
+    );
+
+    println!("slot-manager decisions (Holds elided):");
+    let mut holds = 0usize;
+    for (t, d) in &policy.decisions {
+        match d {
+            Decision::Hold | Decision::SlowStartHold => holds += 1,
+            other => println!("  {:>7.1}s  {:?}", t.as_secs_f64(), other),
+        }
+    }
+    println!("  (+ {holds} hold decisions)\n");
+
+    println!("cluster map-slot trajectory (Σ targets over 16 trackers):");
+    for (t, v) in report.map_slot_series.thinned(24) {
+        let bar: String = "#".repeat((v / 8.0).round() as usize);
+        println!("  {:>7.1}s {:>4} {}", t.as_secs_f64(), v as u64, bar);
+    }
+}

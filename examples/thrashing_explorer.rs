@@ -1,0 +1,60 @@
+//! Thrashing explorer: the substrate view of §II-B. For a chosen benchmark
+//! this prints (a) the *analytical* per-node throughput curve from the
+//! contention model and (b) the *measured* map-phase throughput from full
+//! simulations with the slot count pinned — the two ways of seeing Fig. 1's
+//! rise-then-fall curve and the knee the slot manager hunts for.
+//!
+//! ```text
+//! cargo run --release --example thrashing_explorer [benchmark] [max_slots]
+//! ```
+
+use harness::{run_once, System};
+use mapreduce::EngineConfig;
+use simgrid::node::{thrashing_point, total_throughput, NodeSpec};
+use workloads::Puma;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let bench = args
+        .next()
+        .and_then(|n| Puma::from_name(&n))
+        .unwrap_or(Puma::TermVector);
+    let max_slots: usize = args
+        .next()
+        .map(|s| s.parse().expect("max_slots"))
+        .unwrap_or(10);
+
+    let profile = bench.profile();
+    let node = NodeSpec::paper_worker();
+    let demand = profile.map_demand();
+
+    println!(
+        "{} — map task demand: {:.1} cores, {} threads, {:.0} MB resident, \
+         {:.0}+{:.0} MB/s disk\n",
+        bench.name(),
+        demand.cpu_cores,
+        demand.threads,
+        demand.mem_mb,
+        demand.disk_read,
+        demand.disk_write
+    );
+
+    println!("{:<6} {:>18} {:>22}", "slots", "model thpt (rel)", "simulated map MB/s");
+    for slots in 1..=max_slots {
+        // analytical: sum of task rate scales from the node model
+        let model = total_throughput(&node, demand, slots);
+        // measured: pin the slot count, run the whole framework
+        let mut cfg = EngineConfig::paper_default();
+        cfg.init_map_slots = slots;
+        let job = bench.job(0, 8.0 * 1024.0, 30, Default::default());
+        let report = run_once(&cfg, vec![job], &System::HadoopV1, cfg.seed).expect("sim");
+        let j = &report.jobs[0];
+        let measured = j.input_mb / j.map_time().as_secs_f64();
+        println!("{slots:<6} {model:>18.2} {measured:>22.1}");
+    }
+    println!(
+        "\nmodel thrashing point: {} slots/node",
+        thrashing_point(&node, demand, max_slots)
+    );
+    println!("(SMapReduce's detector finds this knee online, from heartbeat rates)");
+}

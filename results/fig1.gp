@@ -1,0 +1,10 @@
+set terminal pngcairo size 900,540
+set output 'fig1.png'
+set title "Fig. 1 — map throughput vs map slots per node"
+set xlabel "map slots per node"
+set ylabel "map throughput (MB/s)"
+set key outside right
+set grid
+plot 'fig1.dat' using 1:2 with linespoints title "Terasort", \
+     'fig1.dat' using 1:3 with linespoints title "TermVector", \
+     'fig1.dat' using 1:4 with linespoints title "Grep"

@@ -1,0 +1,10 @@
+set terminal pngcairo size 900,540
+set output 'fig5.png'
+set title "Fig. 5 — HistogramRatings map time vs configured map slots"
+set xlabel "initial map slots per node"
+set ylabel "map time (s)"
+set key outside right
+set grid
+plot 'fig5.dat' using 1:2 with linespoints title "HadoopV1", \
+     'fig5.dat' using 1:3 with linespoints title "YARN", \
+     'fig5.dat' using 1:4 with linespoints title "SMapReduce"

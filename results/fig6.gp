@@ -1,0 +1,10 @@
+set terminal pngcairo size 900,540
+set output 'fig6.png'
+set title "Fig. 6 — HistogramRatings throughput vs input size"
+set xlabel "input size (GB)"
+set ylabel "job throughput (MB/s)"
+set key outside right
+set grid
+plot 'fig6.dat' using 1:2 with linespoints title "HadoopV1", \
+     'fig6.dat' using 1:3 with linespoints title "YARN", \
+     'fig6.dat' using 1:4 with linespoints title "SMapReduce"

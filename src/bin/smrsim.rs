@@ -1,0 +1,221 @@
+//! `smrsim` — ad-hoc simulation runs from the command line.
+//!
+//! ```text
+//! smrsim run [--bench NAME] [--input-gb N] [--system v1|yarn|smr|hetero]
+//!            [--workers N] [--map-slots N] [--reduce-slots N] [--reduces N]
+//!            [--seed N] [--jitter F] [--failure-rate F] [--straggler-rate F]
+//!            [--speculate] [--events] [--json FILE]
+//! smrsim list                      # available benchmarks
+//! smrsim knee [--bench NAME]      # analytical thrashing point
+//! ```
+
+use harness::{run_once, System};
+use mapreduce::EngineConfig;
+use simgrid::cluster::ClusterSpec;
+use simgrid::node::{thrashing_point, total_throughput, NodeSpec};
+use std::process::ExitCode;
+use workloads::Puma;
+
+const USAGE: &str = "usage: smrsim <run|list|knee> [options]; see --help in the source header";
+
+#[derive(Debug)]
+struct RunOpts {
+    bench: Puma,
+    input_gb: f64,
+    system: System,
+    workers: usize,
+    map_slots: usize,
+    reduce_slots: usize,
+    reduces: usize,
+    seed: u64,
+    jitter: f64,
+    failure_rate: f64,
+    straggler_rate: f64,
+    speculate: bool,
+    events: bool,
+    json: Option<String>,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        RunOpts {
+            bench: Puma::HistogramRatings,
+            input_gb: 20.0,
+            system: System::SMapReduce,
+            workers: 16,
+            map_slots: 3,
+            reduce_slots: 2,
+            reduces: 30,
+            seed: 42,
+            jitter: 0.2,
+            failure_rate: 0.0,
+            straggler_rate: 0.0,
+            speculate: false,
+            events: false,
+            json: None,
+        }
+    }
+}
+
+fn parse_bench(name: &str) -> Result<Puma, String> {
+    Puma::from_name(name).ok_or_else(|| {
+        let names: Vec<&str> = Puma::ALL.iter().map(|p| p.name()).collect();
+        format!("unknown benchmark '{name}'; available: {}", names.join(", "))
+    })
+}
+
+fn parse_system(name: &str) -> Result<System, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "v1" | "hadoopv1" | "hadoop" => Ok(System::HadoopV1),
+        "yarn" => Ok(System::Yarn),
+        "smr" | "smapreduce" => Ok(System::SMapReduce),
+        "hetero" | "smr-hetero" => Ok(System::SMapReduceHetero),
+        other => Err(format!("unknown system '{other}' (v1|yarn|smr|hetero)")),
+    }
+}
+
+fn parse_run(mut args: std::env::Args) -> Result<RunOpts, String> {
+    let mut o = RunOpts::default();
+    while let Some(a) = args.next() {
+        let mut val = || args.next().ok_or(format!("{a} needs a value"));
+        match a.as_str() {
+            "--bench" => o.bench = parse_bench(&val()?)?,
+            "--input-gb" => o.input_gb = val()?.parse().map_err(|e| format!("{e}"))?,
+            "--system" => o.system = parse_system(&val()?)?,
+            "--workers" => o.workers = val()?.parse().map_err(|e| format!("{e}"))?,
+            "--map-slots" => o.map_slots = val()?.parse().map_err(|e| format!("{e}"))?,
+            "--reduce-slots" => o.reduce_slots = val()?.parse().map_err(|e| format!("{e}"))?,
+            "--reduces" => o.reduces = val()?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => o.seed = val()?.parse().map_err(|e| format!("{e}"))?,
+            "--jitter" => o.jitter = val()?.parse().map_err(|e| format!("{e}"))?,
+            "--failure-rate" => o.failure_rate = val()?.parse().map_err(|e| format!("{e}"))?,
+            "--straggler-rate" => {
+                o.straggler_rate = val()?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--speculate" => o.speculate = true,
+            "--events" => o.events = true,
+            "--json" => o.json = Some(val()?),
+            other => return Err(format!("unknown option {other}\n{USAGE}")),
+        }
+    }
+    Ok(o)
+}
+
+fn cmd_run(o: RunOpts) -> Result<(), String> {
+    let mut cfg = EngineConfig::paper_default();
+    cfg.cluster = ClusterSpec::small(o.workers);
+    cfg.init_map_slots = o.map_slots;
+    cfg.init_reduce_slots = o.reduce_slots;
+    cfg.seed = o.seed;
+    cfg.jitter_amp = o.jitter;
+    cfg.map_failure_rate = o.failure_rate;
+    cfg.straggler_rate = o.straggler_rate;
+    cfg.speculative_maps = o.speculate;
+    cfg.record_events = o.events;
+
+    let job = o
+        .bench
+        .job(0, o.input_gb * 1024.0, o.reduces, Default::default());
+    let report = run_once(&cfg, vec![job], &o.system, o.seed).map_err(|e| e.to_string())?;
+    let j = &report.jobs[0];
+
+    println!(
+        "{} ({:.0} GB, {:?}) under {} on {} workers ({} map + {} reduce slots)",
+        o.bench.name(),
+        o.input_gb,
+        o.bench.class(),
+        report.policy,
+        o.workers,
+        o.map_slots,
+        o.reduce_slots
+    );
+    println!(
+        "  map {:.1}s | reduce {:.1}s | total {:.1}s | throughput {:.1} MB/s",
+        j.map_time().as_secs_f64(),
+        j.reduce_time().as_secs_f64(),
+        j.total_time().as_secs_f64(),
+        j.throughput()
+    );
+    if let Some(d) = &j.map_task_durations {
+        println!(
+            "  map tasks: n={} mean {:.1}s p50 {:.1}s p95 {:.1}s max {:.1}s",
+            d.n, d.mean, d.p50, d.p95, d.max
+        );
+    }
+    println!(
+        "  slot changes {} | speculative {}/{} | failures {}",
+        report.slot_changes,
+        report.speculative_wins,
+        report.speculative_attempts,
+        report.map_failures
+    );
+    if o.events {
+        println!("  events recorded: {}", report.events.len());
+    }
+    if let Some(path) = o.json {
+        let payload = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+        std::fs::write(&path, payload).map_err(|e| e.to_string())?;
+        println!("  [wrote {path}]");
+    }
+    Ok(())
+}
+
+fn cmd_list() {
+    println!("{:<22} {:<12} {:>12} {:>10}", "benchmark", "class", "selectivity", "map MB/s");
+    for p in Puma::ALL {
+        let prof = p.profile();
+        println!(
+            "{:<22} {:<12} {:>12.3} {:>10.1}",
+            p.name(),
+            format!("{:?}", p.class()),
+            prof.map_selectivity,
+            prof.map_rate
+        );
+    }
+}
+
+fn cmd_knee(mut args: std::env::Args) -> Result<(), String> {
+    let mut bench = Puma::Terasort;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--bench" => {
+                bench = parse_bench(&args.next().ok_or("--bench needs a value")?)?;
+            }
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    let spec = NodeSpec::paper_worker();
+    let demand = bench.profile().map_demand();
+    println!("{} map-task demand: {demand:?}", bench.name());
+    println!("{:<6} {:>10}", "slots", "rel thpt");
+    for n in 1..=12 {
+        println!("{n:<6} {:>10.2}", total_throughput(&spec, demand, n));
+    }
+    println!(
+        "analytical thrashing point: {} slots/node",
+        thrashing_point(&spec, demand, 16)
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args();
+    let _ = args.next();
+    let result = match args.next().as_deref() {
+        Some("run") => parse_run(args).and_then(cmd_run),
+        Some("list") => {
+            cmd_list();
+            Ok(())
+        }
+        Some("knee") => cmd_knee(args),
+        Some("--help") | Some("-h") | None => Err(USAGE.to_string()),
+        Some(other) => Err(format!("unknown command {other}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Cross-crate integration: full paper-shaped runs through every layer
+//! (workloads → dfs → mapreduce engine → policies → harness runner).
+
+use harness::{run_comparison, run_once, System};
+use mapreduce::EngineConfig;
+use workloads::Puma;
+
+/// Moderate input so the slot manager has time to adapt but tests stay
+/// fast: ~18 GB.
+fn job(bench: Puma) -> mapreduce::JobSpec {
+    bench.job(0, 18.0 * 1024.0, 30, Default::default())
+}
+
+#[test]
+fn map_heavy_ordering_smr_first() {
+    let cfg = EngineConfig::paper_default();
+    let rows = run_comparison(&cfg, &[job(Puma::HistogramRatings)], 1).unwrap();
+    let thpt = |name: &str| rows.iter().find(|r| r.system == name).unwrap().throughput;
+    assert!(
+        thpt("SMapReduce") > thpt("YARN"),
+        "SMR {} vs YARN {}",
+        thpt("SMapReduce"),
+        thpt("YARN")
+    );
+    assert!(
+        thpt("YARN") > thpt("HadoopV1"),
+        "YARN {} vs V1 {}",
+        thpt("YARN"),
+        thpt("HadoopV1")
+    );
+}
+
+#[test]
+fn terasort_exception_is_negligible() {
+    let cfg = EngineConfig::paper_default();
+    let rows = run_comparison(&cfg, &[job(Puma::Terasort)], 1).unwrap();
+    let total = |name: &str| rows.iter().find(|r| r.system == name).unwrap().total_time_s;
+    let ratio = total("SMapReduce") / total("HadoopV1");
+    // The manager's one-off exploration costs a fixed ~15-25 s; at this
+    // reduced 18 GB input that is up to ~10 % of the run, while at the
+    // paper-scale 60 GB input (the Fig. 3 experiment) it drops below 1 %.
+    assert!(
+        (0.95..1.12).contains(&ratio),
+        "Terasort SMR/V1 must be a slight slowdown at worst: {ratio:.3}"
+    );
+}
+
+#[test]
+fn every_benchmark_completes_under_every_system() {
+    let cfg = EngineConfig::paper_default();
+    for bench in Puma::ALL {
+        // small inputs: completion + accounting, not performance
+        let job = bench.job(0, 4.0 * 1024.0, 16, Default::default());
+        for sys in System::all() {
+            let r = run_once(&cfg, vec![job.clone()], &sys, 7).unwrap_or_else(|e| {
+                panic!("{} under {} failed: {e}", bench.name(), sys.label())
+            });
+            let j = &r.jobs[0];
+            assert_eq!(j.num_maps, 32, "{}: 4 GB = 32 blocks", bench.name());
+            assert!(j.maps_done_at <= j.finished_at);
+            // shuffle volume equals input × selectivity
+            let expected = j.input_mb * bench.profile().map_selectivity;
+            assert!(
+                (j.shuffle_mb - expected).abs() < 1e-6,
+                "{}: shuffle {} vs expected {expected}",
+                bench.name(),
+                j.shuffle_mb
+            );
+        }
+    }
+}
+
+#[test]
+fn class_dictates_tail_weight() {
+    // reduce-heavy jobs spend a large share of the run after the barrier;
+    // map-heavy jobs almost none
+    let cfg = EngineConfig::paper_default();
+    let tail_share = |bench: Puma| {
+        let r = run_once(&cfg, vec![job(bench)], &System::HadoopV1, 3).unwrap();
+        let j = &r.jobs[0];
+        j.reduce_time().as_secs_f64() / j.total_time().as_secs_f64()
+    };
+    let grep = tail_share(Puma::Grep);
+    let terasort = tail_share(Puma::Terasort);
+    assert!(grep < 0.1, "map-heavy tail share {grep}");
+    assert!(terasort > 0.25, "reduce-heavy tail share {terasort}");
+}
+
+#[test]
+fn smapreduce_adapts_and_baselines_do_not() {
+    let cfg = EngineConfig::paper_default();
+    let v1 = run_once(&cfg, vec![job(Puma::WordCount)], &System::HadoopV1, 1).unwrap();
+    assert_eq!(v1.slot_changes, 0);
+    let smr = run_once(&cfg, vec![job(Puma::WordCount)], &System::SMapReduce, 1).unwrap();
+    assert!(smr.slot_changes > 0, "the slot manager must act");
+    // the SMR slot series must actually vary over time
+    let values: Vec<f64> = smr.map_slot_series.points().iter().map(|p| p.1).collect();
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    assert!(max > min, "slot series must vary: {min}..{max}");
+}
+
+#[test]
+fn run_reports_are_internally_consistent() {
+    let cfg = EngineConfig::paper_default();
+    for sys in System::all() {
+        let r = run_once(&cfg, vec![job(Puma::InvertedIndex)], &sys, 5).unwrap();
+        let j = &r.jobs[0];
+        assert_eq!(
+            j.map_time().as_millis() + j.reduce_time().as_millis(),
+            j.total_time().as_millis()
+        );
+        let (_, final_progress) = j.progress.last().unwrap();
+        assert!(final_progress >= 200.0 - 1e-6);
+        assert!(j.throughput() > 0.0);
+    }
+}
+
+#[test]
+fn locality_preference_keeps_most_maps_local() {
+    // 3x replication over 16 nodes with locality-first assignment: the
+    // bulk of map attempts should be data-local
+    let cfg = EngineConfig::paper_default();
+    let r = run_once(&cfg, vec![job(Puma::Grep)], &System::HadoopV1, 9).unwrap();
+    let frac = r.jobs[0].local_map_fraction;
+    assert!(
+        frac > 0.5,
+        "locality-first scheduling should keep most maps local: {frac}"
+    );
+    assert!(frac <= 1.0);
+}
+
+#[test]
+fn task_duration_summaries_are_populated() {
+    let cfg = EngineConfig::paper_default();
+    let r = run_once(&cfg, vec![job(Puma::WordCount)], &System::SMapReduce, 9).unwrap();
+    let j = &r.jobs[0];
+    let m = j.map_task_durations.expect("map durations recorded");
+    assert_eq!(m.n, j.num_maps);
+    assert!(m.min > 0.0 && m.min <= m.p50 && m.p50 <= m.p95 && m.p95 <= m.max);
+    let rd = j.reduce_task_durations.expect("reduce durations recorded");
+    assert_eq!(rd.n, j.num_reduces);
+}
+
+#[test]
+fn smapreduce_raises_cpu_utilisation() {
+    // the paper's stated goal: "make full utilisation of the CPU and
+    // network resources" — on a map-heavy job the slot manager must
+    // lift cluster CPU utilisation well above the static 3-slot config
+    let cfg = EngineConfig::paper_default();
+    let v1 = run_once(&cfg, vec![job(Puma::HistogramRatings)], &System::HadoopV1, 4).unwrap();
+    let smr = run_once(&cfg, vec![job(Puma::HistogramRatings)], &System::SMapReduce, 4).unwrap();
+    assert!(
+        smr.cpu_utilisation > v1.cpu_utilisation * 1.1,
+        "SMR {:.2} vs V1 {:.2}",
+        smr.cpu_utilisation,
+        v1.cpu_utilisation
+    );
+    assert!(v1.cpu_utilisation > 0.05 && v1.cpu_utilisation <= 1.0);
+    assert!(smr.cpu_utilisation <= 1.0);
+}
+
+#[test]
+fn network_volume_tracks_shuffle_size() {
+    let cfg = EngineConfig::paper_default();
+    let grep = run_once(&cfg, vec![job(Puma::Grep)], &System::HadoopV1, 4).unwrap();
+    let sort = run_once(&cfg, vec![job(Puma::Terasort)], &System::HadoopV1, 4).unwrap();
+    assert!(
+        sort.network_mb > grep.network_mb * 5.0,
+        "reduce-heavy moves far more bytes: {} vs {}",
+        sort.network_mb,
+        grep.network_mb
+    );
+    // network volume bounded by shuffle + remote reads <= ~2x input
+    assert!(sort.network_mb <= sort.jobs[0].input_mb * 2.0);
+}

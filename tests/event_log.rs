@@ -1,0 +1,125 @@
+//! Event-log invariants: the recorded lifecycle must tell a consistent
+//! story for every system.
+
+use harness::{run_once, System};
+use mapreduce::{Event, EngineConfig};
+use std::collections::HashMap;
+use workloads::Puma;
+
+fn run_with_events(sys: &System) -> mapreduce::RunReport {
+    let mut cfg = EngineConfig::small_test(4, 3);
+    cfg.record_events = true;
+    let job = Puma::WordCount.job(0, 2048.0, 8, Default::default());
+    run_once(&cfg, vec![job], sys, 3).expect("run")
+}
+
+#[test]
+fn events_are_time_ordered_and_complete() {
+    for sys in System::all() {
+        let r = run_with_events(&sys);
+        let events = r.events.events();
+        assert!(!events.is_empty(), "{}: events recorded", sys.label());
+        for w in events.windows(2) {
+            assert!(w[0].at() <= w[1].at(), "{}: time order", sys.label());
+        }
+        // 2048 MB / 128 MB = 16 maps, 8 reduces, 1 job
+        let count = |p: fn(&Event) -> bool| r.events.count(p);
+        assert_eq!(count(|e| matches!(e, Event::MapLaunched { .. })), 16);
+        assert_eq!(count(|e| matches!(e, Event::MapCompleted { .. })), 16);
+        assert_eq!(count(|e| matches!(e, Event::ReduceLaunched { .. })), 8);
+        assert_eq!(count(|e| matches!(e, Event::ShuffleCompleted { .. })), 8);
+        assert_eq!(count(|e| matches!(e, Event::ReduceCompleted { .. })), 8);
+        assert_eq!(count(|e| matches!(e, Event::BarrierCrossed { .. })), 1);
+        assert_eq!(count(|e| matches!(e, Event::JobFinished { .. })), 1);
+    }
+}
+
+#[test]
+fn every_completion_follows_its_launch() {
+    let r = run_with_events(&System::SMapReduce);
+    let mut launched: HashMap<String, simgrid::time::SimTime> = HashMap::new();
+    for e in r.events.events() {
+        match e {
+            Event::MapLaunched { id, at, .. } => {
+                launched.insert(format!("m{}", id.index), *at);
+            }
+            Event::MapCompleted { id, at, .. } => {
+                let l = launched
+                    .get(&format!("m{}", id.index))
+                    .expect("completed map was launched");
+                assert!(l < at, "map {} completes strictly after launch", id.index);
+            }
+            Event::ReduceLaunched { id, at, .. } => {
+                launched.insert(format!("r{}", id.partition), *at);
+            }
+            Event::ReduceCompleted { id, at, .. } => {
+                let l = launched
+                    .get(&format!("r{}", id.partition))
+                    .expect("completed reduce was launched");
+                assert!(l < at);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn shuffles_complete_at_or_after_the_barrier() {
+    let r = run_with_events(&System::HadoopV1);
+    let barrier = r
+        .events
+        .events()
+        .iter()
+        .find_map(|e| match e {
+            Event::BarrierCrossed { at, .. } => Some(*at),
+            _ => None,
+        })
+        .expect("barrier recorded");
+    for e in r.events.events() {
+        if let Event::ShuffleCompleted { at, .. } = e {
+            assert!(
+                *at >= barrier,
+                "shuffle cannot finish before the last map: {at:?} vs {barrier:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn map_output_events_conserve_shuffle_volume() {
+    let r = run_with_events(&System::Yarn);
+    let total: f64 = r
+        .events
+        .events()
+        .iter()
+        .map(|e| match e {
+            Event::MapCompleted { output_mb, .. } => *output_mb,
+            _ => 0.0,
+        })
+        .sum();
+    assert!((total - r.jobs[0].shuffle_mb).abs() < 1e-6);
+}
+
+#[test]
+fn smapreduce_records_slot_target_changes() {
+    let r = run_with_events(&System::SMapReduce);
+    let changes = r
+        .events
+        .count(|e| matches!(e, Event::SlotTargetsChanged { .. }));
+    assert_eq!(changes as u64, r.slot_changes);
+    let v1 = run_with_events(&System::HadoopV1);
+    assert_eq!(
+        v1.events
+            .count(|e| matches!(e, Event::SlotTargetsChanged { .. })),
+        0
+    );
+}
+
+#[test]
+fn events_off_by_default() {
+    let cfg = EngineConfig::small_test(2, 1);
+    let job = Puma::Grep.job(0, 512.0, 4, Default::default());
+    let r = run_once(&cfg, vec![job], &System::HadoopV1, 1).unwrap();
+    assert!(r.events.is_empty());
+    assert!(!r.events.is_enabled());
+}

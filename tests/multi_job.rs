@@ -1,0 +1,91 @@
+//! Multi-job workloads across the full stack (§V-F semantics).
+
+use harness::{run_once, System};
+use mapreduce::EngineConfig;
+use simgrid::time::SimDuration;
+use workloads::{paper_multi_job, staggered_jobs, Puma};
+
+#[test]
+fn fifo_finishes_jobs_in_submission_order() {
+    let cfg = EngineConfig::paper_default();
+    let jobs = staggered_jobs(Puma::Grep, 4, 4.0 * 1024.0, 16, SimDuration::from_secs(5));
+    let r = run_once(&cfg, jobs, &System::HadoopV1, 3).unwrap();
+    for pair in r.jobs.windows(2) {
+        assert!(
+            pair[0].finished_at <= pair[1].finished_at,
+            "FIFO order violated: {:?} then {:?}",
+            pair[0].finished_at,
+            pair[1].finished_at
+        );
+    }
+}
+
+#[test]
+fn makespan_at_least_longest_execution() {
+    let cfg = EngineConfig::paper_default();
+    let jobs = paper_multi_job(Puma::InvertedIndex, 4.0 * 1024.0, 16);
+    let r = run_once(&cfg, jobs, &System::Yarn, 1).unwrap();
+    let longest = r
+        .jobs
+        .iter()
+        .map(|j| j.execution_time().as_millis())
+        .max()
+        .unwrap();
+    assert!(r.makespan().as_millis() >= longest);
+    assert!(r.mean_execution_time().as_millis() <= longest);
+}
+
+#[test]
+fn smapreduce_improves_multi_job_grep_mean_and_makespan() {
+    let cfg = EngineConfig::paper_default();
+    let jobs = paper_multi_job(Puma::Grep, 10.0 * 1024.0, 30);
+    let v1 = run_once(&cfg, jobs.clone(), &System::HadoopV1, 2).unwrap();
+    let smr = run_once(&cfg, jobs, &System::SMapReduce, 2).unwrap();
+    assert!(
+        smr.makespan() < v1.makespan(),
+        "SMR makespan {} vs V1 {}",
+        smr.makespan(),
+        v1.makespan()
+    );
+    assert!(
+        smr.mean_execution_time() < v1.mean_execution_time(),
+        "SMR mean {} vs V1 {}",
+        smr.mean_execution_time(),
+        v1.mean_execution_time()
+    );
+}
+
+#[test]
+fn mixed_benchmark_queue_completes() {
+    // different job classes interleaved through one FIFO queue
+    let cfg = EngineConfig::paper_default();
+    let jobs = vec![
+        Puma::Grep.job(0, 2048.0, 8, simgrid::time::SimTime::ZERO),
+        Puma::Terasort.job(1, 2048.0, 8, simgrid::time::SimTime::from_secs(5)),
+        Puma::WordCount.job(2, 2048.0, 8, simgrid::time::SimTime::from_secs(10)),
+    ];
+    for sys in System::all() {
+        let r = run_once(&cfg, jobs.clone(), &sys, 11).unwrap();
+        assert_eq!(r.jobs.len(), 3);
+        assert!(r.jobs.iter().all(|j| {
+            let (_, p) = j.progress.last().unwrap();
+            p >= 200.0 - 1e-6
+        }));
+    }
+}
+
+#[test]
+fn late_submission_never_starts_early() {
+    let cfg = EngineConfig::paper_default();
+    let jobs = staggered_jobs(Puma::WordCount, 3, 2048.0, 8, SimDuration::from_secs(30));
+    let r = run_once(&cfg, jobs, &System::SMapReduce, 1).unwrap();
+    for j in &r.jobs {
+        assert!(
+            j.started_at >= j.submit_at,
+            "job {} started {} before submission {}",
+            j.job.0,
+            j.started_at,
+            j.submit_at
+        );
+    }
+}

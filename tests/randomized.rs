@@ -1,0 +1,139 @@
+//! Randomised invariant sweep: many configurations, one set of invariants.
+//!
+//! Rather than pinning behaviour per scenario, this drives the whole stack
+//! through a grid of seeds × cluster shapes × features (speculation,
+//! failures, schedulers, heterogeneity) and checks the properties that must
+//! hold in *every* run.
+
+use harness::{run_once, System};
+use mapreduce::{EngineConfig, Event, SchedKind};
+use simgrid::cluster::ClusterSpec;
+use simgrid::node::NodeSpec;
+use simgrid::time::SimDuration;
+use workloads::Puma;
+
+fn scenario(seed: u64) -> (EngineConfig, Vec<mapreduce::JobSpec>, System) {
+    let mut cfg = EngineConfig::paper_default();
+    cfg.record_events = true;
+    cfg.seed = seed;
+    let workers = 2 + (seed as usize % 7); // 2..=8
+    cfg.cluster = if seed % 3 == 0 {
+        let weak = NodeSpec {
+            cores: 8.0,
+            ..NodeSpec::paper_worker()
+        };
+        ClusterSpec::mixed(workers.div_ceil(2), workers / 2 + 1, weak)
+    } else {
+        ClusterSpec::small(workers)
+    };
+    cfg.init_map_slots = 1 + (seed as usize % 5);
+    cfg.init_reduce_slots = 1 + (seed as usize % 3);
+    cfg.scheduler = if seed % 2 == 0 {
+        SchedKind::Fifo
+    } else {
+        SchedKind::Fair
+    };
+    cfg.speculative_maps = seed % 2 == 1;
+    cfg.speculation_min_runtime = SimDuration::from_secs(8);
+    cfg.map_failure_rate = if seed % 4 == 2 { 0.08 } else { 0.0 };
+    cfg.jitter_amp = 0.1 + 0.05 * (seed % 5) as f64;
+
+    let benches = [
+        Puma::Grep,
+        Puma::Terasort,
+        Puma::WordCount,
+        Puma::InvertedIndex,
+        Puma::KMeans,
+    ];
+    let bench = benches[seed as usize % benches.len()];
+    let jobs = if seed % 5 == 4 {
+        vec![
+            bench.job(0, 1024.0, 6, simgrid::time::SimTime::ZERO),
+            bench.job(1, 768.0, 6, simgrid::time::SimTime::from_secs(7)),
+        ]
+    } else {
+        vec![bench.job(0, 1536.0, 8, simgrid::time::SimTime::ZERO)]
+    };
+    let sys = match seed % 4 {
+        0 => System::HadoopV1,
+        1 => System::Yarn,
+        2 => System::SMapReduce,
+        _ => System::SMapReduceHetero,
+    };
+    (cfg, jobs, sys)
+}
+
+#[test]
+fn invariants_hold_across_the_grid() {
+    for seed in 0..16u64 {
+        let (cfg, jobs, sys) = scenario(seed);
+        let njobs = jobs.len();
+        let r = run_once(&cfg, jobs.clone(), &sys, seed).unwrap_or_else(|e| {
+            panic!("seed {seed} ({:?} under {}): {e}", cfg.scheduler, sys.label())
+        });
+        assert_eq!(r.jobs.len(), njobs, "seed {seed}");
+
+        for (j, spec) in r.jobs.iter().zip(&jobs) {
+            // timing sanity
+            assert!(j.started_at >= spec.submit_at, "seed {seed}");
+            assert!(j.maps_done_at <= j.finished_at, "seed {seed}");
+            // progress terminal
+            let (_, p) = j.progress.last().expect("progress recorded");
+            assert!(p >= 200.0 - 1e-6, "seed {seed}: progress {p}");
+            // exactly-once output regardless of failures/speculation
+            let expected = spec.input_mb * spec.profile.map_selectivity;
+            assert!(
+                (j.shuffle_mb - expected).abs() < 1e-6,
+                "seed {seed}: shuffle {} vs {expected}",
+                j.shuffle_mb
+            );
+            // locality fraction is a fraction
+            assert!((0.0..=1.0).contains(&j.local_map_fraction), "seed {seed}");
+            // duration summaries consistent with counts
+            let md = j.map_task_durations.expect("map durations");
+            assert_eq!(md.n, j.num_maps, "seed {seed}");
+        }
+
+        // event accounting: every job's delivered maps == num_maps, and
+        // launches == completions + kills + failures (per event stream)
+        let launches = r.events.count(|e| matches!(e, Event::MapLaunched { .. }));
+        let completions = r.events.count(|e| matches!(e, Event::MapCompleted { .. }));
+        let kills = r.events.count(|e| matches!(e, Event::MapKilled { .. }));
+        let total_maps: usize = r.jobs.iter().map(|j| j.num_maps).sum();
+        assert_eq!(completions, total_maps, "seed {seed}: one delivery per block");
+        // (discarded race losers complete without a MapCompleted event,
+        // and failed attempts relaunch — so launches >= completions)
+        assert!(
+            launches >= completions + kills,
+            "seed {seed}: {launches} launches vs {completions}+{kills}"
+        );
+        assert!(
+            launches as u64
+                <= total_maps as u64 + r.speculative_attempts + r.map_failures,
+            "seed {seed}: launch count bounded by retries + backups"
+        );
+        // utilisation is a fraction
+        assert!(
+            r.cpu_utilisation > 0.0 && r.cpu_utilisation <= 1.0,
+            "seed {seed}: utilisation {}",
+            r.cpu_utilisation
+        );
+    }
+}
+
+#[test]
+fn grid_runs_are_reproducible() {
+    for seed in [3u64, 7, 11] {
+        let (cfg, jobs, sys) = scenario(seed);
+        let a = run_once(&cfg, jobs.clone(), &sys, seed).unwrap();
+        let b = run_once(&cfg, jobs, &sys, seed).unwrap();
+        assert_eq!(
+            a.jobs.last().unwrap().finished_at,
+            b.jobs.last().unwrap().finished_at,
+            "seed {seed}"
+        );
+        assert_eq!(a.events.len(), b.events.len(), "seed {seed}");
+        assert_eq!(a.speculative_attempts, b.speculative_attempts);
+        assert_eq!(a.map_failures, b.map_failures);
+    }
+}
