@@ -32,8 +32,7 @@ fn ext_hetero(c: &mut Criterion) {
             cfg.cluster = ClusterSpec::mixed(8, 8, weak);
             b.iter(|| {
                 black_box(
-                    run_once(&cfg, vec![mini_job(Puma::HistogramRatings)], &sys, 1)
-                        .expect("run"),
+                    run_once(&cfg, vec![mini_job(Puma::HistogramRatings)], &sys, 1).expect("run"),
                 )
             });
         });
@@ -51,12 +50,20 @@ fn ext_fair(c: &mut Criterion) {
             cfg.scheduler = kind;
             let jobs = vec![
                 Puma::Grep.job(0, MINI_INPUT_MB, 8, simgrid::time::SimTime::ZERO),
-                Puma::Grep.job(1, MINI_INPUT_MB / 4.0, 8, simgrid::time::SimTime::from_secs(5)),
-                Puma::Grep.job(2, MINI_INPUT_MB / 4.0, 8, simgrid::time::SimTime::from_secs(10)),
+                Puma::Grep.job(
+                    1,
+                    MINI_INPUT_MB / 4.0,
+                    8,
+                    simgrid::time::SimTime::from_secs(5),
+                ),
+                Puma::Grep.job(
+                    2,
+                    MINI_INPUT_MB / 4.0,
+                    8,
+                    simgrid::time::SimTime::from_secs(10),
+                ),
             ];
-            b.iter(|| {
-                black_box(run_once(&cfg, jobs.clone(), &System::HadoopV1, 1).expect("run"))
-            });
+            b.iter(|| black_box(run_once(&cfg, jobs.clone(), &System::HadoopV1, 1).expect("run")));
         });
     }
     group.finish();
@@ -75,8 +82,7 @@ fn ext_stragglers(c: &mut Criterion) {
             cfg.speculation_min_runtime = SimDuration::from_secs(5);
             b.iter(|| {
                 black_box(
-                    run_once(&cfg, vec![mini_job(Puma::Grep)], &System::HadoopV1, 1)
-                        .expect("run"),
+                    run_once(&cfg, vec![mini_job(Puma::Grep)], &System::HadoopV1, 1).expect("run"),
                 )
             });
         });
@@ -97,9 +103,7 @@ fn ablation_knobs(c: &mut Criterion) {
             };
             let sys = System::SMapReduceWith(smr);
             b.iter(|| {
-                black_box(
-                    run_once(&cfg, vec![mini_job(Puma::WordCount)], &sys, 1).expect("run"),
-                )
+                black_box(run_once(&cfg, vec![mini_job(Puma::WordCount)], &sys, 1).expect("run"))
             });
         });
     }
@@ -115,8 +119,7 @@ fn model_check(c: &mut Criterion) {
         b.iter(|| {
             let mut acc = 0.0;
             for bench in harness::model_check::BENCHMARKS {
-                let (m, f) =
-                    harness::model_check::predict(&cfg, bench, MINI_INPUT_MB, 16);
+                let (m, f) = harness::model_check::predict(&cfg, bench, MINI_INPUT_MB, 16);
                 acc += m + f;
             }
             black_box(acc)

@@ -40,8 +40,8 @@ fn fig3_benchmarks(c: &mut Criterion) {
         group.bench_function(format!("histogramratings_{}", sys.label()), |b| {
             let cfg = bench_config();
             b.iter(|| {
-                let avg = run_averaged(&cfg, &[mini_job(Puma::HistogramRatings)], &sys, 1)
-                    .expect("run");
+                let avg =
+                    run_averaged(&cfg, &[mini_job(Puma::HistogramRatings)], &sys, 1).expect("run");
                 black_box(avg.total_time_s)
             });
         });
@@ -103,9 +103,8 @@ fn fig6_input_size(c: &mut Criterion) {
             let cfg = bench_config();
             let job = Puma::HistogramRatings.job(0, gb * 1024.0, 16, Default::default());
             b.iter(|| {
-                let avg =
-                    run_averaged(&cfg, std::slice::from_ref(&job), &System::SMapReduce, 1)
-                        .expect("run");
+                let avg = run_averaged(&cfg, std::slice::from_ref(&job), &System::SMapReduce, 1)
+                    .expect("run");
                 black_box(avg.throughput)
             });
         });
@@ -132,8 +131,7 @@ fn fig7_ablation(c: &mut Criterion) {
         group.bench_function(format!("wordcount_{name}"), |b| {
             let cfg = bench_config();
             b.iter(|| {
-                let avg =
-                    run_averaged(&cfg, &[mini_job(Puma::WordCount)], &sys, 1).expect("run");
+                let avg = run_averaged(&cfg, &[mini_job(Puma::WordCount)], &sys, 1).expect("run");
                 black_box(avg.map_time_s)
             });
         });
@@ -165,8 +163,7 @@ fn fig9_multijob_inverted_index(c: &mut Criterion) {
         group.bench_function(sys.label(), |b| {
             let cfg = bench_config();
             b.iter(|| {
-                let r =
-                    run_once(&cfg, mini_multi_job(Puma::InvertedIndex), &sys, 1).expect("run");
+                let r = run_once(&cfg, mini_multi_job(Puma::InvertedIndex), &sys, 1).expect("run");
                 black_box((r.mean_execution_time(), r.makespan()))
             });
         });

@@ -60,9 +60,7 @@ fn engine_end_to_end(c: &mut Criterion) {
     ] {
         group.bench_function(format!("grep_2gb_{name}"), |b| {
             let cfg = bench_config();
-            b.iter(|| {
-                black_box(run_once(&cfg, vec![mini_job(Puma::Grep)], &sys, 1).expect("run"))
-            });
+            b.iter(|| black_box(run_once(&cfg, vec![mini_job(Puma::Grep)], &sys, 1).expect("run")));
         });
     }
     group.finish();

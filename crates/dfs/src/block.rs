@@ -4,9 +4,7 @@ use serde::{Deserialize, Serialize};
 use simgrid::cluster::NodeId;
 
 /// Identifier of one block within a [`crate::FileLayout`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct BlockId(pub usize);
 
 /// One stored block and the nodes holding its replicas.

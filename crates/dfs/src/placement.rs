@@ -41,14 +41,10 @@ impl PlacementPolicy {
         assert!(n > 0, "cannot place blocks on an empty cluster");
         let r = self.replication().min(n).max(1);
         match *self {
-            PlacementPolicy::RandomDistinct { .. } => rng
-                .choose_distinct(n, r)
-                .into_iter()
-                .map(NodeId)
-                .collect(),
-            PlacementPolicy::RoundRobin { .. } => {
-                (0..r).map(|k| NodeId((index + k) % n)).collect()
+            PlacementPolicy::RandomDistinct { .. } => {
+                rng.choose_distinct(n, r).into_iter().map(NodeId).collect()
             }
+            PlacementPolicy::RoundRobin { .. } => (0..r).map(|k| NodeId((index + k) % n)).collect(),
         }
     }
 }

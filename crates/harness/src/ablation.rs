@@ -73,14 +73,28 @@ pub fn run(scale: Scale) -> Ablations {
             balance_window: SimDuration::from_secs(secs),
             ..SmrConfig::default()
         };
-        points.push(measure(&cfg, bench, scale, "balance_window", format!("{secs}s"), smr));
+        points.push(measure(
+            &cfg,
+            bench,
+            scale,
+            "balance_window",
+            format!("{secs}s"),
+            smr,
+        ));
     }
     for secs in [3u64, 6, 12, 24] {
         let smr = SmrConfig {
             period: SimDuration::from_secs(secs),
             ..SmrConfig::default()
         };
-        points.push(measure(&cfg, bench, scale, "period", format!("{secs}s"), smr));
+        points.push(measure(
+            &cfg,
+            bench,
+            scale,
+            "period",
+            format!("{secs}s"),
+            smr,
+        ));
     }
     for (lower, upper) in [(0.3, 0.7), (0.5, 0.88), (0.6, 0.95), (0.7, 1.05)] {
         let smr = SmrConfig {
@@ -102,7 +116,14 @@ pub fn run(scale: Scale) -> Ablations {
             suspect_threshold: k,
             ..SmrConfig::default()
         };
-        points.push(measure(&cfg, bench, scale, "suspect_threshold", k.to_string(), smr));
+        points.push(measure(
+            &cfg,
+            bench,
+            scale,
+            "suspect_threshold",
+            k.to_string(),
+            smr,
+        ));
     }
     Ablations {
         benchmark: bench.name().to_string(),

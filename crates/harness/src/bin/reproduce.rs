@@ -6,13 +6,23 @@
 //! reproduce ext-hetero|ext-stragglers|ext-fair|ext-load   # extensions
 //! reproduce ablations|model-check            # knob sweeps / §III-B1 check
 //! reproduce headline [--quick]               # §V-A claims only
+//! reproduce <fig> --trace trace.json         # + Chrome/Perfetto trace
 //! ```
 //!
 //! Each figure prints its plain-text rendering and writes `<fig>.txt` +
-//! `<fig>.json` under the output directory (default `results/`).
+//! `<fig>.json` under the output directory (default `results/`). Every
+//! figure's JSON carries a `perf` block (ticks simulated, wall time,
+//! ticks/s, peak recorder memory). With `--trace FILE`, telemetry is
+//! enabled for the whole invocation and one Chrome-trace JSON — engine
+//! tick-phase spans, task-lifecycle instants, slot-manager decision
+//! audits, slot-target counters — is written to FILE (open it in
+//! `ui.perfetto.dev`).
 
 use harness::scale::Scale;
-use harness::{ablation, ext_fair, ext_hetero, ext_load, ext_stragglers, fig1, model_check, fig3, fig4, fig5, fig6, fig7, fig89, output, summary};
+use harness::{
+    ablation, ext_fair, ext_hetero, ext_load, ext_stragglers, fig1, fig3, fig4, fig5, fig6, fig7,
+    fig89, model_check, output, summary,
+};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -20,18 +30,23 @@ struct Args {
     target: String,
     scale: Scale,
     out: PathBuf,
+    trace: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut target = None;
     let mut scale = Scale::Full;
     let mut out = PathBuf::from("results");
+    let mut trace = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => scale = Scale::Quick,
             "--out" => {
                 out = PathBuf::from(it.next().ok_or("--out needs a directory")?);
+            }
+            "--trace" => {
+                trace = Some(PathBuf::from(it.next().ok_or("--trace needs a file")?));
             }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other if target.is_none() => target = Some(other.to_string()),
@@ -42,11 +57,30 @@ fn parse_args() -> Result<Args, String> {
         target: target.unwrap_or_else(|| "all".to_string()),
         scale,
         out,
+        trace,
     })
 }
 
 const USAGE: &str =
-    "usage: reproduce [all|fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ext-hetero|ext-stragglers|ext-fair|ext-load|ablations|model-check|headline] [--quick] [--out DIR]";
+    "usage: reproduce [all|fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ext-hetero|ext-stragglers|ext-fair|ext-load|ablations|model-check|headline] [--quick] [--out DIR] [--trace FILE]";
+
+/// The perf-summary block every figure JSON carries.
+fn perf_block(ticks: u64, wall: std::time::Duration) -> serde_json::Value {
+    let telem = harness::runner::active_telemetry();
+    let secs = wall.as_secs_f64();
+    let mut perf = serde_json::Value::Object(Vec::new());
+    perf.set("ticks", serde_json::Value::U64(ticks));
+    perf.set("wall_seconds", serde_json::Value::F64(secs));
+    perf.set(
+        "ticks_per_second",
+        serde_json::Value::F64(if secs > 0.0 { ticks as f64 / secs } else { 0.0 }),
+    );
+    perf.set(
+        "peak_recorder_bytes",
+        serde_json::Value::U64(telem.memory_bytes() as u64),
+    );
+    perf
+}
 
 fn main() -> ExitCode {
     let args = match parse_args() {
@@ -56,13 +90,21 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if args.trace.is_some() {
+        harness::runner::install_telemetry(telemetry::Telemetry::enabled());
+    }
     let scale = args.scale;
     let run_one = |name: &str| -> Result<(), String> {
+        let ticks_before = harness::runner::total_ticks();
+        let wall_start = std::time::Instant::now();
         let (text, json): (String, serde_json::Value) = match name {
             "fig1" => {
                 let d = fig1::run(scale);
                 let _ = output::write_gnuplot(&args.out, "fig1", &fig1::to_gnuplot(&d));
-                (fig1::render(&d), serde_json::to_value(&d).expect("serialise"))
+                (
+                    fig1::render(&d),
+                    serde_json::to_value(&d).expect("serialise"),
+                )
             }
             "fig3" => {
                 let d = fig3::run(scale);
@@ -73,21 +115,33 @@ fn main() -> ExitCode {
             }
             "fig4" => {
                 let d = fig4::run(scale);
-                (fig4::render(&d), serde_json::to_value(&d).expect("serialise"))
+                (
+                    fig4::render(&d),
+                    serde_json::to_value(&d).expect("serialise"),
+                )
             }
             "fig5" => {
                 let d = fig5::run(scale);
                 let _ = output::write_gnuplot(&args.out, "fig5", &fig5::to_gnuplot(&d));
-                (fig5::render(&d), serde_json::to_value(&d).expect("serialise"))
+                (
+                    fig5::render(&d),
+                    serde_json::to_value(&d).expect("serialise"),
+                )
             }
             "fig6" => {
                 let d = fig6::run(scale);
                 let _ = output::write_gnuplot(&args.out, "fig6", &fig6::to_gnuplot(&d));
-                (fig6::render(&d), serde_json::to_value(&d).expect("serialise"))
+                (
+                    fig6::render(&d),
+                    serde_json::to_value(&d).expect("serialise"),
+                )
             }
             "fig7" => {
                 let d = fig7::run(scale);
-                (fig7::render(&d), serde_json::to_value(&d).expect("serialise"))
+                (
+                    fig7::render(&d),
+                    serde_json::to_value(&d).expect("serialise"),
+                )
             }
             "fig8" => {
                 let d = fig89::run_fig8(scale);
@@ -155,6 +209,21 @@ fn main() -> ExitCode {
             }
             other => return Err(format!("unknown target: {other}\n{USAGE}")),
         };
+        let perf = perf_block(
+            harness::runner::total_ticks() - ticks_before,
+            wall_start.elapsed(),
+        );
+        // non-object payloads (e.g. headline's claim list) get wrapped so
+        // the perf block always has somewhere to live
+        let mut json = match json {
+            obj @ serde_json::Value::Object(_) => obj,
+            other => {
+                let mut wrapped = serde_json::Value::Object(Vec::new());
+                wrapped.set("data", other);
+                wrapped
+            }
+        };
+        json.set("perf", perf);
         println!("{text}");
         let (txt, js) =
             output::write_outputs(&args.out, name, &text, &json).map_err(|e| e.to_string())?;
@@ -164,7 +233,15 @@ fn main() -> ExitCode {
 
     let targets: Vec<&str> = if args.target == "all" {
         vec![
-            "fig1", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "ext-hetero",
+            "fig1",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "ext-hetero",
         ]
     } else {
         vec![args.target.as_str()]
@@ -173,6 +250,22 @@ fn main() -> ExitCode {
         if let Err(msg) = run_one(t) {
             eprintln!("{msg}");
             return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &args.trace {
+        let telem = harness::runner::active_telemetry();
+        match telem.chrome_trace() {
+            Some(trace) => {
+                if let Err(e) = std::fs::write(path, trace) {
+                    eprintln!("failed to write trace {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+                println!("[wrote trace {} — open in ui.perfetto.dev]", path.display());
+            }
+            None => {
+                eprintln!("internal error: --trace given but telemetry disabled");
+                return ExitCode::FAILURE;
+            }
         }
     }
     ExitCode::SUCCESS

@@ -88,10 +88,15 @@ pub fn run(scale: Scale) -> ExtFair {
 
 /// Plain-text rendering.
 pub fn render(e: &ExtFair) -> String {
-    let mut out = String::from(
-        "Extension — FIFO vs Fair scheduling (1 large + 3 small Grep jobs)\n\n",
-    );
-    let headers = ["scheduler", "system", "small mean(s)", "large(s)", "makespan(s)"];
+    let mut out =
+        String::from("Extension — FIFO vs Fair scheduling (1 large + 3 small Grep jobs)\n\n");
+    let headers = [
+        "scheduler",
+        "system",
+        "small mean(s)",
+        "large(s)",
+        "makespan(s)",
+    ];
     let rows: Vec<Vec<String>> = e
         .cells
         .iter()
@@ -106,9 +111,7 @@ pub fn render(e: &ExtFair) -> String {
         })
         .collect();
     out.push_str(&table::render_table(&headers, &rows));
-    let speedup = |sys: &str| {
-        e.cell("FIFO", sys).small_mean_s / e.cell("Fair", sys).small_mean_s
-    };
+    let speedup = |sys: &str| e.cell("FIFO", sys).small_mean_s / e.cell("Fair", sys).small_mean_s;
     out.push_str(&format!(
         "\nsmall-job mean speedup from Fair: HadoopV1 {:.2}x, SMapReduce {:.2}x\n",
         speedup("HadoopV1"),

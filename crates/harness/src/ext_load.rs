@@ -81,7 +81,14 @@ pub fn run(scale: Scale) -> ExtLoad {
 /// Plain-text rendering.
 pub fn render(e: &ExtLoad) -> String {
     let mut out = String::from("Extension — sustained mixed load (Poisson arrivals)\n\n");
-    let headers = ["trace", "system", "jobs", "mean exec(s)", "makespan(s)", "cpu util"];
+    let headers = [
+        "trace",
+        "system",
+        "jobs",
+        "mean exec(s)",
+        "makespan(s)",
+        "cpu util",
+    ];
     let rows: Vec<Vec<String>> = e
         .cells
         .iter()

@@ -40,7 +40,9 @@ impl ExtStragglers {
     pub fn cell(&self, environment: &str, system: &str, speculation: bool) -> &StragglerCell {
         self.cells
             .iter()
-            .find(|c| c.environment == environment && c.system == system && c.speculation == speculation)
+            .find(|c| {
+                c.environment == environment && c.system == system && c.speculation == speculation
+            })
             .unwrap_or_else(|| panic!("no cell {environment}/{system}/{speculation}"))
     }
 }
@@ -69,8 +71,7 @@ pub fn run(scale: Scale) -> ExtStragglers {
                     30,
                     Default::default(),
                 );
-                let avg =
-                    run_averaged(&cfg, &[job], &sys, scale.trials()).expect("straggler run");
+                let avg = run_averaged(&cfg, &[job], &sys, scale.trials()).expect("straggler run");
                 cells.push(StragglerCell {
                     environment: env.to_string(),
                     system: avg.system,

@@ -50,7 +50,12 @@ pub fn run(scale: Scale) -> Fig1 {
             for slots in slot_sweep() {
                 let mut cfg = EngineConfig::paper_default();
                 cfg.init_map_slots = slots;
-                let job = bench.job(0, scale.input(bench.default_input_mb()), 30, Default::default());
+                let job = bench.job(
+                    0,
+                    scale.input(bench.default_input_mb()),
+                    30,
+                    Default::default(),
+                );
                 let avg = run_averaged(&cfg, &[job], &System::HadoopV1, scale.trials())
                     .expect("fig1 run");
                 let throughput = avg.sample.jobs[0].input_mb / avg.map_time_s;
@@ -136,7 +141,10 @@ mod tests {
         };
         let (ts, tv, gr) = (knee("Terasort"), knee("TermVector"), knee("Grep"));
         assert!(ts < gr, "Terasort must thrash before Grep: {ts} vs {gr}");
-        assert!(tv <= gr && tv >= ts, "TermVector in between: {ts} {tv} {gr}");
+        assert!(
+            tv <= gr && tv >= ts,
+            "TermVector in between: {ts} {tv} {gr}"
+        );
         // every curve declines after its peak
         for c in &f.curves {
             let peak_thpt = c

@@ -53,7 +53,12 @@ pub fn run(scale: Scale) -> Fig3 {
     let cfg = EngineConfig::paper_default();
     let mut cells = Vec::new();
     for bench in Puma::ALL {
-        let job = bench.job(0, scale.input(bench.default_input_mb()), 30, Default::default());
+        let job = bench.job(
+            0,
+            scale.input(bench.default_input_mb()),
+            30,
+            Default::default(),
+        );
         let rows = run_comparison(&cfg, &[job], scale.trials()).expect("fig3 run");
         for r in rows {
             cells.push(Fig3Cell {
@@ -74,7 +79,12 @@ pub fn render(f: &Fig3) -> String {
     let mut out =
         String::from("Figure 3 — Execution time of each benchmark (map + reduce seconds)\n\n");
     let headers = [
-        "benchmark", "system", "map(s)", "reduce(s)", "total(s)", "thpt(MB/s)",
+        "benchmark",
+        "system",
+        "map(s)",
+        "reduce(s)",
+        "total(s)",
+        "thpt(MB/s)",
     ];
     let rows: Vec<Vec<String>> = f
         .cells

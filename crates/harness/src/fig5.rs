@@ -47,8 +47,7 @@ pub fn run(scale: Scale) -> Fig5 {
                         30,
                         Default::default(),
                     );
-                    let avg =
-                        run_averaged(&cfg, &[job], sys, scale.trials()).expect("fig5 run");
+                    let avg = run_averaged(&cfg, &[job], sys, scale.trials()).expect("fig5 run");
                     (slots, avg.map_time_s)
                 })
                 .collect();

@@ -56,8 +56,7 @@ pub fn run(scale: Scale) -> Fig6 {
                 .iter()
                 .map(|&gb| {
                     let job = bench.job(0, scale.input(gb * 1024.0), 30, Default::default());
-                    let avg =
-                        run_averaged(&cfg, &[job], sys, scale.trials()).expect("fig6 run");
+                    let avg = run_averaged(&cfg, &[job], sys, scale.trials()).expect("fig6 run");
                     (gb, avg.throughput)
                 })
                 .collect();

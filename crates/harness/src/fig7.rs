@@ -89,9 +89,8 @@ pub fn run(scale: Scale) -> Fig7 {
 
 /// Plain-text rendering.
 pub fn render(f: &Fig7) -> String {
-    let mut out = String::from(
-        "Figure 7 — Map time (s) with/without thrashing detection and slow start\n\n",
-    );
+    let mut out =
+        String::from("Figure 7 — Map time (s) with/without thrashing detection and slow start\n\n");
     let headers = ["benchmark", "variant", "map(s)"];
     let rows: Vec<Vec<String>> = f
         .cells
@@ -109,8 +108,14 @@ pub fn render(f: &Fig7) -> String {
         let b = bench.name();
         out.push_str(&format!(
             "\n{b}: noThrashDetect is {} vs full SMapReduce; noSlowStart is {}\n",
-            table::pct_delta(f.map_time(b, "SMR-noThrashDetect"), f.map_time(b, "SMapReduce")),
-            table::pct_delta(f.map_time(b, "SMR-noSlowStart"), f.map_time(b, "SMapReduce")),
+            table::pct_delta(
+                f.map_time(b, "SMR-noThrashDetect"),
+                f.map_time(b, "SMapReduce")
+            ),
+            table::pct_delta(
+                f.map_time(b, "SMR-noSlowStart"),
+                f.map_time(b, "SMapReduce")
+            ),
         ));
     }
     out

@@ -158,9 +158,7 @@ pub fn render(m: &ModelCheck) -> String {
         })
         .collect();
     out.push_str(&table::render_table(&headers, &rows));
-    out.push_str(
-        "\n(fluid model: ignores wave quantisation, ramp-up, and heartbeat latency)\n",
-    );
+    out.push_str("\n(fluid model: ignores wave quantisation, ramp-up, and heartbeat latency)\n");
     out
 }
 

@@ -3,7 +3,7 @@
 //!
 //! The paper averages two physical trials; we average `trials` seeded
 //! simulation runs (default 3). Sweeps fan out across OS threads with
-//! `crossbeam::scope` — each run is independent and deterministic, so the
+//! `std::thread::scope` — each run is independent and deterministic, so the
 //! parallelism changes wall-clock time only.
 
 use mapreduce::policy::{SlotPolicy, StaticSlotPolicy};
@@ -11,7 +11,34 @@ use mapreduce::{Engine, EngineConfig, JobSpec, RunReport};
 use serde::{Deserialize, Serialize};
 use simgrid::error::SimError;
 use smapreduce::{HeteroSlotManagerPolicy, SlotManagerPolicy, SmrConfig};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 use yarn::CapacityPolicy;
+
+/// Process-wide telemetry sink every [`run_once`] threads into the engine.
+/// Disabled (and allocation-free) unless [`install_telemetry`] was called —
+/// the `reproduce --trace` path.
+static TELEMETRY: OnceLock<telemetry::Telemetry> = OnceLock::new();
+
+/// Engine ticks simulated by this process across all runs and threads
+/// (perf-summary input).
+static TOTAL_TICKS: AtomicU64 = AtomicU64::new(0);
+
+/// Install the process-wide telemetry sink used by all subsequent runs.
+/// Returns `false` if a sink was already installed (the first one wins).
+pub fn install_telemetry(telem: telemetry::Telemetry) -> bool {
+    TELEMETRY.set(telem).is_ok()
+}
+
+/// The installed sink, or a disabled handle when none was installed.
+pub fn active_telemetry() -> telemetry::Telemetry {
+    TELEMETRY.get().cloned().unwrap_or_default()
+}
+
+/// Total engine ticks simulated by this process so far.
+pub fn total_ticks() -> u64 {
+    TOTAL_TICKS.load(Ordering::Relaxed)
+}
 
 /// Which system to run a workload under.
 #[derive(Debug, Clone)]
@@ -84,7 +111,9 @@ pub fn run_once(
     let mut cfg = cfg.clone();
     cfg.seed = seed;
     let mut policy = system.make_policy();
-    Engine::new(cfg).run(jobs, policy.as_mut())
+    let report = Engine::new(cfg).run_with(jobs, policy.as_mut(), &active_telemetry())?;
+    TOTAL_TICKS.fetch_add(report.ticks, Ordering::Relaxed);
+    Ok(report)
 }
 
 /// Run `jobs` under `system` for `trials` seeds and average the timings.
@@ -102,9 +131,8 @@ pub fn run_averaged(
     }
     let njobs = reports[0].jobs.len() as f64;
     let nt = trials as f64;
-    let mean_over = |f: &dyn Fn(&RunReport) -> f64| -> f64 {
-        reports.iter().map(f).sum::<f64>() / nt
-    };
+    let mean_over =
+        |f: &dyn Fn(&RunReport) -> f64| -> f64 { reports.iter().map(f).sum::<f64>() / nt };
     let per_job = |f: &dyn Fn(&mapreduce::JobReport) -> f64| -> f64 {
         reports
             .iter()
@@ -133,14 +161,13 @@ pub fn run_comparison(
     let systems = System::all();
     let mut out: Vec<Option<Result<AveragedRun, SimError>>> =
         systems.iter().map(|_| None).collect();
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         for (slot, system) in out.iter_mut().zip(systems.iter()) {
-            s.spawn(move |_| {
+            s.spawn(move || {
                 *slot = Some(run_averaged(cfg, jobs, system, trials));
             });
         }
-    })
-    .expect("comparison threads");
+    });
     out.into_iter()
         .map(|r| r.expect("thread filled slot"))
         .collect()

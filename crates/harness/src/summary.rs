@@ -60,10 +60,15 @@ pub fn headline_claims(fig3: &Fig3) -> Vec<Claim> {
     });
 
     // the biggest gains are on map-heavy jobs
-    let map_heavy_min = ["Grep", "HistogramMovies", "HistogramRatings", "Classification"]
-        .iter()
-        .map(|b| fig3.gain_over(b, "HadoopV1"))
-        .fold(f64::INFINITY, f64::min);
+    let map_heavy_min = [
+        "Grep",
+        "HistogramMovies",
+        "HistogramRatings",
+        "Classification",
+    ]
+    .iter()
+    .map(|b| fig3.gain_over(b, "HadoopV1"))
+    .fold(f64::INFINITY, f64::min);
     let reduce_heavy_max = ["Terasort", "RankedInvertedIndex", "SelfJoin"]
         .iter()
         .map(|b| fig3.gain_over(b, "HadoopV1"))
@@ -150,7 +155,10 @@ mod tests {
             }
         }
         let claims = headline_claims(&f);
-        let ts = claims.iter().find(|c| c.id == "Terasort exception").unwrap();
+        let ts = claims
+            .iter()
+            .find(|c| c.id == "Terasort exception")
+            .unwrap();
         assert!(!ts.holds);
     }
 

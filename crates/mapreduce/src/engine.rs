@@ -22,12 +22,13 @@ use dfs::NameNode;
 use serde::{Deserialize, Serialize};
 use simgrid::cluster::{ClusterSpec, NodeId};
 use simgrid::error::SimError;
-use simgrid::metrics::TimeSeries;
+use simgrid::metrics::RecordedSeries;
 use simgrid::network::{Fabric, FabricConfig, Flow, FlowId};
 use simgrid::node::allocate_node;
 use simgrid::rng::SimRng;
 use simgrid::time::{SimDuration, SimTime, TickConfig};
 use std::collections::{BTreeMap, HashMap};
+use telemetry::Telemetry;
 
 /// All knobs of one simulated deployment.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -210,11 +211,25 @@ impl Engine {
         jobs: Vec<JobSpec>,
         policy: &mut dyn SlotPolicy,
     ) -> Result<RunReport, SimError> {
+        self.run_with(jobs, policy, &Telemetry::disabled())
+    }
+
+    /// Run `jobs` to completion under `policy`, recording tick-phase spans,
+    /// slot-count tracks and lifecycle/decision instants into `telem`.
+    /// Telemetry is strictly observational: a run produces bit-identical
+    /// results whether the handle is enabled, disabled, or shared.
+    pub fn run_with(
+        &self,
+        jobs: Vec<JobSpec>,
+        policy: &mut dyn SlotPolicy,
+        telem: &Telemetry,
+    ) -> Result<RunReport, SimError> {
         self.config.validate()?;
         if jobs.is_empty() {
             return Err(SimError::InvalidConfig("no jobs submitted".into()));
         }
-        let mut sim = Sim::new(&self.config, jobs, policy)?;
+        policy.attach_telemetry(telem);
+        let mut sim = Sim::new(&self.config, jobs, policy, telem.clone())?;
         sim.run_to_completion()
     }
 }
@@ -233,11 +248,19 @@ struct Sim<'p> {
     fabric: Fabric,
     rng: SimRng,
     now: SimTime,
-    map_slot_series: TimeSeries,
-    reduce_slot_series: TimeSeries,
+    map_slot_series: RecordedSeries,
+    reduce_slot_series: RecordedSeries,
     slot_changes: u64,
     heartbeat_round: u64,
     events: EventLog,
+    telem: Telemetry,
+    /// Ticks executed so far (reported; also mirrored to a metrics counter).
+    ticks: u64,
+    tick_counter: telemetry::Counter,
+    heartbeat_counter: telemetry::Counter,
+    /// Per-tick wall-clock histogram (µs); only fed under the `profiling`
+    /// feature, where the extra clock reads are accepted.
+    tick_duration_us: telemetry::Histogram,
     speculative_attempts: u64,
     speculative_wins: u64,
     /// Injected failure points: attempt → progress fraction at which it
@@ -257,6 +280,7 @@ impl<'p> Sim<'p> {
         cfg: &EngineConfig,
         specs: Vec<JobSpec>,
         policy: &'p mut dyn SlotPolicy,
+        telem: Telemetry,
     ) -> Result<Sim<'p>, SimError> {
         let root = SimRng::new(cfg.seed);
         let mut namenode = NameNode::new(
@@ -289,6 +313,8 @@ impl<'p> Sim<'p> {
                 stall_ms: 0,
             })
             .collect();
+        let mut events = EventLog::new(cfg.record_events);
+        events.set_sink(telem.clone());
         Ok(Sim {
             sched: FifoScheduler {
                 reduce_slowstart: cfg.reduce_slowstart,
@@ -304,11 +330,16 @@ impl<'p> Sim<'p> {
             running_maps: BTreeMap::new(),
             running_reduces: BTreeMap::new(),
             now: SimTime::ZERO,
-            map_slot_series: TimeSeries::new(),
-            reduce_slot_series: TimeSeries::new(),
+            map_slot_series: RecordedSeries::new("map_slot_target", telem.clone()),
+            reduce_slot_series: RecordedSeries::new("reduce_slot_target", telem.clone()),
             slot_changes: 0,
             heartbeat_round: 0,
-            events: EventLog::new(cfg.record_events),
+            events,
+            ticks: 0,
+            tick_counter: telem.counter("engine.ticks"),
+            heartbeat_counter: telem.counter("engine.heartbeat_rounds"),
+            tick_duration_us: telem.histogram("engine.tick_duration_us"),
+            telem,
             speculative_attempts: 0,
             speculative_wins: 0,
             failure_points: HashMap::new(),
@@ -321,12 +352,25 @@ impl<'p> Sim<'p> {
 
     fn run_to_completion(&mut self) -> Result<RunReport, SimError> {
         loop {
+            let tick_start = self.telem.clock_us();
+            let sim_ms = self.now.as_millis();
             if self.now.is_multiple_of(self.cfg.heartbeat) {
+                let t0 = self.telem.clock_us();
                 self.heartbeat_round();
+                self.telem
+                    .record_span("engine", "heartbeat_round", t0, sim_ms);
             }
             self.advance_tick();
             if self.now.is_multiple_of(self.cfg.sample_period) {
+                let t0 = self.telem.clock_us();
                 self.sample();
+                self.telem.record_span("engine", "sample", t0, sim_ms);
+            }
+            self.ticks += 1;
+            self.tick_counter.inc();
+            if telemetry::PROFILING_ENABLED {
+                let end = self.telem.clock_us();
+                self.tick_duration_us.record(end.saturating_sub(tick_start));
             }
             self.now += self.cfg.tick.tick;
             if self.jobs.iter().all(|j| j.is_finished()) {
@@ -363,7 +407,11 @@ impl<'p> Sim<'p> {
     // ------------------------------------------------------------------
 
     fn heartbeat_round(&mut self) {
+        let sim_ms = self.now.as_millis();
+        let t0 = self.telem.clock_us();
         let stats = self.aggregate_stats();
+        self.telem
+            .record_span("heartbeat", "aggregate_stats", t0, sim_ms);
         let snapshots: Vec<TrackerSnapshot> = self
             .trackers
             .iter()
@@ -383,7 +431,10 @@ impl<'p> Sim<'p> {
             init_map_slots: self.cfg.init_map_slots,
             init_reduce_slots: self.cfg.init_reduce_slots,
         };
+        let t0 = self.telem.clock_us();
         let directives = self.policy.decide(&ctx);
+        self.telem
+            .record_span("heartbeat", "policy_decide", t0, sim_ms);
         let overhead = self.policy.directive_overhead_ms();
         for d in directives {
             let tr = &mut self.trackers[d.node.0];
@@ -400,11 +451,15 @@ impl<'p> Sim<'p> {
                 });
             }
         }
+        let t0 = self.telem.clock_us();
         self.assign_tasks();
         if self.cfg.speculative_maps {
             self.launch_speculative_backups();
         }
+        self.telem
+            .record_span("heartbeat", "assign_tasks", t0, sim_ms);
         self.heartbeat_round += 1;
+        self.heartbeat_counter.inc();
     }
 
     /// Harvest every tracker's meters and aggregate active-job state.
@@ -515,10 +570,16 @@ impl<'p> Sim<'p> {
     // ------------------------------------------------------------------
 
     fn advance_tick(&mut self) {
+        let sim_ms = self.now.as_millis();
         let dt = self.cfg.tick.dt_secs();
+        let t0 = self.telem.clock_us();
         let scales = self.allocate_nodes();
+        self.telem.record_span("tick", "allocate_nodes", t0, sim_ms);
+        let t0 = self.telem.clock_us();
         let (flows, purposes) = self.build_flows(dt, &scales);
         let rates = self.fabric.allocate(&flows);
+        self.telem
+            .record_span("tick", "network_allocate", t0, sim_ms);
 
         // index flow grants by purpose
         let mut map_read_rate: HashMap<MapAttemptId, f64> = HashMap::new();
@@ -535,8 +596,13 @@ impl<'p> Sim<'p> {
             }
         }
 
+        let t0 = self.telem.clock_us();
         self.advance_maps(dt, &scales, &map_read_rate);
+        self.telem.record_span("tick", "advance_maps", t0, sim_ms);
+        let t0 = self.telem.clock_us();
         self.advance_reduces(dt, &scales, &fetch_rate);
+        self.telem
+            .record_span("tick", "advance_reduces", t0, sim_ms);
 
         // decay management stalls
         let tick_ms = self.cfg.tick.tick.as_millis();
@@ -561,10 +627,7 @@ impl<'p> Sim<'p> {
         }
         let tick_ms = self.cfg.tick.tick.as_millis() as f64;
         let dt = self.cfg.tick.dt_secs();
-        let any_active = self
-            .jobs
-            .iter()
-            .any(|j| j.is_active(self.now));
+        let any_active = self.jobs.iter().any(|j| j.is_active(self.now));
         let mut out = BTreeMap::new();
         for (n, tasks) in node_tasks.iter().enumerate() {
             if any_active {
@@ -828,8 +891,7 @@ impl<'p> Sim<'p> {
         let min_rt = self.cfg.speculation_min_runtime;
         for j in 0..self.jobs.len() {
             let job = &self.jobs[j];
-            if !job.is_active(now) || !job.pending_map_blocks.is_empty() || job.all_maps_done()
-            {
+            if !job.is_active(now) || !job.pending_map_blocks.is_empty() || job.all_maps_done() {
                 continue;
             }
             // LATE-style trigger: an original attempt is a straggler when
@@ -853,7 +915,9 @@ impl<'p> Sim<'p> {
                         && now.since(t.started_at) >= min_rt
                         && now.since(t.started_at).as_secs_f64() > overdue
                         && t.progress() < 0.95
-                        && !self.running_maps.contains_key(&MapAttemptId::backup(a.task))
+                        && !self
+                            .running_maps
+                            .contains_key(&MapAttemptId::backup(a.task))
                         && !self.jobs[j].completed_blocks[a.task.index]
                 })
                 .map(|(a, t)| (*a, t.progress()))
@@ -1052,12 +1116,7 @@ impl<'p> Sim<'p> {
             if !job.is_submitted(now) {
                 continue;
             }
-            if job.is_finished()
-                && job
-                    .progress
-                    .last()
-                    .is_some_and(|(_, v)| v >= 200.0 - 1e-6)
-            {
+            if job.is_finished() && job.progress.last().is_some_and(|(_, v)| v >= 200.0 - 1e-6) {
                 // final 200% sample already recorded
                 continue;
             }
@@ -1099,8 +1158,8 @@ impl<'p> Sim<'p> {
         RunReport {
             policy: self.policy.name().to_string(),
             jobs,
-            map_slot_series: self.map_slot_series.clone(),
-            reduce_slot_series: self.reduce_slot_series.clone(),
+            map_slot_series: self.map_slot_series.series().clone(),
+            reduce_slot_series: self.reduce_slot_series.series().clone(),
             slot_changes: self.slot_changes,
             events: self.events.clone(),
             speculative_attempts: self.speculative_attempts,
@@ -1112,6 +1171,7 @@ impl<'p> Sim<'p> {
                 0.0
             },
             network_mb: self.network_mb,
+            ticks: self.ticks,
         }
     }
 }
@@ -1238,7 +1298,13 @@ mod tests {
             .is_err());
         let mut bad = cfg.clone();
         bad.init_map_slots = 0;
-        let job = JobSpec::new(0, JobProfile::synthetic_map_heavy(), 128.0, 1, SimTime::ZERO);
+        let job = JobSpec::new(
+            0,
+            JobProfile::synthetic_map_heavy(),
+            128.0,
+            1,
+            SimTime::ZERO,
+        );
         assert!(Engine::new(bad)
             .run(vec![job.clone()], &mut StaticSlotPolicy)
             .is_err());
@@ -1252,8 +1318,16 @@ mod tests {
     #[test]
     fn rejects_non_dense_job_ids() {
         let cfg = EngineConfig::small_test(2, 1);
-        let job = JobSpec::new(3, JobProfile::synthetic_map_heavy(), 128.0, 1, SimTime::ZERO);
-        assert!(Engine::new(cfg).run(vec![job], &mut StaticSlotPolicy).is_err());
+        let job = JobSpec::new(
+            3,
+            JobProfile::synthetic_map_heavy(),
+            128.0,
+            1,
+            SimTime::ZERO,
+        );
+        assert!(Engine::new(cfg)
+            .run(vec![job], &mut StaticSlotPolicy)
+            .is_err());
     }
 
     #[test]
@@ -1325,7 +1399,10 @@ mod tests {
         let j = r.single();
         assert!(r.map_failures > 0, "failures should have been injected");
         assert_eq!(j.num_maps, 16, "all blocks still delivered");
-        assert!((j.shuffle_mb - 2048.0 * 0.02).abs() < 1e-6, "no double output");
+        assert!(
+            (j.shuffle_mb - 2048.0 * 0.02).abs() < 1e-6,
+            "no double output"
+        );
         let (_, p) = j.progress.last().unwrap();
         assert!(p >= 200.0 - 1e-6);
     }
@@ -1348,15 +1425,26 @@ mod tests {
             .run(vec![job], &mut StaticSlotPolicy)
             .unwrap();
         let j = r.single();
-        assert!((j.shuffle_mb - 1024.0).abs() < 1e-6, "exactly-once delivery");
+        assert!(
+            (j.shuffle_mb - 1024.0).abs() < 1e-6,
+            "exactly-once delivery"
+        );
     }
 
     #[test]
     fn invalid_failure_rate_rejected() {
         let mut cfg = EngineConfig::small_test(2, 1);
         cfg.map_failure_rate = 1.0;
-        let job = JobSpec::new(0, JobProfile::synthetic_map_heavy(), 128.0, 1, SimTime::ZERO);
-        assert!(Engine::new(cfg).run(vec![job], &mut StaticSlotPolicy).is_err());
+        let job = JobSpec::new(
+            0,
+            JobProfile::synthetic_map_heavy(),
+            128.0,
+            1,
+            SimTime::ZERO,
+        );
+        assert!(Engine::new(cfg)
+            .run(vec![job], &mut StaticSlotPolicy)
+            .is_err());
     }
 
     #[test]
@@ -1375,7 +1463,9 @@ mod tests {
             .run(vec![job.clone()], &mut StaticSlotPolicy)
             .unwrap();
         cfg.init_map_slots = 6;
-        let fast = Engine::new(cfg).run(vec![job], &mut StaticSlotPolicy).unwrap();
+        let fast = Engine::new(cfg)
+            .run(vec![job], &mut StaticSlotPolicy)
+            .unwrap();
         assert!(
             fast.single().map_time() < slow.single().map_time(),
             "6 slots {:?} should beat 2 slots {:?}",

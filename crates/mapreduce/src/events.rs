@@ -88,11 +88,15 @@ impl Event {
 }
 
 /// An append-only, time-ordered event log. Disabled logs drop events with
-/// no allocation cost.
+/// no allocation cost. An optional telemetry sink mirrors every event as a
+/// trace instant, independent of whether the log itself retains it — the
+/// sink is observational and never serialized with the log.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct EventLog {
     enabled: bool,
     events: Vec<Event>,
+    #[serde(skip)]
+    sink: telemetry::Telemetry,
 }
 
 impl EventLog {
@@ -100,16 +104,23 @@ impl EventLog {
         EventLog {
             enabled,
             events: Vec::new(),
+            sink: telemetry::Telemetry::disabled(),
         }
+    }
+
+    /// Mirror all subsequent events to `sink` as `lifecycle` instants.
+    pub fn set_sink(&mut self, sink: telemetry::Telemetry) {
+        self.sink = sink;
     }
 
     pub fn is_enabled(&self) -> bool {
         self.enabled
     }
 
-    /// Append an event (no-op when disabled). Time order is enforced in
-    /// debug builds.
+    /// Append an event (no-op when disabled; still mirrored to the sink).
+    /// Time order is enforced in debug builds.
     pub fn push(&mut self, e: Event) {
+        self.mirror(&e);
         if !self.enabled {
             return;
         }
@@ -118,6 +129,96 @@ impl EventLog {
             "events must be appended in time order"
         );
         self.events.push(e);
+    }
+
+    fn mirror(&self, e: &Event) {
+        if !self.sink.is_enabled() {
+            return;
+        }
+        use telemetry::ArgValue as V;
+        let sim_ms = e.at().as_millis();
+        let (name, args): (&'static str, Vec<(&'static str, V)>) = match *e {
+            Event::MapLaunched {
+                id,
+                node,
+                remote_read,
+                ..
+            } => (
+                "map_launched",
+                vec![
+                    ("job", V::U64(id.job.0 as u64)),
+                    ("index", V::U64(id.index as u64)),
+                    ("node", V::U64(node.0 as u64)),
+                    ("remote_read", V::Bool(remote_read)),
+                ],
+            ),
+            Event::MapCompleted {
+                id,
+                node,
+                output_mb,
+                ..
+            } => (
+                "map_completed",
+                vec![
+                    ("job", V::U64(id.job.0 as u64)),
+                    ("index", V::U64(id.index as u64)),
+                    ("node", V::U64(node.0 as u64)),
+                    ("output_mb", V::F64(output_mb)),
+                ],
+            ),
+            Event::MapKilled { id, node, .. } => (
+                "map_killed",
+                vec![
+                    ("job", V::U64(id.job.0 as u64)),
+                    ("index", V::U64(id.index as u64)),
+                    ("node", V::U64(node.0 as u64)),
+                ],
+            ),
+            Event::ReduceLaunched { id, node, .. } => (
+                "reduce_launched",
+                vec![
+                    ("job", V::U64(id.job.0 as u64)),
+                    ("partition", V::U64(id.partition as u64)),
+                    ("node", V::U64(node.0 as u64)),
+                ],
+            ),
+            Event::ShuffleCompleted {
+                id, partition_mb, ..
+            } => (
+                "shuffle_completed",
+                vec![
+                    ("job", V::U64(id.job.0 as u64)),
+                    ("partition", V::U64(id.partition as u64)),
+                    ("partition_mb", V::F64(partition_mb)),
+                ],
+            ),
+            Event::ReduceCompleted { id, node, .. } => (
+                "reduce_completed",
+                vec![
+                    ("job", V::U64(id.job.0 as u64)),
+                    ("partition", V::U64(id.partition as u64)),
+                    ("node", V::U64(node.0 as u64)),
+                ],
+            ),
+            Event::BarrierCrossed { job, .. } => {
+                ("barrier_crossed", vec![("job", V::U64(job.0 as u64))])
+            }
+            Event::SlotTargetsChanged {
+                node,
+                map_slots,
+                reduce_slots,
+                ..
+            } => (
+                "slot_targets_changed",
+                vec![
+                    ("node", V::U64(node.0 as u64)),
+                    ("map_slots", V::U64(map_slots as u64)),
+                    ("reduce_slots", V::U64(reduce_slots as u64)),
+                ],
+            ),
+            Event::JobFinished { job, .. } => ("job_finished", vec![("job", V::U64(job.0 as u64))]),
+        };
+        self.sink.instant("lifecycle", name, sim_ms, &args);
     }
 
     pub fn events(&self) -> &[Event] {
@@ -206,6 +307,21 @@ mod tests {
             at: SimTime::from_secs(1),
             job: JobId(0),
         });
+    }
+
+    #[test]
+    fn sink_mirrors_even_when_log_disabled() {
+        let sink = telemetry::Telemetry::with_capacity(4, 4);
+        let mut log = EventLog::new(false);
+        log.set_sink(sink.clone());
+        log.push(Event::BarrierCrossed {
+            at: SimTime::from_secs(2),
+            job: JobId(3),
+        });
+        assert!(log.is_empty(), "disabled log retains nothing");
+        assert_eq!(sink.instant_count(), 1, "but the sink saw the event");
+        let json = sink.chrome_trace().unwrap();
+        assert!(json.contains("barrier_crossed"));
     }
 
     #[test]

@@ -164,15 +164,31 @@ impl JobProfile {
     /// Panics if the profile is internally inconsistent. Builders call this
     /// so a bad catalog entry fails fast, at construction.
     pub fn validated(self) -> JobProfile {
-        assert!(self.map_rate > 0.0, "{}: map_rate must be positive", self.name);
-        assert!(self.sort_rate > 0.0, "{}: sort_rate must be positive", self.name);
-        assert!(self.reduce_rate > 0.0, "{}: reduce_rate must be positive", self.name);
+        assert!(
+            self.map_rate > 0.0,
+            "{}: map_rate must be positive",
+            self.name
+        );
+        assert!(
+            self.sort_rate > 0.0,
+            "{}: sort_rate must be positive",
+            self.name
+        );
+        assert!(
+            self.reduce_rate > 0.0,
+            "{}: reduce_rate must be positive",
+            self.name
+        );
         assert!(
             self.map_selectivity >= 0.0,
             "{}: negative selectivity",
             self.name
         );
-        assert!(self.shuffle_fetchers >= 1, "{}: need >=1 fetcher", self.name);
+        assert!(
+            self.shuffle_fetchers >= 1,
+            "{}: need >=1 fetcher",
+            self.name
+        );
         assert!(
             self.shuffle_merge_rate > 0.0,
             "{}: shuffle_merge_rate must be positive",
@@ -379,13 +395,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one reduce")]
     fn zero_reduces_rejected() {
-        let _ = JobSpec::new(
-            0,
-            JobProfile::synthetic_map_heavy(),
-            10.0,
-            0,
-            SimTime::ZERO,
-        );
+        let _ = JobSpec::new(0, JobProfile::synthetic_map_heavy(), 10.0, 0, SimTime::ZERO);
     }
 
     #[test]

@@ -65,6 +65,11 @@ pub trait SlotPolicy {
     fn directive_overhead_ms(&self) -> u64 {
         0
     }
+
+    /// Give the policy a telemetry handle to emit decision-audit events
+    /// through. Called by the engine before a run starts; policies without
+    /// observability needs ignore it.
+    fn attach_telemetry(&mut self, _telem: &telemetry::Telemetry) {}
 }
 
 /// HadoopV1: statically configured slots, never adjusted at runtime.

@@ -93,6 +93,10 @@ pub struct RunReport {
     pub cpu_utilisation: f64,
     /// Total MB moved over the fabric (shuffle fetches + remote reads).
     pub network_mb: f64,
+    /// Simulation ticks executed by the engine for this run (perf-summary
+    /// input: wall time / ticks gives the engine's ticks-per-second).
+    #[serde(default)]
+    pub ticks: u64,
 }
 
 impl RunReport {
@@ -173,6 +177,7 @@ mod tests {
             map_failures: 0,
             cpu_utilisation: 0.0,
             network_mb: 0.0,
+            ticks: 0,
         };
         assert_eq!(run.mean_execution_time().as_secs_f64(), 150.0);
         assert_eq!(run.makespan().as_secs_f64(), 205.0);
@@ -192,6 +197,7 @@ mod tests {
             map_failures: 0,
             cpu_utilisation: 0.0,
             network_mb: 0.0,
+            ticks: 0,
         };
         assert_eq!(run.mean_execution_time(), SimDuration::ZERO);
         assert_eq!(run.makespan(), SimDuration::ZERO);
@@ -212,6 +218,7 @@ mod tests {
             map_failures: 0,
             cpu_utilisation: 0.0,
             network_mb: 0.0,
+            ticks: 0,
         };
         let _ = run.single();
     }

@@ -54,7 +54,11 @@ pub struct JobInProgress {
 impl JobInProgress {
     pub fn new(spec: JobSpec, layout: FileLayout, workers: usize) -> JobInProgress {
         let num_maps = layout.num_blocks();
-        assert!(num_maps > 0, "job {} has no input blocks", spec.profile.name);
+        assert!(
+            num_maps > 0,
+            "job {} has no input blocks",
+            spec.profile.name
+        );
         let num_reduces = spec.num_reduces;
         JobInProgress {
             shuffle: ShuffleState::new(workers, num_reduces),
@@ -187,36 +191,34 @@ impl FifoScheduler {
             |j| !j.pending_map_blocks.is_empty(),
             |j| j.running_maps,
         );
-        for ji in order {
-            let job = &mut jobs[ji];
-            // local block if any, else the head of the queue
-            let pos = job
-                .pending_map_blocks
-                .iter()
-                .position(|&b| job.layout.is_local(dfs::BlockId(b), node))
-                .unwrap_or(0);
-            let block_index = job.pending_map_blocks.remove(pos);
-            let block = &job.layout.blocks[block_index];
-            let remote_src = if block.is_local_to(node) {
-                None
-            } else {
-                // stream from the first replica holder (HDFS picks the
-                // "closest"; on one rack any holder is equivalent)
-                Some(block.replicas[0])
-            };
-            job.running_maps += 1;
-            job.first_launch.get_or_insert(now);
-            return Some(MapAssignment {
-                id: MapTaskId {
-                    job: job.spec.id,
-                    index: block_index,
-                },
-                block_index,
-                input_mb: block.size_mb,
-                remote_src,
-            });
-        }
-        None
+        let ji = *order.first()?;
+        let job = &mut jobs[ji];
+        // local block if any, else the head of the queue
+        let pos = job
+            .pending_map_blocks
+            .iter()
+            .position(|&b| job.layout.is_local(dfs::BlockId(b), node))
+            .unwrap_or(0);
+        let block_index = job.pending_map_blocks.remove(pos);
+        let block = &job.layout.blocks[block_index];
+        let remote_src = if block.is_local_to(node) {
+            None
+        } else {
+            // stream from the first replica holder (HDFS picks the
+            // "closest"; on one rack any holder is equivalent)
+            Some(block.replicas[0])
+        };
+        job.running_maps += 1;
+        job.first_launch.get_or_insert(now);
+        Some(MapAssignment {
+            id: MapTaskId {
+                job: job.spec.id,
+                index: block_index,
+            },
+            block_index,
+            input_mb: block.size_mb,
+            remote_src,
+        })
     }
 
     /// Pick the next reduce task for a free reduce slot (reduces have no
@@ -229,17 +231,15 @@ impl FifoScheduler {
             |j| !j.pending_reduce_parts.is_empty() && j.reduces_eligible(slowstart),
             |j| j.running_reduces,
         );
-        for ji in order {
-            let job = &mut jobs[ji];
-            let partition = job.pending_reduce_parts.remove(0);
-            job.running_reduces += 1;
-            job.first_launch.get_or_insert(now);
-            return Some(ReduceTaskId {
-                job: job.spec.id,
-                partition,
-            });
-        }
-        None
+        let ji = *order.first()?;
+        let job = &mut jobs[ji];
+        let partition = job.pending_reduce_parts.remove(0);
+        job.running_reduces += 1;
+        job.first_launch.get_or_insert(now);
+        Some(ReduceTaskId {
+            job: job.spec.id,
+            partition,
+        })
     }
 }
 
@@ -348,7 +348,9 @@ mod tests {
     fn unsubmitted_job_not_scheduled() {
         let mut jobs = vec![job(0, 256.0, 100)];
         let sched = FifoScheduler::default();
-        assert!(sched.pick_map(&mut jobs, NodeId(0), SimTime::ZERO).is_none());
+        assert!(sched
+            .pick_map(&mut jobs, NodeId(0), SimTime::ZERO)
+            .is_none());
         assert!(sched
             .pick_map(&mut jobs, NodeId(0), SimTime::from_secs(100))
             .is_some());

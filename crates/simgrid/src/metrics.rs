@@ -70,12 +70,50 @@ impl TimeSeries {
             return self.points.clone();
         }
         let stride = self.points.len().div_ceil(max_points);
-        let mut out: Vec<(SimTime, f64)> =
-            self.points.iter().step_by(stride).copied().collect();
+        let mut out: Vec<(SimTime, f64)> = self.points.iter().step_by(stride).copied().collect();
         if out.last() != self.points.last() {
             out.push(*self.points.last().expect("non-empty"));
         }
         out
+    }
+}
+
+/// A [`TimeSeries`] that mirrors every sample to a telemetry counter
+/// track, so recorded curves (slot counts, progress) show up in Chrome
+/// traces without changing any series consumer. With a disabled sink this
+/// is exactly a `TimeSeries` plus one branch per push.
+#[derive(Debug, Clone)]
+pub struct RecordedSeries {
+    name: &'static str,
+    series: TimeSeries,
+    sink: telemetry::Telemetry,
+}
+
+impl RecordedSeries {
+    pub fn new(name: &'static str, sink: telemetry::Telemetry) -> RecordedSeries {
+        RecordedSeries {
+            name,
+            series: TimeSeries::new(),
+            sink,
+        }
+    }
+
+    /// Append a sample, mirroring it to the sink's counter track.
+    pub fn push(&mut self, t: SimTime, v: f64) {
+        self.series.push(t, v);
+        self.sink.counter_sample(self.name, t.as_millis(), v);
+    }
+
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    pub fn series(&self) -> &TimeSeries {
+        &self.series
+    }
+
+    pub fn into_series(self) -> TimeSeries {
+        self.series
     }
 }
 
@@ -263,6 +301,22 @@ mod tests {
         let mut short = TimeSeries::new();
         short.push(t(0), 1.0);
         assert_eq!(short.thinned(50).len(), 1);
+    }
+
+    #[test]
+    fn recorded_series_mirrors_to_sink() {
+        let sink = telemetry::Telemetry::with_capacity(8, 8);
+        let mut rs = RecordedSeries::new("map_slots", sink.clone());
+        rs.push(t(1), 12.0);
+        rs.push(t(2), 16.0);
+        assert_eq!(rs.series().len(), 2);
+        assert_eq!(rs.name(), "map_slots");
+        let json = sink.chrome_trace().unwrap();
+        assert!(json.contains("map_slots"));
+        // disabled sink: plain TimeSeries behaviour
+        let mut quiet = RecordedSeries::new("x", telemetry::Telemetry::disabled());
+        quiet.push(t(1), 1.0);
+        assert_eq!(quiet.into_series().len(), 1);
     }
 
     #[test]

@@ -271,7 +271,10 @@ mod tests {
         assert!((r[&FlowId(1)] - r[&FlowId(2)]).abs() < 1e-9);
         let total = r[&FlowId(1)] + r[&FlowId(2)];
         assert!(total <= f.config.ingress_capacity(2) + 1e-9);
-        assert!(total >= f.config.ingress_capacity(2) - 1e-6, "work-conserving");
+        assert!(
+            total >= f.config.ingress_capacity(2) - 1e-6,
+            "work-conserving"
+        );
     }
 
     #[test]

@@ -1,0 +1,181 @@
+//! Decision audit log: every slot-manager verdict with the inputs that
+//! produced it.
+//!
+//! The paper's evaluation reasons about *why* the manager moved — which
+//! balance factor it saw, whether the slow-start gate was open, what the
+//! thrashing detector believed about each slot level. [`AuditLog`] captures
+//! exactly that: one [`DecisionRecord`] per decision, holding the balance
+//! factor `f = R_s / R_m`, the window-averaged rates, the per-level EWMA
+//! estimates, and the gating flags. Records are kept in memory for
+//! programmatic analysis and, when a telemetry sink is attached, mirrored
+//! as `audit` instants into the Chrome trace so they line up with the
+//! engine's tick spans in Perfetto.
+
+use crate::slot_manager::Decision;
+use serde::{Deserialize, Serialize};
+use simgrid::time::SimTime;
+
+/// The measured inputs a decision was based on. `Copy` so call sites can
+/// assemble it once and hand it to every decision branch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DecisionInputs {
+    /// Window-averaged total map output rate `R_t` (MB/s).
+    pub rt: f64,
+    /// Window-averaged shuffle rate `R_s` (MB/s).
+    pub rs: f64,
+    /// Required shuffle rate `R_m` (MB/s), §IV-A3's
+    /// `(shuffling / total) · R_t`.
+    pub rm: f64,
+    /// Balance factor `f = R_s / R_m`; `None` when `R_m ≈ 0` (no reduces
+    /// shuffling yet).
+    pub f: Option<f64>,
+    /// Slow-start gate state (§IV-A1).
+    pub gate_open: bool,
+    /// Whether actual occupancy had settled at the target (lazy shrinking
+    /// makes mid-transition rates meaningless).
+    pub occupancy_settled: bool,
+    /// Whether the balance window held enough history to act.
+    pub window_warm: bool,
+}
+
+/// One audited decision: verdict plus inputs plus detector state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionRecord {
+    pub at: SimTime,
+    pub decision: Decision,
+    pub inputs: DecisionInputs,
+    /// Uniform per-tracker map target *after* the decision applied.
+    pub map_target: usize,
+    /// Uniform per-tracker reduce target *after* the decision applied.
+    pub reduce_target: usize,
+    /// True while a slot increase is still under thrashing evaluation.
+    pub check_pending: bool,
+    /// Detector ceiling, if thrashing was ever confirmed.
+    pub ceiling: Option<usize>,
+    /// Per-slot-level stable rate estimates `(slots, MB/s)` the detector
+    /// held at decision time.
+    pub level_rates: Vec<(usize, f64)>,
+}
+
+/// Append-only decision log with an optional telemetry mirror.
+#[derive(Debug, Clone, Default)]
+pub struct AuditLog {
+    records: Vec<DecisionRecord>,
+    sink: telemetry::Telemetry,
+}
+
+impl AuditLog {
+    pub fn new() -> AuditLog {
+        AuditLog::default()
+    }
+
+    /// Mirror all subsequent records to `sink` as `audit` instants.
+    pub fn set_sink(&mut self, sink: telemetry::Telemetry) {
+        self.sink = sink;
+    }
+
+    pub fn push(&mut self, r: DecisionRecord) {
+        self.mirror(&r);
+        self.records.push(r);
+    }
+
+    fn mirror(&self, r: &DecisionRecord) {
+        if !self.sink.is_enabled() {
+            return;
+        }
+        use telemetry::ArgValue as V;
+        let args = [
+            ("decision", V::Str(r.decision.label())),
+            ("f", V::F64(r.inputs.f.unwrap_or(f64::NAN))),
+            ("Rs", V::F64(r.inputs.rs)),
+            ("Rm", V::F64(r.inputs.rm)),
+            ("Rt", V::F64(r.inputs.rt)),
+            ("map_target", V::U64(r.map_target as u64)),
+            ("reduce_target", V::U64(r.reduce_target as u64)),
+            ("gate_open", V::Bool(r.inputs.gate_open)),
+            ("occupancy_settled", V::Bool(r.inputs.occupancy_settled)),
+            ("window_warm", V::Bool(r.inputs.window_warm)),
+            ("check_pending", V::Bool(r.check_pending)),
+            ("ceiling", V::I64(r.ceiling.map(|c| c as i64).unwrap_or(-1))),
+        ];
+        self.sink
+            .instant("audit", "slot_decision", r.at.as_millis(), &args);
+    }
+
+    pub fn records(&self) -> &[DecisionRecord] {
+        &self.records
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(at: u64, decision: Decision) -> DecisionRecord {
+        DecisionRecord {
+            at: SimTime::from_secs(at),
+            decision,
+            inputs: DecisionInputs {
+                rt: 100.0,
+                rs: 80.0,
+                rm: 90.0,
+                f: Some(80.0 / 90.0),
+                gate_open: true,
+                occupancy_settled: true,
+                window_warm: true,
+            },
+            map_target: 4,
+            reduce_target: 2,
+            check_pending: false,
+            ceiling: None,
+            level_rates: vec![(3, 95.0)],
+        }
+    }
+
+    #[test]
+    fn records_accumulate() {
+        let mut log = AuditLog::new();
+        assert!(log.is_empty());
+        log.push(record(10, Decision::IncrementMaps { to: 4 }));
+        log.push(record(16, Decision::Hold));
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.records()[0].map_target, 4);
+    }
+
+    #[test]
+    fn sink_sees_decisions_with_inputs() {
+        let sink = telemetry::Telemetry::with_capacity(8, 8);
+        let mut log = AuditLog::new();
+        log.set_sink(sink.clone());
+        log.push(record(10, Decision::IncrementMaps { to: 4 }));
+        assert_eq!(sink.instant_count(), 1);
+        let json = sink.chrome_trace().unwrap();
+        assert!(json.contains("slot_decision"));
+        assert!(json.contains("\"Rs\""));
+        assert!(json.contains("\"Rm\""));
+        assert!(json.contains("\"f\""));
+        assert!(json.contains("increment_maps"));
+    }
+
+    #[test]
+    fn record_round_trips_through_serde() {
+        let r = record(
+            10,
+            Decision::TailSwitch {
+                maps: 1,
+                reduces: 3,
+            },
+        );
+        let json = serde_json::to_string(&r).unwrap();
+        let back: DecisionRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

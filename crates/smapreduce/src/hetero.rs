@@ -71,6 +71,10 @@ impl SlotPolicy for HeteroSlotManagerPolicy {
         self.inner.directive_overhead_ms()
     }
 
+    fn attach_telemetry(&mut self, telem: &telemetry::Telemetry) {
+        self.inner.attach_telemetry(telem);
+    }
+
     fn decide(&mut self, ctx: &PolicyContext<'_>) -> Vec<SlotDirective> {
         // run the paper's decision loop; its own (uniform) directives are
         // discarded in favour of the capacity-scaled ones

@@ -19,6 +19,8 @@
 //! * [`tail`] — tail-stretch map→reduce slot switching with the
 //!   network-jam guard;
 //! * [`slot_manager`] — the decision loop tying them together;
+//! * [`audit`] — the per-decision audit log (inputs + verdicts), mirrored
+//!   into telemetry traces when a sink is attached;
 //! * [`hetero`] — the §VII future-work extension: capacity-proportional
 //!   targets for heterogeneous clusters.
 //!
@@ -38,6 +40,7 @@
 //! assert!(report.slot_changes > 0, "the slot manager adapts at runtime");
 //! ```
 
+pub mod audit;
 pub mod balance;
 pub mod config;
 pub mod hetero;
@@ -46,6 +49,7 @@ pub mod slow_start;
 pub mod tail;
 pub mod thrashing;
 
+pub use audit::{AuditLog, DecisionInputs, DecisionRecord};
 pub use balance::{classify, BalanceVerdict};
 pub use config::SmrConfig;
 pub use hetero::HeteroSlotManagerPolicy;

@@ -17,18 +17,20 @@
 //! stated scope) and delivered to trackers via heartbeat responses; the
 //! trackers apply them with the lazy changer.
 
+use crate::audit::{AuditLog, DecisionInputs, DecisionRecord};
 use crate::balance::{classify, BalanceVerdict};
 use crate::config::SmrConfig;
 use crate::slow_start::SlowStartGate;
 use crate::tail;
 use crate::thrashing::{ThrashVerdict, ThrashingDetector};
 use mapreduce::policy::{PolicyContext, SlotDirective, SlotPolicy};
+use serde::{Deserialize, Serialize};
 use simgrid::time::SimTime;
 use std::collections::VecDeque;
 
 /// A record of one decision, kept for diagnostics and the ablation
 /// experiments' analysis.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Decision {
     SlowStartHold,
     IncrementMaps { to: usize },
@@ -36,6 +38,20 @@ pub enum Decision {
     ThrashingRetreat { to: usize },
     TailSwitch { maps: usize, reduces: usize },
     Hold,
+}
+
+impl Decision {
+    /// Stable snake_case name (telemetry arg values, log lines).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Decision::SlowStartHold => "slow_start_hold",
+            Decision::IncrementMaps { .. } => "increment_maps",
+            Decision::DecrementMaps { .. } => "decrement_maps",
+            Decision::ThrashingRetreat { .. } => "thrashing_retreat",
+            Decision::TailSwitch { .. } => "tail_switch",
+            Decision::Hold => "hold",
+        }
+    }
 }
 
 /// SMapReduce's slot manager policy.
@@ -57,6 +73,9 @@ pub struct SlotManagerPolicy {
     /// Optional rate trace recorded at each decision (diagnostics; off by
     /// default).
     pub trace: Option<Vec<RateTracePoint>>,
+    /// Full audit log: every decision with the inputs behind it. Mirrors
+    /// into telemetry when the engine attaches a sink.
+    pub audit: AuditLog,
 }
 
 /// One diagnostics sample: `(now, R_t, R_s, R_m, f)`.
@@ -82,6 +101,7 @@ impl SlotManagerPolicy {
             workload_sig: None,
             decisions: Vec::new(),
             trace: None,
+            audit: AuditLog::new(),
         }
     }
 
@@ -114,8 +134,18 @@ impl SlotManagerPolicy {
             .collect()
     }
 
-    fn record(&mut self, now: SimTime, d: Decision) {
+    fn record(&mut self, now: SimTime, d: Decision, inputs: DecisionInputs) {
         self.decisions.push((now, d));
+        self.audit.push(DecisionRecord {
+            at: now,
+            decision: d,
+            inputs,
+            map_target: self.map_target.unwrap_or(0),
+            reduce_target: self.reduce_target.unwrap_or(0),
+            check_pending: self.detector.check_pending(),
+            ceiling: self.detector.ceiling(),
+            level_rates: self.detector.levels(),
+        });
     }
 
     /// The uniform per-tracker `(map, reduce)` targets the manager
@@ -167,6 +197,10 @@ impl SlotPolicy for SlotManagerPolicy {
         self.cfg.directive_overhead_ms
     }
 
+    fn attach_telemetry(&mut self, telem: &telemetry::Telemetry) {
+        self.audit.set_sink(telem.clone());
+    }
+
     fn decide(&mut self, ctx: &PolicyContext<'_>) -> Vec<SlotDirective> {
         let stats = ctx.stats;
         let now = ctx.now;
@@ -211,6 +245,24 @@ impl SlotPolicy for SlotManagerPolicy {
         let gate_open = self.gate.open(stats.completed_maps, stats.total_maps);
         let settled = Self::occupancy_settled(ctx);
 
+        // the balance inputs (§IV-A3) are computed up front so every
+        // decision — including early exits — audits with the rates it saw
+        let rm = if stats.total_reduces == 0 {
+            0.0
+        } else {
+            (stats.shuffling_reduces as f64 / stats.total_reduces as f64) * rt
+        };
+        let f = (rm > 1e-9).then_some(rs / rm);
+        let inputs = DecisionInputs {
+            rt,
+            rs,
+            rm,
+            f,
+            gate_open,
+            occupancy_settled: settled,
+            window_warm,
+        };
+
         // thrashing detection (§IV-A2): the detector sees the raw cluster
         // map processing rate every heartbeat (its per-level EWMAs do the
         // smoothing) and a confirmation retreats immediately — holding a
@@ -220,11 +272,9 @@ impl SlotPolicy for SlotManagerPolicy {
                 self.detector
                     .observe(map_target, stats.map_input_rate, now, settled)
             {
-                let to = good
-                    .max(self.cfg.min_map_slots)
-                    .min(self.cfg.max_map_slots);
+                let to = good.max(self.cfg.min_map_slots).min(self.cfg.max_map_slots);
                 self.map_target = Some(to);
-                self.record(now, Decision::ThrashingRetreat { to });
+                self.record(now, Decision::ThrashingRetreat { to }, inputs);
                 self.last_decision_at = Some(now);
                 return self.directives(ctx);
             }
@@ -237,7 +287,7 @@ impl SlotPolicy for SlotManagerPolicy {
 
         // slow start (§IV-A1)
         if !gate_open {
-            self.record(now, Decision::SlowStartHold);
+            self.record(now, Decision::SlowStartHold, inputs);
             return self.directives(ctx);
         }
 
@@ -259,9 +309,9 @@ impl SlotPolicy for SlotManagerPolicy {
                 }
                 self.map_target = Some(maps);
                 self.reduce_target = Some(reduces);
-                self.record(now, Decision::TailSwitch { maps, reduces });
+                self.record(now, Decision::TailSwitch { maps, reduces }, inputs);
             } else {
-                self.record(now, Decision::Hold);
+                self.record(now, Decision::Hold, inputs);
             }
             return self.directives(ctx);
         }
@@ -270,15 +320,9 @@ impl SlotPolicy for SlotManagerPolicy {
         // A freshly-cleared window (job arrival/finish) has too little
         // history for a meaningful factor — hold until it warms up.
         if !window_warm {
-            self.record(now, Decision::Hold);
+            self.record(now, Decision::Hold, inputs);
             return self.directives(ctx);
         }
-        let rm = if stats.total_reduces == 0 {
-            0.0
-        } else {
-            (stats.shuffling_reduces as f64 / stats.total_reduces as f64) * rt
-        };
-        let f = (rm > 1e-9).then_some(rs / rm);
         if let Some(trace) = &mut self.trace {
             trace.push((now, rt, rs, rm, f.unwrap_or(f64::NAN)));
         }
@@ -289,7 +333,7 @@ impl SlotPolicy for SlotManagerPolicy {
                 if self.cfg.detect_thrashing && self.detector.check_pending() {
                     // an earlier increase is still under evaluation
                     // (stabilising or suspected): hold until it resolves
-                    self.record(now, Decision::Hold);
+                    self.record(now, Decision::Hold, inputs);
                     return self.directives(ctx);
                 }
                 let ceiling = if self.cfg.detect_thrashing {
@@ -301,9 +345,9 @@ impl SlotPolicy for SlotManagerPolicy {
                 if to > map_target {
                     self.detector.on_slot_change(map_target, to, now);
                     self.map_target = Some(to);
-                    self.record(now, Decision::IncrementMaps { to });
+                    self.record(now, Decision::IncrementMaps { to }, inputs);
                 } else {
-                    self.record(now, Decision::Hold);
+                    self.record(now, Decision::Hold, inputs);
                 }
             }
             BalanceVerdict::ReduceHeavy => {
@@ -311,13 +355,13 @@ impl SlotPolicy for SlotManagerPolicy {
                 if to < map_target {
                     self.detector.on_slot_change(map_target, to, now);
                     self.map_target = Some(to);
-                    self.record(now, Decision::DecrementMaps { to });
+                    self.record(now, Decision::DecrementMaps { to }, inputs);
                 } else {
-                    self.record(now, Decision::Hold);
+                    self.record(now, Decision::Hold, inputs);
                 }
             }
             BalanceVerdict::Balanced | BalanceVerdict::Inconclusive => {
-                self.record(now, Decision::Hold);
+                self.record(now, Decision::Hold, inputs);
             }
         }
         self.directives(ctx)
@@ -397,6 +441,27 @@ mod tests {
             p.decisions.last(),
             Some((_, Decision::IncrementMaps { to: 4 }))
         ));
+    }
+
+    #[test]
+    fn audit_log_captures_decision_inputs() {
+        let mut p = test_policy();
+        let sink = telemetry::Telemetry::with_capacity(16, 16);
+        p.attach_telemetry(&sink);
+        let stats = base_stats();
+        let tr = trackers(4, 3, 2);
+        let _ = p.decide(&ctx(SimTime::from_secs(30), &stats, &tr));
+        let recs = p.audit.records();
+        assert_eq!(recs.len(), 1);
+        let r = &recs[0];
+        assert!(matches!(r.decision, Decision::IncrementMaps { to: 4 }));
+        assert!(r.inputs.f.is_some(), "balance factor recorded");
+        assert!(r.inputs.rs > 0.0 && r.inputs.rm > 0.0);
+        assert!(r.inputs.gate_open && r.inputs.occupancy_settled);
+        assert_eq!(r.map_target, 4, "target after the decision");
+        let json = sink.chrome_trace().unwrap();
+        assert!(json.contains("slot_decision"));
+        assert!(json.contains("\"Rm\"") && json.contains("\"Rs\""));
     }
 
     #[test]

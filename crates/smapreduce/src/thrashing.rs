@@ -210,6 +210,15 @@ impl ThrashingDetector {
     pub fn rate_at(&self, slots: usize) -> Option<f64> {
         self.rate_by_slots.get(&slots).and_then(|e| e.value())
     }
+
+    /// All per-level stable rate estimates `(slots, rate)`, ascending by
+    /// slot count (for the decision audit log).
+    pub fn levels(&self) -> Vec<(usize, f64)> {
+        self.rate_by_slots
+            .iter()
+            .filter_map(|(&s, e)| e.value().map(|v| (s, v)))
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,170 @@
+//! The storage behind a telemetry session: two preallocated ring buffers
+//! (spans, counter samples) and a growable list of rich instant events.
+//!
+//! Ring writes never allocate: the buffers are reserved at construction
+//! and overwrite the oldest entries on overflow (keeping the most recent
+//! window, which is what you want when profiling the tail of a long run).
+
+use crate::ArgValue;
+
+/// One completed span ("X" phase in Chrome trace terms).
+#[derive(Debug, Clone, Copy)]
+pub struct SpanRecord {
+    pub cat: &'static str,
+    pub name: &'static str,
+    /// Wall-clock start, µs since the session epoch.
+    pub start_us: u64,
+    pub dur_us: u64,
+    /// Simulated time at the span's start (ms).
+    pub sim_ms: u64,
+}
+
+/// One sample of a named counter series ("C" phase).
+#[derive(Debug, Clone, Copy)]
+pub struct CounterSample {
+    pub name: &'static str,
+    pub ts_us: u64,
+    pub sim_ms: u64,
+    pub value: f64,
+}
+
+/// A rich instant event ("i" phase) with key/value arguments.
+#[derive(Debug, Clone)]
+pub struct InstantEvent {
+    pub cat: &'static str,
+    pub name: &'static str,
+    pub ts_us: u64,
+    pub sim_ms: u64,
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+/// Fixed-capacity overwrite-oldest ring.
+struct Ring<T> {
+    buf: Vec<T>,
+    cap: usize,
+    /// Index of the oldest entry once the ring is full.
+    head: usize,
+    dropped: u64,
+}
+
+impl<T> Ring<T> {
+    fn new(cap: usize) -> Ring<T> {
+        let cap = cap.max(1);
+        Ring {
+            buf: Vec::with_capacity(cap),
+            cap,
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, v: T) {
+        if self.buf.len() < self.cap {
+            self.buf.push(v);
+        } else {
+            self.buf[self.head] = v;
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Entries oldest → newest.
+    fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf[self.head..]
+            .iter()
+            .chain(self.buf[..self.head].iter())
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.cap * std::mem::size_of::<T>()
+    }
+}
+
+pub struct Recorder {
+    spans: Ring<SpanRecord>,
+    counters: Ring<CounterSample>,
+    instants: Vec<InstantEvent>,
+}
+
+impl Recorder {
+    pub fn new(span_capacity: usize, counter_capacity: usize) -> Recorder {
+        Recorder {
+            spans: Ring::new(span_capacity),
+            counters: Ring::new(counter_capacity),
+            instants: Vec::new(),
+        }
+    }
+
+    #[inline]
+    pub fn push_span(&mut self, s: SpanRecord) {
+        self.spans.push(s);
+    }
+
+    #[inline]
+    pub fn push_counter(&mut self, c: CounterSample) {
+        self.counters.push(c);
+    }
+
+    pub fn push_instant(&mut self, e: InstantEvent) {
+        self.instants.push(e);
+    }
+
+    pub fn spans(&self) -> impl Iterator<Item = &SpanRecord> {
+        self.spans.iter()
+    }
+
+    pub fn counter_samples(&self) -> impl Iterator<Item = &CounterSample> {
+        self.counters.iter()
+    }
+
+    pub fn instants(&self) -> &[InstantEvent] {
+        &self.instants
+    }
+
+    pub fn instant_count(&self) -> usize {
+        self.instants.len()
+    }
+
+    pub fn dropped_spans(&self) -> u64 {
+        self.spans.dropped
+    }
+
+    pub fn memory_bytes(&self) -> usize {
+        self.spans.memory_bytes()
+            + self.counters.memory_bytes()
+            + self.instants.capacity() * std::mem::size_of::<InstantEvent>()
+            + self
+                .instants
+                .iter()
+                .map(|e| e.args.capacity() * std::mem::size_of::<(&str, ArgValue)>())
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_orders_oldest_to_newest_after_wrap() {
+        let mut r: Ring<u64> = Ring::new(3);
+        for i in 0..5 {
+            r.push(i);
+        }
+        let v: Vec<u64> = r.iter().copied().collect();
+        assert_eq!(v, vec![2, 3, 4]);
+        assert_eq!(r.dropped, 2);
+    }
+
+    #[test]
+    fn ring_never_reallocates() {
+        let mut r: Ring<u64> = Ring::new(8);
+        let ptr = r.buf.as_ptr();
+        for i in 0..100 {
+            r.push(i);
+        }
+        assert_eq!(r.buf.as_ptr(), ptr);
+        assert_eq!(r.buf.capacity(), 8);
+    }
+}

@@ -31,14 +31,7 @@ pub fn staggered_jobs(
     stagger: simgrid::time::SimDuration,
 ) -> Vec<JobSpec> {
     (0..count)
-        .map(|i| {
-            bench.job(
-                i,
-                input_mb,
-                num_reduces,
-                SimTime(stagger.0 * i as u64),
-            )
-        })
+        .map(|i| bench.job(i, input_mb, num_reduces, SimTime(stagger.0 * i as u64)))
         .collect()
 }
 

@@ -99,10 +99,9 @@ impl Puma {
     /// The paper's coarse classification.
     pub fn class(self) -> JobClass {
         match self {
-            Puma::Grep
-            | Puma::HistogramMovies
-            | Puma::HistogramRatings
-            | Puma::Classification => JobClass::MapHeavy,
+            Puma::Grep | Puma::HistogramMovies | Puma::HistogramRatings | Puma::Classification => {
+                JobClass::MapHeavy
+            }
             Puma::WordCount | Puma::TermVector | Puma::KMeans => JobClass::Medium,
             Puma::Terasort
             | Puma::InvertedIndex

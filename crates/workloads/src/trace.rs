@@ -73,8 +73,7 @@ impl TraceSpec {
         let mut t = 0.0_f64;
         loop {
             let bench = self.mix[rng.below(self.mix.len())];
-            let input =
-                self.input_mb.0 + rng.unit() * (self.input_mb.1 - self.input_mb.0);
+            let input = self.input_mb.0 + rng.unit() * (self.input_mb.1 - self.input_mb.0);
             jobs.push(bench.job(
                 jobs.len(),
                 input,

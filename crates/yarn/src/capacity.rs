@@ -43,8 +43,7 @@ pub fn capacity_targets(
     let workers = workers.max(1);
     let budget = init_map + init_reduce;
     let map_need = (stats.pending_maps + stats.running_maps).div_ceil(workers);
-    let reduce_need =
-        (stats.eligible_pending_reduces + stats.running_reduces).div_ceil(workers);
+    let reduce_need = (stats.eligible_pending_reduces + stats.running_reduces).div_ceil(workers);
     // Map priority: while map demand saturates the cluster, reduce
     // containers are held to half their configured share (the AM's reduce
     // ramp-up throttle); the moment map demand drops below capacity,
@@ -55,7 +54,9 @@ pub fn capacity_targets(
     } else {
         full_reserve
     };
-    let map = map_need.min(budget - reserve).max(if map_need > 0 { 1 } else { 0 });
+    let map = map_need
+        .min(budget - reserve)
+        .max(if map_need > 0 { 1 } else { 0 });
     let reduce = reduce_need.min(budget - map.min(budget));
     NodeTargets { map, reduce }
 }

@@ -57,21 +57,23 @@ fn main() {
             Event::ShuffleCompleted { .. } => sc += 1,
             Event::BarrierCrossed { at, .. } => {
                 flush(sec, &mut ml, &mut mc, &mut sc);
-                println!("  t={:>4.0}s  ──── BARRIER: last map finished ────", at.as_secs_f64());
+                println!(
+                    "  t={:>4.0}s  ──── BARRIER: last map finished ────",
+                    at.as_secs_f64()
+                );
             }
             Event::SlotTargetsChanged {
                 at,
                 node,
                 map_slots,
                 reduce_slots,
-            }
-                if node.0 == 0 => {
-                    // one representative tracker; targets are uniform
-                    println!(
+            } if node.0 == 0 => {
+                // one representative tracker; targets are uniform
+                println!(
                         "  t={:>4.0}s  slot targets -> {map_slots} map / {reduce_slots} reduce per node",
                         at.as_secs_f64()
                     );
-                }
+            }
             Event::JobFinished { at, .. } => {
                 flush(sec, &mut ml, &mut mc, &mut sc);
                 println!("  t={:>4.0}s  job finished", at.as_secs_f64());

@@ -40,12 +40,31 @@ fn main() {
         report.slot_changes
     );
 
-    println!("slot-manager decisions (Holds elided):");
+    println!("slot-manager decisions with their audited inputs (Holds elided):");
     let mut holds = 0usize;
-    for (t, d) in &policy.decisions {
-        match d {
+    for r in policy.audit.records() {
+        match r.decision {
             Decision::Hold | Decision::SlowStartHold => holds += 1,
-            other => println!("  {:>7.1}s  {:?}", t.as_secs_f64(), other),
+            other => {
+                let f = r
+                    .inputs
+                    .f
+                    .map(|f| format!("{f:.2}"))
+                    .unwrap_or_else(|| "-".into());
+                println!(
+                    "  {:>7.1}s  {:<28} f={:<5} Rs={:>6.1} Rm={:>6.1} targets={}m/{}r ceiling={}",
+                    r.at.as_secs_f64(),
+                    format!("{other:?}"),
+                    f,
+                    r.inputs.rs,
+                    r.inputs.rm,
+                    r.map_target,
+                    r.reduce_target,
+                    r.ceiling
+                        .map(|c| c.to_string())
+                        .unwrap_or_else(|| "-".into()),
+                );
+            }
         }
     }
     println!("  (+ {holds} hold decisions)\n");

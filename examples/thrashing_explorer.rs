@@ -39,7 +39,10 @@ fn main() {
         demand.disk_write
     );
 
-    println!("{:<6} {:>18} {:>22}", "slots", "model thpt (rel)", "simulated map MB/s");
+    println!(
+        "{:<6} {:>18} {:>22}",
+        "slots", "model thpt (rel)", "simulated map MB/s"
+    );
     for slots in 1..=max_slots {
         // analytical: sum of task rate scales from the node model
         let model = total_throughput(&node, demand, slots);

@@ -60,7 +60,10 @@ impl Default for RunOpts {
 fn parse_bench(name: &str) -> Result<Puma, String> {
     Puma::from_name(name).ok_or_else(|| {
         let names: Vec<&str> = Puma::ALL.iter().map(|p| p.name()).collect();
-        format!("unknown benchmark '{name}'; available: {}", names.join(", "))
+        format!(
+            "unknown benchmark '{name}'; available: {}",
+            names.join(", ")
+        )
     })
 }
 
@@ -89,9 +92,7 @@ fn parse_run(mut args: std::env::Args) -> Result<RunOpts, String> {
             "--seed" => o.seed = val()?.parse().map_err(|e| format!("{e}"))?,
             "--jitter" => o.jitter = val()?.parse().map_err(|e| format!("{e}"))?,
             "--failure-rate" => o.failure_rate = val()?.parse().map_err(|e| format!("{e}"))?,
-            "--straggler-rate" => {
-                o.straggler_rate = val()?.parse().map_err(|e| format!("{e}"))?
-            }
+            "--straggler-rate" => o.straggler_rate = val()?.parse().map_err(|e| format!("{e}"))?,
             "--speculate" => o.speculate = true,
             "--events" => o.events = true,
             "--json" => o.json = Some(val()?),
@@ -161,7 +162,10 @@ fn cmd_run(o: RunOpts) -> Result<(), String> {
 }
 
 fn cmd_list() {
-    println!("{:<22} {:<12} {:>12} {:>10}", "benchmark", "class", "selectivity", "map MB/s");
+    println!(
+        "{:<22} {:<12} {:>12} {:>10}",
+        "benchmark", "class", "selectivity", "map MB/s"
+    );
     for p in Puma::ALL {
         let prof = p.profile();
         println!(

@@ -37,6 +37,51 @@ fn identical_seeds_identical_runs_all_systems() {
 }
 
 #[test]
+fn serialized_event_logs_and_reports_are_byte_identical() {
+    // the strongest reproducibility claim: not just matching timings but
+    // byte-identical serialized artifacts, event log included
+    let mut cfg = EngineConfig::small_test(4, 7);
+    cfg.record_events = true;
+    for sys in System::all() {
+        let a = run_once(&cfg, vec![job()], &sys, 4242).unwrap();
+        let b = run_once(&cfg, vec![job()], &sys, 4242).unwrap();
+        assert!(!a.events.is_empty(), "{}: events recorded", sys.label());
+        let ev_a = serde_json::to_string(&a.events).unwrap();
+        let ev_b = serde_json::to_string(&b.events).unwrap();
+        assert_eq!(ev_a, ev_b, "{}: event logs byte-identical", sys.label());
+        let rep_a = serde_json::to_string(&a).unwrap();
+        let rep_b = serde_json::to_string(&b).unwrap();
+        assert_eq!(rep_a, rep_b, "{}: full reports byte-identical", sys.label());
+    }
+}
+
+#[test]
+fn telemetry_is_strictly_observational() {
+    // an enabled telemetry sink must not perturb the simulation: the
+    // serialized report of an instrumented run matches the plain run
+    use mapreduce::Engine;
+    let mut cfg = EngineConfig::small_test(4, 7);
+    cfg.record_events = true;
+    cfg.seed = 77;
+    let mut p1 = smapreduce::SlotManagerPolicy::paper_default();
+    let plain = Engine::new(cfg.clone()).run(vec![job()], &mut p1).unwrap();
+    let mut p2 = smapreduce::SlotManagerPolicy::paper_default();
+    let telem = telemetry::Telemetry::enabled();
+    let traced = Engine::new(cfg)
+        .run_with(vec![job()], &mut p2, &telem)
+        .unwrap();
+    assert!(
+        telem.instant_count() > 0,
+        "the sink really observed the run"
+    );
+    assert_eq!(
+        serde_json::to_string(&plain).unwrap(),
+        serde_json::to_string(&traced).unwrap(),
+        "telemetry must never feed back into simulation state"
+    );
+}
+
+#[test]
 fn different_seeds_differ_but_agree_roughly() {
     let cfg = EngineConfig::paper_default();
     let a = run_once(&cfg, vec![job()], &System::HadoopV1, 1).unwrap();

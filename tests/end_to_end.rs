@@ -52,9 +52,8 @@ fn every_benchmark_completes_under_every_system() {
         // small inputs: completion + accounting, not performance
         let job = bench.job(0, 4.0 * 1024.0, 16, Default::default());
         for sys in System::all() {
-            let r = run_once(&cfg, vec![job.clone()], &sys, 7).unwrap_or_else(|e| {
-                panic!("{} under {} failed: {e}", bench.name(), sys.label())
-            });
+            let r = run_once(&cfg, vec![job.clone()], &sys, 7)
+                .unwrap_or_else(|e| panic!("{} under {} failed: {e}", bench.name(), sys.label()));
             let j = &r.jobs[0];
             assert_eq!(j.num_maps, 32, "{}: 4 GB = 32 blocks", bench.name());
             assert!(j.maps_done_at <= j.finished_at);
@@ -148,8 +147,20 @@ fn smapreduce_raises_cpu_utilisation() {
     // network resources" — on a map-heavy job the slot manager must
     // lift cluster CPU utilisation well above the static 3-slot config
     let cfg = EngineConfig::paper_default();
-    let v1 = run_once(&cfg, vec![job(Puma::HistogramRatings)], &System::HadoopV1, 4).unwrap();
-    let smr = run_once(&cfg, vec![job(Puma::HistogramRatings)], &System::SMapReduce, 4).unwrap();
+    let v1 = run_once(
+        &cfg,
+        vec![job(Puma::HistogramRatings)],
+        &System::HadoopV1,
+        4,
+    )
+    .unwrap();
+    let smr = run_once(
+        &cfg,
+        vec![job(Puma::HistogramRatings)],
+        &System::SMapReduce,
+        4,
+    )
+    .unwrap();
     assert!(
         smr.cpu_utilisation > v1.cpu_utilisation * 1.1,
         "SMR {:.2} vs V1 {:.2}",

@@ -2,7 +2,7 @@
 //! story for every system.
 
 use harness::{run_once, System};
-use mapreduce::{Event, EngineConfig};
+use mapreduce::{EngineConfig, Event};
 use std::collections::HashMap;
 use workloads::Puma;
 

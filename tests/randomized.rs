@@ -17,7 +17,7 @@ fn scenario(seed: u64) -> (EngineConfig, Vec<mapreduce::JobSpec>, System) {
     cfg.record_events = true;
     cfg.seed = seed;
     let workers = 2 + (seed as usize % 7); // 2..=8
-    cfg.cluster = if seed % 3 == 0 {
+    cfg.cluster = if seed.is_multiple_of(3) {
         let weak = NodeSpec {
             cores: 8.0,
             ..NodeSpec::paper_worker()
@@ -28,7 +28,7 @@ fn scenario(seed: u64) -> (EngineConfig, Vec<mapreduce::JobSpec>, System) {
     };
     cfg.init_map_slots = 1 + (seed as usize % 5);
     cfg.init_reduce_slots = 1 + (seed as usize % 3);
-    cfg.scheduler = if seed % 2 == 0 {
+    cfg.scheduler = if seed.is_multiple_of(2) {
         SchedKind::Fifo
     } else {
         SchedKind::Fair
@@ -69,7 +69,11 @@ fn invariants_hold_across_the_grid() {
         let (cfg, jobs, sys) = scenario(seed);
         let njobs = jobs.len();
         let r = run_once(&cfg, jobs.clone(), &sys, seed).unwrap_or_else(|e| {
-            panic!("seed {seed} ({:?} under {}): {e}", cfg.scheduler, sys.label())
+            panic!(
+                "seed {seed} ({:?} under {}): {e}",
+                cfg.scheduler,
+                sys.label()
+            )
         });
         assert_eq!(r.jobs.len(), njobs, "seed {seed}");
 
@@ -100,7 +104,10 @@ fn invariants_hold_across_the_grid() {
         let completions = r.events.count(|e| matches!(e, Event::MapCompleted { .. }));
         let kills = r.events.count(|e| matches!(e, Event::MapKilled { .. }));
         let total_maps: usize = r.jobs.iter().map(|j| j.num_maps).sum();
-        assert_eq!(completions, total_maps, "seed {seed}: one delivery per block");
+        assert_eq!(
+            completions, total_maps,
+            "seed {seed}: one delivery per block"
+        );
         // (discarded race losers complete without a MapCompleted event,
         // and failed attempts relaunch — so launches >= completions)
         assert!(
@@ -108,8 +115,7 @@ fn invariants_hold_across_the_grid() {
             "seed {seed}: {launches} launches vs {completions}+{kills}"
         );
         assert!(
-            launches as u64
-                <= total_maps as u64 + r.speculative_attempts + r.map_failures,
+            launches as u64 <= total_maps as u64 + r.speculative_attempts + r.map_failures,
             "seed {seed}: launch count bounded by retries + backups"
         );
         // utilisation is a fraction

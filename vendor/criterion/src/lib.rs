@@ -1,0 +1,218 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Provides the `Criterion` / `BenchmarkGroup` / `Bencher` surface and the
+//! `criterion_group!` / `criterion_main!` macros this workspace's benches
+//! use. Measurement is deliberately simple: per benchmark it calibrates an
+//! iteration count to fill `measurement_time / sample_size`, takes
+//! `sample_size` samples, and reports the median ns/iter. `--test` (as
+//! passed by `cargo bench -- --test`) runs each benchmark exactly once as
+//! a smoke test; positional CLI args act as substring filters.
+
+use std::time::{Duration, Instant};
+
+pub struct Criterion {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    test_mode: bool,
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+            test_mode: false,
+            filters: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Apply `cargo bench` CLI arguments (called by `criterion_group!`).
+    pub fn configure_from_args(&mut self) {
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                // Flags cargo or harness conventions may pass; ignore.
+                "--bench" | "--nocapture" | "--quiet" | "-q" => {}
+                a if a.starts_with('-') => {}
+                filter => self.filters.push(filter.to_string()),
+            }
+        }
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group {name}");
+        BenchmarkGroup {
+            c: self,
+            name,
+            sample_size: 10,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.c.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id);
+        if !self.c.filters.is_empty() && !self.c.filters.iter().any(|p| full.contains(p.as_str())) {
+            return self;
+        }
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        if self.c.test_mode {
+            f(&mut b);
+            eprintln!("  {full}: ok (test mode)");
+            return self;
+        }
+        // Warm-up / calibration: run with growing iteration counts until the
+        // warm-up budget is spent, tracking the latest per-iter estimate.
+        let warm_up = self.c.warm_up_time.max(Duration::from_millis(50));
+        let start = Instant::now();
+        let mut per_iter = Duration::from_nanos(1);
+        while start.elapsed() < warm_up {
+            f(&mut b);
+            per_iter = b.elapsed.max(Duration::from_nanos(1)) / b.iters as u32;
+            b.iters = (b.iters * 2).min(1 << 20);
+        }
+        // Sampling: split the measurement budget over sample_size samples.
+        let per_sample = self.c.measurement_time / self.sample_size as u32;
+        let iters = (per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 24) as u64;
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            b.iters = iters;
+            f(&mut b);
+            samples.push(b.elapsed.as_nanos() as f64 / b.iters as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        let (lo, hi) = (samples[0], samples[samples.len() - 1]);
+        eprintln!(
+            "  {full}: median {} [{} .. {}] ({} iters x {} samples)",
+            fmt_ns(median),
+            fmt_ns(lo),
+            fmt_ns(hi),
+            iters,
+            self.sample_size
+        );
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// `std::hint::black_box`, re-exported under criterion's historical path.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            c.configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_bench_runs_closure() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(10))
+            .measurement_time(Duration::from_millis(20));
+        let mut ran = 0u64;
+        {
+            let mut g = c.benchmark_group("t");
+            g.sample_size(2)
+                .bench_function("inc", |b| b.iter(|| ran += 1));
+            g.finish();
+        }
+        assert!(ran > 0);
+    }
+}

@@ -1,0 +1,528 @@
+//! Offline vendored `serde_derive`: `#[derive(Serialize)]` /
+//! `#[derive(Deserialize)]` implemented directly on the `proc_macro` token
+//! API (the container has no `syn`/`quote`).
+//!
+//! The generated impls target the vendored value-tree `serde`:
+//! `Serialize::to_value(&self) -> serde::Value` and
+//! `Deserialize::deserialize(&serde::Value) -> Result<Self, serde::Error>`.
+//!
+//! Encoding matches real serde's externally-tagged JSON defaults:
+//! named structs → objects, newtype structs → the inner value, tuple
+//! structs → arrays, unit variants → `"Name"`, data variants →
+//! `{"Name": ...}`. Supported field attributes: `#[serde(skip)]` and
+//! `#[serde(default)]`. Generics are not supported (nothing in this
+//! workspace derives on a generic type).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Flags {
+    skip: bool,
+    default: bool,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    flags: Flags,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing
+// ---------------------------------------------------------------------------
+
+/// Consume any `#[...]` attributes at `i`, accumulating serde flags.
+fn parse_attrs(toks: &[TokenTree], i: &mut usize) -> Flags {
+    let mut flags = Flags::default();
+    while let Some(TokenTree::Punct(p)) = toks.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        let Some(TokenTree::Group(g)) = toks.get(*i + 1) else {
+            break;
+        };
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if let Some(TokenTree::Ident(id)) = inner.first() {
+            if id.to_string() == "serde" {
+                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                    for t in args.stream() {
+                        if let TokenTree::Ident(flag) = t {
+                            match flag.to_string().as_str() {
+                                "skip" => flags.skip = true,
+                                "default" => flags.default = true,
+                                other => {
+                                    panic!("vendored serde_derive: unsupported #[serde({other})]")
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        *i += 2;
+    }
+    flags
+}
+
+/// Consume a visibility qualifier (`pub`, `pub(crate)`, ...) if present.
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = toks.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Consume type tokens until a top-level `,` (which is also consumed) or
+/// the end of the token list. Tracks `<`/`>` nesting; delimited groups are
+/// single atomic token trees so only angle brackets need counting.
+fn skip_type(toks: &[TokenTree], i: &mut usize) {
+    let mut angle: i32 = 0;
+    while let Some(t) = toks.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn ident_str(name: &str) -> String {
+    name.strip_prefix("r#").unwrap_or(name).to_string()
+}
+
+/// Parse the fields of a `{ ... }` group into named fields.
+fn parse_named_fields(g: &proc_macro::Group) -> Vec<Field> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let flags = parse_attrs(&toks, &mut i);
+        skip_vis(&toks, &mut i);
+        let Some(TokenTree::Ident(name)) = toks.get(i) else {
+            panic!(
+                "vendored serde_derive: expected field name, got {:?}",
+                toks.get(i)
+            );
+        };
+        i += 1; // name
+        i += 1; // ':'
+        skip_type(&toks, &mut i);
+        fields.push(Field {
+            name: name.to_string(),
+            flags,
+        });
+    }
+    fields
+}
+
+/// Count the fields of a `( ... )` tuple-field group.
+fn count_tuple_fields(g: &proc_macro::Group) -> usize {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut i = 0;
+    let mut n = 0;
+    while i < toks.len() {
+        let _ = parse_attrs(&toks, &mut i);
+        skip_vis(&toks, &mut i);
+        skip_type(&toks, &mut i);
+        n += 1;
+    }
+    n
+}
+
+fn parse_variants(g: &proc_macro::Group) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        let _ = parse_attrs(&toks, &mut i); // e.g. #[default]
+        let Some(TokenTree::Ident(name)) = toks.get(i) else {
+            panic!(
+                "vendored serde_derive: expected variant name, got {:?}",
+                toks.get(i)
+            );
+        };
+        i += 1;
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional discriminant and the trailing comma.
+        while let Some(t) = toks.get(i) {
+            i += 1;
+            if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant {
+            name: name.to_string(),
+            kind,
+        });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let _ = parse_attrs(&toks, &mut i);
+    skip_vis(&toks, &mut i);
+    let kw = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("vendored serde_derive: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("vendored serde_derive: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("vendored serde_derive: generic types are not supported ({name})");
+        }
+    }
+    let shape = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("vendored serde_derive: unsupported struct body {other:?}"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g))
+            }
+            other => panic!("vendored serde_derive: unsupported enum body {other:?}"),
+        },
+        other => panic!("vendored serde_derive: cannot derive on `{other}` items"),
+    };
+    Item { name, shape }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+const IMPL_HEADER: &str =
+    "#[automatically_derived]\n#[allow(clippy::all, unused_mut, unused_variables)]\n";
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{IMPL_HEADER}impl serde::Serialize for {name} {{\n    fn to_value(&self) -> serde::Value {{\n"
+    );
+    match &item.shape {
+        Shape::NamedStruct(fields) => {
+            out.push_str("        let mut __m: Vec<(String, serde::Value)> = Vec::new();\n");
+            for f in fields.iter().filter(|f| !f.flags.skip) {
+                let key = ident_str(&f.name);
+                let fname = &f.name;
+                let _ = writeln!(
+                    out,
+                    "        __m.push((String::from(\"{key}\"), serde::Serialize::to_value(&self.{fname})));"
+                );
+            }
+            out.push_str("        serde::Value::Object(__m)\n");
+        }
+        Shape::TupleStruct(1) => {
+            out.push_str("        serde::Serialize::to_value(&self.0)\n");
+        }
+        Shape::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|k| format!("serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            let _ = writeln!(
+                out,
+                "        serde::Value::Array(vec![{}])",
+                elems.join(", ")
+            );
+        }
+        Shape::UnitStruct => {
+            out.push_str("        serde::Value::Null\n");
+        }
+        Shape::Enum(variants) => {
+            out.push_str("        match self {\n");
+            for v in variants {
+                let vname = &v.name;
+                let key = ident_str(vname);
+                match &v.kind {
+                    VariantKind::Unit => {
+                        let _ = writeln!(
+                            out,
+                            "            Self::{vname} => serde::Value::String(String::from(\"{key}\")),"
+                        );
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let inner = if *n == 1 {
+                            "serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("serde::Value::Array(vec![{}])", elems.join(", "))
+                        };
+                        let _ = writeln!(
+                            out,
+                            "            Self::{vname}({}) => serde::Value::Object(vec![(String::from(\"{key}\"), {inner})]),",
+                            binds.join(", ")
+                        );
+                    }
+                    VariantKind::Named(fields) => {
+                        let pat: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                if f.flags.skip {
+                                    format!("{}: _", f.name)
+                                } else {
+                                    f.name.clone()
+                                }
+                            })
+                            .collect();
+                        let elems: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.flags.skip)
+                            .map(|f| {
+                                format!(
+                                    "(String::from(\"{}\"), serde::Serialize::to_value({}))",
+                                    ident_str(&f.name),
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        let _ = writeln!(
+                            out,
+                            "            Self::{vname} {{ {} }} => serde::Value::Object(vec![(String::from(\"{key}\"), serde::Value::Object(vec![{}]))]),",
+                            pat.join(", "),
+                            elems.join(", ")
+                        );
+                    }
+                }
+            }
+            out.push_str("        }\n");
+        }
+    }
+    out.push_str("    }\n}\n");
+    out
+}
+
+/// `match serde::get_field(...) { ... }` expression for one named field.
+fn de_field_expr(map_var: &str, f: &Field, lenient_default: bool) -> String {
+    if f.flags.skip {
+        return "Default::default()".to_string();
+    }
+    let key = ident_str(&f.name);
+    if f.flags.default || lenient_default {
+        format!(
+            "match serde::get_field({map_var}, \"{key}\") {{ Some(__x) => serde::Deserialize::deserialize(__x)?, None => Default::default() }}"
+        )
+    } else {
+        format!(
+            "serde::Deserialize::deserialize(serde::get_field({map_var}, \"{key}\").unwrap_or(&serde::Value::Null))?"
+        )
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{IMPL_HEADER}impl serde::Deserialize for {name} {{\n    fn deserialize(__v: &serde::Value) -> Result<Self, serde::Error> {{\n"
+    );
+    match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let _ = writeln!(
+                out,
+                "        let __m = __v.as_object().ok_or_else(|| serde::Error::new(\"expected object for {name}\"))?;"
+            );
+            out.push_str("        Ok(Self {\n");
+            for f in fields {
+                let _ = writeln!(
+                    out,
+                    "            {}: {},",
+                    f.name,
+                    de_field_expr("__m", f, false)
+                );
+            }
+            out.push_str("        })\n");
+        }
+        Shape::TupleStruct(1) => {
+            out.push_str("        Ok(Self(serde::Deserialize::deserialize(__v)?))\n");
+        }
+        Shape::TupleStruct(n) => {
+            let _ = writeln!(
+                out,
+                "        let __a = __v.as_array().ok_or_else(|| serde::Error::new(\"expected array for {name}\"))?;"
+            );
+            let _ = writeln!(
+                out,
+                "        if __a.len() != {n} {{ return Err(serde::Error::new(\"wrong tuple length for {name}\")); }}"
+            );
+            let elems: Vec<String> = (0..*n)
+                .map(|k| format!("serde::Deserialize::deserialize(&__a[{k}])?"))
+                .collect();
+            let _ = writeln!(out, "        Ok(Self({}))", elems.join(", "));
+        }
+        Shape::UnitStruct => {
+            out.push_str("        let _ = __v;\n        Ok(Self)\n");
+        }
+        Shape::Enum(variants) => {
+            let units: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .collect();
+            let datas: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| !matches!(v.kind, VariantKind::Unit))
+                .collect();
+            out.push_str("        match __v {\n");
+            if !units.is_empty() {
+                out.push_str("            serde::Value::String(__s) => match __s.as_str() {\n");
+                for v in &units {
+                    let _ = writeln!(
+                        out,
+                        "                \"{}\" => Ok(Self::{}),",
+                        ident_str(&v.name),
+                        v.name
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "                __other => Err(serde::Error::new(format!(\"unknown variant {{__other}} of {name}\"))),"
+                );
+                out.push_str("            },\n");
+            }
+            if !datas.is_empty() {
+                out.push_str(
+                    "            serde::Value::Object(__pairs) if __pairs.len() == 1 => {\n",
+                );
+                out.push_str("                let (__k, __inner) = &__pairs[0];\n");
+                out.push_str("                match __k.as_str() {\n");
+                for v in &datas {
+                    let vname = &v.name;
+                    let key = ident_str(vname);
+                    match &v.kind {
+                        VariantKind::Tuple(1) => {
+                            let _ = writeln!(
+                                out,
+                                "                    \"{key}\" => Ok(Self::{vname}(serde::Deserialize::deserialize(__inner)?)),"
+                            );
+                        }
+                        VariantKind::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|k| format!("serde::Deserialize::deserialize(&__a[{k}])?"))
+                                .collect();
+                            let _ = writeln!(
+                                out,
+                                "                    \"{key}\" => {{ let __a = __inner.as_array().ok_or_else(|| serde::Error::new(\"expected array for {name}::{vname}\"))?; if __a.len() != {n} {{ return Err(serde::Error::new(\"wrong arity for {name}::{vname}\")); }} Ok(Self::{vname}({})) }}",
+                                elems.join(", ")
+                            );
+                        }
+                        VariantKind::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!("{}: {}", f.name, de_field_expr("__m", f, false)))
+                                .collect();
+                            let _ = writeln!(
+                                out,
+                                "                    \"{key}\" => {{ let __m = __inner.as_object().ok_or_else(|| serde::Error::new(\"expected object for {name}::{vname}\"))?; Ok(Self::{vname} {{ {} }}) }}",
+                                inits.join(", ")
+                            );
+                        }
+                        VariantKind::Unit => unreachable!(),
+                    }
+                }
+                let _ = writeln!(
+                    out,
+                    "                    __other => Err(serde::Error::new(format!(\"unknown variant {{__other}} of {name}\"))),"
+                );
+                out.push_str("                }\n            }\n");
+            }
+            let _ = writeln!(
+                out,
+                "            _ => Err(serde::Error::new(\"expected variant of {name}\")),"
+            );
+            out.push_str("        }\n");
+        }
+    }
+    out.push_str("    }\n}\n");
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("vendored serde_derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("vendored serde_derive: generated Deserialize impl failed to parse")
+}
