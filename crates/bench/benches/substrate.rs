@@ -6,6 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use harness::{run_once, System};
 use simgrid::network::{Fabric, FabricConfig, Flow, FlowId};
 use simgrid::node::{allocate_node, NodeSpec, TaskDemand};
+use simgrid::time::SteppingMode;
 use simgrid::NodeId;
 use smr_bench::{bench_config, mini_job};
 use std::hint::black_box;
@@ -58,10 +59,18 @@ fn engine_end_to_end(c: &mut Criterion) {
         ("hadoopv1", System::HadoopV1),
         ("smapreduce", System::SMapReduce),
     ] {
-        group.bench_function(format!("grep_2gb_{name}"), |b| {
-            let cfg = bench_config();
-            b.iter(|| black_box(run_once(&cfg, vec![mini_job(Puma::Grep)], &sys, 1).expect("run")));
-        });
+        for (mode_name, mode) in [
+            ("fixed", SteppingMode::Fixed),
+            ("adaptive", SteppingMode::Adaptive),
+        ] {
+            group.bench_function(format!("grep_2gb_{name}_{mode_name}"), |b| {
+                let mut cfg = bench_config();
+                cfg.tick.mode = mode;
+                b.iter(|| {
+                    black_box(run_once(&cfg, vec![mini_job(Puma::Grep)], &sys, 1).expect("run"))
+                });
+            });
+        }
     }
     group.finish();
 }

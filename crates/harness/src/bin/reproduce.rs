@@ -11,18 +11,23 @@
 //!
 //! Each figure prints its plain-text rendering and writes `<fig>.txt` +
 //! `<fig>.json` under the output directory (default `results/`). Every
-//! figure's JSON carries a `perf` block (ticks simulated, wall time,
-//! ticks/s, peak recorder memory). With `--trace FILE`, telemetry is
-//! enabled for the whole invocation and one Chrome-trace JSON — engine
-//! tick-phase spans, task-lifecycle instants, slot-manager decision
-//! audits, slot-target counters — is written to FILE (open it in
-//! `ui.perfetto.dev`).
+//! figure's JSON carries a `perf` block (steps simulated, simulated
+//! seconds covered, wall time, steps/s, peak recorder memory). With
+//! `--engine fixed|adaptive` every run in the invocation is pinned to one
+//! stepping mode (default: each config's own, i.e. adaptive). The
+//! `engine-bench` target runs a paper workload under *both* modes and
+//! writes `BENCH_engine.json` with the step ratio and wall speedup. With
+//! `--trace FILE`, telemetry is enabled for the whole invocation and one
+//! Chrome-trace JSON — engine step-phase spans, task-lifecycle instants,
+//! slot-manager decision audits, slot-target counters — is written to
+//! FILE (open it in `ui.perfetto.dev`).
 
 use harness::scale::Scale;
 use harness::{
-    ablation, ext_fair, ext_hetero, ext_load, ext_stragglers, fig1, fig3, fig4, fig5, fig6, fig7,
-    fig89, model_check, output, summary,
+    ablation, engine_bench, ext_fair, ext_hetero, ext_load, ext_stragglers, fig1, fig3, fig4, fig5,
+    fig6, fig7, fig89, model_check, output, summary,
 };
+use simgrid::time::SteppingMode;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -31,6 +36,7 @@ struct Args {
     scale: Scale,
     out: PathBuf,
     trace: Option<PathBuf>,
+    engine: Option<SteppingMode>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -38,6 +44,7 @@ fn parse_args() -> Result<Args, String> {
     let mut scale = Scale::Full;
     let mut out = PathBuf::from("results");
     let mut trace = None;
+    let mut engine = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -47,6 +54,17 @@ fn parse_args() -> Result<Args, String> {
             }
             "--trace" => {
                 trace = Some(PathBuf::from(it.next().ok_or("--trace needs a file")?));
+            }
+            "--engine" => {
+                engine = Some(
+                    match it.next().ok_or("--engine needs fixed|adaptive")?.as_str() {
+                        "fixed" => SteppingMode::Fixed,
+                        "adaptive" => SteppingMode::Adaptive,
+                        other => {
+                            return Err(format!("--engine must be fixed|adaptive, got {other}"))
+                        }
+                    },
+                );
             }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other if target.is_none() => target = Some(other.to_string()),
@@ -58,22 +76,43 @@ fn parse_args() -> Result<Args, String> {
         scale,
         out,
         trace,
+        engine,
     })
 }
 
 const USAGE: &str =
-    "usage: reproduce [all|fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ext-hetero|ext-stragglers|ext-fair|ext-load|ablations|model-check|headline] [--quick] [--out DIR] [--trace FILE]";
+    "usage: reproduce [all|fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ext-hetero|ext-stragglers|ext-fair|ext-load|ablations|model-check|headline|engine-bench] [--quick] [--out DIR] [--trace FILE] [--engine fixed|adaptive]";
 
 /// The perf-summary block every figure JSON carries.
-fn perf_block(ticks: u64, wall: std::time::Duration) -> serde_json::Value {
+fn perf_block(steps: u64, sim_seconds: f64, wall: std::time::Duration) -> serde_json::Value {
     let telem = harness::runner::active_telemetry();
     let secs = wall.as_secs_f64();
     let mut perf = serde_json::Value::Object(Vec::new());
-    perf.set("ticks", serde_json::Value::U64(ticks));
+    perf.set("steps", serde_json::Value::U64(steps));
+    perf.set("sim_seconds", serde_json::Value::F64(sim_seconds));
     perf.set("wall_seconds", serde_json::Value::F64(secs));
     perf.set(
-        "ticks_per_second",
-        serde_json::Value::F64(if secs > 0.0 { ticks as f64 / secs } else { 0.0 }),
+        "steps_per_second",
+        serde_json::Value::F64(if secs > 0.0 { steps as f64 / secs } else { 0.0 }),
+    );
+    perf.set(
+        "steps_per_sim_second",
+        serde_json::Value::F64(if sim_seconds > 0.0 {
+            steps as f64 / sim_seconds
+        } else {
+            0.0
+        }),
+    );
+    perf.set(
+        "engine",
+        serde_json::Value::String(
+            match harness::runner::engine_mode() {
+                Some(SteppingMode::Fixed) => "fixed",
+                Some(SteppingMode::Adaptive) => "adaptive",
+                None => "adaptive (default)",
+            }
+            .to_string(),
+        ),
     );
     perf.set(
         "peak_recorder_bytes",
@@ -93,9 +132,17 @@ fn main() -> ExitCode {
     if args.trace.is_some() {
         harness::runner::install_telemetry(telemetry::Telemetry::enabled());
     }
+    if let Some(mode) = args.engine {
+        if args.target == "engine-bench" {
+            eprintln!("engine-bench runs both modes itself; drop --engine");
+            return ExitCode::FAILURE;
+        }
+        harness::runner::set_engine_mode(mode);
+    }
     let scale = args.scale;
     let run_one = |name: &str| -> Result<(), String> {
-        let ticks_before = harness::runner::total_ticks();
+        let steps_before = harness::runner::total_steps();
+        let sim_before = harness::runner::total_sim_seconds();
         let wall_start = std::time::Instant::now();
         let (text, json): (String, serde_json::Value) = match name {
             "fig1" => {
@@ -207,10 +254,24 @@ fn main() -> ExitCode {
                     serde_json::to_value(&claims).expect("serialise"),
                 )
             }
+            "engine-bench" => {
+                let d = engine_bench::run(scale);
+                let json = serde_json::to_value(&d).expect("serialise");
+                let path = args.out.join("BENCH_engine.json");
+                std::fs::create_dir_all(&args.out).map_err(|e| e.to_string())?;
+                std::fs::write(
+                    &path,
+                    serde_json::to_string_pretty(&json).unwrap_or_default(),
+                )
+                .map_err(|e| e.to_string())?;
+                println!("[wrote {}]", path.display());
+                (engine_bench::render(&d), json)
+            }
             other => return Err(format!("unknown target: {other}\n{USAGE}")),
         };
         let perf = perf_block(
-            harness::runner::total_ticks() - ticks_before,
+            harness::runner::total_steps() - steps_before,
+            harness::runner::total_sim_seconds() - sim_before,
             wall_start.elapsed(),
         );
         // non-object payloads (e.g. headline's claim list) get wrapped so

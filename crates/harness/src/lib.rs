@@ -29,6 +29,7 @@
 //! paper-vs-measured results.
 
 pub mod ablation;
+pub mod engine_bench;
 pub mod ext_fair;
 pub mod ext_hetero;
 pub mod ext_load;
@@ -44,6 +45,7 @@ pub mod model_check;
 pub mod output;
 pub mod runner;
 pub mod scale;
+pub mod shapes;
 pub mod summary;
 pub mod table;
 

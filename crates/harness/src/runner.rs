@@ -10,6 +10,7 @@ use mapreduce::policy::{SlotPolicy, StaticSlotPolicy};
 use mapreduce::{Engine, EngineConfig, JobSpec, RunReport};
 use serde::{Deserialize, Serialize};
 use simgrid::error::SimError;
+use simgrid::time::SteppingMode;
 use smapreduce::{HeteroSlotManagerPolicy, SlotManagerPolicy, SmrConfig};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
@@ -20,9 +21,17 @@ use yarn::CapacityPolicy;
 /// the `reproduce --trace` path.
 static TELEMETRY: OnceLock<telemetry::Telemetry> = OnceLock::new();
 
-/// Engine ticks simulated by this process across all runs and threads
+/// Engine steps simulated by this process across all runs and threads
 /// (perf-summary input).
-static TOTAL_TICKS: AtomicU64 = AtomicU64::new(0);
+static TOTAL_STEPS: AtomicU64 = AtomicU64::new(0);
+
+/// Simulated milliseconds covered by those steps (perf-summary input:
+/// steps per simulated second shows what adaptive stepping saves).
+static TOTAL_SIM_MS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide stepping-mode override (the `reproduce --engine` flag and
+/// the cross-validation suite). `None` keeps each config's own mode.
+static ENGINE_MODE: OnceLock<SteppingMode> = OnceLock::new();
 
 /// Install the process-wide telemetry sink used by all subsequent runs.
 /// Returns `false` if a sink was already installed (the first one wins).
@@ -35,9 +44,26 @@ pub fn active_telemetry() -> telemetry::Telemetry {
     TELEMETRY.get().cloned().unwrap_or_default()
 }
 
-/// Total engine ticks simulated by this process so far.
-pub fn total_ticks() -> u64 {
-    TOTAL_TICKS.load(Ordering::Relaxed)
+/// Force every subsequent [`run_once`] in this process onto one stepping
+/// mode, regardless of what each config says. Returns `false` if a mode
+/// was already pinned (the first caller wins, like [`install_telemetry`]).
+pub fn set_engine_mode(mode: SteppingMode) -> bool {
+    ENGINE_MODE.set(mode).is_ok()
+}
+
+/// The pinned stepping mode, if any.
+pub fn engine_mode() -> Option<SteppingMode> {
+    ENGINE_MODE.get().copied()
+}
+
+/// Total engine steps simulated by this process so far.
+pub fn total_steps() -> u64 {
+    TOTAL_STEPS.load(Ordering::Relaxed)
+}
+
+/// Total simulated time covered by this process so far, in seconds.
+pub fn total_sim_seconds() -> f64 {
+    TOTAL_SIM_MS.load(Ordering::Relaxed) as f64 / 1000.0
 }
 
 /// Which system to run a workload under.
@@ -110,9 +136,19 @@ pub fn run_once(
 ) -> Result<RunReport, SimError> {
     let mut cfg = cfg.clone();
     cfg.seed = seed;
+    if let Some(mode) = engine_mode() {
+        cfg.tick.mode = mode;
+    }
     let mut policy = system.make_policy();
     let report = Engine::new(cfg).run_with(jobs, policy.as_mut(), &active_telemetry())?;
-    TOTAL_TICKS.fetch_add(report.ticks, Ordering::Relaxed);
+    TOTAL_STEPS.fetch_add(report.steps, Ordering::Relaxed);
+    let sim_ms = report
+        .jobs
+        .iter()
+        .map(|j| j.finished_at.as_millis())
+        .max()
+        .unwrap_or(0);
+    TOTAL_SIM_MS.fetch_add(sim_ms, Ordering::Relaxed);
     Ok(report)
 }
 

@@ -1,0 +1,77 @@
+//! The qualitative claims of each paper figure, as reusable assertions.
+//!
+//! Two suites run these against real figure data: `tests/paper_shapes.rs`
+//! under the default (adaptive) stepping, and `tests/cross_validation.rs`
+//! with the process pinned to the fixed-tick reference engine. Keeping
+//! the assertions in one place guarantees the two modes are held to the
+//! *same* bar — a divergence fails exactly one suite and names the mode.
+
+use crate::{fig1, fig4, fig5, fig6, fig89};
+
+/// Fig. 1: throughput rises from 1 slot to the knee, and map-heavy
+/// benchmarks keep climbing longer than shuffle-bound ones.
+pub fn assert_fig1_shape(f: &fig1::Fig1) {
+    for c in &f.curves {
+        let at = |slots: usize| c.points.iter().find(|p| p.0 == slots).unwrap().1;
+        assert!(
+            at(c.peak_slots) > at(1),
+            "{}: knee must beat 1 slot",
+            c.benchmark
+        );
+    }
+    let knee = |name: &str| {
+        f.curves
+            .iter()
+            .find(|c| c.benchmark == name)
+            .unwrap()
+            .peak_slots
+    };
+    assert!(knee("Grep") > knee("Terasort"), "map-heavy knees later");
+}
+
+/// Fig. 4: every progress curve crosses 100 % (the map barrier) strictly
+/// before its end.
+pub fn assert_fig4_shape(f: &fig4::Fig4) {
+    for c in &f.curves {
+        let t100 = c.points.iter().find(|p| p.1 >= 100.0).unwrap().0;
+        let t_end = c.points.last().unwrap().0;
+        assert!(t100 < t_end, "{}: barrier inside the run", c.system);
+    }
+}
+
+/// Fig. 5: SMapReduce is flattest across configured slot counts, while
+/// HadoopV1 is visibly configuration-sensitive.
+pub fn assert_fig5_shape(f: &fig5::Fig5) {
+    let spread = |name: &str| {
+        let c = f.curves.iter().find(|c| c.system == name).unwrap();
+        let ts: Vec<f64> = c.points.iter().map(|p| p.1).collect();
+        ts.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+            / ts.iter().copied().fold(f64::INFINITY, f64::min)
+    };
+    assert!(spread("SMapReduce") < spread("HadoopV1"));
+    assert!(spread("HadoopV1") > 1.3, "V1 must be config-sensitive");
+}
+
+/// Fig. 6: SMapReduce's advantage grows with input size.
+pub fn assert_fig6_shape(f: &fig6::Fig6) {
+    let smr = f.curves.iter().find(|c| c.system == "SMapReduce").unwrap();
+    assert!(smr.points.last().unwrap().1 > smr.points.first().unwrap().1);
+    assert!(f.final_ratio("HadoopV1") > 1.2);
+    assert!(f.final_ratio("YARN") > 1.0);
+}
+
+/// Fig. 8: four concurrent Grep jobs — SMapReduce wins mean execution
+/// time and last finish.
+pub fn assert_fig8_shape(f: &fig89::FigMultiJob) {
+    let smr = f.cell("SMapReduce");
+    let v1 = f.cell("HadoopV1");
+    assert!(smr.mean_execution_s < v1.mean_execution_s);
+    assert!(smr.last_finish_s < v1.last_finish_s);
+}
+
+/// Fig. 9: InvertedIndex multi-job — SMapReduce at worst ties HadoopV1.
+pub fn assert_fig9_shape(f: &fig89::FigMultiJob) {
+    let smr = f.cell("SMapReduce");
+    let v1 = f.cell("HadoopV1");
+    assert!(smr.last_finish_s < v1.last_finish_s * 1.02);
+}

@@ -1,14 +1,29 @@
 //! The simulation engine: binds the MapReduce framework to the `simgrid`
-//! substrate and advances everything in fixed ticks.
+//! substrate and advances everything in discrete steps.
 //!
-//! Per tick the engine (1) on heartbeat boundaries runs the heartbeat
-//! round — harvest tracker statistics, aggregate them, let the
-//! [`SlotPolicy`] issue slot directives, and assign tasks to free slots —
-//! then (2) integrates the physics: per-node contention scales every
-//! running task's rate, the fabric allocates bandwidth to remote-read and
-//! shuffle flows, tasks advance and complete.
+//! Every step is the same three phases: (1) on heartbeat boundaries run
+//! the heartbeat round — harvest tracker statistics, aggregate them, let
+//! the [`SlotPolicy`] issue slot directives, and assign tasks to free
+//! slots; (2) **allocate** — per-node contention scales every running
+//! task's rate and the fabric allocates bandwidth to remote-read and
+//! shuffle flows; (3) **integrate** — tasks advance at those rates over
+//! the step and complete.
 //!
-//! The engine is deterministic for a given [`EngineConfig::seed`].
+//! What varies is the step length ([`simgrid::time::SteppingMode`]):
+//!
+//! - **Fixed** — the classic 100 ms reference tick.
+//! - **Adaptive** (default) — all rates are piecewise-constant between
+//!   discrete events (task completions, phase transitions, heartbeat
+//!   directives, flow-set changes), so after each allocation the engine
+//!   computes the **event horizon** — the earliest heartbeat or sample
+//!   boundary, task/phase completion at current rates, shuffle-source
+//!   exhaustion, stall expiry or job submission — and advances all
+//!   integrators exactly to it in one macro-step.
+//!
+//! Both modes share the millisecond grid and draw randomness only inside
+//! heartbeat rounds, which land on identical boundaries, so either mode is
+//! deterministic for a given [`EngineConfig::seed`] and the two agree on
+//! every paper-shape outcome (cross-validated in `tests/`).
 
 use crate::events::{Event, EventLog};
 use crate::job::{JobProfile, JobSpec};
@@ -26,8 +41,8 @@ use simgrid::metrics::RecordedSeries;
 use simgrid::network::{Fabric, FabricConfig, Flow, FlowId};
 use simgrid::node::allocate_node;
 use simgrid::rng::SimRng;
-use simgrid::time::{SimDuration, SimTime, TickConfig};
-use std::collections::{BTreeMap, HashMap};
+use simgrid::time::{EventHorizon, SimDuration, SimTime, SteppingMode, TickConfig};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use telemetry::Telemetry;
 
 /// All knobs of one simulated deployment.
@@ -89,37 +104,15 @@ impl EngineConfig {
     /// The paper's testbed: 16 workers, 1 GbE, 128 MB blocks, 3 map +
     /// 2 reduce slots per tracker, 3 s heartbeats.
     pub fn paper_default() -> EngineConfig {
-        EngineConfig {
-            cluster: ClusterSpec::paper_testbed(),
-            fabric: FabricConfig::paper_gbe(),
-            tick: TickConfig::default(),
-            heartbeat: SimDuration::from_secs(3),
-            sample_period: SimDuration::from_secs(1),
-            init_map_slots: 3,
-            init_reduce_slots: 2,
-            reduce_slowstart: 0.05,
-            scheduler: crate::scheduler::SchedKind::Fifo,
-            jitter_amp: 0.20,
-            local_copy_rate: 180.0,
-            block_mb: 128.0,
-            record_events: false,
-            speculative_maps: false,
-            speculation_min_runtime: SimDuration::from_secs(15),
-            speculation_gap: 0.25,
-            map_failure_rate: 0.0,
-            straggler_rate: 0.0,
-            straggler_slowdown: 5.0,
-            seed: 42,
-        }
+        EngineConfigBuilder::paper().build()
     }
 
     /// A small fast deployment for tests.
     pub fn small_test(workers: usize, seed: u64) -> EngineConfig {
-        EngineConfig {
-            cluster: ClusterSpec::small(workers),
-            seed,
-            ..EngineConfig::paper_default()
-        }
+        EngineConfigBuilder::paper()
+            .workers(workers)
+            .seed(seed)
+            .build()
     }
 
     fn validate(&self) -> Result<(), SimError> {
@@ -134,15 +127,44 @@ impl EngineConfig {
                 "need >=1 initial reduce slot".into(),
             ));
         }
-        if !SimTime(self.heartbeat.0).is_multiple_of(self.tick.tick) {
+        // zero periods would make boundary detection silently never fire
+        // (is_multiple_of(0) is false for every instant) — reject them up
+        // front in both stepping modes
+        if self.heartbeat.as_millis() == 0 {
             return Err(SimError::InvalidConfig(
-                "heartbeat must be a multiple of the tick".into(),
+                "heartbeat must be non-zero (a zero period would never fire a round)".into(),
             ));
         }
-        if !SimTime(self.sample_period.0).is_multiple_of(self.tick.tick) {
+        if self.sample_period.as_millis() == 0 {
             return Err(SimError::InvalidConfig(
-                "sample period must be a multiple of the tick".into(),
+                "sample_period must be non-zero (a zero period would never record a sample)".into(),
             ));
+        }
+        // the fixed-tick reference mode can only land on boundaries that
+        // are multiples of its tick; misaligned periods would silently
+        // skip every round
+        if self.tick.mode == SteppingMode::Fixed {
+            if self.tick.tick.as_millis() == 0 {
+                return Err(SimError::InvalidConfig(
+                    "tick must be non-zero in fixed-tick mode".into(),
+                ));
+            }
+            if !SimTime(self.heartbeat.0).is_multiple_of(self.tick.tick) {
+                return Err(SimError::InvalidConfig(format!(
+                    "heartbeat ({} ms) must be a multiple of the tick ({} ms) in \
+                     fixed-tick mode, or rounds would never land on a boundary",
+                    self.heartbeat.as_millis(),
+                    self.tick.tick.as_millis()
+                )));
+            }
+            if !SimTime(self.sample_period.0).is_multiple_of(self.tick.tick) {
+                return Err(SimError::InvalidConfig(format!(
+                    "sample_period ({} ms) must be a multiple of the tick ({} ms) in \
+                     fixed-tick mode, or samples would never land on a boundary",
+                    self.sample_period.as_millis(),
+                    self.tick.tick.as_millis()
+                )));
+            }
         }
         if !(0.0..=1.0).contains(&self.reduce_slowstart) {
             return Err(SimError::InvalidConfig(
@@ -160,6 +182,82 @@ impl EngineConfig {
             ));
         }
         Ok(())
+    }
+}
+
+/// Builder for [`EngineConfig`]: starts from the paper testbed and applies
+/// selective overrides (the single source of truth behind
+/// [`EngineConfig::paper_default`] and [`EngineConfig::small_test`]).
+#[derive(Debug, Clone)]
+pub struct EngineConfigBuilder {
+    cfg: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// The paper's testbed configuration as the starting point.
+    pub fn paper() -> EngineConfigBuilder {
+        EngineConfigBuilder {
+            cfg: EngineConfig {
+                cluster: ClusterSpec::paper_testbed(),
+                fabric: FabricConfig::paper_gbe(),
+                tick: TickConfig::default(),
+                heartbeat: SimDuration::from_secs(3),
+                sample_period: SimDuration::from_secs(1),
+                init_map_slots: 3,
+                init_reduce_slots: 2,
+                reduce_slowstart: 0.05,
+                scheduler: crate::scheduler::SchedKind::Fifo,
+                jitter_amp: 0.20,
+                local_copy_rate: 180.0,
+                block_mb: 128.0,
+                record_events: false,
+                speculative_maps: false,
+                speculation_min_runtime: SimDuration::from_secs(15),
+                speculation_gap: 0.25,
+                map_failure_rate: 0.0,
+                straggler_rate: 0.0,
+                straggler_slowdown: 5.0,
+                seed: 42,
+            },
+        }
+    }
+
+    /// Replace the cluster with an arbitrary spec.
+    pub fn cluster(mut self, cluster: ClusterSpec) -> Self {
+        self.cfg.cluster = cluster;
+        self
+    }
+
+    /// Shrink to a small test cluster of `workers` nodes.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.cfg.cluster = ClusterSpec::small(workers);
+        self
+    }
+
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Select the stepping mode (fixed reference ticks or adaptive
+    /// event-horizon macro-steps).
+    pub fn stepping(mut self, mode: SteppingMode) -> Self {
+        self.cfg.tick.mode = mode;
+        self
+    }
+
+    pub fn heartbeat(mut self, heartbeat: SimDuration) -> Self {
+        self.cfg.heartbeat = heartbeat;
+        self
+    }
+
+    pub fn sample_period(mut self, sample_period: SimDuration) -> Self {
+        self.cfg.sample_period = sample_period;
+        self
+    }
+
+    pub fn build(self) -> EngineConfig {
+        self.cfg
     }
 }
 
@@ -186,6 +284,26 @@ enum FlowPurpose {
     MapRead(MapAttemptId),
     /// Shuffle fetch of `reduce` from source node.
     Fetch(ReduceTaskId, NodeId),
+}
+
+/// The allocate phase's output: every piecewise-constant rate in force for
+/// the coming step. The horizon phase reads these to find the next event;
+/// the integrate phase advances every task by exactly `rate × dt`.
+struct StepRates {
+    /// Per-task node-contention scale (includes the management-stall factor).
+    scales: BTreeMap<TaskRef, f64>,
+    /// Granted fabric bandwidth per remote-reading map attempt (MB/s).
+    map_read_rate: HashMap<MapAttemptId, f64>,
+    /// Granted fabric bandwidth per (reduce, source-node) shuffle fetch (MB/s).
+    fetch_rate: HashMap<(ReduceTaskId, NodeId), f64>,
+    /// Fetches granted less than they demanded (fabric contention): their
+    /// depletion frees bandwidth other flows are queued for, so the
+    /// adaptive horizon must cut there even before the shuffle endgame.
+    fetch_contended: HashSet<(ReduceTaskId, NodeId)>,
+    /// Offered CPU capacity rate (cores) while any job is active.
+    cpu_offered_rate: f64,
+    /// Granted CPU rate (cores) summed over running tasks.
+    cpu_granted_rate: f64,
 }
 
 /// The engine. Construct with a config, then [`Engine::run`] a workload
@@ -254,13 +372,14 @@ struct Sim<'p> {
     heartbeat_round: u64,
     events: EventLog,
     telem: Telemetry,
-    /// Ticks executed so far (reported; also mirrored to a metrics counter).
-    ticks: u64,
-    tick_counter: telemetry::Counter,
+    /// Integration steps executed so far (fixed ticks or adaptive
+    /// macro-steps; reported and mirrored to a metrics counter).
+    steps: u64,
+    step_counter: telemetry::Counter,
     heartbeat_counter: telemetry::Counter,
-    /// Per-tick wall-clock histogram (µs); only fed under the `profiling`
+    /// Per-step wall-clock histogram (µs); only fed under the `profiling`
     /// feature, where the extra clock reads are accepted.
-    tick_duration_us: telemetry::Histogram,
+    step_duration_us: telemetry::Histogram,
     speculative_attempts: u64,
     speculative_wins: u64,
     /// Injected failure points: attempt → progress fraction at which it
@@ -335,10 +454,10 @@ impl<'p> Sim<'p> {
             slot_changes: 0,
             heartbeat_round: 0,
             events,
-            ticks: 0,
-            tick_counter: telem.counter("engine.ticks"),
+            steps: 0,
+            step_counter: telem.counter("engine.steps"),
             heartbeat_counter: telem.counter("engine.heartbeat_rounds"),
-            tick_duration_us: telem.histogram("engine.tick_duration_us"),
+            step_duration_us: telem.histogram("engine.step_duration_us"),
             telem,
             speculative_attempts: 0,
             speculative_wins: 0,
@@ -351,8 +470,18 @@ impl<'p> Sim<'p> {
     }
 
     fn run_to_completion(&mut self) -> Result<RunReport, SimError> {
+        match self.cfg.tick.mode {
+            SteppingMode::Fixed => self.run_fixed(),
+            SteppingMode::Adaptive => self.run_adaptive(),
+        }
+    }
+
+    /// The fixed-tick reference loop: every step is exactly one tick.
+    fn run_fixed(&mut self) -> Result<RunReport, SimError> {
+        let dt = self.cfg.tick.dt_secs();
+        let dt_ms = self.cfg.tick.tick.as_millis();
         loop {
-            let tick_start = self.telem.clock_us();
+            let step_start = self.telem.clock_us();
             let sim_ms = self.now.as_millis();
             if self.now.is_multiple_of(self.cfg.heartbeat) {
                 let t0 = self.telem.clock_us();
@@ -360,17 +489,18 @@ impl<'p> Sim<'p> {
                 self.telem
                     .record_span("engine", "heartbeat_round", t0, sim_ms);
             }
-            self.advance_tick();
+            let rates = self.allocate_step(Some(dt));
+            self.integrate(dt, dt_ms, &rates);
             if self.now.is_multiple_of(self.cfg.sample_period) {
                 let t0 = self.telem.clock_us();
                 self.sample();
                 self.telem.record_span("engine", "sample", t0, sim_ms);
             }
-            self.ticks += 1;
-            self.tick_counter.inc();
+            self.steps += 1;
+            self.step_counter.inc();
             if telemetry::PROFILING_ENABLED {
                 let end = self.telem.clock_us();
-                self.tick_duration_us.record(end.saturating_sub(tick_start));
+                self.step_duration_us.record(end.saturating_sub(step_start));
             }
             self.now += self.cfg.tick.tick;
             if self.jobs.iter().all(|j| j.is_finished()) {
@@ -378,28 +508,76 @@ impl<'p> Sim<'p> {
                 break;
             }
             if self.now > self.cfg.tick.horizon {
-                let pending: Vec<String> = self
-                    .jobs
-                    .iter()
-                    .filter(|j| !j.is_finished())
-                    .map(|j| {
-                        format!(
-                            "{}: {}/{} maps, {}/{} reduces",
-                            j.spec.profile.name,
-                            j.completed_maps,
-                            j.total_maps(),
-                            j.completed_reduces,
-                            j.total_reduces()
-                        )
-                    })
-                    .collect();
-                return Err(SimError::HorizonExceeded {
-                    horizon: self.cfg.tick.horizon,
-                    pending_work: pending.join("; "),
-                });
+                return Err(self.horizon_error());
             }
         }
         Ok(self.build_report())
+    }
+
+    /// The adaptive event-horizon loop: after each allocation, advance by
+    /// the earliest instant at which any rate can change. Heartbeat and
+    /// sample boundaries cap every step, so periodic logic (and with it
+    /// every RNG draw) lands on exactly the same instants as in fixed mode.
+    fn run_adaptive(&mut self) -> Result<RunReport, SimError> {
+        // record the initial state so slot/progress series start at t=0
+        self.sample();
+        loop {
+            let step_start = self.telem.clock_us();
+            let sim_ms = self.now.as_millis();
+            if self.now.is_multiple_of(self.cfg.heartbeat) {
+                let t0 = self.telem.clock_us();
+                self.heartbeat_round();
+                self.telem
+                    .record_span("engine", "heartbeat_round", t0, sim_ms);
+            }
+            let rates = self.allocate_step(None);
+            let t0 = self.telem.clock_us();
+            let dt = self.compute_horizon(&rates);
+            self.telem.record_span("step", "event_horizon", t0, sim_ms);
+            self.integrate(dt.as_secs_f64(), dt.as_millis(), &rates);
+            self.steps += 1;
+            self.step_counter.inc();
+            if telemetry::PROFILING_ENABLED {
+                let end = self.telem.clock_us();
+                self.step_duration_us.record(end.saturating_sub(step_start));
+            }
+            self.now += dt;
+            let finished = self.jobs.iter().all(|j| j.is_finished());
+            if finished || self.now.is_multiple_of(self.cfg.sample_period) {
+                let t0 = self.telem.clock_us();
+                self.sample();
+                self.telem.record_span("engine", "sample", t0, sim_ms);
+            }
+            if finished {
+                break;
+            }
+            if self.now > self.cfg.tick.horizon {
+                return Err(self.horizon_error());
+            }
+        }
+        Ok(self.build_report())
+    }
+
+    fn horizon_error(&self) -> SimError {
+        let pending: Vec<String> = self
+            .jobs
+            .iter()
+            .filter(|j| !j.is_finished())
+            .map(|j| {
+                format!(
+                    "{}: {}/{} maps, {}/{} reduces",
+                    j.spec.profile.name,
+                    j.completed_maps,
+                    j.total_maps(),
+                    j.completed_reduces,
+                    j.total_reduces()
+                )
+            })
+            .collect();
+        SimError::HorizonExceeded {
+            horizon: self.cfg.tick.horizon,
+            pending_work: pending.join("; "),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -566,25 +744,33 @@ impl<'p> Sim<'p> {
     }
 
     // ------------------------------------------------------------------
-    // Physics: one tick of resource allocation and task progress
+    // Physics, phase 1 — allocate: derive every rate in force for the step
     // ------------------------------------------------------------------
 
-    fn advance_tick(&mut self) {
+    /// Allocate node contention scales and fabric bandwidth. `fixed_dt` is
+    /// `Some(tick seconds)` in fixed mode, where flow demands are capped
+    /// by what one tick can consume; the adaptive stepper passes `None`
+    /// and expresses pure rates — exhaustion becomes an event-horizon cut
+    /// instead of a per-step demand cap.
+    fn allocate_step(&mut self, fixed_dt: Option<f64>) -> StepRates {
         let sim_ms = self.now.as_millis();
-        let dt = self.cfg.tick.dt_secs();
         let t0 = self.telem.clock_us();
-        let scales = self.allocate_nodes();
-        self.telem.record_span("tick", "allocate_nodes", t0, sim_ms);
+        let (scales, cpu_offered_rate, cpu_granted_rate) = self.allocate_nodes(fixed_dt.is_some());
+        self.telem.record_span("step", "allocate_nodes", t0, sim_ms);
         let t0 = self.telem.clock_us();
-        let (flows, purposes) = self.build_flows(dt, &scales);
+        let (flows, purposes) = self.build_flows(fixed_dt, &scales);
         let rates = self.fabric.allocate(&flows);
         self.telem
-            .record_span("tick", "network_allocate", t0, sim_ms);
+            .record_span("step", "network_allocate", t0, sim_ms);
 
-        // index flow grants by purpose
+        // index flow grants by purpose; a fetch that got less than it asked
+        // for is *contended* — its depletion frees fabric bandwidth others
+        // are waiting on, so it must be a horizon event
         let mut map_read_rate: HashMap<MapAttemptId, f64> = HashMap::new();
         let mut fetch_rate: HashMap<(ReduceTaskId, NodeId), f64> = HashMap::new();
-        for (fid, purpose) in &purposes {
+        let mut fetch_contended: HashSet<(ReduceTaskId, NodeId)> = HashSet::new();
+        for (flow, (fid, purpose)) in flows.iter().zip(&purposes) {
+            debug_assert_eq!(flow.id, *fid);
             let rate = rates.get(fid).copied().unwrap_or(0.0);
             match *purpose {
                 FlowPurpose::MapRead(id) => {
@@ -592,28 +778,146 @@ impl<'p> Sim<'p> {
                 }
                 FlowPurpose::Fetch(rid, src) => {
                     fetch_rate.insert((rid, src), rate);
+                    if rate + 1e-9 < flow.demand {
+                        fetch_contended.insert((rid, src));
+                    }
+                }
+            }
+        }
+        StepRates {
+            scales,
+            map_read_rate,
+            fetch_rate,
+            fetch_contended,
+            cpu_offered_rate,
+            cpu_granted_rate,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Physics, phase 3 — integrate: advance every piecewise-constant
+    // integrator by exactly `dt` at the rates fixed in phase 1
+    // ------------------------------------------------------------------
+
+    fn integrate(&mut self, dt: f64, dt_ms: u64, rates: &StepRates) {
+        let sim_ms = self.now.as_millis();
+        let t0 = self.telem.clock_us();
+        self.advance_maps(dt, &rates.scales, &rates.map_read_rate);
+        self.telem.record_span("step", "advance_maps", t0, sim_ms);
+        let t0 = self.telem.clock_us();
+        self.advance_reduces(dt, &rates.scales, &rates.fetch_rate);
+        self.telem
+            .record_span("step", "advance_reduces", t0, sim_ms);
+
+        self.cpu_offered_core_s += rates.cpu_offered_rate * dt;
+        self.cpu_granted_core_s += rates.cpu_granted_rate * dt;
+
+        // decay management stalls
+        for tr in &mut self.trackers {
+            tr.stall_ms = tr.stall_ms.saturating_sub(dt_ms);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Physics, phase 2 — event horizon: how far the current rates stay valid
+    // ------------------------------------------------------------------
+
+    /// Earliest upcoming event at the rates fixed by [`Sim::allocate_step`]:
+    /// the next heartbeat or sample boundary, a stall expiring, a job
+    /// arriving, a map attempt finishing (or crossing its injected failure
+    /// point), a shuffle source draining, or a sort/reduce phase ending.
+    /// Advancing by exactly this duration loses no intermediate state
+    /// because every integrator is piecewise-constant in between.
+    fn compute_horizon(&self, rates: &StepRates) -> SimDuration {
+        let mut horizon = EventHorizon::new(self.now.until_next_multiple_of(self.cfg.heartbeat));
+        // cascades of task events within one tick-width merge into a single
+        // step: the integrators clamp the overshoot, so adaptive stepping
+        // is never *less* precise about an event time than the fixed grid
+        horizon.coalesce_events(self.cfg.tick.tick);
+        horizon.propose(self.now.until_next_multiple_of(self.cfg.sample_period));
+
+        for tr in &self.trackers {
+            if tr.stall_ms > 0 {
+                horizon.propose(SimDuration::from_millis(tr.stall_ms));
+            }
+        }
+        for job in &self.jobs {
+            if job.spec.submit_at > self.now {
+                horizon.propose(job.spec.submit_at.since(self.now));
+            }
+        }
+
+        for (id, t) in &self.running_maps {
+            let profile = &self.profiles[id.task.job.0];
+            let scale = rates.scales.get(&TaskRef::Map(*id)).copied().unwrap_or(0.0);
+            let read_rate = rates.map_read_rate.get(id).copied().unwrap_or(0.0);
+            let work_rate = t.effective_work_rate(profile, scale, read_rate);
+            if let Some(s) = t.time_to_completion(work_rate) {
+                horizon.propose_secs(s);
+            }
+            if let Some(&fail_at) = self.failure_points.get(id) {
+                if let Some(s) = t.time_to_progress(fail_at, work_rate) {
+                    horizon.propose_secs(s);
                 }
             }
         }
 
-        let t0 = self.telem.clock_us();
-        self.advance_maps(dt, &scales, &map_read_rate);
-        self.telem.record_span("tick", "advance_maps", t0, sim_ms);
-        let t0 = self.telem.clock_us();
-        self.advance_reduces(dt, &scales, &fetch_rate);
-        self.telem
-            .record_span("tick", "advance_reduces", t0, sim_ms);
-
-        // decay management stalls
-        let tick_ms = self.cfg.tick.tick.as_millis();
-        for tr in &mut self.trackers {
-            tr.stall_ms = tr.stall_ms.saturating_sub(tick_ms);
+        for (rid, r) in &self.running_reduces {
+            let profile = &self.profiles[rid.job.0];
+            let job = &self.jobs[rid.job.0];
+            let scale = rates
+                .scales
+                .get(&TaskRef::Reduce(*rid))
+                .copied()
+                .unwrap_or(0.0);
+            match r.phase {
+                ReducePhase::Shuffle => {
+                    // pre-barrier, sources refill only at map completions —
+                    // which are horizon events themselves — so draining one
+                    // changes no rate anyone is waiting on unless the flow
+                    // was fabric-contended. Post-barrier (endgame) every
+                    // drain leads to the shuffle→sort transition and must
+                    // cut the step.
+                    let endgame = job.shuffle.maps_all_done();
+                    let boost = if endgame {
+                        profile.shuffle_barrier_boost
+                    } else {
+                        1.0
+                    };
+                    let budget = profile.shuffle_merge_rate * scale * boost;
+                    let local_rem = job.shuffle.remaining_from(r, r.node);
+                    if endgame && local_rem > 0.0 {
+                        horizon.propose_depletion(local_rem, self.cfg.local_copy_rate.min(budget));
+                    }
+                    for ((owner, src), granted) in &rates.fetch_rate {
+                        if owner != rid {
+                            continue;
+                        }
+                        if endgame || rates.fetch_contended.contains(&(*rid, *src)) {
+                            horizon
+                                .propose_depletion(job.shuffle.remaining_from(r, *src), *granted);
+                        }
+                    }
+                }
+                ReducePhase::Sort | ReducePhase::Reduce => {
+                    if let Some(s) = r.time_to_phase_completion(r.phase_rate(profile) * scale) {
+                        horizon.propose_secs(s);
+                    }
+                }
+                // completion is detected on the next integrate call
+                ReducePhase::Done => horizon.propose(SimDuration::from_millis(1)),
+            }
         }
+        horizon.resolve()
     }
 
     /// Per-node contention scales for every running task, including the
-    /// management-overhead stall factor.
-    fn allocate_nodes(&mut self) -> BTreeMap<TaskRef, f64> {
+    /// management-overhead stall factor, plus the offered/granted CPU
+    /// *rates* (integrated over the step length later). In fixed mode a
+    /// stall is amortised across the tick it partially covers; the
+    /// adaptive stepper freezes the node outright and lets the horizon cut
+    /// the step at stall expiry instead.
+    fn allocate_nodes(&self, fixed: bool) -> (BTreeMap<TaskRef, f64>, f64, f64) {
         let workers = self.trackers.len();
         let mut node_tasks: Vec<Vec<(TaskRef, simgrid::node::TaskDemand)>> =
             vec![Vec::new(); workers];
@@ -626,33 +930,39 @@ impl<'p> Sim<'p> {
             node_tasks[t.node.0].push((TaskRef::Reduce(*id), t.demand(profile)));
         }
         let tick_ms = self.cfg.tick.tick.as_millis() as f64;
-        let dt = self.cfg.tick.dt_secs();
         let any_active = self.jobs.iter().any(|j| j.is_active(self.now));
         let mut out = BTreeMap::new();
+        let mut offered = 0.0;
+        let mut granted = 0.0;
         for (n, tasks) in node_tasks.iter().enumerate() {
             if any_active {
-                self.cpu_offered_core_s += self.cfg.cluster.node_spec(NodeId(n)).cores * dt;
+                offered += self.cfg.cluster.node_spec(NodeId(n)).cores;
             }
             if tasks.is_empty() {
                 continue;
             }
             let demands: Vec<simgrid::node::TaskDemand> = tasks.iter().map(|t| t.1).collect();
             let scales = allocate_node(self.cfg.cluster.node_spec(NodeId(n)), &demands);
-            let stall = self.trackers[n].stall_ms.min(tick_ms as u64) as f64 / tick_ms;
-            let stall_factor = 1.0 - stall;
+            let stall_factor = if fixed {
+                1.0 - self.trackers[n].stall_ms.min(tick_ms as u64) as f64 / tick_ms
+            } else if self.trackers[n].stall_ms > 0 {
+                0.0
+            } else {
+                1.0
+            };
             for ((r, d), s) in tasks.iter().zip(scales) {
-                self.cpu_granted_core_s += d.cpu_cores * s * stall_factor * dt;
+                granted += d.cpu_cores * s * stall_factor;
                 out.insert(*r, s * stall_factor);
             }
         }
-        out
+        (out, offered, granted)
     }
 
-    /// Construct this tick's network flows: remote map reads and shuffle
+    /// Construct this step's network flows: remote map reads and shuffle
     /// fetches (the latter capped by each reduce's merge throughput).
     fn build_flows(
         &self,
-        dt: f64,
+        fixed_dt: Option<f64>,
         scales: &BTreeMap<TaskRef, f64>,
     ) -> (Vec<Flow>, Vec<(FlowId, FlowPurpose)>) {
         let mut flows = Vec::new();
@@ -673,7 +983,13 @@ impl<'p> Sim<'p> {
             } else {
                 0.0
             };
-            let demand = input_rate.min(t.input_remaining / dt);
+            // fixed mode caps demand by what this tick can consume; the
+            // adaptive stepper expresses the pure rate and relies on the
+            // event horizon to cut the step at exhaustion
+            let demand = match fixed_dt {
+                Some(dt) => input_rate.min(t.input_remaining / dt),
+                None => input_rate,
+            };
             if demand <= 0.0 {
                 continue;
             }
@@ -706,17 +1022,38 @@ impl<'p> Sim<'p> {
             // local copy consumes part of the budget without the fabric
             let local_rem = job.shuffle.remaining_from(r, r.node);
             if local_rem > 0.0 {
-                budget -= (local_rem / dt).min(self.cfg.local_copy_rate).min(budget);
+                let local_rate = match fixed_dt {
+                    Some(dt) => (local_rem / dt).min(self.cfg.local_copy_rate),
+                    None => self.cfg.local_copy_rate,
+                };
+                budget -= local_rate.min(budget);
             }
-            for (src, rem) in job
+            let sources: Vec<(NodeId, f64)> = job
                 .shuffle
                 .fetch_sources(r, profile.shuffle_fetchers as usize)
-            {
-                if src == r.node || budget <= 1e-9 {
+                .into_iter()
+                .filter(|&(src, _)| src != r.node)
+                .collect();
+            // adaptive mode splits the budget proportionally to each
+            // source's remaining data, so every granted source depletes at
+            // the *same* instant — one horizon event per drain instead of
+            // one per source
+            let remote_total: f64 = sources.iter().map(|s| s.1).sum();
+            for (src, rem) in sources {
+                if budget <= 1e-9 {
                     continue;
                 }
-                let demand = (rem / dt).min(budget);
-                budget -= demand;
+                let demand = match fixed_dt {
+                    Some(dt) => {
+                        let d = (rem / dt).min(budget);
+                        budget -= d;
+                        d
+                    }
+                    None => budget * rem / remote_total,
+                };
+                if demand <= 1e-9 {
+                    continue;
+                }
                 let fid = FlowId(next);
                 next += 1;
                 flows.push(Flow {
@@ -1171,7 +1508,7 @@ impl<'p> Sim<'p> {
                 0.0
             },
             network_mb: self.network_mb,
-            ticks: self.ticks,
+            steps: self.steps,
         }
     }
 }
@@ -1308,11 +1645,117 @@ mod tests {
         assert!(Engine::new(bad)
             .run(vec![job.clone()], &mut StaticSlotPolicy)
             .is_err());
+        // off-grid heartbeat is only an error under fixed ticking
         let mut bad2 = cfg;
+        bad2.tick.mode = SteppingMode::Fixed;
         bad2.heartbeat = SimDuration::from_millis(150);
         assert!(Engine::new(bad2)
             .run(vec![job], &mut StaticSlotPolicy)
             .is_err());
+    }
+
+    #[test]
+    fn validation_rejects_zero_periods_in_both_modes() {
+        let job = JobSpec::new(
+            0,
+            JobProfile::synthetic_map_heavy(),
+            128.0,
+            1,
+            SimTime::ZERO,
+        );
+        for mode in [SteppingMode::Fixed, SteppingMode::Adaptive] {
+            let base = EngineConfigBuilder::paper()
+                .workers(2)
+                .stepping(mode)
+                .build();
+            let mut bad = base.clone();
+            bad.heartbeat = SimDuration::ZERO;
+            let err = Engine::new(bad)
+                .run(vec![job.clone()], &mut StaticSlotPolicy)
+                .unwrap_err();
+            assert!(format!("{err}").contains("heartbeat"), "{err}");
+            let mut bad = base.clone();
+            bad.sample_period = SimDuration::ZERO;
+            let err = Engine::new(bad)
+                .run(vec![job.clone()], &mut StaticSlotPolicy)
+                .unwrap_err();
+            assert!(format!("{err}").contains("sample_period"), "{err}");
+        }
+        // a zero tick only matters when it is actually the step length
+        let mut bad = EngineConfigBuilder::paper()
+            .workers(2)
+            .stepping(SteppingMode::Fixed)
+            .build();
+        bad.tick.tick = SimDuration::ZERO;
+        let err = Engine::new(bad)
+            .run(vec![job.clone()], &mut StaticSlotPolicy)
+            .unwrap_err();
+        assert!(format!("{err}").contains("tick"), "{err}");
+    }
+
+    #[test]
+    fn adaptive_mode_accepts_off_grid_periods() {
+        let cfg = EngineConfigBuilder::paper()
+            .workers(2)
+            .seed(7)
+            .stepping(SteppingMode::Adaptive)
+            .heartbeat(SimDuration::from_millis(150))
+            .sample_period(SimDuration::from_millis(70))
+            .build();
+        let job = JobSpec::new(0, JobProfile::synthetic_map_heavy(), 64.0, 2, SimTime::ZERO);
+        let report = Engine::new(cfg)
+            .run(vec![job], &mut StaticSlotPolicy)
+            .expect("off-grid periods are fine without a tick grid");
+        assert!(report.single().total_time().as_secs_f64() > 0.0);
+    }
+
+    /// The two stepping modes are different discretisations of the same
+    /// physics: paper-scale observables must agree closely, and the
+    /// adaptive core must need far fewer steps to get there.
+    #[test]
+    fn fixed_and_adaptive_modes_agree_on_observables() {
+        let job = || {
+            JobSpec::new(
+                0,
+                JobProfile::synthetic_reduce_heavy(),
+                1024.0,
+                8,
+                SimTime::ZERO,
+            )
+        };
+        let run = |mode: SteppingMode| {
+            let cfg = EngineConfigBuilder::paper()
+                .workers(4)
+                .seed(11)
+                .stepping(mode)
+                .build();
+            Engine::new(cfg)
+                .run(vec![job()], &mut StaticSlotPolicy)
+                .expect("run completes")
+        };
+        let fixed = run(SteppingMode::Fixed);
+        let adaptive = run(SteppingMode::Adaptive);
+        let (tf, ta) = (
+            fixed.single().total_time().as_secs_f64(),
+            adaptive.single().total_time().as_secs_f64(),
+        );
+        let rel = (tf - ta).abs() / tf.max(ta);
+        assert!(
+            rel < 0.05,
+            "total time diverged: fixed {tf}s adaptive {ta}s"
+        );
+        assert!(
+            (fixed.single().shuffle_mb - adaptive.single().shuffle_mb).abs() < 1e-6,
+            "shuffle volume is exact in both modes"
+        );
+        // on this deliberately small run the 1 s sample boundary dominates
+        // the step count; paper-scale runs (see the engine bench) clear 5x
+        assert!(
+            adaptive.steps * 4 <= fixed.steps,
+            "adaptive must take far fewer steps ({} vs {})",
+            adaptive.steps,
+            fixed.steps
+        );
     }
 
     #[test]

@@ -93,10 +93,12 @@ pub struct RunReport {
     pub cpu_utilisation: f64,
     /// Total MB moved over the fabric (shuffle fetches + remote reads).
     pub network_mb: f64,
-    /// Simulation ticks executed by the engine for this run (perf-summary
-    /// input: wall time / ticks gives the engine's ticks-per-second).
+    /// Simulation steps executed by the engine for this run. Under fixed
+    /// stepping every step is one tick; under adaptive stepping a step is
+    /// one event-horizon advance, so steps / simulated seconds measures
+    /// how much work the variable-step core avoided.
     #[serde(default)]
-    pub ticks: u64,
+    pub steps: u64,
 }
 
 impl RunReport {
@@ -177,7 +179,7 @@ mod tests {
             map_failures: 0,
             cpu_utilisation: 0.0,
             network_mb: 0.0,
-            ticks: 0,
+            steps: 0,
         };
         assert_eq!(run.mean_execution_time().as_secs_f64(), 150.0);
         assert_eq!(run.makespan().as_secs_f64(), 205.0);
@@ -197,7 +199,7 @@ mod tests {
             map_failures: 0,
             cpu_utilisation: 0.0,
             network_mb: 0.0,
-            ticks: 0,
+            steps: 0,
         };
         assert_eq!(run.mean_execution_time(), SimDuration::ZERO);
         assert_eq!(run.makespan(), SimDuration::ZERO);
@@ -218,7 +220,7 @@ mod tests {
             map_failures: 0,
             cpu_utilisation: 0.0,
             network_mb: 0.0,
-            ticks: 0,
+            steps: 0,
         };
         let _ = run.single();
     }

@@ -199,5 +199,40 @@ mod tests {
                 proptest::prop_assert_eq!(s.pending_shutdown(), o.saturating_sub(t));
             }
         }
+
+        /// The invariant the thrashing detector's settled-occupancy gate
+        /// relies on: during a shrink transition (occupied > target),
+        /// occupancy never *increases* — it only drains toward the target
+        /// as tasks finish. Equivalently, occupancy never exceeds the
+        /// largest target that was in force when its tasks launched.
+        #[test]
+        fn prop_shrink_transition_occupancy_never_grows(
+            ops in proptest::collection::vec((0u8..3, 0usize..9), 0..300),
+        ) {
+            let mut s = SlotSet::new(4);
+            let mut max_target_seen = s.target();
+            for (op, arg) in ops {
+                let before = s.occupied();
+                match op {
+                    0 => { if s.free() > 0 { s.launch(); } }
+                    1 => { if s.occupied() > 0 { s.release(); } }
+                    _ => { s.set_target(arg); }
+                }
+                max_target_seen = max_target_seen.max(s.target());
+                if before > s.target() {
+                    // mid-shrink: launches are impossible, occupancy may
+                    // only drain (this is what makes a measured rate at
+                    // `occupied > target` attributable to the *old* level)
+                    proptest::prop_assert!(
+                        s.occupied() <= before,
+                        "occupancy grew during a shrink: {} -> {}",
+                        before,
+                        s.occupied()
+                    );
+                }
+                // occupancy is always explained by some past target
+                proptest::prop_assert!(s.occupied() <= max_target_seen);
+            }
+        }
     }
 }

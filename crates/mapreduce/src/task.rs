@@ -120,6 +120,37 @@ impl MapTask {
         self.work_remaining <= 1e-9
     }
 
+    /// Effective work rate (equivalent-MB/s) at node contention `scale`
+    /// given `read_rate` MB/s of granted remote-read bandwidth: compute
+    /// and input delivery proceed in lockstep, so a remote map runs at
+    /// whichever is slower. This is the piecewise-constant rate the
+    /// adaptive stepper integrates until the next event.
+    pub fn effective_work_rate(&self, profile: &JobProfile, scale: f64, read_rate: f64) -> f64 {
+        let compute = profile.map_rate * scale;
+        if self.remote_src.is_some() && self.input_remaining > 1e-9 && self.input_mb > 0.0 {
+            compute.min(read_rate * self.work_total / self.input_mb)
+        } else {
+            compute
+        }
+    }
+
+    /// Seconds until this task completes at a constant `work_rate`
+    /// (equivalent-MB/s); `None` when stalled (rate ≈ 0).
+    pub fn time_to_completion(&self, work_rate: f64) -> Option<f64> {
+        (work_rate > 1e-9).then(|| self.work_remaining.max(0.0) / work_rate)
+    }
+
+    /// Seconds until cumulative progress crosses `frac` at a constant
+    /// `work_rate`; `None` when stalled or already past the threshold
+    /// (used to schedule injected failure points as discrete events).
+    pub fn time_to_progress(&self, frac: f64, work_rate: f64) -> Option<f64> {
+        if work_rate <= 1e-9 {
+            return None;
+        }
+        let work_to_go = frac * self.work_total - (self.work_total - self.work_remaining);
+        (work_to_go > 0.0).then(|| work_to_go / work_rate)
+    }
+
     /// Advance by `work_mb` equivalent-MB of processing; returns the
     /// `(input, output)` MB attributable to this step, for the tracker's
     /// rate meters. Input and output are spread proportionally over the
@@ -310,6 +341,20 @@ impl ReduceTask {
             _ => 0.0,
         }
     }
+
+    /// Seconds until the current sort/reduce phase completes at a constant
+    /// effective `rate` MB/s; `None` when stalled or not in a compute
+    /// phase. Phase completion must be a step boundary for the adaptive
+    /// stepper: [`ReduceTask::advance_compute`] discards work overshooting
+    /// a transition, so landing exactly on it loses nothing.
+    pub fn time_to_phase_completion(&self, rate: f64) -> Option<f64> {
+        match self.phase {
+            ReducePhase::Sort | ReducePhase::Reduce => {
+                (rate > 1e-9).then(|| self.phase_remaining.max(0.0) / rate)
+            }
+            ReducePhase::Shuffle | ReducePhase::Done => None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -443,6 +488,67 @@ mod tests {
     }
 
     #[test]
+    fn completion_time_queries_match_integration() {
+        let p = JobProfile::synthetic_map_heavy();
+        let mut t = MapTask::new(mid(), NodeId(0), &p, 100.0, None, 1.0, SimTime::ZERO);
+        let rate = 25.0;
+        let eta = t.time_to_completion(rate).unwrap();
+        // integrating for exactly eta finishes the task
+        t.advance(rate * eta);
+        assert!(t.is_done());
+        assert_eq!(t.time_to_completion(0.0), None, "stalled task never ends");
+        // progress-crossing query: crossing 0.5 takes half the completion time
+        let t2 = MapTask::new(mid(), NodeId(0), &p, 100.0, None, 1.0, SimTime::ZERO);
+        let half = t2.time_to_progress(0.5, rate).unwrap();
+        assert!((half * 2.0 - eta).abs() < 1e-9);
+        assert_eq!(t2.time_to_progress(-0.1, rate), None, "already past");
+    }
+
+    #[test]
+    fn effective_rate_caps_remote_reads_only() {
+        let p = JobProfile::synthetic_map_heavy();
+        let local = MapTask::new(mid(), NodeId(0), &p, 100.0, None, 1.0, SimTime::ZERO);
+        let remote = MapTask::new(
+            mid(),
+            NodeId(0),
+            &p,
+            100.0,
+            Some(NodeId(1)),
+            1.0,
+            SimTime::ZERO,
+        );
+        // local maps ignore the read rate entirely
+        assert_eq!(
+            local.effective_work_rate(&p, 1.0, 0.0),
+            p.map_rate,
+            "local map at full speed"
+        );
+        // a starved remote map is delivery-bound
+        assert_eq!(remote.effective_work_rate(&p, 1.0, 0.0), 0.0);
+        let slow = remote.effective_work_rate(&p, 1.0, 1.0);
+        assert!((slow - remote.work_total / 100.0).abs() < 1e-9);
+        // ample bandwidth: compute-bound again
+        assert_eq!(remote.effective_work_rate(&p, 0.5, 1e9), p.map_rate * 0.5);
+    }
+
+    #[test]
+    fn reduce_phase_completion_query_matches_integration() {
+        let p = JobProfile::synthetic_reduce_heavy();
+        let mut r = ReduceTask::with_profile_overheads(rid(), NodeId(0), 2, &p, 1.0, SimTime::ZERO);
+        assert_eq!(r.time_to_phase_completion(10.0), None, "shuffling");
+        r.finish_shuffle(100.0, SimTime::ZERO);
+        let rate = 40.0;
+        let eta = r.time_to_phase_completion(rate).unwrap();
+        assert!(!r.advance_compute(rate * eta * 0.999), "just short");
+        assert_eq!(r.phase, ReducePhase::Sort);
+        // the remainder lands the transition exactly
+        let eta2 = r.time_to_phase_completion(rate).unwrap();
+        r.advance_compute(rate * eta2);
+        assert_eq!(r.phase, ReducePhase::Reduce);
+        assert_eq!(r.time_to_phase_completion(0.0), None, "stalled");
+    }
+
+    #[test]
     fn demand_tracks_phase() {
         let p = JobProfile::synthetic_reduce_heavy();
         let mut r = ReduceTask::new(rid(), NodeId(0), 2, 1.0, SimTime::ZERO);
@@ -452,5 +558,79 @@ mod tests {
         assert_eq!(r.phase_rate(&p), p.sort_rate);
         while !r.advance_compute(5.0) {}
         assert_eq!(r.phase_rate(&p), 0.0);
+    }
+
+    proptest::proptest! {
+        /// Work conservation of the piecewise-constant integrator: at a
+        /// constant rate, advancing a map task over `dt` consumes and
+        /// produces exactly the same bytes whether taken as one macro-step
+        /// or as any partition into sub-steps. This is the property that
+        /// lets the adaptive stepper replace N fixed ticks with one step.
+        #[test]
+        fn prop_map_advance_is_partition_invariant(
+            input_mb in 1.0f64..2048.0,
+            rate in 0.5f64..500.0,
+            jitter in 0.5f64..2.0,
+            splits in proptest::collection::vec(0.01f64..1.0, 1..40),
+        ) {
+            let p = JobProfile::synthetic_reduce_heavy();
+            let dt_total: f64 = splits.iter().sum();
+            let mut whole = MapTask::new(mid(), NodeId(0), &p, input_mb, None, jitter, SimTime::ZERO);
+            let (wc, wp) = whole.advance(rate * dt_total);
+            let mut parts = MapTask::new(mid(), NodeId(0), &p, input_mb, None, jitter, SimTime::ZERO);
+            let (mut pc, mut pp) = (0.0, 0.0);
+            for dt in &splits {
+                let (c, o) = parts.advance(rate * dt);
+                pc += c;
+                pp += o;
+            }
+            let tol = 1e-6 * input_mb.max(1.0);
+            proptest::prop_assert!((wc - pc).abs() < tol, "consumed {wc} vs {pc}");
+            proptest::prop_assert!((wp - pp).abs() < tol, "produced {wp} vs {pp}");
+            proptest::prop_assert!((whole.work_remaining - parts.work_remaining).abs() < tol);
+            proptest::prop_assert!((whole.input_remaining - parts.input_remaining).abs() < tol);
+            proptest::prop_assert_eq!(whole.is_done(), parts.is_done());
+        }
+
+        /// The same partition invariance for a reduce task's sort+reduce
+        /// phases: total work to Done is independent of step sizes (phase
+        /// transitions discard overshoot, so sub-steps can only ever need
+        /// *more* work, never less — bounded by one extra step per phase).
+        #[test]
+        fn prop_reduce_compute_partition_invariant(
+            partition_mb in 0.0f64..512.0,
+            jitter in 0.5f64..2.0,
+            chunk in 0.5f64..64.0,
+        ) {
+            let p = JobProfile::synthetic_reduce_heavy();
+            let mk = || {
+                let mut r = ReduceTask::with_profile_overheads(
+                    rid(), NodeId(0), 2, &p, jitter, SimTime::ZERO);
+                r.finish_shuffle(partition_mb, SimTime::ZERO);
+                r
+            };
+            // exact phase-boundary stepping (what the adaptive loop does)
+            let mut exact = mk();
+            let mut exact_work = 0.0;
+            while exact.phase != ReducePhase::Done {
+                let w = exact.phase_remaining;
+                exact.advance_compute(w);
+                exact_work += w;
+            }
+            // fixed chunks (what the fixed-tick loop does)
+            let mut chunked = mk();
+            let mut chunked_work = 0.0;
+            let mut steps = 0;
+            while chunked.phase != ReducePhase::Done {
+                chunked.advance_compute(chunk);
+                chunked_work += chunk;
+                steps += 1;
+                proptest::prop_assert!(steps < 1_000_000, "diverged");
+            }
+            // chunked stepping overshoots each of the two transitions by
+            // less than one chunk; it can never finish with less work
+            proptest::prop_assert!(chunked_work + 1e-9 >= exact_work);
+            proptest::prop_assert!(chunked_work <= exact_work + 2.0 * chunk + 1e-9);
+        }
     }
 }

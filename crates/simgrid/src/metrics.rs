@@ -236,9 +236,22 @@ impl Ewma {
     }
 
     pub fn observe(&mut self, x: f64) -> f64 {
+        self.observe_weighted(x, 1.0)
+    }
+
+    /// Observe a sample that covers `weight` nominal sampling intervals
+    /// (time-weighted EWMA for irregular sample spacing). The effective
+    /// smoothing factor is `1 - (1 - α)^weight`, so a sample spanning two
+    /// intervals pulls exactly as hard as two unit observations of the
+    /// same value; `weight == 1` is the plain [`Ewma::observe`].
+    pub fn observe_weighted(&mut self, x: f64, weight: f64) -> f64 {
+        debug_assert!(weight.is_finite() && weight >= 0.0, "weight must be >= 0");
         let v = match self.value {
             None => x,
-            Some(prev) => prev + self.alpha * (x - prev),
+            Some(prev) => {
+                let eff = 1.0 - (1.0 - self.alpha).powf(weight.max(0.0));
+                prev + eff * (x - prev)
+            }
         };
         self.value = Some(v);
         v
@@ -356,6 +369,31 @@ mod tests {
     #[should_panic(expected = "alpha")]
     fn ewma_rejects_bad_alpha() {
         let _ = Ewma::new(0.0);
+    }
+
+    #[test]
+    fn weighted_ewma_matches_repeated_unit_observations() {
+        let mut unit = Ewma::new(0.3);
+        let mut weighted = Ewma::new(0.3);
+        unit.observe(10.0);
+        weighted.observe(10.0);
+        // one sample covering 3 intervals == 3 unit samples of that value
+        unit.observe(4.0);
+        unit.observe(4.0);
+        unit.observe(4.0);
+        weighted.observe_weighted(4.0, 3.0);
+        assert!((unit.value().unwrap() - weighted.value().unwrap()).abs() < 1e-12);
+        // weight 1 is the plain observe; alpha 1 tracks regardless of weight
+        let mut full = Ewma::new(1.0);
+        full.observe(5.0);
+        assert_eq!(full.observe_weighted(9.0, 0.5), 9.0);
+    }
+
+    #[test]
+    fn weighted_ewma_zero_weight_is_inert_after_seed() {
+        let mut e = Ewma::new(0.5);
+        e.observe(10.0);
+        assert_eq!(e.observe_weighted(100.0, 0.0), 10.0);
     }
 
     #[test]

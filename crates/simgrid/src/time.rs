@@ -1,9 +1,15 @@
 //! Simulated time.
 //!
 //! Time is an integer count of milliseconds since simulation start. Using an
-//! integer (rather than `f64` seconds) keeps tick arithmetic exact: a
+//! integer (rather than `f64` seconds) keeps step arithmetic exact: a
 //! 100 ms tick repeated ten times is *exactly* one second, heartbeat
 //! boundaries compare with `==`, and runs are bit-for-bit reproducible.
+//!
+//! Simulation loops advance in one of two [`SteppingMode`]s: classic fixed
+//! ticks, or adaptive macro-steps whose length is the [`EventHorizon`] —
+//! the earliest instant at which any piecewise-constant rate in the system
+//! can change. Both modes share the same millisecond grid, so periodic
+//! boundaries (heartbeats, sample points) land exactly in either mode.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -51,9 +57,18 @@ impl SimTime {
     }
 
     /// True when this instant lies on a multiple of `period` (used for
-    /// heartbeat and manager-period scheduling on tick boundaries).
+    /// heartbeat and manager-period scheduling on step boundaries).
     pub fn is_multiple_of(self, period: SimDuration) -> bool {
         period.0 != 0 && self.0.is_multiple_of(period.0)
+    }
+
+    /// Time until the next *strictly later* multiple of `period`: an
+    /// instant already on a boundary gets a full period. This is the step
+    /// arithmetic the adaptive loop uses to land exactly on heartbeat and
+    /// sample boundaries. Panics on a zero period.
+    pub fn until_next_multiple_of(self, period: SimDuration) -> SimDuration {
+        assert!(period.0 != 0, "period must be non-zero");
+        SimDuration(period.0 - self.0 % period.0)
     }
 }
 
@@ -79,6 +94,22 @@ impl SimDuration {
     /// Span in milliseconds.
     pub fn as_millis(self) -> u64 {
         self.0
+    }
+
+    /// Round fractional seconds *up* to the millisecond grid. Event times
+    /// are ceiled so a step never stops just short of the event it was
+    /// scheduled for (integrators clamp the ≤1 ms overshoot instead).
+    /// Non-finite or negative inputs and overflows saturate to `u64::MAX`.
+    pub fn from_secs_f64_ceil(s: f64) -> SimDuration {
+        if !s.is_finite() || s < 0.0 {
+            return SimDuration(u64::MAX);
+        }
+        let ms = (s * 1000.0).ceil();
+        if ms >= u64::MAX as f64 {
+            SimDuration(u64::MAX)
+        } else {
+            SimDuration(ms as u64)
+        }
     }
 }
 
@@ -121,14 +152,32 @@ impl fmt::Display for SimDuration {
     }
 }
 
-/// Tick configuration shared by every simulation loop in the workspace.
+/// How a simulation loop chooses its integration step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum SteppingMode {
+    /// Classic fixed-length ticks: every step is exactly `tick` long.
+    /// Kept as the reference integrator for cross-validation.
+    Fixed,
+    /// Adaptive macro-steps: after each (re)allocation the loop advances
+    /// by the event horizon — the earliest heartbeat/sample boundary or
+    /// rate-changing event — in a single step. Orders of magnitude fewer
+    /// steps for identical piecewise-constant dynamics.
+    #[default]
+    Adaptive,
+}
+
+/// Stepping configuration shared by every simulation loop in the workspace.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct TickConfig {
-    /// Length of one integration step.
+    /// Length of one integration step in [`SteppingMode::Fixed`]; unused
+    /// by the adaptive stepper (which derives its own step lengths).
     pub tick: SimDuration,
     /// Hard wall: a simulation that has not converged by this simulated
     /// instant is aborted (guards against livelocked configurations).
     pub horizon: SimTime,
+    /// Step-length selection strategy.
+    #[serde(default)]
+    pub mode: SteppingMode,
 }
 
 impl Default for TickConfig {
@@ -136,14 +185,116 @@ impl Default for TickConfig {
         TickConfig {
             tick: SimDuration::from_millis(100),
             horizon: SimTime::from_secs(24 * 3600),
+            mode: SteppingMode::default(),
         }
     }
 }
 
 impl TickConfig {
-    /// Tick length in fractional seconds (the `dt` for rate integration).
+    /// The default configuration pinned to the fixed-tick reference mode.
+    pub fn fixed() -> Self {
+        TickConfig {
+            mode: SteppingMode::Fixed,
+            ..TickConfig::default()
+        }
+    }
+
+    /// The default configuration pinned to adaptive stepping.
+    pub fn adaptive() -> Self {
+        TickConfig {
+            mode: SteppingMode::Adaptive,
+            ..TickConfig::default()
+        }
+    }
+
+    /// Fixed-tick length in fractional seconds (the `dt` for rate
+    /// integration in [`SteppingMode::Fixed`]).
     pub fn dt_secs(&self) -> f64 {
         self.tick.as_secs_f64()
+    }
+}
+
+/// Running minimum over candidate next-event times, resolved to one step
+/// length on the millisecond grid.
+///
+/// The adaptive loop creates one accumulator per step, capped by the next
+/// mandatory boundary (heartbeat or sample point), proposes every local
+/// event the allocators and task state machines can foresee at current
+/// rates, and advances by [`EventHorizon::resolve`]. Proposing an event
+/// that never fires is harmless (the step is merely shorter); *missing* a
+/// rate change mid-step is what would break the integration, so proposals
+/// should be conservative.
+#[derive(Debug, Clone, Copy)]
+pub struct EventHorizon {
+    /// Minimum over *exact* deadlines: the boundary cap and `propose`
+    /// calls. The step never crosses one of these.
+    exact_ms: u64,
+    /// Minimum over *soft* task events (`propose_secs` /
+    /// `propose_depletion`), which may be overshot by the coalescing pad.
+    event_ms: u64,
+    /// Coalescing window: soft events within `pad_ms` of the earliest one
+    /// merge into a single step. Integrators clamp the overshoot, so this
+    /// trades a bounded staleness (choose ≤ the fixed tick to never be
+    /// less accurate than the reference mode) for far fewer steps when
+    /// completions cascade.
+    pad_ms: u64,
+}
+
+impl EventHorizon {
+    /// Negligible remaining work / rate below which a depletion never
+    /// fires (mirrors the integrators' completion epsilons).
+    const EPS: f64 = 1e-9;
+
+    /// Start an accumulator capped at `cap` (the next mandatory boundary).
+    pub fn new(cap: SimDuration) -> EventHorizon {
+        EventHorizon {
+            exact_ms: cap.0,
+            event_ms: u64::MAX,
+            pad_ms: 0,
+        }
+    }
+
+    /// Allow soft task events to be overshot by up to `pad`, so cascades
+    /// of near-simultaneous completions resolve in one step instead of
+    /// one step each. Exact deadlines (`new`'s cap, `propose`) are never
+    /// padded — periodic boundaries stay bit-exact across modes.
+    pub fn coalesce_events(&mut self, pad: SimDuration) {
+        self.pad_ms = pad.0;
+    }
+
+    /// Propose an exact deadline `d` away (boundary, stall expiry, job
+    /// arrival): never padded, never crossed.
+    pub fn propose(&mut self, d: SimDuration) {
+        self.exact_ms = self.exact_ms.min(d.0);
+    }
+
+    /// Propose a soft task event `s` fractional seconds away (ceiled to
+    /// the grid). Non-positive and non-finite times are ignored — a "due
+    /// now" event is already visible to the current allocation.
+    pub fn propose_secs(&mut self, s: f64) {
+        if s.is_finite() && s > 0.0 {
+            self.event_ms = self.event_ms.min(SimDuration::from_secs_f64_ceil(s).0);
+        }
+    }
+
+    /// Propose the depletion of `remaining` units draining at `rate`
+    /// units/second; ignored when either is negligible (the quantity is
+    /// not actually draining, so it cannot generate an event).
+    pub fn propose_depletion(&mut self, remaining: f64, rate: f64) {
+        if remaining > Self::EPS && rate > Self::EPS {
+            self.propose_secs(remaining / rate);
+        }
+    }
+
+    /// The step length: the earliest exact deadline or (padded) soft
+    /// event, never shorter than 1 ms so the loop always makes progress
+    /// on the integer grid.
+    pub fn resolve(self) -> SimDuration {
+        SimDuration(
+            self.exact_ms
+                .min(self.event_ms.saturating_add(self.pad_ms))
+                .max(1),
+        )
     }
 }
 
@@ -204,6 +355,90 @@ mod tests {
         let tc = TickConfig::default();
         assert_eq!(tc.tick.as_millis(), 100);
         assert!((tc.dt_secs() - 0.1).abs() < 1e-12);
+        assert_eq!(tc.mode, SteppingMode::Adaptive, "adaptive is the default");
+        assert_eq!(TickConfig::fixed().mode, SteppingMode::Fixed);
+        assert_eq!(TickConfig::adaptive().mode, SteppingMode::Adaptive);
+    }
+
+    #[test]
+    fn until_next_multiple_is_strictly_positive() {
+        let hb = SimDuration::from_secs(3);
+        // on a boundary: a full period away
+        assert_eq!(SimTime::ZERO.until_next_multiple_of(hb).as_millis(), 3000);
+        assert_eq!(
+            SimTime::from_secs(3).until_next_multiple_of(hb).as_millis(),
+            3000
+        );
+        // mid-interval: the remainder
+        assert_eq!(
+            SimTime::from_millis(3100)
+                .until_next_multiple_of(hb)
+                .as_millis(),
+            2900
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn until_next_multiple_rejects_zero_period() {
+        let _ = SimTime::ZERO.until_next_multiple_of(SimDuration::ZERO);
+    }
+
+    #[test]
+    fn ceil_conversion_saturates_and_rounds_up() {
+        assert_eq!(SimDuration::from_secs_f64_ceil(0.1).as_millis(), 100);
+        assert_eq!(SimDuration::from_secs_f64_ceil(0.0001).as_millis(), 1);
+        assert_eq!(SimDuration::from_secs_f64_ceil(1.0005).as_millis(), 1001);
+        assert_eq!(SimDuration::from_secs_f64_ceil(-1.0).0, u64::MAX);
+        assert_eq!(SimDuration::from_secs_f64_ceil(f64::NAN).0, u64::MAX);
+        assert_eq!(SimDuration::from_secs_f64_ceil(f64::INFINITY).0, u64::MAX);
+    }
+
+    #[test]
+    fn event_horizon_takes_earliest_event() {
+        let mut h = EventHorizon::new(SimDuration::from_secs(3));
+        assert_eq!(h.resolve().as_millis(), 3000, "cap alone");
+        h.propose(SimDuration::from_millis(700));
+        h.propose_secs(1.5);
+        assert_eq!(h.resolve().as_millis(), 700);
+        // depletion: 10 units at 20/s = 0.5 s
+        h.propose_depletion(10.0, 20.0);
+        assert_eq!(h.resolve().as_millis(), 500);
+    }
+
+    #[test]
+    fn event_horizon_ignores_degenerate_proposals() {
+        let mut h = EventHorizon::new(SimDuration::from_secs(1));
+        h.propose_secs(0.0);
+        h.propose_secs(-3.0);
+        h.propose_secs(f64::NAN);
+        h.propose_depletion(0.0, 5.0); // nothing left
+        h.propose_depletion(5.0, 0.0); // not draining
+        assert_eq!(h.resolve().as_millis(), 1000, "cap survives");
+    }
+
+    #[test]
+    fn event_horizon_never_resolves_below_one_ms() {
+        let mut h = EventHorizon::new(SimDuration::from_secs(1));
+        h.propose_secs(1e-9);
+        assert_eq!(h.resolve().as_millis(), 1);
+        let z = EventHorizon::new(SimDuration::ZERO);
+        assert_eq!(z.resolve().as_millis(), 1);
+    }
+
+    #[test]
+    fn event_horizon_coalescing_pads_soft_events_only() {
+        let mut h = EventHorizon::new(SimDuration::from_secs(3));
+        h.coalesce_events(SimDuration::from_millis(100));
+        h.propose_secs(0.25); // soft task event at 250 ms
+        assert_eq!(h.resolve().as_millis(), 350, "soft events are padded");
+        h.propose(SimDuration::from_millis(300)); // exact deadline
+        assert_eq!(h.resolve().as_millis(), 300, "deadlines never move");
+        // the cap is itself an exact deadline: a padded event past it loses
+        let mut h = EventHorizon::new(SimDuration::from_millis(280));
+        h.coalesce_events(SimDuration::from_millis(100));
+        h.propose_secs(0.25);
+        assert_eq!(h.resolve().as_millis(), 280);
     }
 
     #[test]

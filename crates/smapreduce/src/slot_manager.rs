@@ -155,6 +155,14 @@ impl SlotManagerPolicy {
     }
 
     /// Push one heartbeat's rates and return the window means `(rt, rs)`.
+    ///
+    /// The mean is **time-weighted**: a sample reported at `t_i` is the
+    /// aggregate over the stretch since the previous sample, so it is
+    /// weighted by that gap (the oldest sample borrows the first gap).
+    /// Under uniform spacing this is exactly the arithmetic mean; under
+    /// irregular spacing — decision periods straddling workload resets,
+    /// or any future variable-cadence caller — a sample's influence stays
+    /// proportional to the span of time it actually describes.
     fn window_rates(&mut self, now: SimTime, rt: f64, rs: f64) -> (f64, f64) {
         self.rate_window.push_back((now, rt, rs));
         while let Some(&(t0, _, _)) = self.rate_window.front() {
@@ -164,12 +172,35 @@ impl SlotManagerPolicy {
                 break;
             }
         }
-        let n = self.rate_window.len() as f64;
-        let (sum_t, sum_s) = self
-            .rate_window
-            .iter()
-            .fold((0.0, 0.0), |(a, b), &(_, t, s)| (a + t, b + s));
-        (sum_t / n, sum_s / n)
+        if self.rate_window.len() == 1 {
+            return (rt, rs);
+        }
+        let first_gap = self.rate_window[1]
+            .0
+            .since(self.rate_window[0].0)
+            .as_secs_f64();
+        let (mut sum_w, mut sum_t, mut sum_s) = (0.0, 0.0, 0.0);
+        let mut prev: Option<SimTime> = None;
+        for &(t, a, b) in &self.rate_window {
+            let w = match prev {
+                Some(p) => t.since(p).as_secs_f64(),
+                None => first_gap,
+            };
+            sum_w += w;
+            sum_t += a * w;
+            sum_s += b * w;
+            prev = Some(t);
+        }
+        if sum_w <= 0.0 {
+            // all samples share one timestamp: fall back to the plain mean
+            let n = self.rate_window.len() as f64;
+            let (t, s) = self
+                .rate_window
+                .iter()
+                .fold((0.0, 0.0), |(a, b), &(_, x, y)| (a + x, b + y));
+            return (t / n, s / n);
+        }
+        (sum_t / sum_w, sum_s / sum_w)
     }
 
     /// Has the cluster's actual map occupancy settled at the current

@@ -65,6 +65,12 @@ pub struct ThrashingDetector {
     suspected: u32,
     healthy_streak: u32,
     ceiling: Option<usize>,
+    /// When the last recorded observation arrived, and the typical gap
+    /// between recorded observations. Under adaptive stepping the manager
+    /// samples at irregular sim-time intervals, so each observation is
+    /// weighted by the span it actually covers (see [`Self::record`]).
+    last_obs_at: Option<SimTime>,
+    mean_gap: Ewma,
 }
 
 impl ThrashingDetector {
@@ -89,6 +95,8 @@ impl ThrashingDetector {
             suspected: 0,
             healthy_streak: 0,
             ceiling: None,
+            last_obs_at: None,
+            mean_gap: Ewma::new(0.3),
         }
     }
 
@@ -113,6 +121,8 @@ impl ThrashingDetector {
         self.suspected = 0;
         self.healthy_streak = 0;
         self.ceiling = None;
+        self.last_obs_at = None;
+        self.mean_gap.reset();
     }
 
     /// Inform the detector of a slot-target change. Only increases arm a
@@ -156,7 +166,7 @@ impl ThrashingDetector {
                     return ThrashVerdict::Inconclusive;
                 }
                 let prev = self.rate_by_slots.get(&p.from).and_then(|e| e.value());
-                self.record(slots, rate);
+                self.record(slots, rate, now);
                 let Some(prev_rate) = prev else {
                     self.pending = None;
                     return ThrashVerdict::Inconclusive;
@@ -193,17 +203,38 @@ impl ThrashingDetector {
             }
             _ => {
                 // steady state at some level: keep its estimate fresh
-                self.record(slots, rate);
+                self.record(slots, rate, now);
                 ThrashVerdict::Inconclusive
             }
         }
     }
 
-    fn record(&mut self, slots: usize, rate: f64) {
+    /// Fold one observation into the level's estimate, weighted by how
+    /// much sim time it covers. Fixed-tick stepping samples on a uniform
+    /// grid (every gap equals the mean, weight 1, plain EWMA); adaptive
+    /// stepping samples wherever events land, so a sample arriving after a
+    /// long quiet stretch speaks for that whole stretch and a burst of
+    /// near-coincident samples must not triple-count one instant. The
+    /// weight is clamped so a single outlier gap cannot erase or freeze
+    /// the estimate.
+    fn record(&mut self, slots: usize, rate: f64, now: SimTime) {
+        let weight = match self.last_obs_at {
+            Some(prev) => {
+                let gap = now.since(prev).as_secs_f64();
+                let mean = self.mean_gap.observe(gap);
+                if mean > 0.0 {
+                    (gap / mean).clamp(0.25, 4.0)
+                } else {
+                    1.0
+                }
+            }
+            None => 1.0,
+        };
+        self.last_obs_at = Some(now);
         self.rate_by_slots
             .entry(slots)
             .or_insert_with(|| Ewma::new(self.alpha))
-            .observe(rate);
+            .observe_weighted(rate, weight);
     }
 
     /// Stable rate estimate for a slot count, if any (for diagnostics).
@@ -334,6 +365,32 @@ mod tests {
         }
         // at exactly since + stabilise, comparisons begin
         assert_eq!(d.observe(4, 1.0, t(40), true), ThrashVerdict::Suspected);
+    }
+
+    #[test]
+    fn irregular_gaps_weight_observations_by_coverage() {
+        // uniform spacing degenerates to the plain EWMA
+        let mut uniform = ThrashingDetector::new(SimDuration::from_secs(5), 2, 1, 0.5, 1.0);
+        for k in 0..4 {
+            uniform.observe(3, [100.0, 80.0, 80.0, 80.0][k as usize], t(k * 10), true);
+        }
+        let mut plain = Ewma::new(0.5);
+        for r in [100.0, 80.0, 80.0, 80.0] {
+            plain.observe(r);
+        }
+        assert!((uniform.rate_at(3).unwrap() - plain.value().unwrap()).abs() < 1e-12);
+
+        // a sample after a long quiet stretch pulls harder than one that
+        // arrives right on the heels of its predecessor
+        let mut long_gap = ThrashingDetector::new(SimDuration::from_secs(5), 2, 1, 0.5, 1.0);
+        long_gap.observe(3, 100.0, t(0), true);
+        long_gap.observe(3, 100.0, t(10), true);
+        long_gap.observe(3, 80.0, t(50), true); // covers 40 s
+        let mut short_gap = ThrashingDetector::new(SimDuration::from_secs(5), 2, 1, 0.5, 1.0);
+        short_gap.observe(3, 100.0, t(0), true);
+        short_gap.observe(3, 100.0, t(10), true);
+        short_gap.observe(3, 80.0, t(11), true); // covers 1 s
+        assert!(long_gap.rate_at(3).unwrap() < short_gap.rate_at(3).unwrap());
     }
 
     proptest::proptest! {

@@ -1,0 +1,61 @@
+//! Cross-validation of the fixed-tick reference engine: every paper-shape
+//! assertion from `tests/paper_shapes.rs`, re-run with the whole process
+//! pinned to `SteppingMode::Fixed`.
+//!
+//! Each integration-test file is its own binary (its own process), so the
+//! `OnceLock` pin inside `harness::runner` cannot leak into the adaptive
+//! suite. Both suites call the identical `harness::shapes` assertions: if
+//! the variable-step refactor ever changes an observable the paper cares
+//! about, exactly one of the two suites fails and its name says which
+//! engine diverged.
+
+use harness::{fig1, fig4, fig5, fig6, fig89, shapes, Scale};
+use simgrid::time::SteppingMode;
+
+/// Pin the process to the fixed-tick engine. First caller wins; every
+/// test requests the same mode, so concurrent test threads all agree —
+/// the assert guards against a future second pin with a different mode.
+fn pin_fixed() {
+    harness::runner::set_engine_mode(SteppingMode::Fixed);
+    assert_eq!(
+        harness::runner::engine_mode(),
+        Some(SteppingMode::Fixed),
+        "another pin got there first with a different mode"
+    );
+}
+
+#[test]
+fn fig1_shape_holds_under_fixed_ticks() {
+    pin_fixed();
+    shapes::assert_fig1_shape(&fig1::run(Scale::Quick));
+}
+
+#[test]
+fn fig4_shape_holds_under_fixed_ticks() {
+    pin_fixed();
+    shapes::assert_fig4_shape(&fig4::run(Scale::Quick));
+}
+
+#[test]
+fn fig5_shape_holds_under_fixed_ticks() {
+    pin_fixed();
+    shapes::assert_fig5_shape(&fig5::run(Scale::Quick));
+}
+
+#[test]
+fn fig6_shape_holds_under_fixed_ticks() {
+    pin_fixed();
+    shapes::assert_fig6_shape(&fig6::run(Scale::Quick));
+}
+
+#[test]
+fn fig8_shape_holds_under_fixed_ticks() {
+    pin_fixed();
+    shapes::assert_fig8_shape(&fig89::run_fig8(Scale::Quick));
+}
+
+#[test]
+fn fig9_shape_holds_under_fixed_ticks() {
+    pin_fixed();
+    shapes::assert_fig9_shape(&fig89::run_fig9(Scale::Quick));
+}

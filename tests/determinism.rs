@@ -82,6 +82,27 @@ fn telemetry_is_strictly_observational() {
 }
 
 #[test]
+fn both_stepping_modes_are_individually_deterministic() {
+    // determinism must hold per engine mode: the fixed-tick reference and
+    // the adaptive event-horizon engine each reproduce themselves exactly
+    // (they need not — and do not — reproduce each other bit-for-bit)
+    use simgrid::time::SteppingMode;
+    for mode in [SteppingMode::Fixed, SteppingMode::Adaptive] {
+        let mut cfg = EngineConfig::small_test(4, 7);
+        cfg.record_events = true;
+        cfg.tick.mode = mode;
+        let a = run_once(&cfg, vec![job()], &System::SMapReduce, 2718).unwrap();
+        let b = run_once(&cfg, vec![job()], &System::SMapReduce, 2718).unwrap();
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "{mode:?}: reports byte-identical"
+        );
+        assert!(a.steps > 0, "{mode:?}: step count reported");
+    }
+}
+
+#[test]
 fn different_seeds_differ_but_agree_roughly() {
     let cfg = EngineConfig::paper_default();
     let a = run_once(&cfg, vec![job()], &System::HadoopV1, 1).unwrap();

@@ -1,78 +1,38 @@
 //! The qualitative claims of each paper figure, verified end-to-end at
-//! reduced scale. `reproduce --quick`/full runs regenerate the actual
-//! figures; these tests pin the *shapes* in CI.
+//! reduced scale under the default (adaptive) stepping engine.
+//! `reproduce --quick`/full runs regenerate the actual figures; these
+//! tests pin the *shapes* in CI. The assertions live in
+//! `harness::shapes` so `tests/cross_validation.rs` can hold the
+//! fixed-tick reference engine to the identical bar.
 
-use harness::{fig1, fig4, fig5, fig6, fig89, Scale};
+use harness::{fig1, fig4, fig5, fig6, fig89, shapes, Scale};
 
 #[test]
 fn fig1_shape_thrashing_curves() {
-    let f = fig1::run(Scale::Quick);
-    for c in &f.curves {
-        // rises from 1 slot to the knee
-        let at = |slots: usize| c.points.iter().find(|p| p.0 == slots).unwrap().1;
-        assert!(
-            at(c.peak_slots) > at(1),
-            "{}: knee must beat 1 slot",
-            c.benchmark
-        );
-    }
-    let knee = |name: &str| {
-        f.curves
-            .iter()
-            .find(|c| c.benchmark == name)
-            .unwrap()
-            .peak_slots
-    };
-    assert!(knee("Grep") > knee("Terasort"), "map-heavy knees later");
+    shapes::assert_fig1_shape(&fig1::run(Scale::Quick));
 }
 
 #[test]
 fn fig4_shape_progress_curves() {
-    let f = fig4::run(Scale::Quick);
-    // every curve passes 100% strictly before its end (the barrier turn)
-    for c in &f.curves {
-        let t100 = c.points.iter().find(|p| p.1 >= 100.0).unwrap().0;
-        let t_end = c.points.last().unwrap().0;
-        assert!(t100 < t_end, "{}: barrier inside the run", c.system);
-    }
+    shapes::assert_fig4_shape(&fig4::run(Scale::Quick));
 }
 
 #[test]
 fn fig5_shape_smr_flattest() {
-    let f = fig5::run(Scale::Quick);
-    let spread = |name: &str| {
-        let c = f.curves.iter().find(|c| c.system == name).unwrap();
-        let ts: Vec<f64> = c.points.iter().map(|p| p.1).collect();
-        ts.iter().copied().fold(f64::NEG_INFINITY, f64::max)
-            / ts.iter().copied().fold(f64::INFINITY, f64::min)
-    };
-    assert!(spread("SMapReduce") < spread("HadoopV1"));
-    // and every system's best configuration beats its worst by design
-    assert!(spread("HadoopV1") > 1.3, "V1 must be config-sensitive");
+    shapes::assert_fig5_shape(&fig5::run(Scale::Quick));
 }
 
 #[test]
 fn fig6_shape_smr_grows_with_input() {
-    let f = fig6::run(Scale::Quick);
-    let smr = f.curves.iter().find(|c| c.system == "SMapReduce").unwrap();
-    assert!(smr.points.last().unwrap().1 > smr.points.first().unwrap().1);
-    assert!(f.final_ratio("HadoopV1") > 1.2);
-    assert!(f.final_ratio("YARN") > 1.0);
+    shapes::assert_fig6_shape(&fig6::run(Scale::Quick));
 }
 
 #[test]
 fn fig8_shape_multi_job_grep() {
-    let f = fig89::run_fig8(Scale::Quick);
-    let smr = f.cell("SMapReduce");
-    let v1 = f.cell("HadoopV1");
-    assert!(smr.mean_execution_s < v1.mean_execution_s);
-    assert!(smr.last_finish_s < v1.last_finish_s);
+    shapes::assert_fig8_shape(&fig89::run_fig8(Scale::Quick));
 }
 
 #[test]
 fn fig9_shape_multi_job_inverted_index() {
-    let f = fig89::run_fig9(Scale::Quick);
-    let smr = f.cell("SMapReduce");
-    let v1 = f.cell("HadoopV1");
-    assert!(smr.last_finish_s < v1.last_finish_s * 1.02);
+    shapes::assert_fig9_shape(&fig89::run_fig9(Scale::Quick));
 }

@@ -1,6 +1,6 @@
 //! Telemetry overhead guarantees, enforced with a counting allocator.
 //!
-//! The engine calls into telemetry on every tick (clock reads, span
+//! The engine calls into telemetry on every step (clock reads, span
 //! records, counter samples). Those calls must be allocation-free: a
 //! disabled handle is a single branch, and an enabled handle pushes `Copy`
 //! records into preallocated rings. This binary holds exactly one test so
@@ -42,20 +42,20 @@ fn allocs() -> u64 {
 }
 
 #[test]
-fn tick_loop_telemetry_calls_do_not_allocate() {
+fn step_loop_telemetry_calls_do_not_allocate() {
     use telemetry::ArgValue;
 
     // --- disabled handle: the default-build hot path ---
     let telem = telemetry::Telemetry::disabled();
     // handle creation may allocate (detached atomics); done before measuring
-    let counter = telem.counter("engine.ticks");
-    let hist = telem.histogram("engine.tick_duration_us");
+    let counter = telem.counter("engine.steps");
+    let hist = telem.histogram("engine.step_duration_us");
     let args = [("job", ArgValue::U64(1)), ("node", ArgValue::U64(2))];
 
     let before = allocs();
     for i in 0..10_000u64 {
         let t0 = telem.clock_us();
-        telem.record_span("tick", "allocate_nodes", t0, i);
+        telem.record_span("step", "allocate_nodes", t0, i);
         telem.counter_sample("map_slot_target", i, 12.0);
         telem.instant("lifecycle", "map_launched", i, &args);
         counter.inc();
@@ -65,17 +65,17 @@ fn tick_loop_telemetry_calls_do_not_allocate() {
     assert_eq!(
         allocs() - before,
         0,
-        "disabled telemetry must add zero heap allocations to the tick loop"
+        "disabled telemetry must add zero heap allocations to the step loop"
     );
 
     // --- enabled handle: spans and counter samples land in preallocated
     // rings, so the steady state stays allocation-free too ---
     let telem = telemetry::Telemetry::with_capacity(64, 64);
-    let counter = telem.counter("engine.ticks");
+    let counter = telem.counter("engine.steps");
     let before = allocs();
     for i in 0..10_000u64 {
         let t0 = telem.clock_us();
-        telem.record_span("tick", "allocate_nodes", t0, i);
+        telem.record_span("step", "allocate_nodes", t0, i);
         telem.counter_sample("map_slot_target", i, 12.0);
         counter.inc();
     }
