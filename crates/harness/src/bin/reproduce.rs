@@ -24,8 +24,8 @@
 
 use harness::scale::Scale;
 use harness::{
-    ablation, engine_bench, ext_fair, ext_hetero, ext_load, ext_stragglers, fig1, fig3, fig4, fig5,
-    fig6, fig7, fig89, model_check, output, summary,
+    ablation, engine_bench, ext_fair, ext_faults, ext_hetero, ext_load, ext_stragglers, fig1, fig3,
+    fig4, fig5, fig6, fig7, fig89, model_check, output, summary,
 };
 use simgrid::time::SteppingMode;
 use std::path::PathBuf;
@@ -81,7 +81,7 @@ fn parse_args() -> Result<Args, String> {
 }
 
 const USAGE: &str =
-    "usage: reproduce [all|fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ext-hetero|ext-stragglers|ext-fair|ext-load|ablations|model-check|headline|engine-bench] [--quick] [--out DIR] [--trace FILE] [--engine fixed|adaptive]";
+    "usage: reproduce [all|fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ext-hetero|ext-stragglers|ext-fair|ext-load|ext-faults|ablations|model-check|headline|engine-bench] [--quick] [--out DIR] [--trace FILE] [--engine fixed|adaptive]";
 
 /// The perf-summary block every figure JSON carries.
 fn perf_block(steps: u64, sim_seconds: f64, wall: std::time::Duration) -> serde_json::Value {
@@ -229,6 +229,13 @@ fn main() -> ExitCode {
                 let d = ext_fair::run(scale);
                 (
                     ext_fair::render(&d),
+                    serde_json::to_value(&d).expect("serialise"),
+                )
+            }
+            "ext-faults" => {
+                let d = ext_faults::run(scale);
+                (
+                    ext_faults::render(&d),
                     serde_json::to_value(&d).expect("serialise"),
                 )
             }

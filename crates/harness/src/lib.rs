@@ -23,6 +23,7 @@
 //! | [`ext_stragglers`] | (extension) | stragglers, failures, speculation |
 //! | [`ext_fair`] | (extension) | FIFO vs Fair scheduling, mixed job sizes |
 //! | [`ext_load`] | (extension) | sustained Poisson mixed load |
+//! | [`ext_faults`] | (extension) | node crashes, recovery, blacklisting |
 //! | [`model_check`] | (validation) | §III-B1 equations vs simulation |
 //!
 //! See `DESIGN.md` for the experiment index and `EXPERIMENTS.md` for
@@ -31,6 +32,7 @@
 pub mod ablation;
 pub mod engine_bench;
 pub mod ext_fair;
+pub mod ext_faults;
 pub mod ext_hetero;
 pub mod ext_load;
 pub mod ext_stragglers;

@@ -152,6 +152,18 @@ pub fn run_once(
     Ok(report)
 }
 
+/// Derive the seed of trial `trial` from a cell's base seed with a
+/// splitmix64-style mixer. The old `base + 1000 * trial` scheme made
+/// trial 1 of seed 0 collide with trial 0 of seed 1000 — adjacent sweep
+/// cells silently averaged over overlapping seed sets.
+pub fn trial_seed(cell_seed: u64, trial: u64) -> u64 {
+    let mut z =
+        cell_seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(trial.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Run `jobs` under `system` for `trials` seeds and average the timings.
 pub fn run_averaged(
     cfg: &EngineConfig,
@@ -159,10 +171,14 @@ pub fn run_averaged(
     system: &System,
     trials: usize,
 ) -> Result<AveragedRun, SimError> {
-    assert!(trials >= 1);
+    if trials == 0 {
+        return Err(SimError::InvalidConfig(
+            "run_averaged needs at least one trial".into(),
+        ));
+    }
     let mut reports = Vec::with_capacity(trials);
     for t in 0..trials {
-        let seed = cfg.seed.wrapping_add(1000 * t as u64);
+        let seed = trial_seed(cfg.seed, t as u64);
         reports.push(run_once(cfg, jobs.to_vec(), system, seed)?);
     }
     let njobs = reports[0].jobs.len() as f64;
@@ -198,15 +214,42 @@ pub fn run_comparison(
     let mut out: Vec<Option<Result<AveragedRun, SimError>>> =
         systems.iter().map(|_| None).collect();
     std::thread::scope(|s| {
-        for (slot, system) in out.iter_mut().zip(systems.iter()) {
-            s.spawn(move || {
-                *slot = Some(run_averaged(cfg, jobs, system, trials));
-            });
+        let handles: Vec<_> = out
+            .iter_mut()
+            .zip(systems.iter())
+            .map(|(slot, system)| {
+                let handle = s.spawn(move || {
+                    *slot = Some(run_averaged(cfg, jobs, system, trials));
+                });
+                (system.label(), handle)
+            })
+            .collect();
+        // join explicitly: a panicking worker used to surface later as a
+        // baffling "thread filled slot" expect failure — resurface it
+        // here with the system that died
+        for (label, handle) in handles {
+            if let Err(payload) = handle.join() {
+                std::panic::panic_any(format!(
+                    "{label} worker thread panicked: {}",
+                    panic_message(&payload)
+                ));
+            }
         }
     });
     out.into_iter()
-        .map(|r| r.expect("thread filled slot"))
+        .map(|r| r.expect("joined thread filled its slot"))
         .collect()
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 #[cfg(test)]
@@ -261,6 +304,27 @@ mod tests {
         let sys = System::SMapReduceWith(SmrConfig::without_slow_start());
         let r = run_once(&cfg, vec![small_job()], &sys, 1).unwrap();
         assert_eq!(r.policy, "SMapReduce");
+    }
+
+    #[test]
+    fn zero_trials_is_an_error() {
+        let cfg = small_cfg();
+        let err = run_averaged(&cfg, &[small_job()], &System::HadoopV1, 0);
+        assert!(matches!(err, Err(SimError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn trial_seeds_do_not_collide_across_cells() {
+        // the old base + 1000*t scheme collided: (0, t=1) == (1000, t=0)
+        let mut seen = std::collections::HashSet::new();
+        for base in [0u64, 1000, 2000, 3000] {
+            for t in 0..3u64 {
+                assert!(
+                    seen.insert(trial_seed(base, t)),
+                    "seed collision at base={base} trial={t}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -42,7 +42,7 @@ use simgrid::network::{Fabric, FabricConfig, Flow, FlowId};
 use simgrid::node::allocate_node;
 use simgrid::rng::SimRng;
 use simgrid::time::{EventHorizon, SimDuration, SimTime, SteppingMode, TickConfig};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use telemetry::Telemetry;
 
 /// All knobs of one simulated deployment.
@@ -97,7 +97,52 @@ pub struct EngineConfig {
     pub straggler_rate: f64,
     /// Slowdown factor of a degraded attempt.
     pub straggler_slowdown: f64,
+    /// Deterministic whole-node crash schedule (empty = fault-free). In
+    /// adaptive mode crash/rejoin instants are exact event-horizon
+    /// deadlines; in fixed mode a transition takes effect on the first
+    /// tick at or after its instant (tick-align fault times for exact
+    /// cross-mode agreement).
+    #[serde(default)]
+    pub fault_plan: simgrid::FaultPlan,
+    /// Run the job tracker's recovery path when a tracker dies: kill and
+    /// requeue its in-flight attempts and re-execute completed maps whose
+    /// output died with the node. With recovery off, a crash that strands
+    /// needed work surfaces [`SimError::NodeLost`] instead of hanging
+    /// until the horizon.
+    #[serde(default = "default_true")]
+    pub fault_recovery: bool,
+    /// Silence after which the job tracker declares a tracker dead
+    /// (Hadoop's `mapred.tasktracker.expiry.interval`, default 10 min;
+    /// shortened here so recovery shows up at simulated-experiment scale).
+    /// Expiry is checked on heartbeat boundaries.
+    #[serde(default = "default_heartbeat_timeout")]
+    pub heartbeat_timeout: SimDuration,
+    /// Attempt failures charged to one tracker before the job tracker
+    /// blacklists it (Hadoop's `mapred.max.tracker.failures`).
+    #[serde(default = "default_blacklist_threshold")]
+    pub blacklist_threshold: u32,
+    /// Aggregate rate (MB/s) at which the DFS restores lost replicas of
+    /// under-replicated blocks onto surviving nodes; 0 disables
+    /// re-replication.
+    #[serde(default = "default_rereplication_rate")]
+    pub rereplication_rate: f64,
     pub seed: u64,
+}
+
+fn default_true() -> bool {
+    true
+}
+
+fn default_heartbeat_timeout() -> SimDuration {
+    SimDuration::from_secs(30)
+}
+
+fn default_blacklist_threshold() -> u32 {
+    4
+}
+
+fn default_rereplication_rate() -> f64 {
+    50.0
 }
 
 impl EngineConfig {
@@ -181,6 +226,40 @@ impl EngineConfig {
                 "straggler_rate in [0,1) and slowdown >= 1 required".into(),
             ));
         }
+        for f in self.fault_plan.faults() {
+            if f.node.0 >= self.cluster.workers {
+                return Err(SimError::InvalidConfig(format!(
+                    "fault plan names node {} but the cluster has {} workers",
+                    f.node.0, self.cluster.workers
+                )));
+            }
+            if f.at == SimTime::ZERO {
+                return Err(SimError::InvalidConfig(
+                    "fault plan crashes a node at t=0; nodes must start up (crash at >= 1 ms)"
+                        .into(),
+                ));
+            }
+            if f.downtime.is_some_and(|d| d.as_millis() == 0) {
+                return Err(SimError::InvalidConfig(
+                    "fault downtime must be non-zero (omit it for a permanent crash)".into(),
+                ));
+            }
+        }
+        if !self.fault_plan.is_empty() && self.heartbeat_timeout.as_millis() == 0 {
+            return Err(SimError::InvalidConfig(
+                "heartbeat_timeout must be non-zero when a fault plan is set".into(),
+            ));
+        }
+        if self.blacklist_threshold == 0 {
+            return Err(SimError::InvalidConfig(
+                "blacklist_threshold must be >= 1".into(),
+            ));
+        }
+        if !self.rereplication_rate.is_finite() || self.rereplication_rate < 0.0 {
+            return Err(SimError::InvalidConfig(
+                "rereplication_rate must be finite and >= 0".into(),
+            ));
+        }
         Ok(())
     }
 }
@@ -217,6 +296,11 @@ impl EngineConfigBuilder {
                 map_failure_rate: 0.0,
                 straggler_rate: 0.0,
                 straggler_slowdown: 5.0,
+                fault_plan: simgrid::FaultPlan::none(),
+                fault_recovery: default_true(),
+                heartbeat_timeout: default_heartbeat_timeout(),
+                blacklist_threshold: default_blacklist_threshold(),
+                rereplication_rate: default_rereplication_rate(),
                 seed: 42,
             },
         }
@@ -256,6 +340,24 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Schedule deterministic node crashes for the run.
+    pub fn fault_plan(mut self, plan: simgrid::FaultPlan) -> Self {
+        self.cfg.fault_plan = plan;
+        self
+    }
+
+    /// Enable or disable the job tracker's crash-recovery path.
+    pub fn fault_recovery(mut self, on: bool) -> Self {
+        self.cfg.fault_recovery = on;
+        self
+    }
+
+    /// Tracker-expiry interval for heartbeat-timeout death detection.
+    pub fn heartbeat_timeout(mut self, timeout: SimDuration) -> Self {
+        self.cfg.heartbeat_timeout = timeout;
+        self
+    }
+
     pub fn build(self) -> EngineConfig {
         self.cfg
     }
@@ -270,6 +372,18 @@ struct Tracker {
     meters: TrackerMeters,
     /// Remaining management-overhead stall (ms) charged by slot changes.
     stall_ms: u64,
+    /// Set while the node is down: the instant it crashed.
+    down_since: Option<SimTime>,
+    /// The job tracker has already processed this tracker's loss (killed
+    /// and requeued its attempts, re-executed lost map output). Reset to
+    /// `false` on each crash.
+    lost_handled: bool,
+    /// Attempt failures charged against this tracker since its last
+    /// (re-)registration.
+    attempt_failures: u32,
+    /// No new work is assigned once `attempt_failures` reaches
+    /// [`EngineConfig::blacklist_threshold`].
+    blacklisted: bool,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -392,6 +506,31 @@ struct Sim<'p> {
     cpu_offered_core_s: f64,
     /// Total bytes moved over the fabric (shuffle fetches + remote reads).
     network_mb: f64,
+    /// Per-node up/down state driven by the fault plan.
+    node_up: Vec<bool>,
+    /// Every fault-plan transition at or before this instant has been
+    /// applied (lets fixed mode pick up off-grid instants on the next tick).
+    faults_done_until: SimTime,
+    /// Desired replica count, from the DFS placement policy — the
+    /// re-replication target.
+    replication: usize,
+    /// Under-replicated `(job, block)` pairs awaiting re-replication,
+    /// restored in FIFO order.
+    rerep_queue: VecDeque<(usize, usize)>,
+    /// Accumulated re-replication budget (MB) not yet spent on a block.
+    rerep_progress: f64,
+    node_crashes: u64,
+    /// In-flight attempts killed by crashes (on the dead node or streaming
+    /// input from it).
+    crash_task_kills: u64,
+    /// Completed maps re-executed because their output died with a node.
+    lost_map_outputs: u64,
+    trackers_blacklisted: u64,
+    /// Total map input MB consumed across all attempts (work conservation:
+    /// never less than the sum of job inputs on a successful run).
+    map_input_processed_mb: f64,
+    node_crash_counter: telemetry::Counter,
+    lost_output_counter: telemetry::Counter,
 }
 
 impl<'p> Sim<'p> {
@@ -402,9 +541,11 @@ impl<'p> Sim<'p> {
         telem: Telemetry,
     ) -> Result<Sim<'p>, SimError> {
         let root = SimRng::new(cfg.seed);
+        let placement = dfs::PlacementPolicy::default();
+        let replication = placement.replication();
         let mut namenode = NameNode::new(
             cfg.cluster.clone(),
-            dfs::PlacementPolicy::default(),
+            placement,
             cfg.block_mb,
             root.derive("dfs"),
         );
@@ -430,6 +571,10 @@ impl<'p> Sim<'p> {
                 reduce_slots: SlotSet::new(cfg.init_reduce_slots),
                 meters: TrackerMeters::new(SimTime::ZERO),
                 stall_ms: 0,
+                down_since: None,
+                lost_handled: true,
+                attempt_failures: 0,
+                blacklisted: false,
             })
             .collect();
         let mut events = EventLog::new(cfg.record_events);
@@ -458,6 +603,8 @@ impl<'p> Sim<'p> {
             step_counter: telem.counter("engine.steps"),
             heartbeat_counter: telem.counter("engine.heartbeat_rounds"),
             step_duration_us: telem.histogram("engine.step_duration_us"),
+            node_crash_counter: telem.counter("engine.node_crashes"),
+            lost_output_counter: telem.counter("engine.lost_map_outputs"),
             telem,
             speculative_attempts: 0,
             speculative_wins: 0,
@@ -466,6 +613,16 @@ impl<'p> Sim<'p> {
             cpu_granted_core_s: 0.0,
             cpu_offered_core_s: 0.0,
             network_mb: 0.0,
+            node_up: vec![true; cfg.cluster.workers],
+            faults_done_until: SimTime::ZERO,
+            replication,
+            rerep_queue: VecDeque::new(),
+            rerep_progress: 0.0,
+            node_crashes: 0,
+            crash_task_kills: 0,
+            lost_map_outputs: 0,
+            trackers_blacklisted: 0,
+            map_input_processed_mb: 0.0,
         })
     }
 
@@ -483,8 +640,10 @@ impl<'p> Sim<'p> {
         loop {
             let step_start = self.telem.clock_us();
             let sim_ms = self.now.as_millis();
+            self.process_fault_transitions()?;
             if self.now.is_multiple_of(self.cfg.heartbeat) {
                 let t0 = self.telem.clock_us();
+                self.check_expired_trackers()?;
                 self.heartbeat_round();
                 self.telem
                     .record_span("engine", "heartbeat_round", t0, sim_ms);
@@ -524,8 +683,10 @@ impl<'p> Sim<'p> {
         loop {
             let step_start = self.telem.clock_us();
             let sim_ms = self.now.as_millis();
+            self.process_fault_transitions()?;
             if self.now.is_multiple_of(self.cfg.heartbeat) {
                 let t0 = self.telem.clock_us();
+                self.check_expired_trackers()?;
                 self.heartbeat_round();
                 self.telem
                     .record_span("engine", "heartbeat_round", t0, sim_ms);
@@ -590,9 +751,13 @@ impl<'p> Sim<'p> {
         let stats = self.aggregate_stats();
         self.telem
             .record_span("heartbeat", "aggregate_stats", t0, sim_ms);
+        // dead and blacklisted trackers are invisible to the policy: slot
+        // targets are recomputed over the live set only, so every policy
+        // (SMapReduce included) is fault-aware without its own crash logic
         let snapshots: Vec<TrackerSnapshot> = self
             .trackers
             .iter()
+            .filter(|t| self.node_up[t.node.0] && !t.blacklisted)
             .map(|t| TrackerSnapshot {
                 node: t.node,
                 cores: self.cfg.cluster.node_spec(t.node).cores,
@@ -646,13 +811,19 @@ impl<'p> Sim<'p> {
             now: self.now,
             ..ClusterStats::default()
         };
-        for tr in &mut self.trackers {
+        for i in 0..self.trackers.len() {
+            let up = self.node_up[i];
+            let tr = &mut self.trackers[i];
+            // harvest everyone (keeps meter windows aligned), but a dead
+            // node's slots are not part of the cluster's configured capacity
             let hb = tr.meters.harvest(self.now);
             s.map_input_rate += hb.map_input_rate;
             s.map_output_rate += hb.map_output_rate;
             s.shuffle_rate += hb.shuffle_rate;
-            s.map_slot_target += tr.map_slots.target();
-            s.reduce_slot_target += tr.reduce_slots.target();
+            if up {
+                s.map_slot_target += tr.map_slots.target();
+                s.reduce_slot_target += tr.reduce_slots.target();
+            }
         }
         for (rid, r) in &self.running_reduces {
             if r.phase == ReducePhase::Shuffle && self.jobs[rid.job.0].is_active(self.now) {
@@ -688,6 +859,9 @@ impl<'p> Sim<'p> {
         let start = (self.heartbeat_round as usize) % workers;
         for k in 0..workers {
             let i = (start + k) % workers;
+            if !self.node_up[i] || self.trackers[i].blacklisted {
+                continue; // dead or blacklisted trackers get no work
+            }
             let node = self.trackers[i].node;
             while self.trackers[i].map_slots.free() > 0 {
                 let Some(a) = self.sched.pick_map(&mut self.jobs, node, self.now) else {
@@ -816,6 +990,7 @@ impl<'p> Sim<'p> {
         for tr in &mut self.trackers {
             tr.stall_ms = tr.stall_ms.saturating_sub(dt_ms);
         }
+        self.advance_rereplication(dt);
     }
 
     // ------------------------------------------------------------------
@@ -835,6 +1010,10 @@ impl<'p> Sim<'p> {
         // is never *less* precise about an event time than the fixed grid
         horizon.coalesce_events(self.cfg.tick.tick);
         horizon.propose(self.now.until_next_multiple_of(self.cfg.sample_period));
+        // crash/rejoin instants are exact events: the step lands on them
+        if let Some(t) = self.cfg.fault_plan.next_transition_after(self.now) {
+            horizon.propose(t.since(self.now));
+        }
 
         for tr in &self.trackers {
             if tr.stall_ms > 0 {
@@ -935,6 +1114,11 @@ impl<'p> Sim<'p> {
         let mut offered = 0.0;
         let mut granted = 0.0;
         for (n, tasks) in node_tasks.iter().enumerate() {
+            if !self.node_up[n] {
+                // a dead node offers no CPU; its tasks freeze at scale 0
+                // until the expiry interval declares them lost
+                continue;
+            }
             if any_active {
                 offered += self.cfg.cluster.node_spec(NodeId(n)).cores;
             }
@@ -974,6 +1158,9 @@ impl<'p> Sim<'p> {
             if t.input_remaining <= 1e-9 {
                 continue;
             }
+            if !self.node_up[src.0] || !self.node_up[t.node.0] {
+                continue; // either endpoint dead: nothing flows
+            }
             let profile = &self.profiles[id.task.job.0];
             let scale = scales.get(&TaskRef::Map(*id)).copied().unwrap_or(0.0);
             // input consumption rate implied by the granted work rate
@@ -1005,7 +1192,7 @@ impl<'p> Sim<'p> {
         }
 
         for (rid, r) in &self.running_reduces {
-            if r.phase != ReducePhase::Shuffle {
+            if r.phase != ReducePhase::Shuffle || !self.node_up[r.node.0] {
                 continue;
             }
             let profile = &self.profiles[rid.job.0];
@@ -1032,7 +1219,7 @@ impl<'p> Sim<'p> {
                 .shuffle
                 .fetch_sources(r, profile.shuffle_fetchers as usize)
                 .into_iter()
-                .filter(|&(src, _)| src != r.node)
+                .filter(|&(src, _)| src != r.node && self.node_up[src.0])
                 .collect();
             // adaptive mode splits the budget proportionally to each
             // source's remaining data, so every granted source depletes at
@@ -1082,6 +1269,7 @@ impl<'p> Sim<'p> {
             trackers,
             failure_points,
             network_mb,
+            map_input_processed_mb,
             ..
         } = self;
         for (id, t) in running_maps.iter_mut() {
@@ -1101,8 +1289,12 @@ impl<'p> Sim<'p> {
             }
             let (consumed, _produced) = t.advance(work_step);
             trackers[t.node.0].meters.map_input.record(consumed);
+            *map_input_processed_mb += consumed;
             if let Some(&fail_at) = failure_points.get(id) {
-                if t.progress() >= fail_at {
+                // reached_progress is the exact complement of the horizon's
+                // time_to_progress, so a failure point landed on precisely
+                // is never skipped (it used to be, one ulp under)
+                if t.reached_progress(fail_at) {
                     failed.push(*id);
                     continue;
                 }
@@ -1121,20 +1313,44 @@ impl<'p> Sim<'p> {
 
     /// Kill a failed attempt and re-queue its block (Hadoop task retry).
     fn fail_map(&mut self, aid: MapAttemptId) {
-        let task = self.running_maps.remove(&aid).expect("failing unknown map");
+        let task = self.remove_map_attempt(aid);
+        self.map_failures += 1;
+        self.charge_tracker_failure(task.node);
+    }
+
+    /// Remove a running attempt, release its slot, and re-queue its block
+    /// unless a sibling attempt still covers it. Shared by the retry and
+    /// node-crash paths.
+    fn remove_map_attempt(&mut self, aid: MapAttemptId) -> MapTask {
+        let task = self
+            .running_maps
+            .remove(&aid)
+            .expect("removing unknown map attempt");
         self.failure_points.remove(&aid);
         self.trackers[task.node.0].map_slots.release();
         let job = &mut self.jobs[aid.task.job.0];
         job.running_maps -= 1;
-        self.map_failures += 1;
-        // the block returns to the pending queue unless a sibling attempt
-        // is still running it or has already delivered it
         let sibling = MapAttemptId {
             task: aid.task,
             attempt: 1 - aid.attempt,
         };
         if !job.completed_blocks[aid.task.index] && !self.running_maps.contains_key(&sibling) {
             job.pending_map_blocks.push(aid.task.index);
+        }
+        task
+    }
+
+    /// Count an attempt failure against its tracker; enough of them get
+    /// the tracker blacklisted (Hadoop's `mapred.max.tracker.failures`).
+    /// Crash kills are not charged — the tracker is already dead.
+    fn charge_tracker_failure(&mut self, node: NodeId) {
+        let tr = &mut self.trackers[node.0];
+        tr.attempt_failures += 1;
+        if !tr.blacklisted && tr.attempt_failures >= self.cfg.blacklist_threshold {
+            tr.blacklisted = true;
+            self.trackers_blacklisted += 1;
+            self.events
+                .push(Event::TrackerBlacklisted { at: self.now, node });
         }
     }
 
@@ -1187,6 +1403,9 @@ impl<'p> Sim<'p> {
             .map_output
             .record(task.output_mb);
         job.shuffle.on_map_complete(task.node, task.output_mb);
+        // remember where the output landed: if that node crashes while a
+        // reducer still needs the data, the map is re-executed
+        job.block_output_node[id.index] = Some(task.node);
         job.completed_maps += 1;
         job.map_durations
             .push(self.now.since(task.started_at).as_secs_f64());
@@ -1265,7 +1484,12 @@ impl<'p> Sim<'p> {
                 // pick the tracker with the most free map slots, avoiding
                 // the straggler's own (possibly overloaded) node
                 let Some(i) = (0..self.trackers.len())
-                    .filter(|&i| self.trackers[i].map_slots.free() > 0 && NodeId(i) != origin)
+                    .filter(|&i| {
+                        self.node_up[i]
+                            && !self.trackers[i].blacklisted
+                            && self.trackers[i].map_slots.free() > 0
+                            && NodeId(i) != origin
+                    })
                     .max_by_key(|&i| self.trackers[i].map_slots.free())
                 else {
                     break; // no free slots anywhere else
@@ -1276,7 +1500,12 @@ impl<'p> Sim<'p> {
                     let src = if block.is_local_to(node) {
                         None
                     } else {
-                        Some(block.replicas[0])
+                        match block.replicas.first() {
+                            Some(&s) => Some(s),
+                            // every replica died with its node; the original
+                            // attempt already has the data streamed/local
+                            None => continue,
+                        }
                     };
                     (block.size_mb, src)
                 };
@@ -1422,12 +1651,372 @@ impl<'p> Sim<'p> {
     }
 
     // ------------------------------------------------------------------
+    // Faults: crash/rejoin transitions, death detection, recovery
+    // ------------------------------------------------------------------
+
+    /// Apply every fault-plan transition with an instant in
+    /// `(faults_done_until, now]`. In adaptive mode the horizon lands each
+    /// step exactly on the next transition; in fixed mode an off-grid
+    /// instant is picked up by the first later tick. Crashes sort before
+    /// rejoins at the same instant so a zero-gap schedule still cycles.
+    fn process_fault_transitions(&mut self) -> Result<(), SimError> {
+        if self.cfg.fault_plan.is_empty() {
+            return Ok(());
+        }
+        let mut transitions: Vec<(SimTime, bool, NodeId)> = Vec::new();
+        for f in self.cfg.fault_plan.faults() {
+            if f.at > self.faults_done_until && f.at <= self.now {
+                transitions.push((f.at, false, f.node));
+            }
+            if let Some(r) = f.rejoin_at() {
+                if r > self.faults_done_until && r <= self.now {
+                    transitions.push((r, true, f.node));
+                }
+            }
+        }
+        self.faults_done_until = self.now;
+        transitions.sort_by_key(|&(t, rejoin, n)| (t, rejoin, n.0));
+        for (_, rejoin, node) in transitions {
+            if rejoin {
+                self.rejoin_node(node)?;
+            } else {
+                self.crash_node(node);
+            }
+        }
+        Ok(())
+    }
+
+    /// The physical half of a crash, applied at the crash instant: the
+    /// node stops offering CPU and bandwidth (its tasks freeze in place),
+    /// remote readers streaming input *from* it lose their source
+    /// immediately, and its DFS replicas are gone. The *scheduler's*
+    /// reaction waits for heartbeat-timeout detection or re-registration.
+    fn crash_node(&mut self, d: NodeId) {
+        if !self.node_up[d.0] {
+            return; // overlapping faults: already down
+        }
+        self.node_up[d.0] = false;
+        self.node_crashes += 1;
+        self.node_crash_counter.inc();
+        let tr = &mut self.trackers[d.0];
+        tr.down_since = Some(self.now);
+        tr.lost_handled = false;
+        self.events.push(Event::NodeCrashed {
+            at: self.now,
+            node: d,
+        });
+        let readers: Vec<MapAttemptId> = self
+            .running_maps
+            .iter()
+            .filter(|(_, t)| t.node != d && t.remote_src == Some(d) && t.input_remaining > 1e-9)
+            .map(|(a, _)| *a)
+            .collect();
+        for aid in readers {
+            let task = self.remove_map_attempt(aid);
+            self.crash_task_kills += 1;
+            self.events.push(Event::MapKilled {
+                at: self.now,
+                id: aid.task,
+                node: task.node,
+            });
+        }
+        self.lose_replicas(d);
+    }
+
+    /// Drop the dead node from every unfinished job's replica lists and
+    /// queue under-replicated blocks for re-replication (survivors first).
+    fn lose_replicas(&mut self, d: NodeId) {
+        let live = self.node_up.iter().filter(|&&u| u).count();
+        for (ji, job) in self.jobs.iter_mut().enumerate() {
+            if job.is_finished() {
+                continue;
+            }
+            for (bi, block) in job.layout.blocks.iter_mut().enumerate() {
+                let before = block.replicas.len();
+                block.replicas.retain(|&n| n != d);
+                if block.replicas.len() == before {
+                    continue;
+                }
+                let desired = self.replication.min(live);
+                if self.cfg.rereplication_rate > 0.0
+                    && !block.replicas.is_empty()
+                    && block.replicas.len() < desired
+                    && !self.rerep_queue.contains(&(ji, bi))
+                {
+                    self.rerep_queue.push_back((ji, bi));
+                }
+            }
+        }
+    }
+
+    /// A transiently-failed node comes back: it re-registers as a fresh
+    /// tracker — empty slots at the initial targets, no map output, no
+    /// replicas, clean failure record. If it returns before the expiry
+    /// interval fired, re-registration itself reveals the loss.
+    fn rejoin_node(&mut self, d: NodeId) -> Result<(), SimError> {
+        if !self.cfg.fault_plan.is_up(d, self.now) {
+            return Ok(()); // another overlapping fault still holds it down
+        }
+        if !self.trackers[d.0].lost_handled {
+            self.handle_node_loss(d)?;
+        }
+        let tr = &mut self.trackers[d.0];
+        tr.down_since = None;
+        tr.stall_ms = 0;
+        tr.attempt_failures = 0;
+        tr.blacklisted = false;
+        tr.map_slots = SlotSet::new(self.cfg.init_map_slots);
+        tr.reduce_slots = SlotSet::new(self.cfg.init_reduce_slots);
+        tr.meters = TrackerMeters::new(self.now);
+        self.node_up[d.0] = true;
+        self.events.push(Event::NodeRejoined {
+            at: self.now,
+            node: d,
+        });
+        Ok(())
+    }
+
+    /// Heartbeat-timeout death detection: a tracker silent for
+    /// [`EngineConfig::heartbeat_timeout`] is declared lost. Runs on
+    /// heartbeat boundaries only, so fixed and adaptive stepping detect on
+    /// identical instants.
+    fn check_expired_trackers(&mut self) -> Result<(), SimError> {
+        if self.cfg.fault_plan.is_empty() {
+            return Ok(());
+        }
+        for i in 0..self.trackers.len() {
+            let Some(since) = self.trackers[i].down_since else {
+                continue;
+            };
+            if self.trackers[i].lost_handled {
+                continue;
+            }
+            if self.now.since(since) >= self.cfg.heartbeat_timeout {
+                self.handle_node_loss(NodeId(i))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The scheduler's reaction to a confirmed tracker loss: kill and
+    /// requeue its in-flight attempts, drain its map output from every
+    /// shuffle, and re-execute completed maps whose output reducers still
+    /// need — reopening the map barrier if it had been crossed. With
+    /// recovery disabled, stranded work surfaces [`SimError::NodeLost`]
+    /// instead (before any state is mutated).
+    fn handle_node_loss(&mut self, d: NodeId) -> Result<(), SimError> {
+        self.trackers[d.0].lost_handled = true;
+        let map_victims: Vec<MapAttemptId> = self
+            .running_maps
+            .iter()
+            .filter(|(_, t)| t.node == d)
+            .map(|(a, _)| *a)
+            .collect();
+        let reduce_victims: Vec<ReduceTaskId> = self
+            .running_reduces
+            .iter()
+            .filter(|(_, t)| t.node == d)
+            .map(|(r, _)| *r)
+            .collect();
+        if !self.cfg.fault_recovery {
+            let needed: usize = (0..self.jobs.len())
+                .filter(|&ji| !self.jobs[ji].is_finished() && self.job_needs_map_output(ji))
+                .map(|ji| {
+                    let job = &self.jobs[ji];
+                    job.block_output_node
+                        .iter()
+                        .filter(|&&n| n == Some(d))
+                        .count()
+                })
+                .sum();
+            let lost_inputs = self.jobs.iter().any(|j| {
+                !j.is_finished()
+                    && j.pending_map_blocks
+                        .iter()
+                        .any(|&b| j.layout.blocks[b].replicas.is_empty())
+            });
+            if !map_victims.is_empty() || !reduce_victims.is_empty() || needed > 0 || lost_inputs {
+                return Err(SimError::NodeLost {
+                    node: d,
+                    at: self.trackers[d.0].down_since.unwrap_or(self.now),
+                    pending_work: format!(
+                        "{} running maps, {} running reduces, {} completed map outputs \
+                         (fault recovery disabled)",
+                        map_victims.len(),
+                        reduce_victims.len(),
+                        needed
+                    ),
+                });
+            }
+        }
+        for aid in map_victims {
+            self.remove_map_attempt(aid);
+            self.crash_task_kills += 1;
+            self.events.push(Event::MapKilled {
+                at: self.now,
+                id: aid.task,
+                node: d,
+            });
+        }
+        for rid in reduce_victims {
+            self.running_reduces.remove(&rid);
+            self.trackers[d.0].reduce_slots.release();
+            let job = &mut self.jobs[rid.job.0];
+            job.running_reduces -= 1;
+            job.pending_reduce_parts.push(rid.partition);
+            job.pending_reduce_parts.sort_unstable();
+            self.crash_task_kills += 1;
+            self.events.push(Event::ReduceKilled {
+                at: self.now,
+                id: rid,
+                node: d,
+            });
+        }
+        // lost map output: drain the dead node's availability from every
+        // shuffle; maps whose output reducers still need are re-executed
+        for ji in 0..self.jobs.len() {
+            if self.jobs[ji].is_finished() {
+                continue;
+            }
+            let needs = self.job_needs_map_output(ji);
+            let job = &mut self.jobs[ji];
+            job.shuffle.on_node_lost(d);
+            let lost: Vec<usize> = (0..job.block_output_node.len())
+                .filter(|&b| job.block_output_node[b] == Some(d))
+                .collect();
+            for &b in &lost {
+                job.block_output_node[b] = None;
+            }
+            if !needs || lost.is_empty() {
+                continue;
+            }
+            let reopen = job.shuffle.maps_all_done();
+            for &b in &lost {
+                debug_assert!(job.completed_blocks[b]);
+                job.completed_blocks[b] = false;
+                job.completed_maps -= 1;
+                job.pending_map_blocks.push(b);
+                self.lost_map_outputs += 1;
+                self.lost_output_counter.inc();
+                self.events.push(Event::MapOutputLost {
+                    at: self.now,
+                    id: MapTaskId {
+                        job: job.spec.id,
+                        index: b,
+                    },
+                    node: d,
+                });
+            }
+            job.pending_map_blocks.sort_unstable();
+            if reopen {
+                // the barrier reopens; complete_map re-stamps it when the
+                // re-executed maps land
+                job.shuffle.clear_maps_all_done();
+                job.maps_done_at = None;
+            }
+        }
+        // unrecoverable data loss: a pending block with no replica left
+        // anywhere can never be scheduled again
+        for job in &self.jobs {
+            if job.is_finished() {
+                continue;
+            }
+            if let Some(&b) = job
+                .pending_map_blocks
+                .iter()
+                .find(|&&b| job.layout.blocks[b].replicas.is_empty())
+            {
+                return Err(SimError::NodeLost {
+                    node: d,
+                    at: self.now,
+                    pending_work: format!(
+                        "input block {} of job '{}' lost its last replica",
+                        b, job.spec.profile.name
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Does any reduce of job `ji` still need to fetch map output —
+    /// pending (will start a fresh shuffle), or running and still in its
+    /// shuffle phase?
+    fn job_needs_map_output(&self, ji: usize) -> bool {
+        !self.jobs[ji].pending_reduce_parts.is_empty()
+            || self
+                .running_reduces
+                .iter()
+                .any(|(r, t)| r.job.0 == ji && t.phase == ReducePhase::Shuffle)
+    }
+
+    /// Spend this step's re-replication budget restoring lost replicas
+    /// onto surviving nodes, front of the queue first. The budget grows
+    /// linearly in `dt`, so fixed and adaptive stepping accumulate
+    /// identical amounts between heartbeat boundaries (where replica
+    /// state is next read).
+    fn advance_rereplication(&mut self, dt: f64) {
+        if self.cfg.rereplication_rate <= 0.0 || self.rerep_queue.is_empty() {
+            return;
+        }
+        self.rerep_progress += self.cfg.rereplication_rate * dt;
+        while let Some(&(ji, bi)) = self.rerep_queue.front() {
+            let live = self.node_up.iter().filter(|&&u| u).count();
+            let desired = self.replication.min(live);
+            let (finished, nreps, size) = {
+                let job = &self.jobs[ji];
+                let b = &job.layout.blocks[bi];
+                (job.is_finished(), b.replicas.len(), b.size_mb)
+            };
+            // stale entries cost no budget: job done, source lost, or
+            // already back at the desired replica count
+            if finished || nreps == 0 || nreps >= desired {
+                self.rerep_queue.pop_front();
+                continue;
+            }
+            if self.rerep_progress < size {
+                return;
+            }
+            let target = {
+                let reps = &self.jobs[ji].layout.blocks[bi].replicas;
+                (0..self.node_up.len())
+                    .map(NodeId)
+                    .find(|n| self.node_up[n.0] && !reps.contains(n))
+            };
+            let Some(target) = target else {
+                self.rerep_queue.pop_front();
+                continue;
+            };
+            self.rerep_progress -= size;
+            self.network_mb += size;
+            self.jobs[ji].layout.blocks[bi].replicas.push(target);
+            self.rerep_queue.pop_front();
+            if nreps + 1 < desired {
+                self.rerep_queue.push_back((ji, bi));
+            }
+        }
+        if self.rerep_queue.is_empty() {
+            self.rerep_progress = 0.0;
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Sampling and reporting
     // ------------------------------------------------------------------
 
     fn sample(&mut self) {
-        let map_slots: usize = self.trackers.iter().map(|t| t.map_slots.target()).sum();
-        let reduce_slots: usize = self.trackers.iter().map(|t| t.reduce_slots.target()).sum();
+        let map_slots: usize = self
+            .trackers
+            .iter()
+            .filter(|t| self.node_up[t.node.0])
+            .map(|t| t.map_slots.target())
+            .sum();
+        let reduce_slots: usize = self
+            .trackers
+            .iter()
+            .filter(|t| self.node_up[t.node.0])
+            .map(|t| t.reduce_slots.target())
+            .sum();
         self.map_slot_series.push(self.now, map_slots as f64);
         self.reduce_slot_series.push(self.now, reduce_slots as f64);
 
@@ -1509,6 +2098,11 @@ impl<'p> Sim<'p> {
             },
             network_mb: self.network_mb,
             steps: self.steps,
+            node_crashes: self.node_crashes,
+            crash_task_kills: self.crash_task_kills,
+            lost_map_outputs: self.lost_map_outputs,
+            trackers_blacklisted: self.trackers_blacklisted,
+            map_input_processed_mb: self.map_input_processed_mb,
         }
     }
 }
@@ -1915,5 +2509,260 @@ mod tests {
             fast.single().map_time(),
             slow.single().map_time()
         );
+    }
+
+    // ------------------------------------------------------------------
+    // Node-crash fault injection and recovery
+    // ------------------------------------------------------------------
+
+    /// Fault-free baseline barrier instant, rounded down to the heartbeat
+    /// grid — a crash there lands mid-map-phase in both stepping modes.
+    fn mid_map_crash_instant(cfg: &EngineConfig, job: &JobSpec) -> SimTime {
+        let base = Engine::new(cfg.clone())
+            .run(vec![job.clone()], &mut StaticSlotPolicy)
+            .expect("baseline completes");
+        // 5/8 of the barrier: past the first task wave (so completed map
+        // output exists on every node) but with maps and shuffling reduces
+        // still in flight
+        let mid_ms = base.single().maps_done_at.as_millis() * 5 / 8;
+        SimTime::from_millis((mid_ms / 3000).max(1) * 3000)
+    }
+
+    #[test]
+    fn crash_mid_map_recovers_and_reexecutes_lost_output() {
+        let cfg = EngineConfig::small_test(4, 5);
+        let job = JobSpec::new(
+            0,
+            JobProfile::synthetic_reduce_heavy(),
+            2048.0,
+            8,
+            SimTime::ZERO,
+        );
+        let crash_at = mid_map_crash_instant(&cfg, &job);
+        let plan =
+            simgrid::FaultPlan::new(vec![simgrid::NodeFault::permanent(NodeId(1), crash_at)]);
+        let mut cfg = cfg;
+        cfg.fault_plan = plan;
+        cfg.record_events = true;
+        let r = Engine::new(cfg)
+            .run(vec![job], &mut StaticSlotPolicy)
+            .expect("recovery completes the job");
+        let j = r.single();
+        assert_eq!(r.node_crashes, 1);
+        assert!(
+            r.lost_map_outputs > 0,
+            "the dead node held completed map output reducers still needed"
+        );
+        assert!(r.crash_task_kills > 0, "in-flight work died with the node");
+        assert!(
+            (j.shuffle_mb - 2048.0).abs() < 1e-6,
+            "full shuffle delivered"
+        );
+        let (_, p) = j.progress.last().unwrap();
+        assert!(p >= 200.0 - 1e-6);
+        assert!(
+            r.events
+                .events()
+                .iter()
+                .any(|e| matches!(e, Event::MapOutputLost { .. })),
+            "lost output must be recorded"
+        );
+        assert!(
+            r.map_input_processed_mb >= 2048.0 - 1e-6,
+            "work conservation: re-execution only adds map input"
+        );
+    }
+
+    #[test]
+    fn crash_without_recovery_surfaces_clean_error() {
+        let cfg = EngineConfig::small_test(4, 5);
+        let job = JobSpec::new(
+            0,
+            JobProfile::synthetic_reduce_heavy(),
+            2048.0,
+            8,
+            SimTime::ZERO,
+        );
+        let crash_at = mid_map_crash_instant(&cfg, &job);
+        let plan =
+            simgrid::FaultPlan::new(vec![simgrid::NodeFault::permanent(NodeId(1), crash_at)]);
+        let mut cfg = cfg;
+        cfg.fault_plan = plan;
+        cfg.fault_recovery = false;
+        let err = Engine::new(cfg)
+            .run(vec![job], &mut StaticSlotPolicy)
+            .expect_err("stranded work must error, not hang");
+        match err {
+            SimError::NodeLost { node, .. } => assert_eq!(node, NodeId(1)),
+            other => panic!("expected NodeLost, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transient_crash_rejoins_as_fresh_tracker() {
+        let cfg = EngineConfig::small_test(4, 6);
+        let job = JobSpec::new(
+            0,
+            JobProfile::synthetic_reduce_heavy(),
+            2048.0,
+            8,
+            SimTime::ZERO,
+        );
+        let crash_at = mid_map_crash_instant(&cfg, &job);
+        // downtime longer than the expiry interval: loss is detected by
+        // timeout first, then the node re-registers and takes work again
+        let plan = simgrid::FaultPlan::new(vec![simgrid::NodeFault::transient(
+            NodeId(2),
+            crash_at,
+            SimDuration::from_secs(60),
+        )]);
+        let mut cfg = cfg;
+        cfg.fault_plan = plan;
+        cfg.record_events = true;
+        let r = Engine::new(cfg)
+            .run(vec![job], &mut StaticSlotPolicy)
+            .expect("transient crash recovers");
+        assert_eq!(r.node_crashes, 1);
+        assert!(r
+            .events
+            .events()
+            .iter()
+            .any(|e| matches!(e, Event::NodeRejoined { node, .. } if *node == NodeId(2))),);
+    }
+
+    #[test]
+    fn early_rejoin_before_expiry_still_reveals_loss() {
+        let cfg = EngineConfig::small_test(4, 6);
+        let job = JobSpec::new(
+            0,
+            JobProfile::synthetic_reduce_heavy(),
+            2048.0,
+            8,
+            SimTime::ZERO,
+        );
+        let crash_at = mid_map_crash_instant(&cfg, &job);
+        // downtime shorter than heartbeat_timeout (30 s): re-registration,
+        // not expiry, is what reveals the lost state
+        let plan = simgrid::FaultPlan::new(vec![simgrid::NodeFault::transient(
+            NodeId(1),
+            crash_at,
+            SimDuration::from_secs(9),
+        )]);
+        let mut cfg = cfg;
+        cfg.fault_plan = plan;
+        let r = Engine::new(cfg)
+            .run(vec![job], &mut StaticSlotPolicy)
+            .expect("early rejoin recovers");
+        assert_eq!(r.node_crashes, 1);
+        let (_, p) = r.single().progress.last().unwrap();
+        assert!(p >= 200.0 - 1e-6);
+    }
+
+    #[test]
+    fn repeated_failures_blacklist_tracker() {
+        let cfg = EngineConfig::small_test(4, 3);
+        let job = JobSpec::new(
+            0,
+            JobProfile::synthetic_map_heavy(),
+            1024.0,
+            8,
+            SimTime::ZERO,
+        );
+        let mut policy = StaticSlotPolicy;
+        let mut sim = Sim::new(&cfg, vec![job], &mut policy, Telemetry::disabled()).unwrap();
+        for _ in 0..cfg.blacklist_threshold {
+            sim.charge_tracker_failure(NodeId(0));
+        }
+        assert!(sim.trackers[0].blacklisted);
+        assert_eq!(sim.trackers_blacklisted, 1);
+        // further failures never double-count the tracker
+        sim.charge_tracker_failure(NodeId(0));
+        assert_eq!(sim.trackers_blacklisted, 1);
+        // and it is skipped at assignment time
+        sim.heartbeat_round();
+        assert!(!sim.running_maps.is_empty(), "healthy trackers got work");
+        assert!(
+            sim.running_maps.values().all(|t| t.node != NodeId(0)),
+            "blacklisted tracker must receive no work"
+        );
+    }
+
+    /// Regression for the float-boundary bug: a failure point the adaptive
+    /// horizon lands on *exactly* used to be skipped by `progress() >=
+    /// fail_at` (one ulp under after the division), deferring the failure
+    /// to the next step in one mode but not the other.
+    #[test]
+    fn failure_points_fire_identically_in_both_modes() {
+        let run = |mode: SteppingMode| {
+            let mut cfg = EngineConfigBuilder::paper()
+                .workers(4)
+                .seed(21)
+                .stepping(mode)
+                .build();
+            cfg.map_failure_rate = 0.2;
+            let job = JobSpec::new(
+                0,
+                JobProfile::synthetic_map_heavy(),
+                2048.0,
+                8,
+                SimTime::ZERO,
+            );
+            Engine::new(cfg)
+                .run(vec![job], &mut StaticSlotPolicy)
+                .expect("run completes")
+        };
+        let fixed = run(SteppingMode::Fixed);
+        let adaptive = run(SteppingMode::Adaptive);
+        assert!(adaptive.map_failures > 0, "failures should fire");
+        assert_eq!(
+            fixed.map_failures, adaptive.map_failures,
+            "every injected failure point must fire in both modes"
+        );
+    }
+
+    #[test]
+    fn validation_rejects_bad_fault_plans() {
+        let job = || {
+            vec![JobSpec::new(
+                0,
+                JobProfile::synthetic_map_heavy(),
+                512.0,
+                4,
+                SimTime::ZERO,
+            )]
+        };
+        // unknown node
+        let mut cfg = EngineConfig::small_test(4, 1);
+        let plan = simgrid::FaultPlan::new(vec![simgrid::NodeFault::permanent(
+            NodeId(9),
+            SimTime::from_secs(5),
+        )]);
+        cfg.fault_plan = plan;
+        assert!(Engine::new(cfg).run(job(), &mut StaticSlotPolicy).is_err());
+        // crash at t=0
+        let mut cfg = EngineConfig::small_test(4, 1);
+        let plan = simgrid::FaultPlan::new(vec![simgrid::NodeFault::permanent(
+            NodeId(1),
+            SimTime::ZERO,
+        )]);
+        cfg.fault_plan = plan;
+        assert!(Engine::new(cfg).run(job(), &mut StaticSlotPolicy).is_err());
+        // zero downtime
+        let mut cfg = EngineConfig::small_test(4, 1);
+        let plan = simgrid::FaultPlan::new(vec![simgrid::NodeFault::transient(
+            NodeId(1),
+            SimTime::from_secs(5),
+            SimDuration::ZERO,
+        )]);
+        cfg.fault_plan = plan;
+        assert!(Engine::new(cfg).run(job(), &mut StaticSlotPolicy).is_err());
+        // zero blacklist threshold
+        let mut cfg = EngineConfig::small_test(4, 1);
+        cfg.blacklist_threshold = 0;
+        assert!(Engine::new(cfg).run(job(), &mut StaticSlotPolicy).is_err());
+        // negative re-replication rate
+        let mut cfg = EngineConfig::small_test(4, 1);
+        cfg.rereplication_rate = -1.0;
+        assert!(Engine::new(cfg).run(job(), &mut StaticSlotPolicy).is_err());
     }
 }

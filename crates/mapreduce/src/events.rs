@@ -29,10 +29,18 @@ pub enum Event {
         node: NodeId,
         output_mb: f64,
     },
-    /// A speculative attempt lost the race and was killed.
+    /// A speculative attempt lost the race and was killed — or a node
+    /// crash killed an in-flight attempt.
     MapKilled {
         at: SimTime,
         id: MapTaskId,
+        node: NodeId,
+    },
+    /// A node crash killed an in-flight reduce attempt; its partition is
+    /// requeued.
+    ReduceKilled {
+        at: SimTime,
+        id: ReduceTaskId,
         node: NodeId,
     },
     ReduceLaunched {
@@ -68,6 +76,30 @@ pub enum Event {
         at: SimTime,
         job: JobId,
     },
+    /// A node went down: every running attempt, stored map output and
+    /// block replica on it is gone.
+    NodeCrashed {
+        at: SimTime,
+        node: NodeId,
+    },
+    /// A crashed node came back up, empty.
+    NodeRejoined {
+        at: SimTime,
+        node: NodeId,
+    },
+    /// A completed map's output died with its node while reducers still
+    /// needed it; the map is requeued for re-execution.
+    MapOutputLost {
+        at: SimTime,
+        id: MapTaskId,
+        node: NodeId,
+    },
+    /// The job tracker stopped assigning work to a tracker after repeated
+    /// attempt failures.
+    TrackerBlacklisted {
+        at: SimTime,
+        node: NodeId,
+    },
 }
 
 impl Event {
@@ -77,12 +109,17 @@ impl Event {
             Event::MapLaunched { at, .. }
             | Event::MapCompleted { at, .. }
             | Event::MapKilled { at, .. }
+            | Event::ReduceKilled { at, .. }
             | Event::ReduceLaunched { at, .. }
             | Event::ShuffleCompleted { at, .. }
             | Event::ReduceCompleted { at, .. }
             | Event::BarrierCrossed { at, .. }
             | Event::SlotTargetsChanged { at, .. }
-            | Event::JobFinished { at, .. } => at,
+            | Event::JobFinished { at, .. }
+            | Event::NodeCrashed { at, .. }
+            | Event::NodeRejoined { at, .. }
+            | Event::MapOutputLost { at, .. }
+            | Event::TrackerBlacklisted { at, .. } => at,
         }
     }
 }
@@ -217,6 +254,31 @@ impl EventLog {
                 ],
             ),
             Event::JobFinished { job, .. } => ("job_finished", vec![("job", V::U64(job.0 as u64))]),
+            Event::ReduceKilled { id, node, .. } => (
+                "reduce_killed",
+                vec![
+                    ("job", V::U64(id.job.0 as u64)),
+                    ("partition", V::U64(id.partition as u64)),
+                    ("node", V::U64(node.0 as u64)),
+                ],
+            ),
+            Event::NodeCrashed { node, .. } => {
+                ("node_crashed", vec![("node", V::U64(node.0 as u64))])
+            }
+            Event::NodeRejoined { node, .. } => {
+                ("node_rejoined", vec![("node", V::U64(node.0 as u64))])
+            }
+            Event::MapOutputLost { id, node, .. } => (
+                "map_output_lost",
+                vec![
+                    ("job", V::U64(id.job.0 as u64)),
+                    ("index", V::U64(id.index as u64)),
+                    ("node", V::U64(node.0 as u64)),
+                ],
+            ),
+            Event::TrackerBlacklisted { node, .. } => {
+                ("tracker_blacklisted", vec![("node", V::U64(node.0 as u64))])
+            }
         };
         self.sink.instant("lifecycle", name, sim_ms, &args);
     }
@@ -238,12 +300,17 @@ impl EventLog {
         self.events.iter().filter(move |e| match e {
             Event::MapLaunched { id, .. }
             | Event::MapCompleted { id, .. }
-            | Event::MapKilled { id, .. } => id.job == job,
+            | Event::MapKilled { id, .. }
+            | Event::MapOutputLost { id, .. } => id.job == job,
             Event::ReduceLaunched { id, .. }
             | Event::ShuffleCompleted { id, .. }
-            | Event::ReduceCompleted { id, .. } => id.job == job,
+            | Event::ReduceCompleted { id, .. }
+            | Event::ReduceKilled { id, .. } => id.job == job,
             Event::BarrierCrossed { job: j, .. } | Event::JobFinished { job: j, .. } => *j == job,
-            Event::SlotTargetsChanged { .. } => false,
+            Event::SlotTargetsChanged { .. }
+            | Event::NodeCrashed { .. }
+            | Event::NodeRejoined { .. }
+            | Event::TrackerBlacklisted { .. } => false,
         })
     }
 

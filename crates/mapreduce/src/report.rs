@@ -99,6 +99,28 @@ pub struct RunReport {
     /// how much work the variable-step core avoided.
     #[serde(default)]
     pub steps: u64,
+    /// Whole-node crashes injected by the
+    /// [`crate::EngineConfig::fault_plan`].
+    #[serde(default)]
+    pub node_crashes: u64,
+    /// In-flight attempts (map + reduce) killed by node crashes — both
+    /// attempts running *on* the dead node and remote readers streaming
+    /// input *from* it.
+    #[serde(default)]
+    pub crash_task_kills: u64,
+    /// Completed map tasks re-executed because their output died with a
+    /// crashed node while reducers still needed it.
+    #[serde(default)]
+    pub lost_map_outputs: u64,
+    /// Trackers blacklisted after repeated attempt failures.
+    #[serde(default)]
+    pub trackers_blacklisted: u64,
+    /// Total map input MB consumed across *all* attempts, including killed
+    /// and re-executed ones (for a fault-free run this equals the sum of
+    /// job inputs plus speculative double-processing; crashes only ever
+    /// add to it — the work-conservation invariant).
+    #[serde(default)]
+    pub map_input_processed_mb: f64,
 }
 
 impl RunReport {
@@ -180,6 +202,11 @@ mod tests {
             cpu_utilisation: 0.0,
             network_mb: 0.0,
             steps: 0,
+            node_crashes: 0,
+            crash_task_kills: 0,
+            lost_map_outputs: 0,
+            trackers_blacklisted: 0,
+            map_input_processed_mb: 0.0,
         };
         assert_eq!(run.mean_execution_time().as_secs_f64(), 150.0);
         assert_eq!(run.makespan().as_secs_f64(), 205.0);
@@ -200,6 +227,11 @@ mod tests {
             cpu_utilisation: 0.0,
             network_mb: 0.0,
             steps: 0,
+            node_crashes: 0,
+            crash_task_kills: 0,
+            lost_map_outputs: 0,
+            trackers_blacklisted: 0,
+            map_input_processed_mb: 0.0,
         };
         assert_eq!(run.mean_execution_time(), SimDuration::ZERO);
         assert_eq!(run.makespan(), SimDuration::ZERO);
@@ -221,6 +253,11 @@ mod tests {
             cpu_utilisation: 0.0,
             network_mb: 0.0,
             steps: 0,
+            node_crashes: 0,
+            crash_task_kills: 0,
+            lost_map_outputs: 0,
+            trackers_blacklisted: 0,
+            map_input_processed_mb: 0.0,
         };
         let _ = run.single();
     }

@@ -27,6 +27,10 @@ pub struct JobInProgress {
     /// Which blocks have been delivered by a finished attempt (guards
     /// against double-counting when speculative attempts race).
     pub completed_blocks: Vec<bool>,
+    /// For each completed block, the node holding the winning attempt's
+    /// map output. A node crash turns every `Some(dead)` entry into a
+    /// candidate for lost-output re-execution.
+    pub block_output_node: Vec<Option<NodeId>>,
     pub running_maps: usize,
     pub completed_maps: usize,
     /// Partition indices of reduces not yet launched.
@@ -64,6 +68,7 @@ impl JobInProgress {
             shuffle: ShuffleState::new(workers, num_reduces),
             pending_map_blocks: (0..num_maps).collect(),
             completed_blocks: vec![false; num_maps],
+            block_output_node: vec![None; num_maps],
             pending_reduce_parts: (0..num_reduces).collect(),
             spec,
             layout,
@@ -191,34 +196,47 @@ impl FifoScheduler {
             |j| !j.pending_map_blocks.is_empty(),
             |j| j.running_maps,
         );
-        let ji = *order.first()?;
-        let job = &mut jobs[ji];
-        // local block if any, else the head of the queue
-        let pos = job
-            .pending_map_blocks
-            .iter()
-            .position(|&b| job.layout.is_local(dfs::BlockId(b), node))
-            .unwrap_or(0);
-        let block_index = job.pending_map_blocks.remove(pos);
-        let block = &job.layout.blocks[block_index];
-        let remote_src = if block.is_local_to(node) {
-            None
-        } else {
-            // stream from the first replica holder (HDFS picks the
-            // "closest"; on one rack any holder is equivalent)
-            Some(block.replicas[0])
-        };
-        job.running_maps += 1;
-        job.first_launch.get_or_insert(now);
-        Some(MapAssignment {
-            id: MapTaskId {
-                job: job.spec.id,
-                index: block_index,
-            },
-            block_index,
-            input_mb: block.size_mb,
-            remote_src,
-        })
+        for ji in order {
+            let job = &mut jobs[ji];
+            // local block if any, else the first block that still has a
+            // replica to stream from. A crash can leave a pending block
+            // with no replicas at all; it stays queued until
+            // re-replication restores a copy (or the run errors out on
+            // unrecoverable data loss).
+            let Some(pos) = job
+                .pending_map_blocks
+                .iter()
+                .position(|&b| job.layout.is_local(dfs::BlockId(b), node))
+                .or_else(|| {
+                    job.pending_map_blocks
+                        .iter()
+                        .position(|&b| !job.layout.blocks[b].replicas.is_empty())
+                })
+            else {
+                continue;
+            };
+            let block_index = job.pending_map_blocks.remove(pos);
+            let block = &job.layout.blocks[block_index];
+            let remote_src = if block.is_local_to(node) {
+                None
+            } else {
+                // stream from the first replica holder (HDFS picks the
+                // "closest"; on one rack any holder is equivalent)
+                Some(block.replicas[0])
+            };
+            job.running_maps += 1;
+            job.first_launch.get_or_insert(now);
+            return Some(MapAssignment {
+                id: MapTaskId {
+                    job: job.spec.id,
+                    index: block_index,
+                },
+                block_index,
+                input_mb: block.size_mb,
+                remote_src,
+            });
+        }
+        None
     }
 
     /// Pick the next reduce task for a free reduce slot (reduces have no
@@ -328,6 +346,30 @@ mod tests {
             }
         }
         assert_eq!(jobs[0].running_maps, 16);
+    }
+
+    #[test]
+    fn replica_less_blocks_are_not_scheduled() {
+        let mut jobs = vec![job(0, 256.0, 0)]; // 2 blocks
+        for b in &mut jobs[0].layout.blocks {
+            b.replicas.clear();
+        }
+        let sched = FifoScheduler::default();
+        assert!(sched
+            .pick_map(&mut jobs, NodeId(0), SimTime::ZERO)
+            .is_none());
+        assert_eq!(jobs[0].pending_map_blocks.len(), 2, "nothing was dequeued");
+        assert_eq!(jobs[0].running_maps, 0);
+        // restoring one replica makes exactly that block schedulable
+        jobs[0].layout.blocks[1].replicas.push(NodeId(2));
+        let a = sched
+            .pick_map(&mut jobs, NodeId(0), SimTime::ZERO)
+            .expect("restored block is schedulable");
+        assert_eq!(a.block_index, 1);
+        assert_eq!(a.remote_src, Some(NodeId(2)));
+        assert!(sched
+            .pick_map(&mut jobs, NodeId(0), SimTime::ZERO)
+            .is_none());
     }
 
     #[test]

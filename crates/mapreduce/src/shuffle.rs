@@ -45,6 +45,24 @@ impl ShuffleState {
         self.maps_all_done = true;
     }
 
+    /// Re-open the barrier after a node loss forces completed maps back
+    /// into the pending queue. Reduces already past their shuffle keep
+    /// going; reduces still shuffling wait for the re-executed output.
+    pub fn clear_maps_all_done(&mut self) {
+        self.maps_all_done = false;
+    }
+
+    /// Drop all map output stored on `node` (the node crashed). Reducers
+    /// see their fetch sources dry up — `remaining_from(node)` clamps to
+    /// zero even for partially-fetched shares — and the lost MB leaves the
+    /// partition totals until the maps are re-executed elsewhere. Returns
+    /// the MB lost.
+    pub fn on_node_lost(&mut self, node: NodeId) -> f64 {
+        let lost = std::mem::take(&mut self.avail_by_src[node.0]);
+        self.total_output_mb -= lost;
+        lost
+    }
+
     pub fn maps_all_done(&self) -> bool {
         self.maps_all_done
     }
@@ -227,6 +245,30 @@ mod tests {
             sh.set_maps_all_done();
             proptest::prop_assert!(sh.shuffle_complete(&r));
         }
+    }
+
+    #[test]
+    fn node_loss_drains_source_and_reopens_barrier() {
+        let mut sh = ShuffleState::new(3, 2);
+        sh.on_map_complete(NodeId(0), 100.0);
+        sh.on_map_complete(NodeId(1), 60.0);
+        sh.set_maps_all_done();
+        let mut r = reduce(2, 3);
+        r.record_fetch(NodeId(0), 20.0);
+        let lost = sh.on_node_lost(NodeId(0));
+        assert!((lost - 100.0).abs() < 1e-12);
+        assert!((sh.total_output_mb() - 60.0).abs() < 1e-12);
+        // the partially fetched share clamps to zero, it does not go negative
+        assert_eq!(sh.remaining_from(&r, NodeId(0)), 0.0);
+        sh.clear_maps_all_done();
+        assert!(!sh.maps_all_done());
+        assert_eq!(sh.partition_mb(), None);
+        // the re-executed map lands on a survivor and is fetchable again
+        sh.on_map_complete(NodeId(1), 100.0);
+        sh.set_maps_all_done();
+        assert!((sh.total_output_mb() - 160.0).abs() < 1e-12);
+        // losing an empty source is a no-op
+        assert_eq!(sh.on_node_lost(NodeId(2)), 0.0);
     }
 
     #[test]

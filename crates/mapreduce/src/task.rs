@@ -140,6 +140,18 @@ impl MapTask {
         (work_rate > 1e-9).then(|| self.work_remaining.max(0.0) / work_rate)
     }
 
+    /// True once cumulative progress has reached the `frac` threshold.
+    /// This is the *exact complement* of [`MapTask::time_to_progress`]
+    /// returning `None` for a running task: both compare the same
+    /// work-units expression against the same epsilon, so a failure point
+    /// the stepper stops proposing is guaranteed to have fired. (Comparing
+    /// `progress() >= frac` instead divides by `work_total` first and can
+    /// land a hair *below* the threshold the undivided form already
+    /// considers reached — the event is then skipped forever.)
+    pub fn reached_progress(&self, frac: f64) -> bool {
+        frac * self.work_total - (self.work_total - self.work_remaining) <= 1e-9
+    }
+
     /// Seconds until cumulative progress crosses `frac` at a constant
     /// `work_rate`; `None` when stalled or already past the threshold
     /// (used to schedule injected failure points as discrete events).
@@ -148,7 +160,7 @@ impl MapTask {
             return None;
         }
         let work_to_go = frac * self.work_total - (self.work_total - self.work_remaining);
-        (work_to_go > 0.0).then(|| work_to_go / work_rate)
+        (work_to_go > 1e-9).then(|| work_to_go / work_rate)
     }
 
     /// Advance by `work_mb` equivalent-MB of processing; returns the
@@ -505,6 +517,21 @@ mod tests {
     }
 
     #[test]
+    fn failure_point_exactly_at_progress_is_reached() {
+        let p = JobProfile::synthetic_map_heavy();
+        let mut t = MapTask::new(mid(), NodeId(0), &p, 100.0, None, 1.0, SimTime::ZERO);
+        let rate = 25.0;
+        let fail_at = 0.37;
+        let eta = t.time_to_progress(fail_at, rate).expect("not yet reached");
+        t.advance(rate * eta);
+        // integrating to exactly the crossing instant can leave progress()
+        // an ulp below fail_at; the undivided check must still report the
+        // threshold reached the moment the query stops proposing it
+        assert!(t.reached_progress(fail_at));
+        assert_eq!(t.time_to_progress(fail_at, rate), None);
+    }
+
+    #[test]
     fn effective_rate_caps_remote_reads_only() {
         let p = JobProfile::synthetic_map_heavy();
         let local = MapTask::new(mid(), NodeId(0), &p, 100.0, None, 1.0, SimTime::ZERO);
@@ -590,6 +617,32 @@ mod tests {
             proptest::prop_assert!((whole.work_remaining - parts.work_remaining).abs() < tol);
             proptest::prop_assert!((whole.input_remaining - parts.input_remaining).abs() < tol);
             proptest::prop_assert_eq!(whole.is_done(), parts.is_done());
+        }
+
+        /// `time_to_progress` and `reached_progress` are complements: for
+        /// a running task, either the stepper still has an ETA to the
+        /// threshold (and integrating that long reaches it), or the
+        /// threshold is already reached. No third state where the event is
+        /// silently dropped.
+        #[test]
+        fn prop_progress_threshold_never_skipped(
+            input_mb in 1.0f64..2048.0,
+            rate in 0.5f64..500.0,
+            jitter in 0.5f64..2.0,
+            frac in 0.0f64..1.0,
+            adv in 0.0f64..1.5,
+        ) {
+            let p = JobProfile::synthetic_map_heavy();
+            let mut t = MapTask::new(mid(), NodeId(0), &p, input_mb, None, jitter, SimTime::ZERO);
+            t.advance(t.work_total * adv);
+            match t.time_to_progress(frac, rate) {
+                None => proptest::prop_assert!(t.reached_progress(frac)),
+                Some(eta) => {
+                    proptest::prop_assert!(!t.reached_progress(frac));
+                    t.advance(rate * eta);
+                    proptest::prop_assert!(t.reached_progress(frac));
+                }
+            }
         }
 
         /// The same partition invariance for a reduce task's sort+reduce

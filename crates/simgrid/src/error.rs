@@ -1,5 +1,6 @@
 //! Error type shared by the simulation substrate.
 
+use crate::cluster::NodeId;
 use crate::time::SimTime;
 use std::fmt;
 
@@ -16,6 +17,15 @@ pub enum SimError {
     },
     /// A configuration that cannot produce a meaningful run.
     InvalidConfig(String),
+    /// A node crashed holding work the run can never get back — in-flight
+    /// attempts, needed map output, or the last replica of an input block —
+    /// and recovery is disabled (or impossible). Surfaced instead of letting
+    /// the run spin until [`SimError::HorizonExceeded`].
+    NodeLost {
+        node: NodeId,
+        at: SimTime,
+        pending_work: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -29,6 +39,15 @@ impl fmt::Display for SimError {
                 "simulation horizon {horizon} exceeded with pending work: {pending_work}"
             ),
             SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SimError::NodeLost {
+                node,
+                at,
+                pending_work,
+            } => write!(
+                f,
+                "node {} lost at {at} with unrecoverable work: {pending_work}",
+                node.0
+            ),
         }
     }
 }
@@ -49,6 +68,13 @@ mod tests {
         assert!(e.to_string().contains("3 map tasks"));
         let e = SimError::InvalidConfig("zero workers".into());
         assert!(e.to_string().contains("zero workers"));
+        let e = SimError::NodeLost {
+            node: NodeId(3),
+            at: SimTime::from_secs(90),
+            pending_work: "2 running maps".into(),
+        };
+        assert!(e.to_string().contains("node 3"));
+        assert!(e.to_string().contains("2 running maps"));
     }
 
     #[test]

@@ -1,0 +1,221 @@
+//! Deterministic whole-node fault injection.
+//!
+//! A [`FaultPlan`] is a fixed schedule of node crashes (and optional
+//! rejoins) decided before the run starts, so fault experiments stay
+//! bit-for-bit reproducible: the same plan against the same seed yields
+//! the same trajectory. Crash and rejoin instants are *exact* events on
+//! the millisecond grid — simulation loops must propose them to the
+//! [`crate::time::EventHorizon`] via [`FaultPlan::next_transition_after`]
+//! so adaptive macro-steps land on them precisely, never pad past them.
+//!
+//! The plan answers two queries:
+//!
+//! - [`FaultPlan::is_up`]: is node `n` up at instant `t`? A node is down
+//!   on the closed-open interval `[crash, crash + downtime)`; with no
+//!   rejoin it stays down forever.
+//! - [`FaultPlan::next_transition_after`]: the earliest crash or rejoin
+//!   instant strictly after `t`, for event-horizon scheduling.
+
+use crate::cluster::NodeId;
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One scheduled whole-node crash, with an optional rejoin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeFault {
+    /// The node that goes down.
+    pub node: NodeId,
+    /// Instant the node crashes. Everything resident on the node — running
+    /// tasks, stored map output, block replicas — is lost at this instant.
+    pub at: SimTime,
+    /// Downtime before the node rejoins empty (no state survives the
+    /// crash). `None` means the node never comes back.
+    pub downtime: Option<SimDuration>,
+}
+
+impl NodeFault {
+    /// A crash with no rejoin.
+    pub fn permanent(node: NodeId, at: SimTime) -> NodeFault {
+        NodeFault {
+            node,
+            at,
+            downtime: None,
+        }
+    }
+
+    /// A crash followed by a rejoin after `downtime`.
+    pub fn transient(node: NodeId, at: SimTime, downtime: SimDuration) -> NodeFault {
+        NodeFault {
+            node,
+            at,
+            downtime: Some(downtime),
+        }
+    }
+
+    /// The rejoin instant, if the node comes back.
+    pub fn rejoin_at(&self) -> Option<SimTime> {
+        self.downtime.map(|d| self.at + d)
+    }
+}
+
+/// A deterministic schedule of node crashes for one run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    faults: Vec<NodeFault>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no node ever goes down.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Build a plan from explicit faults (sorted by crash instant so
+    /// iteration order is deterministic regardless of construction order).
+    pub fn new(mut faults: Vec<NodeFault>) -> FaultPlan {
+        faults.sort_by_key(|f| (f.at, f.node.0));
+        FaultPlan { faults }
+    }
+
+    /// Append one fault, keeping the schedule sorted.
+    pub fn push(&mut self, fault: NodeFault) {
+        self.faults.push(fault);
+        self.faults.sort_by_key(|f| (f.at, f.node.0));
+    }
+
+    /// True when the plan schedules no faults at all.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The scheduled faults, ordered by crash instant.
+    pub fn faults(&self) -> &[NodeFault] {
+        &self.faults
+    }
+
+    /// Is `node` up at instant `t`? Down on `[crash, crash + downtime)`;
+    /// overlapping faults for one node compose (down if any holds it down).
+    pub fn is_up(&self, node: NodeId, t: SimTime) -> bool {
+        !self.faults.iter().any(|f| {
+            f.node == node
+                && t >= f.at
+                && match f.rejoin_at() {
+                    Some(r) => t < r,
+                    None => true,
+                }
+        })
+    }
+
+    /// The earliest crash or rejoin instant strictly after `t`, if any.
+    /// Simulation loops propose `next - now` as an *exact* event-horizon
+    /// deadline so steps land on transitions precisely.
+    pub fn next_transition_after(&self, t: SimTime) -> Option<SimTime> {
+        self.faults
+            .iter()
+            .flat_map(|f| [Some(f.at), f.rejoin_at()])
+            .flatten()
+            .filter(|&i| i > t)
+            .min()
+    }
+
+    /// The faults whose crash instant is exactly `t` (fired by the loop
+    /// when a step lands on the transition).
+    pub fn crashes_at(&self, t: SimTime) -> impl Iterator<Item = &NodeFault> {
+        self.faults.iter().filter(move |f| f.at == t)
+    }
+
+    /// The faults whose rejoin instant is exactly `t`.
+    pub fn rejoins_at(&self, t: SimTime) -> impl Iterator<Item = &NodeFault> {
+        self.faults.iter().filter(move |f| f.rejoin_at() == Some(t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_keeps_everything_up() {
+        let p = FaultPlan::none();
+        assert!(p.is_empty());
+        assert!(p.is_up(NodeId(0), SimTime::from_secs(100)));
+        assert_eq!(p.next_transition_after(SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn permanent_crash_downs_node_forever() {
+        let p = FaultPlan::new(vec![NodeFault::permanent(
+            NodeId(2),
+            SimTime::from_secs(10),
+        )]);
+        assert!(p.is_up(NodeId(2), SimTime::from_millis(9_999)));
+        assert!(
+            !p.is_up(NodeId(2), SimTime::from_secs(10)),
+            "closed at crash"
+        );
+        assert!(!p.is_up(NodeId(2), SimTime::from_secs(1_000_000)));
+        assert!(p.is_up(NodeId(3), SimTime::from_secs(10)), "other nodes up");
+    }
+
+    #[test]
+    fn transient_crash_rejoins_after_downtime() {
+        let f = NodeFault::transient(
+            NodeId(1),
+            SimTime::from_secs(10),
+            SimDuration::from_secs(30),
+        );
+        let p = FaultPlan::new(vec![f]);
+        assert_eq!(f.rejoin_at(), Some(SimTime::from_secs(40)));
+        assert!(!p.is_up(NodeId(1), SimTime::from_secs(39)));
+        assert!(p.is_up(NodeId(1), SimTime::from_secs(40)), "open at rejoin");
+    }
+
+    #[test]
+    fn transitions_are_exact_and_ordered() {
+        let p = FaultPlan::new(vec![
+            NodeFault::transient(NodeId(1), SimTime::from_secs(20), SimDuration::from_secs(5)),
+            NodeFault::permanent(NodeId(0), SimTime::from_secs(10)),
+        ]);
+        // sorted by crash instant despite construction order
+        assert_eq!(p.faults()[0].node, NodeId(0));
+        assert_eq!(
+            p.next_transition_after(SimTime::ZERO),
+            Some(SimTime::from_secs(10))
+        );
+        assert_eq!(
+            p.next_transition_after(SimTime::from_secs(10)),
+            Some(SimTime::from_secs(20)),
+            "strictly after"
+        );
+        assert_eq!(
+            p.next_transition_after(SimTime::from_secs(20)),
+            Some(SimTime::from_secs(25)),
+            "rejoin is a transition"
+        );
+        assert_eq!(p.next_transition_after(SimTime::from_secs(25)), None);
+    }
+
+    #[test]
+    fn crashes_and_rejoins_at_instant() {
+        let p = FaultPlan::new(vec![NodeFault::transient(
+            NodeId(4),
+            SimTime::from_secs(7),
+            SimDuration::from_secs(3),
+        )]);
+        assert_eq!(p.crashes_at(SimTime::from_secs(7)).count(), 1);
+        assert_eq!(p.crashes_at(SimTime::from_secs(8)).count(), 0);
+        assert_eq!(p.rejoins_at(SimTime::from_secs(10)).count(), 1);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = FaultPlan::new(vec![NodeFault::transient(
+            NodeId(3),
+            SimTime::from_secs(60),
+            SimDuration::from_secs(120),
+        )]);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

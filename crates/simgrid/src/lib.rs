@@ -35,6 +35,7 @@
 pub mod cluster;
 pub mod disk;
 pub mod error;
+pub mod fault;
 pub mod metrics;
 pub mod network;
 pub mod node;
@@ -43,6 +44,7 @@ pub mod time;
 
 pub use cluster::{ClusterSpec, NodeId};
 pub use error::SimError;
+pub use fault::{FaultPlan, NodeFault};
 pub use network::{Fabric, FabricConfig, Flow, FlowId};
 pub use node::{allocate_node, NodeSpec, TaskDemand};
 pub use rng::SimRng;

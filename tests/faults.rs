@@ -1,0 +1,132 @@
+//! Whole-node crash recovery, end to end through the public API.
+//!
+//! The engine's own unit tests pin the recovery mechanics (kill, requeue,
+//! lost-output re-execution, blacklisting); these tests drive the same
+//! path at paper scale through `harness::run_once` and check the
+//! contract a user of the stack sees: recovery-on runs complete and
+//! report what they re-did, recovery-off runs fail with a diagnosable
+//! error, faulted runs stay deterministic, and no crash — at any instant
+//! — lets the engine claim completion without having processed every
+//! byte of input at least once.
+
+use harness::{run_once, System};
+use mapreduce::EngineConfig;
+use simgrid::cluster::NodeId;
+use simgrid::error::SimError;
+use simgrid::time::{SimDuration, SimTime};
+use simgrid::{FaultPlan, NodeFault};
+use workloads::Puma;
+
+fn job(input_mb: f64) -> mapreduce::JobSpec {
+    Puma::SequenceCount.job(0, input_mb, 20, Default::default())
+}
+
+/// A crash instant in the middle of the map phase: 5/8 of the fault-free
+/// map barrier (mid second wave, so maps and early reduces are in
+/// flight), rounded onto the 3 s heartbeat grid.
+fn mid_map_instant(cfg: &EngineConfig, sys: &System, input_mb: f64) -> SimTime {
+    let base = run_once(cfg, vec![job(input_mb)], sys, cfg.seed).expect("fault-free baseline");
+    let ms = base.jobs[0].maps_done_at.as_millis() * 5 / 8;
+    SimTime::from_millis((ms / 3000).max(1) * 3000)
+}
+
+#[test]
+fn paper_scale_mid_map_crash_recovers_and_reports_reexecution() {
+    // enough blocks that the map phase runs multiple waves even under
+    // SMapReduce's boosted slot targets — the crash must land after some
+    // maps completed on the doomed node, or there is no output to lose
+    let input = 24.0 * 1024.0;
+    let mut cfg = EngineConfig::paper_default();
+    let crash_at = mid_map_instant(&cfg, &System::SMapReduce, input);
+    cfg.fault_plan = FaultPlan::new(vec![NodeFault::permanent(NodeId(3), crash_at)]);
+    let report = run_once(&cfg, vec![job(input)], &System::SMapReduce, cfg.seed)
+        .expect("recovery-on run completes despite the crash");
+    assert_eq!(report.node_crashes, 1);
+    assert!(
+        report.crash_task_kills > 0,
+        "a mid-map crash kills in-flight attempts"
+    );
+    assert!(
+        report.lost_map_outputs > 0,
+        "completed outputs on the dead node are re-executed and reported"
+    );
+    // work conservation: re-execution only ever adds processed bytes
+    assert!(
+        report.map_input_processed_mb >= input - 1e-3,
+        "processed {} MB of {input} MB input",
+        report.map_input_processed_mb
+    );
+}
+
+#[test]
+fn recovery_off_surfaces_node_lost_not_a_hang() {
+    let input = 6.0 * 1024.0;
+    let mut cfg = EngineConfig::paper_default();
+    let crash_at = mid_map_instant(&cfg, &System::HadoopV1, input);
+    cfg.fault_plan = FaultPlan::new(vec![NodeFault::permanent(NodeId(3), crash_at)]);
+    cfg.fault_recovery = false;
+    match run_once(&cfg, vec![job(input)], &System::HadoopV1, cfg.seed) {
+        Err(SimError::NodeLost { node, .. }) => assert_eq!(node, NodeId(3)),
+        other => panic!("expected NodeLost, got {other:?}"),
+    }
+}
+
+#[test]
+fn faulted_runs_are_byte_identical_across_repeats() {
+    let input = 1536.0;
+    let mut cfg = EngineConfig::small_test(4, 7);
+    cfg.record_events = true;
+    cfg.fault_plan = FaultPlan::new(vec![NodeFault::transient(
+        NodeId(1),
+        SimTime::from_secs(21),
+        SimDuration::from_secs(60),
+    )]);
+    for sys in [System::HadoopV1, System::SMapReduce] {
+        let a = run_once(&cfg, vec![job(input)], &sys, 4242).unwrap();
+        let b = run_once(&cfg, vec![job(input)], &sys, 4242).unwrap();
+        assert!(a.node_crashes > 0, "{}: the fault fired", sys.label());
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "{}: faulted reports byte-identical",
+            sys.label()
+        );
+    }
+}
+
+proptest::proptest! {
+    /// Crash any node at any instant — grid-aligned or not, before,
+    /// during or after the run — and the engine either completes having
+    /// processed every input byte at least once (re-execution only adds
+    /// work) or fails with the one sanctioned error. No silent loss, no
+    /// third outcome.
+    #[test]
+    fn prop_crash_at_any_instant_conserves_work(
+        seed in 0u64..1000,
+        crash_ms in 1u64..240_000,
+        node in 0usize..4,
+        permanent in 0u32..2,
+    ) {
+        let input = 512.0;
+        let mut cfg = EngineConfig::small_test(4, seed);
+        let fault = if permanent == 1 {
+            NodeFault::permanent(NodeId(node), SimTime::from_millis(crash_ms))
+        } else {
+            NodeFault::transient(
+                NodeId(node),
+                SimTime::from_millis(crash_ms),
+                SimDuration::from_secs(90),
+            )
+        };
+        cfg.fault_plan = FaultPlan::new(vec![fault]);
+        match run_once(&cfg, vec![job(input)], &System::SMapReduce, seed) {
+            Ok(report) => proptest::prop_assert!(
+                report.map_input_processed_mb >= input - 1e-3,
+                "completed having processed only {} of {} MB",
+                report.map_input_processed_mb, input
+            ),
+            Err(SimError::NodeLost { .. }) => {}
+            Err(other) => proptest::prop_assert!(false, "unexpected error: {other}"),
+        }
+    }
+}
