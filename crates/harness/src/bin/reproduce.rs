@@ -12,7 +12,10 @@
 //! Each figure prints its plain-text rendering and writes `<fig>.txt` +
 //! `<fig>.json` under the output directory (default `results/`). Every
 //! figure's JSON carries a `perf` block (steps simulated, simulated
-//! seconds covered, wall time, steps/s, peak recorder memory). With
+//! seconds covered, wall time, steps/s, peak recorder memory) and a
+//! `counters` block (the Hadoop-style cluster counters the target's runs
+//! accumulated, also appended to the text rendering). Every run is passed
+//! through the invariant auditor; a violation fails the invocation. With
 //! `--engine fixed|adaptive` every run in the invocation is pinned to one
 //! stepping mode (default: each config's own, i.e. adaptive). The
 //! `engine-bench` target runs a paper workload under *both* modes and
@@ -20,7 +23,13 @@
 //! `--trace FILE`, telemetry is enabled for the whole invocation and one
 //! Chrome-trace JSON — engine step-phase spans, task-lifecycle instants,
 //! slot-manager decision audits, slot-target counters — is written to
-//! FILE (open it in `ui.perfetto.dev`).
+//! FILE (open it in `ui.perfetto.dev`); if the recorder's rings wrapped,
+//! a warning reports how many spans/samples the trace is missing. With
+//! `--dashboard DIR`, each target additionally re-runs its representative
+//! configuration with event recording on and writes
+//! `DIR/<target>_dashboard.html` — a self-contained flight-recorder page
+//! (per-node task Gantt, slot occupancy, utilization timelines, decision
+//! markers, counters, auditor verdict).
 
 use harness::scale::Scale;
 use harness::{
@@ -36,6 +45,7 @@ struct Args {
     scale: Scale,
     out: PathBuf,
     trace: Option<PathBuf>,
+    dashboard: Option<PathBuf>,
     engine: Option<SteppingMode>,
 }
 
@@ -44,6 +54,7 @@ fn parse_args() -> Result<Args, String> {
     let mut scale = Scale::Full;
     let mut out = PathBuf::from("results");
     let mut trace = None;
+    let mut dashboard = None;
     let mut engine = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -54,6 +65,11 @@ fn parse_args() -> Result<Args, String> {
             }
             "--trace" => {
                 trace = Some(PathBuf::from(it.next().ok_or("--trace needs a file")?));
+            }
+            "--dashboard" => {
+                dashboard = Some(PathBuf::from(
+                    it.next().ok_or("--dashboard needs a directory")?,
+                ));
             }
             "--engine" => {
                 engine = Some(
@@ -76,12 +92,13 @@ fn parse_args() -> Result<Args, String> {
         scale,
         out,
         trace,
+        dashboard,
         engine,
     })
 }
 
 const USAGE: &str =
-    "usage: reproduce [all|fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ext-hetero|ext-stragglers|ext-fair|ext-load|ext-faults|ablations|model-check|headline|engine-bench] [--quick] [--out DIR] [--trace FILE] [--engine fixed|adaptive]";
+    "usage: reproduce [all|fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ext-hetero|ext-stragglers|ext-fair|ext-load|ext-faults|ablations|model-check|headline|engine-bench] [--quick] [--out DIR] [--trace FILE] [--dashboard DIR] [--engine fixed|adaptive]";
 
 /// The perf-summary block every figure JSON carries.
 fn perf_block(steps: u64, sim_seconds: f64, wall: std::time::Duration) -> serde_json::Value {
@@ -143,6 +160,7 @@ fn main() -> ExitCode {
     let run_one = |name: &str| -> Result<(), String> {
         let steps_before = harness::runner::total_steps();
         let sim_before = harness::runner::total_sim_seconds();
+        let counters_before = harness::runner::counters_snapshot();
         let wall_start = std::time::Instant::now();
         let (text, json): (String, serde_json::Value) = match name {
             "fig1" => {
@@ -281,6 +299,7 @@ fn main() -> ExitCode {
             harness::runner::total_sim_seconds() - sim_before,
             wall_start.elapsed(),
         );
+        let counters = harness::runner::counters_snapshot().delta_from(&counters_before);
         // non-object payloads (e.g. headline's claim list) get wrapped so
         // the perf block always has somewhere to live
         let mut json = match json {
@@ -292,10 +311,29 @@ fn main() -> ExitCode {
             }
         };
         json.set("perf", perf);
+        json.set(
+            "counters",
+            serde_json::to_value(&counters).expect("serialise"),
+        );
+        let mut text = text;
+        text.push_str("\nCluster counters (all runs of this target):\n");
+        if counters.is_zero() {
+            text.push_str("  (none)\n");
+        } else {
+            text.push_str(&counters.render_table("  "));
+        }
         println!("{text}");
         let (txt, js) =
             output::write_outputs(&args.out, name, &text, &json).map_err(|e| e.to_string())?;
         println!("[wrote {} and {}]\n", txt.display(), js.display());
+        if let Some(dir) = &args.dashboard {
+            let html = harness::dashboard::render_for_target(name, scale)
+                .map_err(|e| format!("{name} dashboard run failed: {e}"))?;
+            std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+            let path = dir.join(format!("{name}_dashboard.html"));
+            std::fs::write(&path, html).map_err(|e| e.to_string())?;
+            println!("[wrote dashboard {}]\n", path.display());
+        }
         Ok(())
     };
 
@@ -329,6 +367,14 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
                 println!("[wrote trace {} — open in ui.perfetto.dev]", path.display());
+                let (ds, dc) = (telem.dropped_spans(), telem.dropped_counter_samples());
+                if ds > 0 || dc > 0 {
+                    eprintln!(
+                        "warning: recorder rings wrapped — trace is missing the oldest \
+                         {ds} span(s) and {dc} counter sample(s); raise the ring \
+                         capacities to keep the whole run"
+                    );
+                }
             }
             None => {
                 eprintln!("internal error: --trace given but telemetry disabled");

@@ -5,15 +5,23 @@
 //! simulation runs (default 3). Sweeps fan out across OS threads with
 //! `std::thread::scope` — each run is independent and deterministic, so the
 //! parallelism changes wall-clock time only.
+//!
+//! Every run is passed through the [`mapreduce::auditor`] before its
+//! report is handed back: a violated invariant turns the run into a
+//! [`SimError::AuditFailed`], so no figure can silently be built from a
+//! report whose counters and events disagree. Audited runs also merge
+//! their cluster counters into a process-wide ledger
+//! ([`counters_snapshot`]) that `reproduce` prints per target.
 
+use mapreduce::auditor::{audit, AuditSetup};
 use mapreduce::policy::{SlotPolicy, StaticSlotPolicy};
-use mapreduce::{Engine, EngineConfig, JobSpec, RunReport};
+use mapreduce::{CounterLedger, Engine, EngineConfig, JobSpec, RunReport};
 use serde::{Deserialize, Serialize};
 use simgrid::error::SimError;
 use simgrid::time::SteppingMode;
 use smapreduce::{HeteroSlotManagerPolicy, SlotManagerPolicy, SmrConfig};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
 use yarn::CapacityPolicy;
 
 /// Process-wide telemetry sink every [`run_once`] threads into the engine.
@@ -32,6 +40,11 @@ static TOTAL_SIM_MS: AtomicU64 = AtomicU64::new(0);
 /// Process-wide stepping-mode override (the `reproduce --engine` flag and
 /// the cross-validation suite). `None` keeps each config's own mode.
 static ENGINE_MODE: OnceLock<SteppingMode> = OnceLock::new();
+
+/// Cluster counters merged from every audited run in this process, across
+/// all threads. `reproduce` snapshots this before and after each target to
+/// print the target's counter delta.
+static RUN_COUNTERS: Mutex<CounterLedger> = Mutex::new(CounterLedger::new());
 
 /// Install the process-wide telemetry sink used by all subsequent runs.
 /// Returns `false` if a sink was already installed (the first one wins).
@@ -64,6 +77,11 @@ pub fn total_steps() -> u64 {
 /// Total simulated time covered by this process so far, in seconds.
 pub fn total_sim_seconds() -> f64 {
     TOTAL_SIM_MS.load(Ordering::Relaxed) as f64 / 1000.0
+}
+
+/// Cluster counters accumulated by every [`run_once`] so far.
+pub fn counters_snapshot() -> CounterLedger {
+    RUN_COUNTERS.lock().expect("counters lock").clone()
 }
 
 /// Which system to run a workload under.
@@ -127,7 +145,9 @@ pub struct AveragedRun {
     pub sample: RunReport,
 }
 
-/// Run `jobs` under `system` once with the given seed.
+/// Run `jobs` under `system` once with the given seed. The finished report
+/// is audited before being returned: a counter/event invariant violation
+/// surfaces as [`SimError::AuditFailed`].
 pub fn run_once(
     cfg: &EngineConfig,
     jobs: Vec<JobSpec>,
@@ -139,6 +159,7 @@ pub fn run_once(
     if let Some(mode) = engine_mode() {
         cfg.tick.mode = mode;
     }
+    let setup = AuditSetup::from_config(&cfg);
     let mut policy = system.make_policy();
     let report = Engine::new(cfg).run_with(jobs, policy.as_mut(), &active_telemetry())?;
     TOTAL_STEPS.fetch_add(report.steps, Ordering::Relaxed);
@@ -149,6 +170,16 @@ pub fn run_once(
         .max()
         .unwrap_or(0);
     TOTAL_SIM_MS.fetch_add(sim_ms, Ordering::Relaxed);
+    let violations = audit(&report, &setup);
+    if !violations.is_empty() {
+        return Err(SimError::AuditFailed {
+            violations: violations.iter().map(|v| v.to_string()).collect(),
+        });
+    }
+    RUN_COUNTERS
+        .lock()
+        .expect("counters lock")
+        .merge(&report.counters);
     Ok(report)
 }
 
@@ -325,6 +356,20 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn runs_accumulate_process_counters() {
+        let cfg = small_cfg();
+        let before = counters_snapshot();
+        let r = run_once(&cfg, vec![small_job()], &System::HadoopV1, 3).unwrap();
+        let delta = counters_snapshot().delta_from(&before);
+        assert!(!r.counters.is_zero());
+        // other tests run concurrently, so the delta is at least this run
+        assert!(
+            delta.get(mapreduce::Counter::TotalLaunchedMaps)
+                >= r.counters.get(mapreduce::Counter::TotalLaunchedMaps)
+        );
     }
 
     #[test]

@@ -1,0 +1,323 @@
+//! Hadoop-style job counters.
+//!
+//! Every MapReduce job in a real cluster publishes a ledger of named
+//! counters — `HDFS_BYTES_READ`, `DATA_LOCAL_MAPS`, `SPILLED_RECORDS` — and
+//! operators read cluster health off them. This module is the simulator's
+//! equivalent: a fixed catalogue of [`Counter`]s and a [`CounterLedger`]
+//! backed by a flat array, fed from the engine's phase code with no
+//! allocation on the hot path. One ledger is kept per job and the cluster
+//! ledger in [`crate::RunReport`] is their merge.
+//!
+//! Counters are plain observational accumulators: they never feed back into
+//! scheduling decisions, so enabling them cannot perturb a run. Because all
+//! feeds are deterministic functions of the simulation state, ledgers are
+//! byte-identical across reruns of the same seed — a property the
+//! [`crate::auditor`] relies on.
+//!
+//! Byte counters carry the Hadoop names but are denominated in **MB**, the
+//! simulator's universal data unit.
+
+use serde::{Deserialize, Error as DeError, Serialize, Value};
+
+/// The counter catalogue. Names follow Hadoop's job-counter conventions;
+/// see each variant for the exact simulator semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Counter {
+    /// Map input consumed (MB), local and remote alike.
+    HdfsBytesRead,
+    /// Map input delivered over the fabric to remote (non-local) maps (MB).
+    RemoteBytesRead,
+    /// Map output credited at *delivered* completions (MB); re-executed
+    /// blocks are credited once per delivered attempt.
+    MapOutputMb,
+    /// Delivered map output later destroyed by a node loss while reducers
+    /// still needed it (MB). `MAP_OUTPUT_MB − LOST_MAP_OUTPUT_MB` is what
+    /// the shuffle ultimately serves.
+    LostMapOutputMb,
+    /// Total MB fetched by reduce shuffles, local and remote.
+    ShuffleFetchedMb,
+    /// The remote (fabric-crossing) portion of [`Counter::ShuffleFetchedMb`].
+    ShuffleRemoteMb,
+    /// Spill volume (MB): map-side output written to local disk plus
+    /// reduce-side merge spill of fetched data. By convention this equals
+    /// `MAP_OUTPUT_MB + SHUFFLE_FETCHED_MB` — the identity the auditor
+    /// checks to prove both feed sites fire.
+    SpilledRecords,
+    /// Map attempts launched, including speculative backups and
+    /// fault-driven re-executions.
+    TotalLaunchedMaps,
+    /// Launched map attempts whose input block was node-local.
+    DataLocalMaps,
+    /// Launched map attempts streaming their input from a remote replica.
+    RemoteMaps,
+    /// Reduce attempts launched, including crash-driven relaunches.
+    TotalLaunchedReduces,
+    /// Attempts killed for any reason: losing speculative siblings plus
+    /// crash victims (map and reduce).
+    KilledAttempts,
+    /// The reduce-attempt subset of [`Counter::KilledAttempts`].
+    KilledReduces,
+    /// Map attempts terminated by an injected task failure (retried).
+    FailedMaps,
+    /// Map attempts that finished after their sibling had already
+    /// delivered the block; their output is discarded.
+    DiscardedMaps,
+    /// Speculative backup attempts launched.
+    SpeculativeMaps,
+    /// Completed maps re-executed because their output died with a node.
+    ReexecutedMaps,
+}
+
+impl Counter {
+    /// Every counter, in catalogue (serialization) order.
+    pub const ALL: [Counter; 17] = [
+        Counter::HdfsBytesRead,
+        Counter::RemoteBytesRead,
+        Counter::MapOutputMb,
+        Counter::LostMapOutputMb,
+        Counter::ShuffleFetchedMb,
+        Counter::ShuffleRemoteMb,
+        Counter::SpilledRecords,
+        Counter::TotalLaunchedMaps,
+        Counter::DataLocalMaps,
+        Counter::RemoteMaps,
+        Counter::TotalLaunchedReduces,
+        Counter::KilledAttempts,
+        Counter::KilledReduces,
+        Counter::FailedMaps,
+        Counter::DiscardedMaps,
+        Counter::SpeculativeMaps,
+        Counter::ReexecutedMaps,
+    ];
+
+    /// Hadoop-style SCREAMING_SNAKE name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::HdfsBytesRead => "HDFS_BYTES_READ",
+            Counter::RemoteBytesRead => "REMOTE_BYTES_READ",
+            Counter::MapOutputMb => "MAP_OUTPUT_MB",
+            Counter::LostMapOutputMb => "LOST_MAP_OUTPUT_MB",
+            Counter::ShuffleFetchedMb => "SHUFFLE_FETCHED_MB",
+            Counter::ShuffleRemoteMb => "SHUFFLE_REMOTE_MB",
+            Counter::SpilledRecords => "SPILLED_RECORDS",
+            Counter::TotalLaunchedMaps => "TOTAL_LAUNCHED_MAPS",
+            Counter::DataLocalMaps => "DATA_LOCAL_MAPS",
+            Counter::RemoteMaps => "REMOTE_MAPS",
+            Counter::TotalLaunchedReduces => "TOTAL_LAUNCHED_REDUCES",
+            Counter::KilledAttempts => "KILLED_ATTEMPTS",
+            Counter::KilledReduces => "KILLED_REDUCES",
+            Counter::FailedMaps => "FAILED_MAPS",
+            Counter::DiscardedMaps => "DISCARDED_MAPS",
+            Counter::SpeculativeMaps => "SPECULATIVE_MAPS",
+            Counter::ReexecutedMaps => "REEXECUTED_MAPS",
+        }
+    }
+
+    /// Inverse of [`Counter::name`].
+    pub fn from_name(name: &str) -> Option<Counter> {
+        Counter::ALL.into_iter().find(|c| c.name() == name)
+    }
+
+    fn index(self) -> usize {
+        Counter::ALL
+            .iter()
+            .position(|c| *c == self)
+            .expect("every counter is in ALL")
+    }
+}
+
+/// A flat, fixed-size counter ledger. `add`/`inc` are array writes — no
+/// hashing, no allocation — so the engine can feed it from per-step code.
+/// Event-count counters are stored as integral-valued `f64`s alongside the
+/// byte counters.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CounterLedger {
+    values: [f64; Counter::ALL.len()],
+}
+
+impl CounterLedger {
+    pub const fn new() -> CounterLedger {
+        CounterLedger {
+            values: [0.0; Counter::ALL.len()],
+        }
+    }
+
+    /// Add `amount` to a counter.
+    #[inline]
+    pub fn add(&mut self, c: Counter, amount: f64) {
+        self.values[c.index()] += amount;
+    }
+
+    /// Increment an event-count counter by one.
+    #[inline]
+    pub fn inc(&mut self, c: Counter) {
+        self.add(c, 1.0);
+    }
+
+    #[inline]
+    pub fn get(&self, c: Counter) -> f64 {
+        self.values[c.index()]
+    }
+
+    /// Fold another ledger into this one (cluster = merge of jobs).
+    pub fn merge(&mut self, other: &CounterLedger) {
+        for (a, b) in self.values.iter_mut().zip(other.values.iter()) {
+            *a += *b;
+        }
+    }
+
+    /// `(counter, value)` pairs in catalogue order.
+    pub fn iter(&self) -> impl Iterator<Item = (Counter, f64)> + '_ {
+        Counter::ALL.into_iter().map(|c| (c, self.get(c)))
+    }
+
+    pub fn is_zero(&self) -> bool {
+        self.values.iter().all(|v| *v == 0.0)
+    }
+
+    /// Per-counter difference `self − other` (used by the harness to
+    /// attribute cluster-ledger growth to one figure target). The
+    /// difference is rounded to a 1e-6 grid (a byte, in MB counters) to
+    /// shed the low-bit noise a large minuend leaves behind — a target's
+    /// counters come out identical whether it ran alone or after other
+    /// targets in the same process.
+    pub fn delta_from(&self, other: &CounterLedger) -> CounterLedger {
+        let mut out = CounterLedger::new();
+        for (i, v) in out.values.iter_mut().enumerate() {
+            *v = ((self.values[i] - other.values[i]) * 1e6).round() / 1e6;
+        }
+        out
+    }
+
+    /// Fixed-width text table, one counter per line (skipping zeros),
+    /// as embedded in the committed results files.
+    pub fn render_table(&self, indent: &str) -> String {
+        let mut out = String::new();
+        for (c, v) in self.iter() {
+            if v == 0.0 {
+                continue;
+            }
+            let shown = if v.fract() == 0.0 && v.abs() < 1e15 {
+                format!("{}", v as i64)
+            } else {
+                format!("{v:.2}")
+            };
+            out.push_str(&format!("{indent}{:<24} {:>14}\n", c.name(), shown));
+        }
+        if out.is_empty() {
+            out.push_str(&format!("{indent}(all counters zero)\n"));
+        }
+        out
+    }
+}
+
+// Hand-written serde impls: the ledger serializes as a name → value object
+// in catalogue order (insertion-ordered, so serialization is deterministic
+// and reruns are byte-comparable). Unknown names on deserialize are
+// rejected; missing names default to zero, so old reports load cleanly
+// after catalogue growth.
+impl Serialize for CounterLedger {
+    fn to_value(&self) -> Value {
+        let mut obj = Value::Object(Vec::new());
+        for (c, v) in self.iter() {
+            obj.set(c.name(), Value::F64(v));
+        }
+        obj
+    }
+}
+
+impl Deserialize for CounterLedger {
+    fn deserialize(v: &Value) -> Result<CounterLedger, DeError> {
+        let entries = v
+            .as_object()
+            .ok_or_else(|| DeError::new("CounterLedger: expected object"))?;
+        let mut ledger = CounterLedger::new();
+        for (name, value) in entries {
+            let c = Counter::from_name(name)
+                .ok_or_else(|| DeError::new(format!("CounterLedger: unknown counter {name}")))?;
+            let n = value
+                .as_f64()
+                .ok_or_else(|| DeError::new(format!("CounterLedger: {name} is not a number")))?;
+            ledger.add(c, n);
+        }
+        Ok(ledger)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip_and_are_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for c in Counter::ALL {
+            assert_eq!(Counter::from_name(c.name()), Some(c));
+            assert!(seen.insert(c.name()), "duplicate name {}", c.name());
+        }
+        assert_eq!(Counter::from_name("NOT_A_COUNTER"), None);
+    }
+
+    #[test]
+    fn add_inc_get_merge() {
+        let mut a = CounterLedger::new();
+        assert!(a.is_zero());
+        a.add(Counter::HdfsBytesRead, 128.0);
+        a.inc(Counter::DataLocalMaps);
+        a.inc(Counter::DataLocalMaps);
+        assert_eq!(a.get(Counter::HdfsBytesRead), 128.0);
+        assert_eq!(a.get(Counter::DataLocalMaps), 2.0);
+        assert_eq!(a.get(Counter::RemoteMaps), 0.0);
+        let mut b = CounterLedger::new();
+        b.add(Counter::HdfsBytesRead, 64.0);
+        b.inc(Counter::RemoteMaps);
+        b.merge(&a);
+        assert_eq!(b.get(Counter::HdfsBytesRead), 192.0);
+        assert_eq!(b.get(Counter::DataLocalMaps), 2.0);
+        assert_eq!(b.get(Counter::RemoteMaps), 1.0);
+        let d = b.delta_from(&a);
+        assert_eq!(d.get(Counter::HdfsBytesRead), 64.0);
+        assert_eq!(d.get(Counter::RemoteMaps), 1.0);
+        assert_eq!(d.get(Counter::DataLocalMaps), 0.0);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_order_and_values() {
+        let mut a = CounterLedger::new();
+        a.add(Counter::MapOutputMb, 40.96);
+        a.inc(Counter::TotalLaunchedMaps);
+        let json = serde_json::to_string(&a).unwrap();
+        // catalogue order: HDFS_BYTES_READ serializes before MAP_OUTPUT_MB
+        let h = json.find("HDFS_BYTES_READ").unwrap();
+        let m = json.find("MAP_OUTPUT_MB").unwrap();
+        assert!(h < m);
+        let back: CounterLedger = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn deserialize_rejects_unknown_and_tolerates_missing() {
+        let err = serde_json::from_str::<CounterLedger>(r#"{"BOGUS": 1.0}"#);
+        assert!(err.is_err());
+        // a partial object (old report) loads with the rest zeroed
+        let partial: CounterLedger = serde_json::from_str(r#"{"HDFS_BYTES_READ": 3.5}"#).unwrap();
+        assert_eq!(partial.get(Counter::HdfsBytesRead), 3.5);
+        assert_eq!(partial.get(Counter::MapOutputMb), 0.0);
+    }
+
+    #[test]
+    fn table_skips_zeros_and_formats_integers() {
+        let mut a = CounterLedger::new();
+        a.add(Counter::ShuffleFetchedMb, 12.345);
+        a.add(Counter::TotalLaunchedMaps, 7.0);
+        let t = a.render_table("  ");
+        assert!(t.contains("SHUFFLE_FETCHED_MB"));
+        assert!(t.contains("12.35"));
+        assert!(t.contains("TOTAL_LAUNCHED_MAPS"));
+        assert!(t.contains("7\n"));
+        assert!(!t.contains("HDFS_BYTES_READ"));
+        assert!(CounterLedger::new()
+            .render_table("")
+            .contains("all counters zero"));
+    }
+}

@@ -25,6 +25,7 @@
 //! deterministic for a given [`EngineConfig::seed`] and the two agree on
 //! every paper-shape outcome (cross-validated in `tests/`).
 
+use crate::counters::{Counter, CounterLedger};
 use crate::events::{Event, EventLog};
 use crate::job::{JobProfile, JobSpec};
 use crate::policy::{PolicyContext, SlotPolicy, TrackerSnapshot};
@@ -42,6 +43,7 @@ use simgrid::network::{Fabric, FabricConfig, Flow, FlowId};
 use simgrid::node::allocate_node;
 use simgrid::rng::SimRng;
 use simgrid::time::{EventHorizon, SimDuration, SimTime, SteppingMode, TickConfig};
+use simgrid::usage::NodeUsageSampler;
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use telemetry::Telemetry;
 
@@ -531,6 +533,22 @@ struct Sim<'p> {
     map_input_processed_mb: f64,
     node_crash_counter: telemetry::Counter,
     lost_output_counter: telemetry::Counter,
+    /// Hadoop-style job counters, one ledger per job (kept off
+    /// `JobInProgress` so the integrate-phase destructuring splits
+    /// cleanly).
+    job_counters: Vec<CounterLedger>,
+    /// Per-node resource-grant integrals between sample boundaries.
+    usage: NodeUsageSampler,
+    /// Per-node rate scratch rewritten by every allocate phase and read by
+    /// the following integrate: granted CPU cores, disk MB/s, and NIC
+    /// MB/s per direction. Kept on the sim so the step loop allocates
+    /// nothing.
+    node_cpu: Vec<f64>,
+    node_disk: Vec<f64>,
+    nic_in: Vec<f64>,
+    nic_out: Vec<f64>,
+    occ_map: Vec<usize>,
+    occ_reduce: Vec<usize>,
 }
 
 impl<'p> Sim<'p> {
@@ -579,6 +597,12 @@ impl<'p> Sim<'p> {
             .collect();
         let mut events = EventLog::new(cfg.record_events);
         events.set_sink(telem.clone());
+        let node_specs: Vec<simgrid::node::NodeSpec> = cfg
+            .cluster
+            .nodes()
+            .map(|n| *cfg.cluster.node_spec(n))
+            .collect();
+        let job_counters = vec![CounterLedger::new(); jobs.len()];
         Ok(Sim {
             sched: FifoScheduler {
                 reduce_slowstart: cfg.reduce_slowstart,
@@ -623,6 +647,14 @@ impl<'p> Sim<'p> {
             lost_map_outputs: 0,
             trackers_blacklisted: 0,
             map_input_processed_mb: 0.0,
+            job_counters,
+            usage: NodeUsageSampler::new(&node_specs),
+            node_cpu: vec![0.0; node_specs.len()],
+            node_disk: vec![0.0; node_specs.len()],
+            nic_in: vec![0.0; node_specs.len()],
+            nic_out: vec![0.0; node_specs.len()],
+            occ_map: vec![0; node_specs.len()],
+            occ_reduce: vec![0; node_specs.len()],
         })
     }
 
@@ -889,6 +921,13 @@ impl<'p> Sim<'p> {
                 } else {
                     self.jobs[a.id.job.0].local_launches += 1;
                 }
+                let c = &mut self.job_counters[a.id.job.0];
+                c.inc(Counter::TotalLaunchedMaps);
+                if a.remote_src.is_some() {
+                    c.inc(Counter::RemoteMaps);
+                } else {
+                    c.inc(Counter::DataLocalMaps);
+                }
                 let aid = MapAttemptId::original(a.id);
                 self.maybe_inject_failure(aid);
                 self.running_maps.insert(aid, task);
@@ -907,6 +946,7 @@ impl<'p> Sim<'p> {
                     self.now,
                 );
                 self.trackers[i].reduce_slots.launch();
+                self.job_counters[rid.job.0].inc(Counter::TotalLaunchedReduces);
                 self.events.push(Event::ReduceLaunched {
                     at: self.now,
                     id: rid,
@@ -943,9 +983,13 @@ impl<'p> Sim<'p> {
         let mut map_read_rate: HashMap<MapAttemptId, f64> = HashMap::new();
         let mut fetch_rate: HashMap<(ReduceTaskId, NodeId), f64> = HashMap::new();
         let mut fetch_contended: HashSet<(ReduceTaskId, NodeId)> = HashSet::new();
+        self.nic_in.fill(0.0);
+        self.nic_out.fill(0.0);
         for (flow, (fid, purpose)) in flows.iter().zip(&purposes) {
             debug_assert_eq!(flow.id, *fid);
             let rate = rates.get(fid).copied().unwrap_or(0.0);
+            self.nic_out[flow.src.0] += rate;
+            self.nic_in[flow.dst.0] += rate;
             match *purpose {
                 FlowPurpose::MapRead(id) => {
                     map_read_rate.insert(id, rate);
@@ -975,6 +1019,21 @@ impl<'p> Sim<'p> {
 
     fn integrate(&mut self, dt: f64, dt_ms: u64, rates: &StepRates) {
         let sim_ms = self.now.as_millis();
+        // fold this step's grants into the utilization sampler before any
+        // task completes and releases its slot: the rates were computed
+        // against step-start occupancy, so that is what the step sustains.
+        // Down nodes integrate nothing — their timelines gap over the
+        // outage.
+        self.usage.accumulate_all(
+            dt,
+            &self.node_up,
+            &self.node_cpu,
+            &self.node_disk,
+            &self.nic_in,
+            &self.nic_out,
+            &self.occ_map,
+            &self.occ_reduce,
+        );
         let t0 = self.telem.clock_us();
         self.advance_maps(dt, &rates.scales, &rates.map_read_rate);
         self.telem.record_span("step", "advance_maps", t0, sim_ms);
@@ -1096,8 +1155,10 @@ impl<'p> Sim<'p> {
     /// stall is amortised across the tick it partially covers; the
     /// adaptive stepper freezes the node outright and lets the horizon cut
     /// the step at stall expiry instead.
-    fn allocate_nodes(&self, fixed: bool) -> (BTreeMap<TaskRef, f64>, f64, f64) {
+    fn allocate_nodes(&mut self, fixed: bool) -> (BTreeMap<TaskRef, f64>, f64, f64) {
         let workers = self.trackers.len();
+        self.node_cpu.fill(0.0);
+        self.node_disk.fill(0.0);
         let mut node_tasks: Vec<Vec<(TaskRef, simgrid::node::TaskDemand)>> =
             vec![Vec::new(); workers];
         for (id, t) in &self.running_maps {
@@ -1119,6 +1180,11 @@ impl<'p> Sim<'p> {
                 // until the expiry interval declares them lost
                 continue;
             }
+            // snapshot step-start slot occupancy for the usage sampler
+            // here, where the tracker is already in cache; nothing changes
+            // it before the integrate phase reads the snapshot
+            self.occ_map[n] = self.trackers[n].map_slots.occupied();
+            self.occ_reduce[n] = self.trackers[n].reduce_slots.occupied();
             if any_active {
                 offered += self.cfg.cluster.node_spec(NodeId(n)).cores;
             }
@@ -1136,6 +1202,8 @@ impl<'p> Sim<'p> {
             };
             for ((r, d), s) in tasks.iter().zip(scales) {
                 granted += d.cpu_cores * s * stall_factor;
+                self.node_cpu[n] += d.cpu_cores * s * stall_factor;
+                self.node_disk[n] += (d.disk_read + d.disk_write) * s * stall_factor;
                 out.insert(*r, s * stall_factor);
             }
         }
@@ -1270,6 +1338,7 @@ impl<'p> Sim<'p> {
             failure_points,
             network_mb,
             map_input_processed_mb,
+            job_counters,
             ..
         } = self;
         for (id, t) in running_maps.iter_mut() {
@@ -1279,7 +1348,9 @@ impl<'p> Sim<'p> {
             if t.remote_src.is_some() && t.input_remaining > 1e-9 {
                 // input arrives over the network; cap work by delivery
                 let delivered = map_read_rate.get(id).copied().unwrap_or(0.0) * dt;
-                *network_mb += delivered.min(t.input_remaining);
+                let arrived = delivered.min(t.input_remaining);
+                *network_mb += arrived;
+                job_counters[id.task.job.0].add(Counter::RemoteBytesRead, arrived);
                 let work_cap = if t.input_mb > 0.0 {
                     delivered * t.work_total / t.input_mb
                 } else {
@@ -1290,6 +1361,7 @@ impl<'p> Sim<'p> {
             let (consumed, _produced) = t.advance(work_step);
             trackers[t.node.0].meters.map_input.record(consumed);
             *map_input_processed_mb += consumed;
+            job_counters[id.task.job.0].add(Counter::HdfsBytesRead, consumed);
             if let Some(&fail_at) = failure_points.get(id) {
                 // reached_progress is the exact complement of the horizon's
                 // time_to_progress, so a failure point landed on precisely
@@ -1315,6 +1387,12 @@ impl<'p> Sim<'p> {
     fn fail_map(&mut self, aid: MapAttemptId) {
         let task = self.remove_map_attempt(aid);
         self.map_failures += 1;
+        self.job_counters[aid.task.job.0].inc(Counter::FailedMaps);
+        self.events.push(Event::MapFailed {
+            at: self.now,
+            id: aid.task,
+            node: task.node,
+        });
         self.charge_tracker_failure(task.node);
     }
 
@@ -1386,6 +1464,12 @@ impl<'p> Sim<'p> {
         if job.completed_blocks[id.index] {
             // a sibling attempt already delivered this block; this one
             // raced to the end and its work is discarded
+            self.job_counters[id.job.0].inc(Counter::DiscardedMaps);
+            self.events.push(Event::MapDiscarded {
+                at: self.now,
+                id,
+                node: task.node,
+            });
             return;
         }
         job.completed_blocks[id.index] = true;
@@ -1403,6 +1487,9 @@ impl<'p> Sim<'p> {
             .map_output
             .record(task.output_mb);
         job.shuffle.on_map_complete(task.node, task.output_mb);
+        let c = &mut self.job_counters[id.job.0];
+        c.add(Counter::MapOutputMb, task.output_mb);
+        c.add(Counter::SpilledRecords, task.output_mb);
         // remember where the output landed: if that node crashes while a
         // reducer still needs the data, the map is re-executed
         job.block_output_node[id.index] = Some(task.node);
@@ -1423,6 +1510,7 @@ impl<'p> Sim<'p> {
         if let Some(loser) = self.running_maps.remove(&sibling) {
             self.trackers[loser.node.0].map_slots.release();
             self.jobs[id.job.0].running_maps -= 1;
+            self.job_counters[id.job.0].inc(Counter::KilledAttempts);
             self.events.push(Event::MapKilled {
                 at: self.now,
                 id,
@@ -1522,6 +1610,14 @@ impl<'p> Sim<'p> {
                 self.trackers[i].map_slots.launch();
                 self.jobs[j].running_maps += 1;
                 self.speculative_attempts += 1;
+                let c = &mut self.job_counters[j];
+                c.inc(Counter::SpeculativeMaps);
+                c.inc(Counter::TotalLaunchedMaps);
+                if remote_src.is_some() {
+                    c.inc(Counter::RemoteMaps);
+                } else {
+                    c.inc(Counter::DataLocalMaps);
+                }
                 self.events.push(Event::MapLaunched {
                     at: now,
                     id: aid.task,
@@ -1551,6 +1647,7 @@ impl<'p> Sim<'p> {
             now,
             events,
             network_mb,
+            job_counters,
             ..
         } = self;
         for (rid, r) in running_reduces.iter_mut() {
@@ -1573,6 +1670,9 @@ impl<'p> Sim<'p> {
                         if mb > 0.0 {
                             r.record_fetch(r.node, mb);
                             trackers[r.node.0].meters.shuffle.record(mb);
+                            let c = &mut job_counters[rid.job.0];
+                            c.add(Counter::ShuffleFetchedMb, mb);
+                            c.add(Counter::SpilledRecords, mb);
                             used += mb;
                         }
                     }
@@ -1594,6 +1694,10 @@ impl<'p> Sim<'p> {
                             r.record_fetch(src_id, mb);
                             trackers[r.node.0].meters.shuffle.record(mb);
                             *network_mb += mb;
+                            let c = &mut job_counters[rid.job.0];
+                            c.add(Counter::ShuffleFetchedMb, mb);
+                            c.add(Counter::ShuffleRemoteMb, mb);
+                            c.add(Counter::SpilledRecords, mb);
                             used += mb;
                         }
                     }
@@ -1714,6 +1818,7 @@ impl<'p> Sim<'p> {
         for aid in readers {
             let task = self.remove_map_attempt(aid);
             self.crash_task_kills += 1;
+            self.job_counters[aid.task.job.0].inc(Counter::KilledAttempts);
             self.events.push(Event::MapKilled {
                 at: self.now,
                 id: aid.task,
@@ -1852,6 +1957,7 @@ impl<'p> Sim<'p> {
         for aid in map_victims {
             self.remove_map_attempt(aid);
             self.crash_task_kills += 1;
+            self.job_counters[aid.task.job.0].inc(Counter::KilledAttempts);
             self.events.push(Event::MapKilled {
                 at: self.now,
                 id: aid.task,
@@ -1866,6 +1972,9 @@ impl<'p> Sim<'p> {
             job.pending_reduce_parts.push(rid.partition);
             job.pending_reduce_parts.sort_unstable();
             self.crash_task_kills += 1;
+            let c = &mut self.job_counters[rid.job.0];
+            c.inc(Counter::KilledAttempts);
+            c.inc(Counter::KilledReduces);
             self.events.push(Event::ReduceKilled {
                 at: self.now,
                 id: rid,
@@ -1880,7 +1989,8 @@ impl<'p> Sim<'p> {
             }
             let needs = self.job_needs_map_output(ji);
             let job = &mut self.jobs[ji];
-            job.shuffle.on_node_lost(d);
+            let lost_mb = job.shuffle.on_node_lost(d);
+            self.job_counters[ji].add(Counter::LostMapOutputMb, lost_mb);
             let lost: Vec<usize> = (0..job.block_output_node.len())
                 .filter(|&b| job.block_output_node[b] == Some(d))
                 .collect();
@@ -1898,6 +2008,7 @@ impl<'p> Sim<'p> {
                 job.pending_map_blocks.push(b);
                 self.lost_map_outputs += 1;
                 self.lost_output_counter.inc();
+                self.job_counters[ji].inc(Counter::ReexecutedMaps);
                 self.events.push(Event::MapOutputLost {
                     at: self.now,
                     id: MapTaskId {
@@ -2019,6 +2130,7 @@ impl<'p> Sim<'p> {
             .sum();
         self.map_slot_series.push(self.now, map_slots as f64);
         self.reduce_slot_series.push(self.now, reduce_slots as f64);
+        self.usage.sample(self.now);
 
         // per-job progress: map% + reduce% in [0, 200]
         let mut map_progress = vec![0.0_f64; self.jobs.len()];
@@ -2057,7 +2169,8 @@ impl<'p> Sim<'p> {
         let jobs = self
             .jobs
             .iter()
-            .map(|j| JobReport {
+            .enumerate()
+            .map(|(i, j)| JobReport {
                 job: j.spec.id,
                 name: j.spec.profile.name.clone(),
                 submit_at: j.spec.submit_at,
@@ -2072,13 +2185,15 @@ impl<'p> Sim<'p> {
                 map_task_durations: simgrid::metrics::Summary::of(&j.map_durations),
                 reduce_task_durations: simgrid::metrics::Summary::of(&j.reduce_durations),
                 local_map_fraction: {
-                    let total = j.local_launches + j.remote_launches;
-                    if total == 0 {
+                    let c = &self.job_counters[i];
+                    let total = c.get(Counter::TotalLaunchedMaps);
+                    if total <= 0.0 {
                         1.0
                     } else {
-                        j.local_launches as f64 / total as f64
+                        c.get(Counter::DataLocalMaps) / total
                     }
                 },
+                counters: self.job_counters[i].clone(),
             })
             .collect();
         RunReport {
@@ -2103,6 +2218,15 @@ impl<'p> Sim<'p> {
             lost_map_outputs: self.lost_map_outputs,
             trackers_blacklisted: self.trackers_blacklisted,
             map_input_processed_mb: self.map_input_processed_mb,
+            counters: {
+                let mut all = CounterLedger::new();
+                for c in &self.job_counters {
+                    all.merge(c);
+                }
+                all
+            },
+            node_utilization: self.usage.clone().into_report(),
+            decisions: self.policy.decision_records(),
         }
     }
 }
@@ -2155,6 +2279,81 @@ mod tests {
             a.single().maps_done_at.as_millis(),
             b.single().maps_done_at.as_millis()
         );
+    }
+
+    #[test]
+    fn local_map_fraction_matches_event_log() {
+        // regression for the counter derivation: the fraction reported
+        // from DATA_LOCAL_MAPS / TOTAL_LAUNCHED_MAPS must equal the one
+        // computed from the launch events' remote_read flags — two
+        // independently-maintained paths over the same launches
+        let mut cfg = EngineConfig::small_test(4, 11);
+        cfg.record_events = true;
+        let job = JobSpec::new(
+            0,
+            JobProfile::synthetic_map_heavy(),
+            2048.0,
+            8,
+            SimTime::ZERO,
+        );
+        let r = Engine::new(cfg)
+            .run(vec![job], &mut StaticSlotPolicy)
+            .unwrap();
+        let (mut local, mut total) = (0u64, 0u64);
+        for e in r.events.events() {
+            if let Event::MapLaunched { remote_read, .. } = e {
+                total += 1;
+                if !remote_read {
+                    local += 1;
+                }
+            }
+        }
+        assert!(total > 0);
+        let from_events = local as f64 / total as f64;
+        assert_eq!(r.single().local_map_fraction, from_events);
+        let c = &r.single().counters;
+        assert_eq!(c.get(Counter::TotalLaunchedMaps), total as f64);
+        assert_eq!(c.get(Counter::DataLocalMaps), local as f64);
+    }
+
+    #[test]
+    fn counters_close_their_conservation_laws() {
+        let r = run_single(JobProfile::synthetic_reduce_heavy(), 1024.0, 4, 9);
+        let j = r.single();
+        let c = &j.counters;
+        // fault-free: every MB of input read once, output == shuffle, and
+        // every produced MB was fetched by exactly one reducer
+        assert!((c.get(Counter::HdfsBytesRead) - 1024.0).abs() < 1e-6);
+        assert!((c.get(Counter::MapOutputMb) - j.shuffle_mb).abs() < 1e-6);
+        assert!((c.get(Counter::ShuffleFetchedMb) - j.shuffle_mb).abs() < 1e-6);
+        assert_eq!(c.get(Counter::LostMapOutputMb), 0.0);
+        assert_eq!(c.get(Counter::KilledAttempts), 0.0);
+        // remote shuffle is a subset of fetched, and feeds network_mb
+        assert!(c.get(Counter::ShuffleRemoteMb) <= c.get(Counter::ShuffleFetchedMb));
+        assert!(
+            c.get(Counter::RemoteBytesRead) + c.get(Counter::ShuffleRemoteMb)
+                <= r.network_mb + 1e-6
+        );
+        // run-level ledger is the single job's ledger
+        assert_eq!(r.counters, j.counters);
+    }
+
+    #[test]
+    fn node_utilization_is_recorded_and_bounded() {
+        let r = run_single(JobProfile::synthetic_map_heavy(), 2048.0, 4, 13);
+        assert_eq!(r.node_utilization.len(), 4);
+        let busy: usize = r.node_utilization.iter().map(|u| u.cpu.len()).sum();
+        assert!(busy > 0, "some node must have recorded CPU samples");
+        for u in &r.node_utilization {
+            for &(_, x) in u.cpu.points() {
+                assert!((0.0..=1.0 + 1e-9).contains(&x), "cpu {x}");
+            }
+            for &(_, x) in u.map_occupied.points() {
+                assert!(x >= 0.0);
+            }
+        }
+        // static policy, no decisions recorded
+        assert!(r.decisions.is_empty());
     }
 
     #[test]

@@ -36,6 +36,20 @@ pub enum Event {
         id: MapTaskId,
         node: NodeId,
     },
+    /// An injected task failure terminated the attempt; the block is
+    /// requeued and retried.
+    MapFailed {
+        at: SimTime,
+        id: MapTaskId,
+        node: NodeId,
+    },
+    /// The attempt finished after its sibling had already delivered the
+    /// block; its output is thrown away.
+    MapDiscarded {
+        at: SimTime,
+        id: MapTaskId,
+        node: NodeId,
+    },
     /// A node crash killed an in-flight reduce attempt; its partition is
     /// requeued.
     ReduceKilled {
@@ -109,6 +123,8 @@ impl Event {
             Event::MapLaunched { at, .. }
             | Event::MapCompleted { at, .. }
             | Event::MapKilled { at, .. }
+            | Event::MapFailed { at, .. }
+            | Event::MapDiscarded { at, .. }
             | Event::ReduceKilled { at, .. }
             | Event::ReduceLaunched { at, .. }
             | Event::ShuffleCompleted { at, .. }
@@ -211,6 +227,22 @@ impl EventLog {
                     ("node", V::U64(node.0 as u64)),
                 ],
             ),
+            Event::MapFailed { id, node, .. } => (
+                "map_failed",
+                vec![
+                    ("job", V::U64(id.job.0 as u64)),
+                    ("index", V::U64(id.index as u64)),
+                    ("node", V::U64(node.0 as u64)),
+                ],
+            ),
+            Event::MapDiscarded { id, node, .. } => (
+                "map_discarded",
+                vec![
+                    ("job", V::U64(id.job.0 as u64)),
+                    ("index", V::U64(id.index as u64)),
+                    ("node", V::U64(node.0 as u64)),
+                ],
+            ),
             Event::ReduceLaunched { id, node, .. } => (
                 "reduce_launched",
                 vec![
@@ -301,6 +333,8 @@ impl EventLog {
             Event::MapLaunched { id, .. }
             | Event::MapCompleted { id, .. }
             | Event::MapKilled { id, .. }
+            | Event::MapFailed { id, .. }
+            | Event::MapDiscarded { id, .. }
             | Event::MapOutputLost { id, .. } => id.job == job,
             Event::ReduceLaunched { id, .. }
             | Event::ShuffleCompleted { id, .. }

@@ -34,6 +34,8 @@
 //! assert!(report.jobs[0].total_time().as_secs_f64() > 0.0);
 //! ```
 
+pub mod auditor;
+pub mod counters;
 pub mod engine;
 pub mod events;
 pub mod job;
@@ -45,10 +47,15 @@ pub mod slots;
 pub mod stats;
 pub mod task;
 
+pub use auditor::{AuditSetup, Violation};
+pub use counters::{Counter, CounterLedger};
 pub use engine::{Engine, EngineConfig};
 pub use events::{Event, EventLog};
 pub use job::{JobId, JobProfile, JobSpec};
-pub use policy::{PolicyContext, SlotDirective, SlotPolicy, StaticSlotPolicy, TrackerSnapshot};
+pub use policy::{
+    PolicyContext, PolicyDecisionRecord, SlotDirective, SlotPolicy, StaticSlotPolicy,
+    TrackerSnapshot,
+};
 pub use report::{JobReport, RunReport};
 pub use scheduler::SchedKind;
 pub use stats::ClusterStats;

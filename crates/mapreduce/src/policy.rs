@@ -50,6 +50,28 @@ pub struct SlotDirective {
     pub reduce_slots: usize,
 }
 
+/// One policy decision, in policy-neutral form, for the run's flight
+/// recorder. Adaptive policies (SMapReduce's slot manager) translate their
+/// internal audit records into these so the engine can embed them in the
+/// [`crate::RunReport`] and the dashboard can attribute every slot
+/// reassignment to the signals that drove it. Static policies record
+/// nothing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyDecisionRecord {
+    pub at: SimTime,
+    /// Stable snake_case decision label (e.g. `increment_maps`).
+    pub decision: String,
+    /// Per-node slot targets after the decision.
+    pub map_target: usize,
+    pub reduce_target: usize,
+    /// The paper's utilisation function f, when computable this round.
+    pub f: Option<f64>,
+    /// Shuffle rate Rs (MB/s) observed this round.
+    pub rs: f64,
+    /// Map output rate Rm (MB/s) observed this round.
+    pub rm: f64,
+}
+
 /// A slot-management policy.
 pub trait SlotPolicy {
     /// Stable display name ("HadoopV1", "YARN", "SMapReduce").
@@ -70,6 +92,13 @@ pub trait SlotPolicy {
     /// through. Called by the engine before a run starts; policies without
     /// observability needs ignore it.
     fn attach_telemetry(&mut self, _telem: &telemetry::Telemetry) {}
+
+    /// Decision records accumulated over the run, drained by the engine at
+    /// report time and embedded in the [`crate::RunReport`]. Policies with
+    /// no audit trail return nothing.
+    fn decision_records(&self) -> Vec<PolicyDecisionRecord> {
+        Vec::new()
+    }
 }
 
 /// HadoopV1: statically configured slots, never adjusted at runtime.
@@ -112,5 +141,6 @@ mod tests {
         assert!(p.decide(&ctx).is_empty());
         assert_eq!(p.name(), "HadoopV1");
         assert_eq!(p.directive_overhead_ms(), 0);
+        assert!(p.decision_records().is_empty());
     }
 }

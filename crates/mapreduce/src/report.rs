@@ -1,10 +1,13 @@
 //! Run results: the measurements every figure is built from.
 
+use crate::counters::CounterLedger;
 use crate::events::EventLog;
 use crate::job::JobId;
+use crate::policy::PolicyDecisionRecord;
 use serde::{Deserialize, Serialize};
 use simgrid::metrics::{Summary, TimeSeries};
 use simgrid::time::{SimDuration, SimTime};
+use simgrid::usage::NodeUtilization;
 
 /// Timing and volume record of one completed job.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -29,8 +32,12 @@ pub struct JobReport {
     pub map_task_durations: Option<Summary>,
     /// Distribution of completed reduce-task durations (s).
     pub reduce_task_durations: Option<Summary>,
-    /// Fraction of original map attempts that ran data-local.
+    /// Fraction of launched map attempts that ran data-local, derived from
+    /// the `DATA_LOCAL_MAPS` / `TOTAL_LAUNCHED_MAPS` counters.
     pub local_map_fraction: f64,
+    /// Hadoop-style job counters accumulated by the engine's phase code.
+    #[serde(default)]
+    pub counters: CounterLedger,
 }
 
 impl JobReport {
@@ -121,6 +128,19 @@ pub struct RunReport {
     /// add to it — the work-conservation invariant).
     #[serde(default)]
     pub map_input_processed_mb: f64,
+    /// Cluster-wide counter ledger: the merge of every job's
+    /// [`JobReport::counters`].
+    #[serde(default)]
+    pub counters: CounterLedger,
+    /// Per-node CPU/disk/NIC utilization and slot-occupancy timelines,
+    /// time-weighted over sample windows and thinned to a bounded size.
+    #[serde(default)]
+    pub node_utilization: Vec<NodeUtilization>,
+    /// The policy's decision records (empty for static policies), so each
+    /// slot reassignment in the run is attributable to the signals that
+    /// drove it.
+    #[serde(default)]
+    pub decisions: Vec<PolicyDecisionRecord>,
 }
 
 impl RunReport {
@@ -174,6 +194,32 @@ mod tests {
             map_task_durations: None,
             reduce_task_durations: None,
             local_map_fraction: 1.0,
+            counters: CounterLedger::new(),
+        }
+    }
+
+    fn run(policy: &str, jobs: Vec<JobReport>) -> RunReport {
+        RunReport {
+            policy: policy.into(),
+            jobs,
+            map_slot_series: TimeSeries::new(),
+            reduce_slot_series: TimeSeries::new(),
+            slot_changes: 0,
+            events: EventLog::default(),
+            speculative_attempts: 0,
+            speculative_wins: 0,
+            map_failures: 0,
+            cpu_utilisation: 0.0,
+            network_mb: 0.0,
+            steps: 0,
+            node_crashes: 0,
+            crash_task_kills: 0,
+            lost_map_outputs: 0,
+            trackers_blacklisted: 0,
+            map_input_processed_mb: 0.0,
+            counters: CounterLedger::new(),
+            node_utilization: Vec::new(),
+            decisions: Vec::new(),
         }
     }
 
@@ -189,50 +235,17 @@ mod tests {
 
     #[test]
     fn run_aggregates() {
-        let run = RunReport {
-            policy: "HadoopV1".into(),
-            jobs: vec![report(0, 0, 10, 100), report(5, 6, 20, 205)],
-            map_slot_series: TimeSeries::new(),
-            reduce_slot_series: TimeSeries::new(),
-            slot_changes: 0,
-            events: EventLog::default(),
-            speculative_attempts: 0,
-            speculative_wins: 0,
-            map_failures: 0,
-            cpu_utilisation: 0.0,
-            network_mb: 0.0,
-            steps: 0,
-            node_crashes: 0,
-            crash_task_kills: 0,
-            lost_map_outputs: 0,
-            trackers_blacklisted: 0,
-            map_input_processed_mb: 0.0,
-        };
+        let run = run(
+            "HadoopV1",
+            vec![report(0, 0, 10, 100), report(5, 6, 20, 205)],
+        );
         assert_eq!(run.mean_execution_time().as_secs_f64(), 150.0);
         assert_eq!(run.makespan().as_secs_f64(), 205.0);
     }
 
     #[test]
     fn empty_run_is_degenerate_not_panicky() {
-        let run = RunReport {
-            policy: "x".into(),
-            jobs: vec![],
-            map_slot_series: TimeSeries::new(),
-            reduce_slot_series: TimeSeries::new(),
-            slot_changes: 0,
-            events: EventLog::default(),
-            speculative_attempts: 0,
-            speculative_wins: 0,
-            map_failures: 0,
-            cpu_utilisation: 0.0,
-            network_mb: 0.0,
-            steps: 0,
-            node_crashes: 0,
-            crash_task_kills: 0,
-            lost_map_outputs: 0,
-            trackers_blacklisted: 0,
-            map_input_processed_mb: 0.0,
-        };
+        let run = run("x", vec![]);
         assert_eq!(run.mean_execution_time(), SimDuration::ZERO);
         assert_eq!(run.makespan(), SimDuration::ZERO);
     }
@@ -240,25 +253,19 @@ mod tests {
     #[test]
     #[should_panic(expected = "multi-job")]
     fn single_on_multijob_panics() {
-        let run = RunReport {
-            policy: "x".into(),
-            jobs: vec![report(0, 0, 1, 2), report(0, 0, 1, 2)],
-            map_slot_series: TimeSeries::new(),
-            reduce_slot_series: TimeSeries::new(),
-            slot_changes: 0,
-            events: EventLog::default(),
-            speculative_attempts: 0,
-            speculative_wins: 0,
-            map_failures: 0,
-            cpu_utilisation: 0.0,
-            network_mb: 0.0,
-            steps: 0,
-            node_crashes: 0,
-            crash_task_kills: 0,
-            lost_map_outputs: 0,
-            trackers_blacklisted: 0,
-            map_input_processed_mb: 0.0,
-        };
+        let run = run("x", vec![report(0, 0, 1, 2), report(0, 0, 1, 2)]);
         let _ = run.single();
+    }
+
+    #[test]
+    fn new_observability_fields_default_on_old_reports() {
+        // a pre-counter serialized report still deserializes
+        let j = report(0, 1, 2, 3);
+        let mut v = serde::Serialize::to_value(&j);
+        if let serde::Value::Object(ref mut fields) = v {
+            fields.retain(|(k, _)| k != "counters");
+        }
+        let back: JobReport = serde::Deserialize::deserialize(&v).unwrap();
+        assert!(back.counters.is_zero());
     }
 }

@@ -26,6 +26,10 @@ pub enum SimError {
         at: SimTime,
         pending_work: String,
     },
+    /// The end-of-run invariant auditor found the report inconsistent with
+    /// itself (counters vs event log vs scalars). Always a simulator bug,
+    /// never a property of the workload.
+    AuditFailed { violations: Vec<String> },
 }
 
 impl fmt::Display for SimError {
@@ -47,6 +51,12 @@ impl fmt::Display for SimError {
                 f,
                 "node {} lost at {at} with unrecoverable work: {pending_work}",
                 node.0
+            ),
+            SimError::AuditFailed { violations } => write!(
+                f,
+                "run-report audit failed with {} violation(s): {}",
+                violations.len(),
+                violations.join("; ")
             ),
         }
     }
@@ -75,6 +85,11 @@ mod tests {
         };
         assert!(e.to_string().contains("node 3"));
         assert!(e.to_string().contains("2 running maps"));
+        let e = SimError::AuditFailed {
+            violations: vec!["a".into(), "b".into()],
+        };
+        assert!(e.to_string().contains("2 violation(s)"));
+        assert!(e.to_string().contains("a; b"));
     }
 
     #[test]

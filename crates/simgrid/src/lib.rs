@@ -41,6 +41,7 @@ pub mod network;
 pub mod node;
 pub mod rng;
 pub mod time;
+pub mod usage;
 
 pub use cluster::{ClusterSpec, NodeId};
 pub use error::SimError;
@@ -49,3 +50,4 @@ pub use network::{Fabric, FabricConfig, Flow, FlowId};
 pub use node::{allocate_node, NodeSpec, TaskDemand};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime, TickConfig};
+pub use usage::{NodeUsageSampler, NodeUtilization};

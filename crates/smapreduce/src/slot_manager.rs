@@ -23,7 +23,7 @@ use crate::config::SmrConfig;
 use crate::slow_start::SlowStartGate;
 use crate::tail;
 use crate::thrashing::{ThrashVerdict, ThrashingDetector};
-use mapreduce::policy::{PolicyContext, SlotDirective, SlotPolicy};
+use mapreduce::policy::{PolicyContext, PolicyDecisionRecord, SlotDirective, SlotPolicy};
 use serde::{Deserialize, Serialize};
 use simgrid::time::SimTime;
 use std::collections::VecDeque;
@@ -230,6 +230,22 @@ impl SlotPolicy for SlotManagerPolicy {
 
     fn attach_telemetry(&mut self, telem: &telemetry::Telemetry) {
         self.audit.set_sink(telem.clone());
+    }
+
+    fn decision_records(&self) -> Vec<PolicyDecisionRecord> {
+        self.audit
+            .records()
+            .iter()
+            .map(|r| PolicyDecisionRecord {
+                at: r.at,
+                decision: r.decision.label().to_string(),
+                map_target: r.map_target,
+                reduce_target: r.reduce_target,
+                f: r.inputs.f,
+                rs: r.inputs.rs,
+                rm: r.inputs.rm,
+            })
+            .collect()
     }
 
     fn decide(&mut self, ctx: &PolicyContext<'_>) -> Vec<SlotDirective> {

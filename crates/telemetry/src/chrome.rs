@@ -20,6 +20,8 @@ pub fn export_chrome_trace(recorder: &Recorder, metrics: &[MetricSample]) -> Str
     out.push_str("{\"displayTimeUnit\":\"ms\",\"otherData\":{");
     out.push_str("\"exporter\":\"smapreduce-telemetry\",\"dropped_spans\":");
     push_u64(&mut out, recorder.dropped_spans());
+    out.push_str(",\"dropped_counter_samples\":");
+    push_u64(&mut out, recorder.dropped_counter_samples());
     out.push_str(",\"metrics\":[");
     for (i, m) in metrics.iter().enumerate() {
         if i > 0 {
@@ -229,6 +231,9 @@ mod tests {
         assert!(json.contains("\"f\":1.5"));
         assert!(json.contains("\"action\":\"balance\""));
         assert!(json.contains("\"settled\":true"));
+        let other = v.get("otherData").unwrap();
+        assert!(other.get("dropped_spans").is_some());
+        assert!(other.get("dropped_counter_samples").is_some());
     }
 
     #[test]

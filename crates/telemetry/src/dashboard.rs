@@ -1,0 +1,683 @@
+//! Self-contained HTML/SVG run dashboard.
+//!
+//! [`render_dashboard`] turns a [`DashboardSpec`] — a renderer-agnostic
+//! description of one run: per-node task lanes, time-series charts,
+//! decision markers, a counter table and the auditor's verdict — into a
+//! single HTML string with inline CSS and inline SVG. No scripts, no
+//! external assets, no dependencies: the file opens identically from a
+//! results directory, a CI artifact store or an email attachment.
+//!
+//! The spec is deliberately generic (floats and strings, no simulator
+//! types) so this crate stays below `mapreduce` in the dependency order;
+//! the harness owns the conversion from a `RunReport`.
+
+// The renderer is one long HTML template; explicit "\n" at the end of
+// write! calls keeps multi-line tag bodies readable in-place.
+#![allow(clippy::write_with_newline)]
+
+use std::fmt::Write;
+
+/// What a [`TaskSpan`] was doing: the three phases of the paper's
+/// map / shuffle / reduce pipeline, each with its own colour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanKind {
+    Map,
+    Shuffle,
+    Reduce,
+}
+
+impl SpanKind {
+    fn color(self) -> &'static str {
+        match self {
+            SpanKind::Map => "#3b82c4",
+            SpanKind::Shuffle => "#8e6bb8",
+            SpanKind::Reduce => "#d97a32",
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            SpanKind::Map => "map",
+            SpanKind::Shuffle => "shuffle",
+            SpanKind::Reduce => "reduce",
+        }
+    }
+}
+
+/// How a [`TaskSpan`] ended. Anything but `Completed` is drawn with a red
+/// outline and an ✕ glyph so kills and crashes stand out in the Gantt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanOutcome {
+    Completed,
+    /// Killed by the scheduler (sibling won a speculative race, slot
+    /// reclaimed) or by a node crash.
+    Killed,
+    /// Injected attempt failure.
+    Failed,
+    /// Finished after a sibling had already completed the task.
+    Discarded,
+    /// Still in flight when the log ends (shouldn't happen in a full run).
+    Running,
+}
+
+impl SpanOutcome {
+    fn is_bad(self) -> bool {
+        !matches!(self, SpanOutcome::Completed)
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            SpanOutcome::Completed => "completed",
+            SpanOutcome::Killed => "killed",
+            SpanOutcome::Failed => "failed",
+            SpanOutcome::Discarded => "discarded",
+            SpanOutcome::Running => "running",
+        }
+    }
+}
+
+/// One task attempt's occupancy of a lane, in simulated seconds.
+#[derive(Debug, Clone)]
+pub struct TaskSpan {
+    pub start: f64,
+    pub end: f64,
+    pub kind: SpanKind,
+    /// Tooltip label, e.g. `"j0 m17"`.
+    pub label: String,
+    pub outcome: SpanOutcome,
+}
+
+/// One horizontal band of the Gantt — in practice, one node.
+#[derive(Debug, Clone, Default)]
+pub struct Lane {
+    pub label: String,
+    pub spans: Vec<TaskSpan>,
+    /// `(start, end)` windows in which the node was down; drawn as a grey
+    /// backdrop behind the spans.
+    pub outages: Vec<(f64, f64)>,
+}
+
+/// One named polyline of a [`Chart`].
+#[derive(Debug, Clone, Default)]
+pub struct Series {
+    pub label: String,
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A small multi-series line chart sharing the Gantt's time axis.
+#[derive(Debug, Clone, Default)]
+pub struct Chart {
+    pub title: String,
+    /// Y-axis unit label, e.g. `"slots"` or `"fraction"`.
+    pub unit: String,
+    /// Fixed Y ceiling; when `None` the data's maximum is used.
+    pub y_max: Option<f64>,
+    /// Overlay the spec's decision markers on this chart too.
+    pub show_markers: bool,
+    pub series: Vec<Series>,
+}
+
+/// A vertical time marker — one policy decision record, with the signals
+/// that drove it (`f`, `Rs`, `Rm`, …) in the tooltip label.
+#[derive(Debug, Clone)]
+pub struct Marker {
+    pub t: f64,
+    pub label: String,
+}
+
+/// Everything one dashboard shows. All times are simulated seconds.
+#[derive(Debug, Clone, Default)]
+pub struct DashboardSpec {
+    pub title: String,
+    pub subtitle: String,
+    /// End of the time axis; extended automatically if any content
+    /// reaches past it.
+    pub t_end: f64,
+    pub lanes: Vec<Lane>,
+    pub markers: Vec<Marker>,
+    pub charts: Vec<Chart>,
+    /// `(name, formatted value)` rows of the counter table.
+    pub counters: Vec<(String, String)>,
+    /// Whether the invariant auditor ran on this report.
+    pub audited: bool,
+    /// Auditor violations (empty + `audited` ⇒ a green "passed" badge).
+    pub violations: Vec<String>,
+}
+
+const WIDTH: f64 = 1180.0;
+const GUTTER: f64 = 120.0;
+const RIGHT_PAD: f64 = 16.0;
+const LANE_H: f64 = 24.0;
+const AXIS_H: f64 = 22.0;
+const CHART_PLOT_H: f64 = 110.0;
+
+/// Render `spec` as one self-contained HTML document.
+pub fn render_dashboard(spec: &DashboardSpec) -> String {
+    let t_end = effective_t_end(spec);
+    let mut out = String::with_capacity(64 * 1024);
+    out.push_str("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n<title>");
+    out.push_str(&esc(&spec.title));
+    out.push_str("</title>\n<style>\n");
+    out.push_str(CSS);
+    out.push_str("</style>\n</head>\n<body>\n<h1>");
+    out.push_str(&esc(&spec.title));
+    out.push_str("</h1>\n<p class=\"subtitle\">");
+    out.push_str(&esc(&spec.subtitle));
+    out.push_str("</p>\n");
+
+    render_audit_badge(&mut out, spec);
+
+    if !spec.lanes.is_empty() {
+        out.push_str("<h2>Task timeline</h2>\n");
+        render_legend(&mut out);
+        render_gantt(&mut out, spec, t_end);
+    }
+    for chart in &spec.charts {
+        let _ = write!(out, "<h2>{}</h2>\n", esc(&chart.title));
+        render_chart(&mut out, chart, &spec.markers, t_end);
+    }
+    if !spec.counters.is_empty() {
+        out.push_str("<h2>Counters</h2>\n");
+        render_counters(&mut out, &spec.counters);
+    }
+    out.push_str("</body>\n</html>\n");
+    out
+}
+
+const CSS: &str = "\
+body{font-family:-apple-system,'Segoe UI',Helvetica,Arial,sans-serif;\
+margin:24px;color:#24292f;background:#ffffff;}\n\
+h1{font-size:20px;margin-bottom:2px;}\n\
+h2{font-size:15px;margin:22px 0 6px;border-bottom:1px solid #d0d7de;\
+padding-bottom:3px;}\n\
+.subtitle{color:#57606a;margin-top:0;font-size:13px;}\n\
+.badge{display:inline-block;padding:3px 10px;border-radius:12px;\
+font-size:12px;font-weight:600;}\n\
+.badge.pass{background:#dafbe1;color:#116329;}\n\
+.badge.fail{background:#ffebe9;color:#a40e26;}\n\
+.badge.skip{background:#eaeef2;color:#57606a;}\n\
+.legend{font-size:12px;color:#57606a;margin-bottom:4px;}\n\
+.legend .swatch{display:inline-block;width:10px;height:10px;\
+border-radius:2px;margin:0 4px 0 12px;vertical-align:middle;}\n\
+svg{display:block;max-width:100%;}\n\
+table.counters{border-collapse:collapse;font-size:12px;}\n\
+table.counters td,table.counters th{border:1px solid #d0d7de;\
+padding:3px 10px;}\n\
+table.counters td.num{text-align:right;font-variant-numeric:tabular-nums;}\n\
+ul.violations{color:#a40e26;font-size:13px;}\n";
+
+fn render_audit_badge(out: &mut String, spec: &DashboardSpec) {
+    if !spec.audited {
+        out.push_str("<p><span class=\"badge skip\">auditor: not run</span></p>\n");
+    } else if spec.violations.is_empty() {
+        out.push_str("<p><span class=\"badge pass\">auditor: all invariants hold</span></p>\n");
+    } else {
+        let _ = write!(
+            out,
+            "<p><span class=\"badge fail\">auditor: {} violation(s)</span></p>\n<ul class=\"violations\">\n",
+            spec.violations.len()
+        );
+        for v in &spec.violations {
+            let _ = write!(out, "<li>{}</li>\n", esc(v));
+        }
+        out.push_str("</ul>\n");
+    }
+}
+
+fn render_legend(out: &mut String) {
+    out.push_str("<div class=\"legend\">");
+    for kind in [SpanKind::Map, SpanKind::Shuffle, SpanKind::Reduce] {
+        let _ = write!(
+            out,
+            "<span class=\"swatch\" style=\"background:{}\"></span>{}",
+            kind.color(),
+            kind.label()
+        );
+    }
+    out.push_str(
+        "<span class=\"swatch\" style=\"background:#fff;border:1.5px solid #c0392b\"></span>\
+         killed / failed\
+         <span class=\"swatch\" style=\"background:#e3e6ea\"></span>node down\
+         <span class=\"swatch\" style=\"background:#c0392b;width:2px\"></span>\
+         policy decision</div>\n",
+    );
+}
+
+fn x_of(t: f64, t_end: f64) -> f64 {
+    GUTTER + (t / t_end) * (WIDTH - GUTTER - RIGHT_PAD)
+}
+
+fn render_gantt(out: &mut String, spec: &DashboardSpec, t_end: f64) {
+    let height = AXIS_H + spec.lanes.len() as f64 * LANE_H + 6.0;
+    let _ = write!(
+        out,
+        "<svg class=\"gantt\" width=\"{WIDTH}\" height=\"{}\" \
+         viewBox=\"0 0 {WIDTH} {}\" xmlns=\"http://www.w3.org/2000/svg\">\n",
+        fx(height),
+        fx(height)
+    );
+    render_time_axis(out, t_end, height);
+
+    for (i, lane) in spec.lanes.iter().enumerate() {
+        let y = AXIS_H + i as f64 * LANE_H;
+        // Row separator + label.
+        let _ = write!(
+            out,
+            "<line x1=\"{}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" stroke=\"#eaeef2\"/>\n",
+            fx(GUTTER),
+            fx(y + LANE_H),
+            fx(WIDTH - RIGHT_PAD),
+            fx(y + LANE_H)
+        );
+        let _ = write!(
+            out,
+            "<text x=\"{}\" y=\"{}\" font-size=\"11\" fill=\"#57606a\" \
+             text-anchor=\"end\">{}</text>\n",
+            fx(GUTTER - 6.0),
+            fx(y + LANE_H / 2.0 + 4.0),
+            esc(&lane.label)
+        );
+        for &(a, b) in &lane.outages {
+            let (x0, x1) = (x_of(a, t_end), x_of(b.max(a), t_end));
+            let _ = write!(
+                out,
+                "<rect class=\"outage\" x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" \
+                 fill=\"#e3e6ea\"><title>down {}–{} s</title></rect>\n",
+                fx(x0),
+                fx(y + 1.0),
+                fx((x1 - x0).max(1.0)),
+                fx(LANE_H - 2.0),
+                fnum(a),
+                fnum(b)
+            );
+        }
+        for span in &lane.spans {
+            let (x0, x1) = (
+                x_of(span.start, t_end),
+                x_of(span.end.max(span.start), t_end),
+            );
+            let stroke = if span.outcome.is_bad() {
+                " stroke=\"#c0392b\" stroke-width=\"1.5\" fill-opacity=\"0.45\""
+            } else {
+                ""
+            };
+            let _ = write!(
+                out,
+                "<rect class=\"task\" x=\"{}\" y=\"{}\" width=\"{}\" height=\"{}\" \
+                 rx=\"1.5\" fill=\"{}\"{}><title>{} {} {}–{} s ({})</title></rect>\n",
+                fx(x0),
+                fx(y + 4.0),
+                fx((x1 - x0).max(1.5)),
+                fx(LANE_H - 8.0),
+                span.kind.color(),
+                stroke,
+                esc(&span.label),
+                span.kind.label(),
+                fnum(span.start),
+                fnum(span.end),
+                span.outcome.label()
+            );
+            if span.outcome.is_bad() {
+                let _ = write!(
+                    out,
+                    "<text x=\"{}\" y=\"{}\" font-size=\"10\" fill=\"#c0392b\" \
+                     text-anchor=\"middle\">\u{2715}</text>\n",
+                    fx(x1),
+                    fx(y + LANE_H / 2.0 + 3.5)
+                );
+            }
+        }
+    }
+    render_markers(out, &spec.markers, t_end, AXIS_H - 6.0, height - 6.0);
+    out.push_str("</svg>\n");
+}
+
+fn render_time_axis(out: &mut String, t_end: f64, height: f64) {
+    let step = nice_step(t_end / 8.0);
+    let mut t = 0.0;
+    while t <= t_end + step * 1e-9 {
+        let x = x_of(t, t_end);
+        let _ = write!(
+            out,
+            "<line x1=\"{0}\" y1=\"{1}\" x2=\"{0}\" y2=\"{2}\" stroke=\"#f0f2f4\"/>\n\
+             <text x=\"{0}\" y=\"{3}\" font-size=\"10\" fill=\"#8c959f\" \
+             text-anchor=\"middle\">{4}</text>\n",
+            fx(x),
+            fx(AXIS_H - 6.0),
+            fx(height - 6.0),
+            fx(AXIS_H - 10.0),
+            fnum(t)
+        );
+        t += step;
+    }
+    let _ = write!(
+        out,
+        "<text x=\"{}\" y=\"{}\" font-size=\"10\" fill=\"#8c959f\">s</text>\n",
+        fx(WIDTH - RIGHT_PAD + 4.0),
+        fx(AXIS_H - 10.0)
+    );
+}
+
+fn render_markers(out: &mut String, markers: &[Marker], t_end: f64, y0: f64, y1: f64) {
+    for m in markers {
+        let x = x_of(m.t, t_end);
+        let _ = write!(
+            out,
+            "<line class=\"marker\" x1=\"{0}\" y1=\"{1}\" x2=\"{0}\" y2=\"{2}\" \
+             stroke=\"#c0392b\" stroke-dasharray=\"3 2\" opacity=\"0.8\">\
+             <title>{3}</title></line>\n",
+            fx(x),
+            fx(y0),
+            fx(y1),
+            esc(&m.label)
+        );
+    }
+}
+
+const PALETTE: [&str; 8] = [
+    "#3b82c4", "#d97a32", "#4ca464", "#b8524f", "#8e6bb8", "#718096", "#c2a33a", "#3aa6a6",
+];
+
+fn render_chart(out: &mut String, chart: &Chart, markers: &[Marker], t_end: f64) {
+    let data_max = chart
+        .series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|&(_, v)| v))
+        .fold(0.0_f64, f64::max);
+    let y_max = chart.y_max.unwrap_or(data_max).max(1e-9);
+    let height = AXIS_H + CHART_PLOT_H + 14.0;
+    let y_of = |v: f64| AXIS_H + CHART_PLOT_H * (1.0 - (v / y_max).clamp(0.0, 1.0));
+
+    // Legend (only worth the ink with ≥2 series).
+    if chart.series.len() > 1 {
+        out.push_str("<div class=\"legend\">");
+        for (i, s) in chart.series.iter().enumerate() {
+            let _ = write!(
+                out,
+                "<span class=\"swatch\" style=\"background:{}\"></span>{}",
+                PALETTE[i % PALETTE.len()],
+                esc(&s.label)
+            );
+        }
+        out.push_str("</div>\n");
+    }
+
+    let _ = write!(
+        out,
+        "<svg class=\"chart\" width=\"{WIDTH}\" height=\"{}\" \
+         viewBox=\"0 0 {WIDTH} {}\" xmlns=\"http://www.w3.org/2000/svg\">\n",
+        fx(height),
+        fx(height)
+    );
+    render_time_axis(out, t_end, height);
+    // Y gridlines at 0, ½, 1 × y_max.
+    for frac in [0.0, 0.5, 1.0] {
+        let y = y_of(y_max * frac);
+        let _ = write!(
+            out,
+            "<line x1=\"{0}\" y1=\"{1}\" x2=\"{2}\" y2=\"{1}\" stroke=\"#eaeef2\"/>\n\
+             <text x=\"{3}\" y=\"{4}\" font-size=\"10\" fill=\"#8c959f\" \
+             text-anchor=\"end\">{5} {6}</text>\n",
+            fx(GUTTER),
+            fx(y),
+            fx(WIDTH - RIGHT_PAD),
+            fx(GUTTER - 6.0),
+            fx(y + 3.5),
+            fnum(y_max * frac),
+            esc(&chart.unit)
+        );
+    }
+    for (i, s) in chart.series.iter().enumerate() {
+        if s.points.is_empty() {
+            continue;
+        }
+        let mut d = String::with_capacity(s.points.len() * 12);
+        for &(t, v) in &s.points {
+            if !d.is_empty() {
+                d.push(' ');
+            }
+            let _ = write!(d, "{},{}", fx(x_of(t, t_end)), fx(y_of(v)));
+        }
+        let _ = write!(
+            out,
+            "<polyline class=\"series\" points=\"{}\" fill=\"none\" stroke=\"{}\" \
+             stroke-width=\"1.5\"><title>{}</title></polyline>\n",
+            d,
+            PALETTE[i % PALETTE.len()],
+            esc(&s.label)
+        );
+    }
+    if chart.show_markers {
+        render_markers(out, markers, t_end, AXIS_H - 6.0, AXIS_H + CHART_PLOT_H);
+    }
+    out.push_str("</svg>\n");
+}
+
+fn render_counters(out: &mut String, counters: &[(String, String)]) {
+    out.push_str("<table class=\"counters\">\n<tr><th>counter</th><th>value</th></tr>\n");
+    for (name, value) in counters {
+        let _ = write!(
+            out,
+            "<tr><td>{}</td><td class=\"num\">{}</td></tr>\n",
+            esc(name),
+            esc(value)
+        );
+    }
+    out.push_str("</table>\n");
+}
+
+fn effective_t_end(spec: &DashboardSpec) -> f64 {
+    let mut t = spec.t_end;
+    for lane in &spec.lanes {
+        for s in &lane.spans {
+            t = t.max(s.end);
+        }
+        for &(_, b) in &lane.outages {
+            t = t.max(b);
+        }
+    }
+    for m in &spec.markers {
+        t = t.max(m.t);
+    }
+    for c in &spec.charts {
+        for s in &c.series {
+            if let Some(&(last, _)) = s.points.last() {
+                t = t.max(last);
+            }
+        }
+    }
+    t.max(1e-9)
+}
+
+/// Round `raw` up to a 1/2/5 × 10ᵏ tick step.
+fn nice_step(raw: f64) -> f64 {
+    let raw = raw.max(1e-9);
+    let mag = 10f64.powf(raw.log10().floor());
+    let frac = raw / mag;
+    let nice = if frac <= 1.0 {
+        1.0
+    } else if frac <= 2.0 {
+        2.0
+    } else if frac <= 5.0 {
+        5.0
+    } else {
+        10.0
+    };
+    nice * mag
+}
+
+/// SVG coordinate: one decimal is plenty and keeps files small.
+fn fx(v: f64) -> String {
+    format!("{:.1}", v)
+}
+
+/// Human-facing number: trim to at most two decimals, drop trailing zeros.
+fn fnum(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        let s = format!("{:.2}", v);
+        s.trim_end_matches('0').trim_end_matches('.').to_string()
+    }
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&#39;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_spec() -> DashboardSpec {
+        DashboardSpec {
+            title: "fig1 — Terasort 30 GB".into(),
+            subtitle: "HadoopV1, seed 42".into(),
+            t_end: 100.0,
+            lanes: vec![
+                Lane {
+                    label: "node 0".into(),
+                    spans: vec![
+                        TaskSpan {
+                            start: 0.0,
+                            end: 40.0,
+                            kind: SpanKind::Map,
+                            label: "j0 m0".into(),
+                            outcome: SpanOutcome::Completed,
+                        },
+                        TaskSpan {
+                            start: 45.0,
+                            end: 90.0,
+                            kind: SpanKind::Reduce,
+                            label: "j0 r0".into(),
+                            outcome: SpanOutcome::Completed,
+                        },
+                    ],
+                    outages: vec![],
+                },
+                Lane {
+                    label: "node 1".into(),
+                    spans: vec![TaskSpan {
+                        start: 5.0,
+                        end: 30.0,
+                        kind: SpanKind::Map,
+                        label: "j0 m1".into(),
+                        outcome: SpanOutcome::Killed,
+                    }],
+                    outages: vec![(30.0, 60.0)],
+                },
+            ],
+            markers: vec![
+                Marker {
+                    t: 20.0,
+                    label: "f=1.20 Rs=0.40 → +2 map".into(),
+                },
+                Marker {
+                    t: 60.0,
+                    label: "f=0.80 Rm=0.10 → +1 reduce".into(),
+                },
+            ],
+            charts: vec![Chart {
+                title: "Slot occupancy".into(),
+                unit: "slots".into(),
+                y_max: None,
+                show_markers: true,
+                series: vec![
+                    Series {
+                        label: "map".into(),
+                        points: vec![(0.0, 2.0), (50.0, 4.0), (100.0, 0.0)],
+                    },
+                    Series {
+                        label: "reduce".into(),
+                        points: vec![(0.0, 0.0), (50.0, 2.0), (100.0, 1.0)],
+                    },
+                ],
+            }],
+            counters: vec![
+                ("TOTAL_LAUNCHED_MAPS".into(), "128".into()),
+                ("HDFS_BYTES_READ_MB".into(), "30720".into()),
+            ],
+            audited: true,
+            violations: vec![],
+        }
+    }
+
+    #[test]
+    fn renders_all_sections() {
+        let html = render_dashboard(&demo_spec());
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("<svg class=\"gantt\""));
+        assert!(html.contains("<svg class=\"chart\""));
+        assert!(html.contains("node 0"));
+        assert!(html.contains("node 1"));
+        assert!(html.contains("TOTAL_LAUNCHED_MAPS"));
+        assert!(html.contains("auditor: all invariants hold"));
+        // two task rects completed + one killed, with its ✕ glyph
+        assert_eq!(html.matches("class=\"task\"").count(), 3);
+        assert!(html.contains('\u{2715}'));
+        assert!(html.contains("class=\"outage\""));
+    }
+
+    #[test]
+    fn markers_overlay_gantt_and_opted_in_charts() {
+        let html = render_dashboard(&demo_spec());
+        // 2 markers on the Gantt + 2 on the slot chart (show_markers).
+        assert_eq!(html.matches("class=\"marker\"").count(), 4);
+        assert!(html.contains("f=1.20 Rs=0.40 → +2 map"));
+    }
+
+    #[test]
+    fn is_self_contained() {
+        let html = render_dashboard(&demo_spec());
+        // No scripts, no external fetches; the only URL is the SVG xmlns.
+        assert!(!html.contains("<script"));
+        assert!(!html.contains("href="));
+        assert!(!html.contains("src="));
+        for (i, _) in html.match_indices("http") {
+            assert_eq!(
+                &html[i..i + 26],
+                "http://www.w3.org/2000/svg",
+                "unexpected URL in dashboard"
+            );
+        }
+    }
+
+    #[test]
+    fn content_is_html_escaped() {
+        let mut spec = demo_spec();
+        spec.title = "<script>alert(1)</script>".into();
+        spec.violations = vec!["a < b & c".into()];
+        let html = render_dashboard(&spec);
+        assert!(!html.contains("<script>"));
+        assert!(html.contains("&lt;script&gt;"));
+        assert!(html.contains("a &lt; b &amp; c"));
+        assert!(html.contains("auditor: 1 violation(s)"));
+    }
+
+    #[test]
+    fn empty_spec_still_renders() {
+        let html = render_dashboard(&DashboardSpec::default());
+        assert!(html.contains("auditor: not run"));
+        assert!(html.ends_with("</html>\n"));
+    }
+
+    #[test]
+    fn axis_steps_are_nice() {
+        assert_eq!(nice_step(7.3), 10.0);
+        assert_eq!(nice_step(1.7), 2.0);
+        assert_eq!(nice_step(0.4), 0.5);
+        assert_eq!(nice_step(430.0), 500.0);
+        assert!(nice_step(0.0) > 0.0);
+    }
+}

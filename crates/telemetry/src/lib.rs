@@ -22,10 +22,12 @@
 //! extra statements constant-fold away in default builds.
 
 mod chrome;
+pub mod dashboard;
 mod metrics;
 mod recorder;
 
 pub use chrome::export_chrome_trace;
+pub use dashboard::{render_dashboard, DashboardSpec};
 pub use metrics::{Counter, Gauge, Histogram, MetricKind, MetricSample, MetricsRegistry};
 pub use recorder::{CounterSample, InstantEvent, Recorder, SpanRecord};
 
@@ -281,6 +283,18 @@ impl Telemetry {
         }
     }
 
+    /// Counter samples dropped to ring wrap-around so far.
+    pub fn dropped_counter_samples(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner
+                .recorder
+                .lock()
+                .expect("recorder lock")
+                .dropped_counter_samples(),
+            None => 0,
+        }
+    }
+
     /// Render everything recorded so far as Chrome-trace (Perfetto) JSON.
     /// Returns `None` when disabled.
     pub fn chrome_trace(&self) -> Option<String> {
@@ -374,6 +388,11 @@ mod tests {
         }
         assert_eq!(t.memory_bytes(), before, "ring must not grow");
         assert_eq!(t.dropped_spans(), 96);
+        assert_eq!(t.dropped_counter_samples(), 0, "only the span ring wrapped");
+        for i in 0..9u64 {
+            t.counter_sample("c", i, i as f64);
+        }
+        assert_eq!(t.dropped_counter_samples(), 5);
         let n = t.with_spans(|it| it.count()).unwrap();
         assert_eq!(n, 4);
         // The survivors are the most recent four.

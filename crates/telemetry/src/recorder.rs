@@ -130,6 +130,10 @@ impl Recorder {
         self.spans.dropped
     }
 
+    pub fn dropped_counter_samples(&self) -> u64 {
+        self.counters.dropped
+    }
+
     pub fn memory_bytes(&self) -> usize {
         self.spans.memory_bytes()
             + self.counters.memory_bytes()

@@ -1,10 +1,13 @@
 //! Telemetry overhead guarantees, enforced with a counting allocator.
 //!
 //! The engine calls into telemetry on every step (clock reads, span
-//! records, counter samples). Those calls must be allocation-free: a
-//! disabled handle is a single branch, and an enabled handle pushes `Copy`
-//! records into preallocated rings. This binary holds exactly one test so
-//! no concurrent test thread pollutes the allocation counter.
+//! records, counter samples), and since the flight recorder landed it also
+//! feeds job counters and the per-node usage sampler from the same loop.
+//! Those calls must be allocation-free: a disabled handle is a single
+//! branch, an enabled handle pushes `Copy` records into preallocated
+//! rings, and counter/usage accumulation is flat array arithmetic. This
+//! binary holds exactly one test so no concurrent test thread pollutes the
+//! allocation counter.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -85,4 +88,27 @@ fn step_loop_telemetry_calls_do_not_allocate() {
         "enabled rings are preallocated: pushes past capacity overwrite, never grow"
     );
     assert!(telem.dropped_spans() > 0, "ring really wrapped");
+
+    // --- flight-recorder accumulation: job counters and the per-node
+    // usage sampler run on the same per-step path and must be equally
+    // allocation-free (construction happens once, before measuring) ---
+    use mapreduce::{Counter, CounterLedger};
+    use simgrid::node::NodeSpec;
+    use simgrid::usage::NodeUsageSampler;
+
+    let mut ledger = CounterLedger::new();
+    let specs = [NodeSpec::paper_worker(); 4];
+    let mut sampler = NodeUsageSampler::new(&specs);
+    let before = allocs();
+    for i in 0..10_000u64 {
+        ledger.add(Counter::HdfsBytesRead, 0.5);
+        ledger.inc(Counter::TotalLaunchedMaps);
+        let _ = ledger.get(Counter::HdfsBytesRead);
+        sampler.accumulate((i % 4) as usize, 1.0, 8.0, 110.0, 60.0, 3, 2);
+    }
+    assert_eq!(
+        allocs() - before,
+        0,
+        "counter and usage accumulation must add zero allocations per step"
+    );
 }
