@@ -366,7 +366,7 @@ impl EngineConfigBuilder {
 }
 
 /// One task tracker (node-local slot + meter state).
-#[derive(Debug)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct Tracker {
     node: NodeId,
     map_slots: SlotSet,

@@ -13,12 +13,13 @@ use crate::job::JobSpec;
 use crate::shuffle::ShuffleState;
 use crate::task::{MapTaskId, ReduceTaskId};
 use dfs::FileLayout;
+use serde::{Deserialize, Serialize};
 use simgrid::cluster::NodeId;
 use simgrid::metrics::TimeSeries;
 use simgrid::time::SimTime;
 
 /// Job-tracker-side state of one job.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct JobInProgress {
     pub spec: JobSpec,
     pub layout: FileLayout,
@@ -134,7 +135,7 @@ pub enum SchedKind {
 
 /// The task scheduler of the job tracker (paper: FIFO; the Fair variant is
 /// provided for the multi-tenancy extension experiments).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct FifoScheduler {
     /// Reduce slow-start fraction of completed maps.
     pub reduce_slowstart: f64,

@@ -9,10 +9,11 @@
 //! synchronisation barrier.
 
 use crate::task::ReduceTask;
+use serde::{Deserialize, Serialize};
 use simgrid::cluster::NodeId;
 
 /// Shuffle-side state of one job.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ShuffleState {
     /// Map output MB accumulated on each worker node (by `NodeId.0`).
     avail_by_src: Vec<f64>,

@@ -11,7 +11,7 @@ use simgrid::metrics::RateMeter;
 use simgrid::time::SimTime;
 
 /// Per-tracker accumulation between heartbeats.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TrackerMeters {
     /// Input MB consumed by map tasks on this tracker.
     pub map_input: RateMeter,

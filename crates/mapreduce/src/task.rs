@@ -53,7 +53,7 @@ pub struct ReduceTaskId {
 }
 
 /// A running map task.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MapTask {
     pub id: MapTaskId,
     /// Tracker node executing the task.
@@ -198,7 +198,7 @@ pub enum ReducePhase {
 }
 
 /// A running reduce task.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ReduceTask {
     pub id: ReduceTaskId,
     pub node: NodeId,

@@ -98,6 +98,17 @@ impl RecordedSeries {
         }
     }
 
+    /// Rebuild a recorder around a previously captured series — the restore
+    /// half of checkpointing. The sink is supplied fresh (telemetry handles
+    /// are deliberately not part of a capsule).
+    pub fn from_series(
+        name: &'static str,
+        series: TimeSeries,
+        sink: telemetry::Telemetry,
+    ) -> RecordedSeries {
+        RecordedSeries { name, series, sink }
+    }
+
     /// Append a sample, mirroring it to the sink's counter track.
     pub fn push(&mut self, t: SimTime, v: f64) {
         self.series.push(t, v);

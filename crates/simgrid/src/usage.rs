@@ -57,7 +57,7 @@ pub struct NodeUtilization {
 /// with the step's granted *rates* and the step length, then
 /// [`NodeUsageSampler::sample`] at each sample boundary. All per-step work
 /// is flat array arithmetic — no allocation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct NodeUsageSampler {
     /// `(cores, disk_bw, nic_bw)` per node.
     caps: Vec<(f64, f64, f64)>,

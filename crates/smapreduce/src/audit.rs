@@ -115,6 +115,23 @@ impl AuditLog {
     }
 }
 
+// A capsule carries the records only; the telemetry mirror is a live handle
+// that the owner reattaches after restore (see `AuditLog::set_sink`).
+impl Serialize for AuditLog {
+    fn to_value(&self) -> serde::Value {
+        self.records.to_value()
+    }
+}
+
+impl Deserialize for AuditLog {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(AuditLog {
+            records: Vec::<DecisionRecord>::deserialize(v)?,
+            sink: telemetry::Telemetry::default(),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -28,7 +28,7 @@ pub enum ThrashVerdict {
     Confirmed(usize),
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 struct PendingCheck {
     from: usize,
     to: usize,
@@ -50,7 +50,7 @@ struct PendingCheck {
 /// assert_eq!(d.observe(4, 75.0, t(18), true), ThrashVerdict::Confirmed(3));
 /// assert_eq!(d.ceiling(), Some(3));         // never climb past 3 again
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ThrashingDetector {
     stabilise: SimDuration,
     threshold: u32,

@@ -11,7 +11,7 @@
 #[cfg(feature = "derive")]
 pub use serde_derive::{Deserialize, Serialize};
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
 
 /// A JSON-shaped value tree: the interchange format between [`Serialize`]
@@ -262,6 +262,12 @@ impl<T: Serialize, const N: usize> Serialize for [T; N] {
     }
 }
 
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
 /// Map keys, rendered as JSON object keys (strings) — matching
 /// serde_json's behaviour for integer-keyed maps.
 pub trait MapKey: Sized {
@@ -405,6 +411,20 @@ impl<T: Deserialize> Deserialize for Vec<T> {
     fn deserialize(v: &Value) -> Result<Self, Error> {
         let arr = v.as_array().ok_or_else(|| Error::new("expected array"))?;
         arr.iter().map(T::deserialize).collect()
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let arr = v.as_array().ok_or_else(|| Error::new("expected array"))?;
+        arr.iter().map(T::deserialize).collect()
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::deserialize(v)?;
+        <[T; N]>::try_from(items).map_err(|_| Error::new("array length mismatch"))
     }
 }
 
