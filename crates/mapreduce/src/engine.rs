@@ -549,6 +549,16 @@ struct Sim<'p> {
     nic_out: Vec<f64>,
     occ_map: Vec<usize>,
     occ_reduce: Vec<usize>,
+    /// Capture an [`EngineState`] capsule at every multiple of this period
+    /// (must itself be a multiple of the sample period, so captures land on
+    /// instants both stepping modes already stop at).
+    snap_every: Option<SimDuration>,
+    /// Capsules captured so far this run (drained by the engine).
+    snapshots: Vec<EngineState>,
+    /// True when this run was restored from a capsule taken inside the
+    /// step loop: the adaptive pre-loop sample at t=0 is already in the
+    /// recorded series and must not be taken again.
+    resumed: bool,
 }
 
 impl<'p> Sim<'p> {
@@ -655,6 +665,9 @@ impl<'p> Sim<'p> {
             nic_out: vec![0.0; node_specs.len()],
             occ_map: vec![0; node_specs.len()],
             occ_reduce: vec![0; node_specs.len()],
+            snap_every: None,
+            snapshots: Vec::new(),
+            resumed: false,
         })
     }
 
@@ -665,11 +678,26 @@ impl<'p> Sim<'p> {
         }
     }
 
+    /// Capture a capsule when the loop reaches a checkpoint instant.
+    /// Called at the very top of the step loop, before that instant's
+    /// fault transitions and heartbeat run, so a restored run re-enters
+    /// the loop at exactly this point and replays them identically.
+    fn maybe_capture(&mut self) {
+        let Some(every) = self.snap_every else {
+            return;
+        };
+        if self.now.is_multiple_of(every) {
+            let snap = self.capture_state(true);
+            self.snapshots.push(snap);
+        }
+    }
+
     /// The fixed-tick reference loop: every step is exactly one tick.
     fn run_fixed(&mut self) -> Result<RunReport, SimError> {
         let dt = self.cfg.tick.dt_secs();
         let dt_ms = self.cfg.tick.tick.as_millis();
         loop {
+            self.maybe_capture();
             let step_start = self.telem.clock_us();
             let sim_ms = self.now.as_millis();
             self.process_fault_transitions()?;
@@ -711,8 +739,12 @@ impl<'p> Sim<'p> {
     /// every RNG draw) lands on exactly the same instants as in fixed mode.
     fn run_adaptive(&mut self) -> Result<RunReport, SimError> {
         // record the initial state so slot/progress series start at t=0
-        self.sample();
+        // (already recorded when resuming from an in-loop capture)
+        if !self.resumed {
+            self.sample();
+        }
         loop {
+            self.maybe_capture();
             let step_start = self.telem.clock_us();
             let sim_ms = self.now.as_millis();
             self.process_fault_transitions()?;
@@ -2229,6 +2261,373 @@ impl<'p> Sim<'p> {
             decisions: self.policy.decision_records(),
         }
     }
+
+    // ------------------------------------------------------------------
+    // Checkpointing: capture / restore the complete run state
+    // ------------------------------------------------------------------
+
+    /// Capture everything a resumed run needs. `initial_sample_done` is
+    /// true for captures taken inside the step loop (the adaptive
+    /// pre-loop sample at t=0 has been recorded) and false for warm
+    /// capsules taken before the run started.
+    fn capture_state(&self, initial_sample_done: bool) -> EngineState {
+        let mut failure_points: Vec<(MapAttemptId, f64)> = self
+            .failure_points
+            .iter()
+            .map(|(k, v)| (*k, *v))
+            .collect();
+        failure_points.sort_by_key(|&(k, _)| k);
+        EngineState {
+            config: self.cfg.clone(),
+            now: self.now,
+            policy_name: self.policy.name().to_string(),
+            policy_state: self.policy.snapshot_state(),
+            initial_sample_done,
+            jobs: self.jobs.clone(),
+            trackers: self.trackers.clone(),
+            running_maps: self
+                .running_maps
+                .iter()
+                .map(|(k, v)| (*k, v.clone()))
+                .collect(),
+            running_reduces: self
+                .running_reduces
+                .iter()
+                .map(|(k, v)| (*k, v.clone()))
+                .collect(),
+            sched: self.sched,
+            rng: self.rng.clone(),
+            map_slot_series: self.map_slot_series.series().clone(),
+            reduce_slot_series: self.reduce_slot_series.series().clone(),
+            slot_changes: self.slot_changes,
+            heartbeat_round: self.heartbeat_round,
+            events: self.events.clone(),
+            steps: self.steps,
+            speculative_attempts: self.speculative_attempts,
+            speculative_wins: self.speculative_wins,
+            failure_points,
+            map_failures: self.map_failures,
+            cpu_granted_core_s: self.cpu_granted_core_s,
+            cpu_offered_core_s: self.cpu_offered_core_s,
+            network_mb: self.network_mb,
+            node_up: self.node_up.clone(),
+            faults_done_until: self.faults_done_until,
+            replication: self.replication,
+            rerep_queue: self.rerep_queue.clone(),
+            rerep_progress: self.rerep_progress,
+            node_crashes: self.node_crashes,
+            crash_task_kills: self.crash_task_kills,
+            lost_map_outputs: self.lost_map_outputs,
+            trackers_blacklisted: self.trackers_blacklisted,
+            map_input_processed_mb: self.map_input_processed_mb,
+            job_counters: self.job_counters.clone(),
+            usage: self.usage.clone(),
+        }
+    }
+
+    /// Rebuild a live run from a captured state. The policy must match
+    /// the captured `policy_name`; its run state is restored before the
+    /// loop re-enters. Live handles (telemetry, event sinks) are attached
+    /// fresh, per-step scratch is re-zeroed, and everything derivable
+    /// from the config or the jobs (profiles, fabric) is reconstructed.
+    fn from_state(
+        state: EngineState,
+        policy: &'p mut dyn SlotPolicy,
+        telem: Telemetry,
+    ) -> Result<Sim<'p>, SimError> {
+        let cfg = state.config.clone();
+        cfg.validate()?;
+        if policy.name() != state.policy_name {
+            return Err(SimError::InvalidConfig(format!(
+                "capsule was captured under policy {} but resume got {}",
+                state.policy_name,
+                policy.name()
+            )));
+        }
+        let workers = cfg.cluster.workers;
+        if state.trackers.len() != workers || state.node_up.len() != workers {
+            return Err(SimError::InvalidConfig(format!(
+                "capsule cluster size mismatch: {} trackers / {} node states for {workers} workers",
+                state.trackers.len(),
+                state.node_up.len()
+            )));
+        }
+        policy
+            .restore_state(&state.policy_state)
+            .map_err(|e| SimError::InvalidConfig(format!("capsule policy state: {e}")))?;
+        let profiles = state.jobs.iter().map(|j| j.spec.profile.clone()).collect();
+        let mut events = state.events;
+        events.set_sink(telem.clone());
+        Ok(Sim {
+            sched: state.sched,
+            fabric: Fabric::new(cfg.fabric),
+            rng: state.rng,
+            cfg,
+            policy,
+            jobs: state.jobs,
+            profiles,
+            trackers: state.trackers,
+            running_maps: state.running_maps.into_iter().collect(),
+            running_reduces: state.running_reduces.into_iter().collect(),
+            now: state.now,
+            map_slot_series: RecordedSeries::from_series(
+                "map_slot_target",
+                state.map_slot_series,
+                telem.clone(),
+            ),
+            reduce_slot_series: RecordedSeries::from_series(
+                "reduce_slot_target",
+                state.reduce_slot_series,
+                telem.clone(),
+            ),
+            slot_changes: state.slot_changes,
+            heartbeat_round: state.heartbeat_round,
+            events,
+            steps: state.steps,
+            step_counter: telem.counter("engine.steps"),
+            heartbeat_counter: telem.counter("engine.heartbeat_rounds"),
+            step_duration_us: telem.histogram("engine.step_duration_us"),
+            node_crash_counter: telem.counter("engine.node_crashes"),
+            lost_output_counter: telem.counter("engine.lost_map_outputs"),
+            telem,
+            speculative_attempts: state.speculative_attempts,
+            speculative_wins: state.speculative_wins,
+            failure_points: state.failure_points.into_iter().collect(),
+            map_failures: state.map_failures,
+            cpu_granted_core_s: state.cpu_granted_core_s,
+            cpu_offered_core_s: state.cpu_offered_core_s,
+            network_mb: state.network_mb,
+            node_up: state.node_up,
+            faults_done_until: state.faults_done_until,
+            replication: state.replication,
+            rerep_queue: state.rerep_queue,
+            rerep_progress: state.rerep_progress,
+            node_crashes: state.node_crashes,
+            crash_task_kills: state.crash_task_kills,
+            lost_map_outputs: state.lost_map_outputs,
+            trackers_blacklisted: state.trackers_blacklisted,
+            map_input_processed_mb: state.map_input_processed_mb,
+            job_counters: state.job_counters,
+            usage: state.usage,
+            node_cpu: vec![0.0; workers],
+            node_disk: vec![0.0; workers],
+            nic_in: vec![0.0; workers],
+            nic_out: vec![0.0; workers],
+            occ_map: vec![0; workers],
+            occ_reduce: vec![0; workers],
+            snap_every: None,
+            snapshots: Vec::new(),
+            resumed: state.initial_sample_done,
+        })
+    }
+}
+
+/// The complete mutable state of one run at one simulated instant — the
+/// payload of a checkpoint capsule.
+///
+/// Captured at the top of the step loop (before that instant's fault
+/// transitions and heartbeat), at instants that are multiples of the
+/// sample period, so both stepping modes stop there and a restored run
+/// replays the remainder bit-identically. Deliberately excluded, because
+/// they are live handles, derivable, or strictly observational: telemetry
+/// sinks and counters, the fabric (a pure function of the config), per-job
+/// profile copies (present inside each job's spec), and the allocate-phase
+/// scratch arrays (rewritten from scratch every step).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineState {
+    config: EngineConfig,
+    now: SimTime,
+    policy_name: String,
+    /// Opaque policy run state ([`SlotPolicy::snapshot_state`]); `Null`
+    /// for stateless policies and for capsules taken before the first
+    /// decision.
+    policy_state: serde::Value,
+    initial_sample_done: bool,
+    jobs: Vec<JobInProgress>,
+    trackers: Vec<Tracker>,
+    /// Struct-keyed maps travel as sorted pairs (the JSON object form
+    /// only admits string-ish keys).
+    running_maps: Vec<(MapAttemptId, MapTask)>,
+    running_reduces: Vec<(ReduceTaskId, ReduceTask)>,
+    sched: FifoScheduler,
+    rng: SimRng,
+    map_slot_series: simgrid::metrics::TimeSeries,
+    reduce_slot_series: simgrid::metrics::TimeSeries,
+    slot_changes: u64,
+    heartbeat_round: u64,
+    events: EventLog,
+    steps: u64,
+    speculative_attempts: u64,
+    speculative_wins: u64,
+    failure_points: Vec<(MapAttemptId, f64)>,
+    map_failures: u64,
+    cpu_granted_core_s: f64,
+    cpu_offered_core_s: f64,
+    network_mb: f64,
+    node_up: Vec<bool>,
+    faults_done_until: SimTime,
+    replication: usize,
+    rerep_queue: VecDeque<(usize, usize)>,
+    rerep_progress: f64,
+    node_crashes: u64,
+    crash_task_kills: u64,
+    lost_map_outputs: u64,
+    trackers_blacklisted: u64,
+    map_input_processed_mb: f64,
+    job_counters: Vec<CounterLedger>,
+    usage: NodeUsageSampler,
+}
+
+impl EngineState {
+    /// The simulated instant the capture was taken at.
+    pub fn at(&self) -> SimTime {
+        self.now
+    }
+
+    /// Name of the policy that was driving the captured run.
+    pub fn policy_name(&self) -> &str {
+        &self.policy_name
+    }
+
+    /// The configuration the captured run was started with.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Swap the configuration for a warm-started resume. Only knobs that
+    /// do not invalidate already-materialised state may change: the
+    /// cluster shape, seed and block size (they determine the DFS layout
+    /// and RNG streams baked into the capsule) must be identical.
+    pub fn override_config(&mut self, cfg: EngineConfig) -> Result<(), SimError> {
+        cfg.validate()?;
+        if cfg.cluster.to_value() != self.config.cluster.to_value() {
+            return Err(SimError::InvalidConfig(
+                "warm-start config must keep the captured cluster shape".into(),
+            ));
+        }
+        if cfg.seed != self.config.seed || cfg.block_mb != self.config.block_mb {
+            return Err(SimError::InvalidConfig(
+                "warm-start config must keep the captured seed and block size".into(),
+            ));
+        }
+        self.config = cfg;
+        Ok(())
+    }
+
+    /// Re-bind the capsule to a different policy for a warm-started
+    /// resume. Only sound for capsules captured before the first
+    /// heartbeat (the policy had no state yet); the bound state is reset
+    /// to fresh.
+    pub fn override_policy(&mut self, name: &str) -> Result<(), SimError> {
+        if self.now != SimTime::ZERO || self.heartbeat_round != 0 {
+            return Err(SimError::InvalidConfig(format!(
+                "cannot re-bind policy at t={} ms: the captured policy already ran",
+                self.now.as_millis()
+            )));
+        }
+        self.policy_name = name.to_string();
+        self.policy_state = serde::Value::Null;
+        Ok(())
+    }
+}
+
+impl Engine {
+    /// Validate a checkpoint period: it must be non-zero and a multiple
+    /// of the sample period so capture instants are step boundaries both
+    /// stepping modes already land on (capture is then purely
+    /// observational — step counts and draws are unchanged).
+    fn validate_snapshot_period(&self, every: SimDuration) -> Result<(), SimError> {
+        if every == SimDuration::ZERO {
+            return Err(SimError::InvalidConfig(
+                "checkpoint period must be non-zero".into(),
+            ));
+        }
+        let sample = self.config.sample_period.as_millis();
+        if sample == 0 || every.as_millis() % sample != 0 {
+            return Err(SimError::InvalidConfig(format!(
+                "checkpoint period {} ms must be a multiple of the sample period {} ms",
+                every.as_millis(),
+                sample
+            )));
+        }
+        Ok(())
+    }
+
+    /// Build a run and capture its state before the first step: the
+    /// cluster is booted and the DFS layouts are materialised, but no
+    /// time has passed and the policy has not run. Sweeps resume this one
+    /// capsule under different fault plans and policies
+    /// ([`EngineState::override_config`] / [`EngineState::override_policy`])
+    /// instead of re-doing the common prefix per cell.
+    pub fn prepare(&self, jobs: Vec<JobSpec>) -> Result<EngineState, SimError> {
+        self.config.validate()?;
+        if jobs.is_empty() {
+            return Err(SimError::InvalidConfig("no jobs submitted".into()));
+        }
+        let mut policy = crate::policy::StaticSlotPolicy;
+        let sim = Sim::new(&self.config, jobs, &mut policy, Telemetry::disabled())?;
+        let mut state = sim.capture_state(false);
+        state.policy_name = String::new(); // not bound to a policy yet
+        Ok(state)
+    }
+
+    /// [`Engine::run`], additionally capturing a state capsule at every
+    /// multiple of `every` (which must be a multiple of the sample
+    /// period).
+    pub fn run_with_snapshots(
+        &self,
+        jobs: Vec<JobSpec>,
+        policy: &mut dyn SlotPolicy,
+        every: SimDuration,
+    ) -> Result<(RunReport, Vec<EngineState>), SimError> {
+        self.config.validate()?;
+        self.validate_snapshot_period(every)?;
+        if jobs.is_empty() {
+            return Err(SimError::InvalidConfig("no jobs submitted".into()));
+        }
+        let telem = Telemetry::disabled();
+        policy.attach_telemetry(&telem);
+        let mut sim = Sim::new(&self.config, jobs, policy, telem)?;
+        sim.snap_every = Some(every);
+        let report = sim.run_to_completion()?;
+        Ok((report, std::mem::take(&mut sim.snapshots)))
+    }
+
+    /// Resume a captured run to completion. The configuration comes from
+    /// the capsule; `policy` must be a fresh instance of the captured
+    /// policy (matched by name) and is handed the captured state.
+    pub fn resume(state: EngineState, policy: &mut dyn SlotPolicy) -> Result<RunReport, SimError> {
+        Engine::resume_with(state, policy, &Telemetry::disabled())
+    }
+
+    /// [`Engine::resume`] with a telemetry sink attached to the restored
+    /// run (telemetry is strictly observational either way).
+    pub fn resume_with(
+        state: EngineState,
+        policy: &mut dyn SlotPolicy,
+        telem: &Telemetry,
+    ) -> Result<RunReport, SimError> {
+        policy.attach_telemetry(telem);
+        let mut sim = Sim::from_state(state, policy, telem.clone())?;
+        sim.run_to_completion()
+    }
+
+    /// Resume a captured run, continuing to capture capsules at every
+    /// multiple of `every` — the replay half of divergence bisection.
+    pub fn resume_with_snapshots(
+        state: EngineState,
+        policy: &mut dyn SlotPolicy,
+        every: SimDuration,
+    ) -> Result<(RunReport, Vec<EngineState>), SimError> {
+        let engine = Engine::new(state.config.clone());
+        engine.validate_snapshot_period(every)?;
+        let telem = Telemetry::disabled();
+        policy.attach_telemetry(&telem);
+        let mut sim = Sim::from_state(state, policy, telem)?;
+        sim.snap_every = Some(every);
+        let report = sim.run_to_completion()?;
+        Ok((report, std::mem::take(&mut sim.snapshots)))
+    }
 }
 
 #[cfg(test)]
@@ -2265,6 +2664,108 @@ mod tests {
         assert!((j.shuffle_mb - 1024.0).abs() < 1e-6);
         // reduce-heavy: the tail (sort+reduce of the full input) dominates
         assert!(j.reduce_time().as_secs_f64() > 1.0);
+    }
+
+    #[test]
+    fn snapshot_resume_is_byte_identical_in_both_modes() {
+        for fixed in [false, true] {
+            let mut cfg = EngineConfig::small_test(4, 9);
+            if fixed {
+                cfg.tick.mode = SteppingMode::Fixed;
+            }
+            cfg.record_events = true;
+            let job = JobSpec::new(0, JobProfile::synthetic_map_heavy(), 1024.0, 8, SimTime::ZERO);
+            let engine = Engine::new(cfg);
+            let straight = engine
+                .run(vec![job.clone()], &mut StaticSlotPolicy)
+                .unwrap();
+            let every = SimDuration::from_secs(10);
+            let (checkpointed, snaps) = engine
+                .run_with_snapshots(vec![job], &mut StaticSlotPolicy, every)
+                .unwrap();
+            let json = |r: &RunReport| serde_json::to_string(r).unwrap();
+            // capturing perturbs nothing
+            assert_eq!(json(&straight), json(&checkpointed), "fixed={fixed}");
+            assert!(snaps.len() >= 2, "fixed={fixed}: want multiple capsules");
+            assert_eq!(snaps[0].at(), SimTime::ZERO);
+            // restore from a mid-run capsule and run to the end
+            let mid = snaps[snaps.len() / 2].clone();
+            assert!(mid.at() > SimTime::ZERO);
+            let resumed = Engine::resume(mid, &mut StaticSlotPolicy).unwrap();
+            assert_eq!(json(&straight), json(&resumed), "fixed={fixed}");
+        }
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_policy() {
+        let cfg = EngineConfig::small_test(4, 9);
+        let job = JobSpec::new(0, JobProfile::synthetic_map_heavy(), 512.0, 8, SimTime::ZERO);
+        let (_, snaps) = Engine::new(cfg)
+            .run_with_snapshots(vec![job], &mut StaticSlotPolicy, SimDuration::from_secs(10))
+            .unwrap();
+        struct Other;
+        impl SlotPolicy for Other {
+            fn name(&self) -> &'static str {
+                "Other"
+            }
+            fn decide(&mut self, _: &PolicyContext<'_>) -> Vec<crate::policy::SlotDirective> {
+                Vec::new()
+            }
+        }
+        let err = Engine::resume(snaps[0].clone(), &mut Other).unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn snapshot_period_must_align_with_sampling() {
+        let cfg = EngineConfig::small_test(4, 9);
+        let job = JobSpec::new(0, JobProfile::synthetic_map_heavy(), 512.0, 8, SimTime::ZERO);
+        let err = Engine::new(cfg)
+            .run_with_snapshots(
+                vec![job],
+                &mut StaticSlotPolicy,
+                SimDuration::from_millis(1500),
+            )
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn engine_state_serde_round_trip_preserves_replay() {
+        let mut cfg = EngineConfig::small_test(4, 21);
+        cfg.record_events = true;
+        let job = JobSpec::new(0, JobProfile::synthetic_reduce_heavy(), 1024.0, 8, SimTime::ZERO);
+        let engine = Engine::new(cfg);
+        let (straight, snaps) = engine
+            .run_with_snapshots(vec![job], &mut StaticSlotPolicy, SimDuration::from_secs(10))
+            .unwrap();
+        let mid = &snaps[snaps.len() / 2];
+        // through the wire format and back
+        let wire = serde_json::to_string(mid).unwrap();
+        let back: EngineState = serde_json::from_str(&wire).unwrap();
+        assert_eq!(back.at(), mid.at());
+        let resumed = Engine::resume(back, &mut StaticSlotPolicy).unwrap();
+        assert_eq!(
+            serde_json::to_string(&straight).unwrap(),
+            serde_json::to_string(&resumed).unwrap()
+        );
+    }
+
+    #[test]
+    fn prepared_capsule_resumes_like_a_fresh_run() {
+        let cfg = EngineConfig::small_test(4, 13);
+        let job = JobSpec::new(0, JobProfile::synthetic_map_heavy(), 1024.0, 8, SimTime::ZERO);
+        let engine = Engine::new(cfg);
+        let straight = engine
+            .run(vec![job.clone()], &mut StaticSlotPolicy)
+            .unwrap();
+        let mut warm = engine.prepare(vec![job]).unwrap();
+        warm.override_policy("HadoopV1").unwrap();
+        let resumed = Engine::resume(warm, &mut StaticSlotPolicy).unwrap();
+        assert_eq!(
+            serde_json::to_string(&straight).unwrap(),
+            serde_json::to_string(&resumed).unwrap()
+        );
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub mod task;
 
 pub use auditor::{AuditSetup, Violation};
 pub use counters::{Counter, CounterLedger};
-pub use engine::{Engine, EngineConfig};
+pub use engine::{Engine, EngineConfig, EngineState};
 pub use events::{Event, EventLog};
 pub use job::{JobId, JobProfile, JobSpec};
 pub use policy::{

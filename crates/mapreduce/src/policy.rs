@@ -99,6 +99,22 @@ pub trait SlotPolicy {
     fn decision_records(&self) -> Vec<PolicyDecisionRecord> {
         Vec::new()
     }
+
+    /// Serialize the policy's *mutable* run state for a checkpoint capsule.
+    /// Configuration is not included — a restored policy is constructed
+    /// fresh (with its configuration) and then handed this value. Stateless
+    /// policies return [`serde::Value::Null`].
+    fn snapshot_state(&self) -> serde::Value {
+        serde::Value::Null
+    }
+
+    /// Restore run state captured by [`SlotPolicy::snapshot_state`] into a
+    /// freshly constructed policy. `Null` means "fresh" and must be
+    /// accepted by every implementation (it is what a capsule taken before
+    /// the first decision carries).
+    fn restore_state(&mut self, _state: &serde::Value) -> Result<(), serde::Error> {
+        Ok(())
+    }
 }
 
 /// HadoopV1: statically configured slots, never adjusted at runtime.

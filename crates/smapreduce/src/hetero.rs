@@ -75,6 +75,16 @@ impl SlotPolicy for HeteroSlotManagerPolicy {
         self.inner.attach_telemetry(telem);
     }
 
+    // reference_cores is configuration; the mutable state is all the
+    // wrapped uniform manager's
+    fn snapshot_state(&self) -> serde::Value {
+        self.inner.snapshot_state()
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        self.inner.restore_state(state)
+    }
+
     fn decide(&mut self, ctx: &PolicyContext<'_>) -> Vec<SlotDirective> {
         // run the paper's decision loop; its own (uniform) directives are
         // discarded in favour of the capacity-scaled ones

@@ -219,6 +219,22 @@ impl SlotManagerPolicy {
     }
 }
 
+/// The manager's mutable run state, as stored in a checkpoint capsule.
+/// Configuration (`cfg`, and the `gate` derived from it) is reconstructed
+/// when the policy is built, not captured.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct ManagerState {
+    detector: ThrashingDetector,
+    map_target: Option<usize>,
+    reduce_target: Option<usize>,
+    last_decision_at: Option<SimTime>,
+    rate_window: VecDeque<(SimTime, f64, f64)>,
+    workload_sig: Option<(usize, usize)>,
+    decisions: Vec<(SimTime, Decision)>,
+    trace: Option<Vec<RateTracePoint>>,
+    audit: AuditLog,
+}
+
 impl SlotPolicy for SlotManagerPolicy {
     fn name(&self) -> &'static str {
         "SMapReduce"
@@ -246,6 +262,40 @@ impl SlotPolicy for SlotManagerPolicy {
                 rm: r.inputs.rm,
             })
             .collect()
+    }
+
+    fn snapshot_state(&self) -> serde::Value {
+        ManagerState {
+            detector: self.detector.clone(),
+            map_target: self.map_target,
+            reduce_target: self.reduce_target,
+            last_decision_at: self.last_decision_at,
+            rate_window: self.rate_window.clone(),
+            workload_sig: self.workload_sig,
+            decisions: self.decisions.clone(),
+            trace: self.trace.clone(),
+            audit: self.audit.clone(),
+        }
+        .to_value()
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) -> Result<(), serde::Error> {
+        if state.is_null() {
+            return Ok(()); // capsule taken before the first decision
+        }
+        let s = ManagerState::deserialize(state)?;
+        self.detector = s.detector;
+        self.map_target = s.map_target;
+        self.reduce_target = s.reduce_target;
+        self.last_decision_at = s.last_decision_at;
+        self.rate_window = s.rate_window;
+        self.workload_sig = s.workload_sig;
+        self.decisions = s.decisions;
+        self.trace = s.trace;
+        // the restored log carries records only; the telemetry mirror is
+        // reattached by the engine via attach_telemetry
+        self.audit = s.audit;
+        Ok(())
     }
 
     fn decide(&mut self, ctx: &PolicyContext<'_>) -> Vec<SlotDirective> {
@@ -712,6 +762,36 @@ mod tests {
             t += 3;
         }
         assert!(acted, "warm window must allow the decision");
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_manager_state() {
+        let mut p = test_policy();
+        let stats = base_stats();
+        let tr = trackers(4, 3, 2);
+        let _ = p.decide(&ctx(SimTime::from_secs(30), &stats, &tr));
+        let _ = p.decide(&ctx(SimTime::from_secs(36), &stats, &tr));
+        let snap = p.snapshot_state();
+
+        let mut q = test_policy();
+        q.restore_state(&snap).unwrap();
+        assert_eq!(q.current_targets(), p.current_targets());
+        assert_eq!(q.decisions, p.decisions);
+        assert_eq!(q.audit.records(), p.audit.records());
+        // both continue identically from the restored state
+        let tr_now = trackers(4, p.map_target.unwrap(), 2);
+        let a = p.decide(&ctx(SimTime::from_secs(42), &stats, &tr_now));
+        let b = q.decide(&ctx(SimTime::from_secs(42), &stats, &tr_now));
+        assert_eq!(a, b);
+        assert_eq!(p.decisions, q.decisions);
+    }
+
+    #[test]
+    fn restore_null_state_is_fresh() {
+        let mut p = test_policy();
+        p.restore_state(&serde::Value::Null).unwrap();
+        assert_eq!(p.current_targets(), None);
+        assert!(p.decisions.is_empty());
     }
 
     #[test]
