@@ -1,0 +1,342 @@
+//! Divergence bisection: find the first checkpoint where two capsule
+//! streams disagree, and explain *which fields* disagree.
+//!
+//! The intended workflow: a run that should be deterministic produced two
+//! different results (different machine, different build, a suspected
+//! nondeterminism bug). Record both with `--checkpoint-every` into two
+//! directories, then bisect. Real divergences are **monotone** — once the
+//! two states differ, they stay different (state only accumulates) — so a
+//! binary search over the paired capsules finds the first divergent
+//! instant in `O(log n)` byte comparisons, and a field-by-field diff of
+//! that capsule names the subsystem that forked first.
+//!
+//! The binary search verifies its answer (the found capsule differs, its
+//! predecessor does not), so even on a non-monotone stream — e.g. one
+//! corrupted file in an otherwise identical pair — the result is still a
+//! genuine *locally first* divergence.
+
+use crate::{list_capsules, CapsuleError};
+use simgrid::time::SimTime;
+use std::path::{Path, PathBuf};
+
+/// One leaf-level disagreement between the two capsules.
+#[derive(Debug, Clone)]
+pub struct FieldDiff {
+    /// Dotted path into the capsule JSON, e.g. `state.rng.state[2]`.
+    pub path: String,
+    pub a: String,
+    pub b: String,
+}
+
+/// The first divergent checkpoint of two streams.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Index into the paired stream (0-based).
+    pub index: usize,
+    /// The capture instant of the divergent pair.
+    pub at: SimTime,
+    pub path_a: PathBuf,
+    pub path_b: PathBuf,
+    /// Leaf fields that disagree, in capsule order.
+    pub diffs: Vec<FieldDiff>,
+}
+
+/// Bisect two capsule streams to their first divergent checkpoint.
+/// Returns `None` when every paired capsule is byte-identical and the
+/// streams have the same length.
+pub fn bisect_dirs(dir_a: &Path, dir_b: &Path) -> Result<Option<Divergence>, CapsuleError> {
+    let list_a = list_capsules(dir_a)?;
+    let list_b = list_capsules(dir_b)?;
+    if list_a.is_empty() {
+        return Err(CapsuleError::EmptyStream(dir_a.to_path_buf()));
+    }
+    if list_b.is_empty() {
+        return Err(CapsuleError::EmptyStream(dir_b.to_path_buf()));
+    }
+    let common = list_a.len().min(list_b.len());
+    for i in 0..common {
+        if list_a[i].0 != list_b[i].0 {
+            return Err(CapsuleError::Malformed(
+                dir_b.to_path_buf(),
+                format!(
+                    "streams were captured on different grids: pair {i} is {} ms vs {} ms \
+                     (same --checkpoint-every required)",
+                    list_a[i].0.as_millis(),
+                    list_b[i].0.as_millis()
+                ),
+            ));
+        }
+    }
+    let differs = |i: usize| -> Result<bool, CapsuleError> {
+        let read = |p: &PathBuf| std::fs::read(p).map_err(|e| CapsuleError::Io(p.clone(), e));
+        Ok(read(&list_a[i].1)? != read(&list_b[i].1)?)
+    };
+
+    if !differs(common - 1)? {
+        // identical up to the shared horizon; a length mismatch means one
+        // run kept checkpointing past the other's end
+        if list_a.len() != list_b.len() {
+            let (longer, longer_dir) = if list_a.len() > list_b.len() {
+                (&list_a[common], dir_a)
+            } else {
+                (&list_b[common], dir_b)
+            };
+            return Ok(Some(Divergence {
+                index: common,
+                at: longer.0,
+                path_a: dir_a.to_path_buf(),
+                path_b: dir_b.to_path_buf(),
+                diffs: vec![FieldDiff {
+                    path: "(stream length)".into(),
+                    a: format!("{} capsules", list_a.len()),
+                    b: format!(
+                        "{} capsules ({} continues at {} ms)",
+                        list_b.len(),
+                        longer_dir.display(),
+                        longer.0.as_millis()
+                    ),
+                }],
+            }));
+        }
+        return Ok(None);
+    }
+
+    // first differing index, assuming monotone divergence; the loop
+    // invariant (differs(hi), !differs(lo - 1)) makes the answer a
+    // verified locally-first divergence even if the assumption is broken
+    let (mut lo, mut hi) = (0usize, common - 1);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if differs(mid)? {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+
+    let parse = |p: &PathBuf| -> Result<serde_json::Value, CapsuleError> {
+        let text = std::fs::read_to_string(p).map_err(|e| CapsuleError::Io(p.clone(), e))?;
+        serde_json::from_str(&text).map_err(|e| CapsuleError::Malformed(p.clone(), e.to_string()))
+    };
+    let va = parse(&list_a[lo].1)?;
+    let vb = parse(&list_b[lo].1)?;
+    let mut diffs = Vec::new();
+    diff_value("", &va, &vb, &mut diffs);
+    Ok(Some(Divergence {
+        index: lo,
+        at: list_a[lo].0,
+        path_a: list_a[lo].1.clone(),
+        path_b: list_b[lo].1.clone(),
+        diffs,
+    }))
+}
+
+/// Recursively collect leaf-level differences between two JSON values.
+fn diff_value(path: &str, a: &serde_json::Value, b: &serde_json::Value, out: &mut Vec<FieldDiff>) {
+    use serde_json::Value;
+    match (a, b) {
+        (Value::Object(fa), Value::Object(fb)) => {
+            // capsule objects carry identical field orders (they come from
+            // the same serializer); walk a's order, then b-only keys
+            for (key, va) in fa {
+                let sub = join(path, key);
+                match fb.iter().find(|(k, _)| k == key) {
+                    Some((_, vb)) => diff_value(&sub, va, vb, out),
+                    None => out.push(FieldDiff {
+                        path: sub,
+                        a: render(va),
+                        b: "(absent)".into(),
+                    }),
+                }
+            }
+            for (key, vb) in fb {
+                if !fa.iter().any(|(k, _)| k == key) {
+                    out.push(FieldDiff {
+                        path: join(path, key),
+                        a: "(absent)".into(),
+                        b: render(vb),
+                    });
+                }
+            }
+        }
+        (Value::Array(xa), Value::Array(xb)) => {
+            for i in 0..xa.len().max(xb.len()) {
+                let sub = format!("{path}[{i}]");
+                match (xa.get(i), xb.get(i)) {
+                    (Some(va), Some(vb)) => diff_value(&sub, va, vb, out),
+                    (Some(va), None) => out.push(FieldDiff {
+                        path: sub,
+                        a: render(va),
+                        b: "(absent)".into(),
+                    }),
+                    (None, Some(vb)) => out.push(FieldDiff {
+                        path: sub,
+                        a: "(absent)".into(),
+                        b: render(vb),
+                    }),
+                    (None, None) => unreachable!(),
+                }
+            }
+        }
+        _ => {
+            if a != b {
+                out.push(FieldDiff {
+                    path: path.to_string(),
+                    a: render(a),
+                    b: render(b),
+                });
+            }
+        }
+    }
+}
+
+fn join(path: &str, key: &str) -> String {
+    if path.is_empty() {
+        key.to_string()
+    } else {
+        format!("{path}.{key}")
+    }
+}
+
+/// Short, single-line rendering of a leaf value for diff output.
+fn render(v: &serde_json::Value) -> String {
+    let mut s = serde_json::to_string(v).unwrap_or_else(|_| "(unprintable)".into());
+    if s.len() > 96 {
+        s.truncate(93);
+        s.push('…');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::Value;
+
+    fn obj(fields: Vec<(&str, Value)>) -> Value {
+        Value::Object(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn diff_names_the_paths_that_disagree() {
+        let a = obj(vec![
+            ("now", Value::U64(12000)),
+            (
+                "rng",
+                obj(vec![(
+                    "state",
+                    Value::Array(vec![Value::U64(1), Value::U64(2)]),
+                )]),
+            ),
+            ("steps", Value::U64(7)),
+        ]);
+        let b = obj(vec![
+            ("now", Value::U64(12000)),
+            (
+                "rng",
+                obj(vec![(
+                    "state",
+                    Value::Array(vec![Value::U64(1), Value::U64(9)]),
+                )]),
+            ),
+            ("steps", Value::U64(8)),
+        ]);
+        let mut diffs = Vec::new();
+        diff_value("", &a, &b, &mut diffs);
+        let paths: Vec<&str> = diffs.iter().map(|d| d.path.as_str()).collect();
+        assert_eq!(paths, vec!["rng.state[1]", "steps"]);
+        assert_eq!(diffs[0].a, "2");
+        assert_eq!(diffs[0].b, "9");
+    }
+
+    #[test]
+    fn diff_reports_missing_fields_and_lengths() {
+        let a = obj(vec![("xs", Value::Array(vec![Value::U64(1)]))]);
+        let b = obj(vec![
+            ("xs", Value::Array(vec![Value::U64(1), Value::U64(2)])),
+            ("extra", Value::Bool(true)),
+        ]);
+        let mut diffs = Vec::new();
+        diff_value("", &a, &b, &mut diffs);
+        let paths: Vec<&str> = diffs.iter().map(|d| d.path.as_str()).collect();
+        assert_eq!(paths, vec!["xs[1]", "extra"]);
+        assert_eq!(diffs[0].a, "(absent)");
+    }
+
+    #[test]
+    fn bisect_finds_the_first_divergent_pair() {
+        let base = std::env::temp_dir().join(format!("smr-bisect-{}", std::process::id()));
+        let (dir_a, dir_b) = (base.join("a"), base.join("b"));
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(&dir_a).unwrap();
+        std::fs::create_dir_all(&dir_b).unwrap();
+        // eight paired capsules, diverging from index 5 onwards
+        for i in 0..8u64 {
+            let name = crate::capsule_file_name(SimTime::from_secs(i * 10));
+            let a = format!("{{\"at\":{},\"x\":{}}}", i * 10_000, i);
+            let b = if i >= 5 {
+                format!("{{\"at\":{},\"x\":{}}}", i * 10_000, i + 100)
+            } else {
+                a.clone()
+            };
+            std::fs::write(dir_a.join(&name), a).unwrap();
+            std::fs::write(dir_b.join(&name), b).unwrap();
+        }
+        let div = bisect_dirs(&dir_a, &dir_b)
+            .expect("bisect runs")
+            .expect("streams diverge");
+        assert_eq!(div.index, 5);
+        assert_eq!(div.at, SimTime::from_secs(50));
+        assert_eq!(div.diffs.len(), 1);
+        assert_eq!(div.diffs[0].path, "x");
+        assert_eq!(div.diffs[0].a, "5");
+        assert_eq!(div.diffs[0].b, "105");
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn identical_streams_bisect_to_none() {
+        let base = std::env::temp_dir().join(format!("smr-bisect-eq-{}", std::process::id()));
+        let (dir_a, dir_b) = (base.join("a"), base.join("b"));
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(&dir_a).unwrap();
+        std::fs::create_dir_all(&dir_b).unwrap();
+        for i in 0..4u64 {
+            let name = crate::capsule_file_name(SimTime::from_secs(i));
+            std::fs::write(dir_a.join(&name), format!("{{\"x\":{i}}}")).unwrap();
+            std::fs::write(dir_b.join(&name), format!("{{\"x\":{i}}}")).unwrap();
+        }
+        assert!(bisect_dirs(&dir_a, &dir_b).expect("runs").is_none());
+        // a truncated (but otherwise identical) stream diverges at the cut
+        std::fs::remove_file(dir_b.join(crate::capsule_file_name(SimTime::from_secs(3)))).unwrap();
+        let div = bisect_dirs(&dir_a, &dir_b)
+            .expect("runs")
+            .expect("length mismatch is a divergence");
+        assert_eq!(div.index, 3);
+        assert_eq!(div.diffs[0].path, "(stream length)");
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn empty_stream_is_an_error() {
+        let base = std::env::temp_dir().join(format!("smr-bisect-empty-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(base.join("a")).unwrap();
+        std::fs::create_dir_all(base.join("b")).unwrap();
+        std::fs::write(
+            base.join("a").join(crate::capsule_file_name(SimTime::ZERO)),
+            "{}",
+        )
+        .unwrap();
+        assert!(matches!(
+            bisect_dirs(&base.join("a"), &base.join("b")),
+            Err(CapsuleError::EmptyStream(_))
+        ));
+        let _ = std::fs::remove_dir_all(&base);
+    }
+}

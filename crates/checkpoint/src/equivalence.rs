@@ -1,0 +1,125 @@
+//! Resume-equivalence proofs: run → capture → restore → run must equal
+//! run straight through, byte for byte.
+//!
+//! This is the property that makes capsules trustworthy. Capture is
+//! purely observational (it happens at step boundaries both stepping
+//! modes already land on, and draws nothing from the RNG), so a run
+//! interrupted at any checkpoint and resumed from the capsule must
+//! produce the *identical* report — same auditor fingerprint, same
+//! counters, same event log, bit-equal floats. [`prove_resume_equivalence`]
+//! checks exactly that for one (config, workload, policy) cell.
+
+use mapreduce::auditor;
+use mapreduce::policy::SlotPolicy;
+use mapreduce::{Engine, EngineConfig, JobSpec};
+use simgrid::error::SimError;
+use simgrid::time::{SimDuration, SimTime};
+
+/// The outcome of one resume-equivalence check.
+#[derive(Debug, Clone)]
+pub struct EquivalenceProof {
+    /// Policy name the cell ran under.
+    pub policy: String,
+    /// How many capsules the straight run captured.
+    pub capsules: usize,
+    /// The checkpoint instant the interrupted run resumed from (the
+    /// midpoint capsule — past cluster warm-up, before the tail).
+    pub resumed_from: SimTime,
+    /// Auditor fingerprint of the uninterrupted run.
+    pub straight_fingerprint: u64,
+    /// Auditor fingerprint of the capture-then-resume run.
+    pub resumed_fingerprint: u64,
+    /// Whether the two full reports (counters, events, series, floats)
+    /// serialize to identical bytes — strictly stronger than the
+    /// fingerprint match.
+    pub byte_identical: bool,
+}
+
+impl EquivalenceProof {
+    /// The proof holds only when the reports are byte-identical (which
+    /// implies the fingerprints match).
+    pub fn holds(&self) -> bool {
+        self.byte_identical && self.straight_fingerprint == self.resumed_fingerprint
+    }
+}
+
+/// Prove resume equivalence for one cell: run `jobs` under a policy from
+/// `make_policy` capturing a capsule every `every`, then resume the
+/// midpoint capsule under a *fresh* policy instance and compare the two
+/// reports. `make_policy` is called twice and must return equivalent
+/// fresh instances (the restored one is handed the captured state).
+pub fn prove_resume_equivalence(
+    cfg: &EngineConfig,
+    jobs: &[JobSpec],
+    every: SimDuration,
+    make_policy: &mut dyn FnMut() -> Box<dyn SlotPolicy>,
+) -> Result<EquivalenceProof, SimError> {
+    let mut straight_policy = make_policy();
+    let (straight, capsules) = Engine::new(cfg.clone()).run_with_snapshots(
+        jobs.to_vec(),
+        straight_policy.as_mut(),
+        every,
+    )?;
+    // t=0 is a multiple of every period, so a completed run always
+    // captured at least one capsule
+    let mid = capsules[capsules.len() / 2].clone();
+    let resumed_from = mid.at();
+    let mut resumed_policy = make_policy();
+    let resumed = Engine::resume(mid, resumed_policy.as_mut())?;
+    let straight_bytes = serde_json::to_string(&straight).expect("report serialises");
+    let resumed_bytes = serde_json::to_string(&resumed).expect("report serialises");
+    Ok(EquivalenceProof {
+        policy: straight.policy.clone(),
+        capsules: capsules.len(),
+        resumed_from,
+        straight_fingerprint: auditor::fingerprint(&straight),
+        resumed_fingerprint: auditor::fingerprint(&resumed),
+        byte_identical: straight_bytes == resumed_bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapreduce::policy::StaticSlotPolicy;
+    use mapreduce::JobProfile;
+    use simgrid::time::SimTime;
+
+    #[test]
+    fn equivalence_holds_for_a_small_static_run() {
+        let cfg = EngineConfig::small_test(4, 9);
+        let job = JobSpec::new(
+            0,
+            JobProfile::synthetic_map_heavy(),
+            1536.0,
+            8,
+            SimTime::ZERO,
+        );
+        let proof = prove_resume_equivalence(&cfg, &[job], SimDuration::from_secs(10), &mut || {
+            Box::new(StaticSlotPolicy)
+        })
+        .expect("both runs complete");
+        assert!(proof.holds(), "{proof:?}");
+        assert_eq!(proof.policy, "HadoopV1");
+        assert!(proof.capsules >= 2);
+        assert!(proof.resumed_from > SimTime::ZERO, "midpoint is mid-run");
+    }
+
+    #[test]
+    fn equivalence_holds_for_the_slot_manager() {
+        let cfg = EngineConfig::small_test(4, 21);
+        let job = JobSpec::new(
+            0,
+            JobProfile::synthetic_reduce_heavy(),
+            2048.0,
+            8,
+            SimTime::ZERO,
+        );
+        let proof = prove_resume_equivalence(&cfg, &[job], SimDuration::from_secs(20), &mut || {
+            Box::new(smapreduce::SlotManagerPolicy::paper_default())
+        })
+        .expect("both runs complete");
+        assert!(proof.holds(), "{proof:?}");
+        assert_eq!(proof.policy, "SMapReduce");
+    }
+}

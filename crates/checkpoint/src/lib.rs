@@ -1,0 +1,279 @@
+//! # checkpoint — deterministic capsules for the simulation engine
+//!
+//! The engine is bit-deterministic: the same configuration and seed
+//! replay to byte-identical reports. This crate makes that determinism
+//! *inspectable* by freezing a run into a versioned **state capsule**
+//! ([`SimSnapshot`] wrapping [`mapreduce::EngineState`]) at any sampling
+//! instant, and builds two tools on top of it:
+//!
+//! * a **resume-equivalence proof** ([`equivalence`]): run to T, capture,
+//!   restore, run to the end — and check the result is byte-identical to
+//!   the uninterrupted run (same auditor fingerprint, counters, events);
+//! * a **divergence bisector** ([`bisect`]): given two capsule streams of
+//!   what should be the same run, binary-search to the first divergent
+//!   checkpoint and diff it field by field.
+//!
+//! Capsules are plain JSON files. A *capsule stream* is a directory of
+//! `capsule-<millis>.json` files, one per checkpoint instant, written by
+//! [`write_stream`] and enumerated (sorted by instant) by
+//! [`list_capsules`].
+
+use mapreduce::EngineState;
+use serde::{Deserialize, Serialize};
+use simgrid::time::SimTime;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+pub mod bisect;
+pub mod equivalence;
+
+pub use bisect::{bisect_dirs, Divergence, FieldDiff};
+pub use equivalence::{prove_resume_equivalence, EquivalenceProof};
+
+/// Capsule wire-format version. Bumped whenever [`EngineState`]'s
+/// serialized shape changes incompatibly; [`load`] refuses capsules from
+/// another version instead of misinterpreting them.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// A complete simulation state frozen at one simulated instant, plus the
+/// envelope needed to trust it later: the format version and the capture
+/// instant (duplicated out of the state so streams can be enumerated
+/// without parsing the full state).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimSnapshot {
+    pub format_version: u32,
+    pub at: SimTime,
+    pub state: EngineState,
+}
+
+impl SimSnapshot {
+    pub fn new(state: EngineState) -> SimSnapshot {
+        SimSnapshot {
+            format_version: FORMAT_VERSION,
+            at: state.at(),
+            state,
+        }
+    }
+
+    /// Check the envelope is coherent (version supported, instant matches
+    /// the state). Called by [`load`]; callers constructing snapshots by
+    /// hand can use it too.
+    pub fn validate(&self, origin: &Path) -> Result<(), CapsuleError> {
+        if self.format_version != FORMAT_VERSION {
+            return Err(CapsuleError::VersionMismatch {
+                path: origin.to_path_buf(),
+                found: self.format_version,
+            });
+        }
+        if self.at != self.state.at() {
+            return Err(CapsuleError::Malformed(
+                origin.to_path_buf(),
+                format!(
+                    "envelope instant {} ms disagrees with state instant {} ms",
+                    self.at.as_millis(),
+                    self.state.at().as_millis()
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Everything that can go wrong reading or writing capsules.
+#[derive(Debug)]
+pub enum CapsuleError {
+    Io(PathBuf, std::io::Error),
+    Malformed(PathBuf, String),
+    VersionMismatch { path: PathBuf, found: u32 },
+    EmptyStream(PathBuf),
+}
+
+impl fmt::Display for CapsuleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CapsuleError::Io(p, e) => write!(f, "{}: {e}", p.display()),
+            CapsuleError::Malformed(p, why) => {
+                write!(f, "{}: malformed capsule: {why}", p.display())
+            }
+            CapsuleError::VersionMismatch { path, found } => write!(
+                f,
+                "{}: capsule format v{found}, this build reads v{FORMAT_VERSION}",
+                path.display()
+            ),
+            CapsuleError::EmptyStream(p) => {
+                write!(f, "{}: no capsule-*.json files", p.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for CapsuleError {}
+
+/// Write one capsule as JSON.
+pub fn save(path: &Path, snap: &SimSnapshot) -> Result<(), CapsuleError> {
+    let json = serde_json::to_string(snap)
+        .map_err(|e| CapsuleError::Malformed(path.to_path_buf(), e.to_string()))?;
+    std::fs::write(path, json).map_err(|e| CapsuleError::Io(path.to_path_buf(), e))
+}
+
+/// Read and validate one capsule.
+pub fn load(path: &Path) -> Result<SimSnapshot, CapsuleError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| CapsuleError::Io(path.to_path_buf(), e))?;
+    let snap: SimSnapshot = serde_json::from_str(&text)
+        .map_err(|e| CapsuleError::Malformed(path.to_path_buf(), e.to_string()))?;
+    snap.validate(path)?;
+    Ok(snap)
+}
+
+/// Stream file name for a capture instant: zero-padded so lexicographic
+/// order is chronological order.
+pub fn capsule_file_name(at: SimTime) -> String {
+    format!("capsule-{:012}.json", at.as_millis())
+}
+
+/// Write a run's captured states into `dir` as a capsule stream. Creates
+/// the directory; returns the written paths in chronological order.
+pub fn write_stream(dir: &Path, states: &[EngineState]) -> Result<Vec<PathBuf>, CapsuleError> {
+    std::fs::create_dir_all(dir).map_err(|e| CapsuleError::Io(dir.to_path_buf(), e))?;
+    let mut paths = Vec::with_capacity(states.len());
+    for state in states {
+        let path = dir.join(capsule_file_name(state.at()));
+        save(&path, &SimSnapshot::new(state.clone()))?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+/// Enumerate a capsule stream, sorted by capture instant. Non-capsule
+/// files in the directory are ignored.
+pub fn list_capsules(dir: &Path) -> Result<Vec<(SimTime, PathBuf)>, CapsuleError> {
+    let entries = std::fs::read_dir(dir).map_err(|e| CapsuleError::Io(dir.to_path_buf(), e))?;
+    let mut out = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| CapsuleError::Io(dir.to_path_buf(), e))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(ms) = name
+            .strip_prefix("capsule-")
+            .and_then(|rest| rest.strip_suffix(".json"))
+            .and_then(|digits| digits.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        out.push((SimTime::from_millis(ms), entry.path()));
+    }
+    out.sort_by_key(|(at, _)| *at);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapreduce::policy::StaticSlotPolicy;
+    use mapreduce::{Engine, EngineConfig, JobProfile, JobSpec};
+    use simgrid::time::SimDuration;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("smr-capsule-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn small_stream() -> (mapreduce::RunReport, Vec<EngineState>) {
+        let cfg = EngineConfig::small_test(4, 5);
+        let job = JobSpec::new(
+            0,
+            JobProfile::synthetic_map_heavy(),
+            1024.0,
+            8,
+            SimTime::ZERO,
+        );
+        Engine::new(cfg)
+            .run_with_snapshots(vec![job], &mut StaticSlotPolicy, SimDuration::from_secs(10))
+            .expect("runs")
+    }
+
+    #[test]
+    fn file_names_sort_chronologically() {
+        assert_eq!(
+            capsule_file_name(SimTime::ZERO),
+            "capsule-000000000000.json"
+        );
+        let a = capsule_file_name(SimTime::from_secs(9));
+        let b = capsule_file_name(SimTime::from_secs(100));
+        assert!(a < b, "{a} should sort before {b}");
+    }
+
+    #[test]
+    fn stream_round_trips_through_disk() {
+        let (_, states) = small_stream();
+        assert!(states.len() >= 2, "expected several capsules");
+        let dir = tmp_dir("roundtrip");
+        let paths = write_stream(&dir, &states).expect("write");
+        assert_eq!(paths.len(), states.len());
+        let listed = list_capsules(&dir).expect("list");
+        assert_eq!(listed.len(), states.len());
+        for ((at, path), state) in listed.iter().zip(&states) {
+            assert_eq!(*at, state.at());
+            let snap = load(path).expect("load");
+            assert_eq!(snap.at, state.at());
+            assert_eq!(
+                serde_json::to_string(&snap.state).unwrap(),
+                serde_json::to_string(state).unwrap(),
+                "capsule at {} ms changed through disk",
+                at.as_millis()
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn loaded_capsule_resumes_to_the_straight_result() {
+        let (straight, states) = small_stream();
+        let dir = tmp_dir("resume");
+        let paths = write_stream(&dir, &states).expect("write");
+        let snap = load(&paths[paths.len() / 2]).expect("load");
+        let resumed = Engine::resume(snap.state, &mut StaticSlotPolicy).expect("resume");
+        assert_eq!(
+            serde_json::to_string(&straight).unwrap(),
+            serde_json::to_string(&resumed).unwrap(),
+            "resume from a disk capsule diverged"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let (_, states) = small_stream();
+        let dir = tmp_dir("version");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(capsule_file_name(states[0].at()));
+        let mut snap = SimSnapshot::new(states[0].clone());
+        snap.format_version = FORMAT_VERSION + 1;
+        let json = serde_json::to_string(&snap).unwrap();
+        std::fs::write(&path, json).unwrap();
+        match load(&path) {
+            Err(CapsuleError::VersionMismatch { found, .. }) => {
+                assert_eq!(found, FORMAT_VERSION + 1)
+            }
+            other => panic!("expected version mismatch, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn garbage_files_are_ignored_by_listing_and_rejected_by_load() {
+        let dir = tmp_dir("garbage");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("notes.txt"), "hi").unwrap();
+        std::fs::write(dir.join("capsule-000000000000.json"), "{not json").unwrap();
+        let listed = list_capsules(&dir).expect("list");
+        assert_eq!(listed.len(), 1, "only capsule-*.json names are capsules");
+        assert!(matches!(
+            load(&listed[0].1),
+            Err(CapsuleError::Malformed(..))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
