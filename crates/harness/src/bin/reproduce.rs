@@ -33,29 +33,38 @@
 
 use harness::scale::Scale;
 use harness::{
-    ablation, engine_bench, ext_fair, ext_faults, ext_hetero, ext_load, ext_stragglers, fig1, fig3,
-    fig4, fig5, fig6, fig7, fig89, model_check, output, summary,
+    ablation, capsules, engine_bench, ext_fair, ext_faults, ext_hetero, ext_load, ext_stragglers,
+    fig1, fig3, fig4, fig5, fig6, fig7, fig89, model_check, output, summary,
 };
-use simgrid::time::SteppingMode;
-use std::path::PathBuf;
+use simgrid::time::{SimDuration, SteppingMode};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 struct Args {
     target: String,
+    /// Extra positional operands: the target for `fingerprint`, the
+    /// capsule file for `resume`, the two stream directories for `bisect`.
+    operands: Vec<String>,
     scale: Scale,
     out: PathBuf,
     trace: Option<PathBuf>,
     dashboard: Option<PathBuf>,
     engine: Option<SteppingMode>,
+    checkpoint_every: Option<SimDuration>,
+    capsule_dir: Option<PathBuf>,
+    via: capsules::Via,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut target = None;
+    let mut positionals = Vec::new();
     let mut scale = Scale::Full;
     let mut out = PathBuf::from("results");
     let mut trace = None;
     let mut dashboard = None;
     let mut engine = None;
+    let mut checkpoint_every = None;
+    let mut capsule_dir = None;
+    let mut via = capsules::Via::Straight;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -82,23 +91,58 @@ fn parse_args() -> Result<Args, String> {
                     },
                 );
             }
+            "--checkpoint-every" => {
+                let secs: u64 = it
+                    .next()
+                    .ok_or("--checkpoint-every needs seconds")?
+                    .parse()
+                    .map_err(|_| "--checkpoint-every needs a whole number of seconds")?;
+                if secs == 0 {
+                    return Err("--checkpoint-every must be non-zero".into());
+                }
+                checkpoint_every = Some(SimDuration::from_secs(secs));
+            }
+            "--capsule-dir" => {
+                capsule_dir = Some(PathBuf::from(
+                    it.next().ok_or("--capsule-dir needs a directory")?,
+                ));
+            }
+            "--via" => {
+                via = capsules::Via::parse(&it.next().ok_or("--via needs straight|resume")?)?;
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
-            other if target.is_none() => target = Some(other.to_string()),
-            other => return Err(format!("unexpected argument: {other}\n{USAGE}")),
+            other if other.starts_with("--") => {
+                return Err(format!("unexpected argument: {other}\n{USAGE}"))
+            }
+            other => positionals.push(other.to_string()),
         }
     }
+    let mut positionals = positionals.into_iter();
+    let target = positionals.next().unwrap_or_else(|| "all".to_string());
+    let operands: Vec<String> = positionals.collect();
+    let takes_operands = matches!(target.as_str(), "fingerprint" | "resume" | "bisect");
+    if !takes_operands && !operands.is_empty() {
+        return Err(format!("unexpected argument: {}\n{USAGE}", operands[0]));
+    }
     Ok(Args {
-        target: target.unwrap_or_else(|| "all".to_string()),
+        target,
+        operands,
         scale,
         out,
         trace,
         dashboard,
         engine,
+        checkpoint_every,
+        capsule_dir,
+        via,
     })
 }
 
-const USAGE: &str =
-    "usage: reproduce [all|fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ext-hetero|ext-stragglers|ext-fair|ext-load|ext-faults|ablations|model-check|headline|engine-bench] [--quick] [--out DIR] [--trace FILE] [--dashboard DIR] [--engine fixed|adaptive]";
+const USAGE: &str = "usage: reproduce [all|fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ext-hetero|ext-stragglers|ext-fair|ext-load|ext-faults|ablations|model-check|headline|engine-bench] [--quick] [--out DIR] [--trace FILE] [--dashboard DIR] [--engine fixed|adaptive]
+       reproduce <target> --checkpoint-every SECS --capsule-dir DIR   # record the target's representative run as a capsule stream
+       reproduce fingerprint <target> [--via straight|resume] [--capsule-dir DIR]   # print the representative run's auditor fingerprint
+       reproduce resume CAPSULE.json                                  # resume a capsule to completion
+       reproduce bisect DIR_A DIR_B                                   # first divergent checkpoint of two streams (exit 1 if diverged)";
 
 /// The perf-summary block every figure JSON carries.
 fn perf_block(steps: u64, sim_seconds: f64, wall: std::time::Duration) -> serde_json::Value {
@@ -138,6 +182,121 @@ fn perf_block(steps: u64, sim_seconds: f64, wall: std::time::Duration) -> serde_
     perf
 }
 
+/// Targets with a representative run the checkpoint tooling can record
+/// and fingerprint (everything except the meta targets).
+const CAPSULE_TARGETS: &[&str] = &[
+    "fig1",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "ext-hetero",
+    "ext-stragglers",
+    "ext-fair",
+    "ext-load",
+    "ext-faults",
+    "ablations",
+    "model-check",
+    "headline",
+];
+
+fn check_capsule_target(target: &str) -> Result<(), String> {
+    if CAPSULE_TARGETS.contains(&target) {
+        Ok(())
+    } else {
+        Err(format!(
+            "no representative run for target {target}\n{USAGE}"
+        ))
+    }
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("{msg}");
+    ExitCode::FAILURE
+}
+
+/// `reproduce fingerprint <target> [--via straight|resume]`.
+fn run_fingerprint(args: &Args, scale: Scale) -> ExitCode {
+    let Some(target) = args.operands.first() else {
+        return fail(&format!("fingerprint needs a target\n{USAGE}"));
+    };
+    if let Err(msg) = check_capsule_target(target) {
+        return fail(&msg);
+    }
+    match capsules::fingerprint_target(target, scale, args.via, args.capsule_dir.as_deref()) {
+        Ok(line) => {
+            print!("{line}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => fail(&msg),
+    }
+}
+
+/// `reproduce <target> --checkpoint-every SECS --capsule-dir DIR`.
+fn run_record(args: &Args, scale: Scale, every: SimDuration) -> ExitCode {
+    let Some(dir) = &args.capsule_dir else {
+        return fail("--checkpoint-every needs --capsule-dir DIR");
+    };
+    if args.target == "all" {
+        return fail("--checkpoint-every records one target's representative run; name it");
+    }
+    if let Err(msg) = check_capsule_target(&args.target) {
+        return fail(&msg);
+    }
+    match capsules::record_target(&args.target, scale, every, dir) {
+        Ok(rec) => {
+            println!(
+                "[wrote {} capsules (every {:.0}s of a {:.1}s run) to {}]\n\
+                 fingerprint {:#018x}",
+                rec.capsules,
+                rec.every_s,
+                rec.makespan_s,
+                rec.dir.display(),
+                rec.fingerprint
+            );
+            ExitCode::SUCCESS
+        }
+        Err(msg) => fail(&msg),
+    }
+}
+
+/// `reproduce resume CAPSULE.json`.
+fn run_resume(args: &Args) -> ExitCode {
+    let Some(path) = args.operands.first() else {
+        return fail(&format!("resume needs a capsule file\n{USAGE}"));
+    };
+    match capsules::resume_capsule(Path::new(path)) {
+        Ok(summary) => {
+            print!("{summary}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => fail(&msg),
+    }
+}
+
+/// `reproduce bisect DIR_A DIR_B` — exit 0 when the streams are
+/// identical, 1 when they diverge (with the first divergent checkpoint
+/// and its field diff on stdout).
+fn run_bisect(args: &Args) -> ExitCode {
+    let [dir_a, dir_b] = args.operands.as_slice() else {
+        return fail(&format!("bisect needs two capsule directories\n{USAGE}"));
+    };
+    match checkpoint::bisect_dirs(Path::new(dir_a), Path::new(dir_b)) {
+        Ok(div) => {
+            print!("{}", capsules::render_divergence(&div));
+            if div.is_none() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => fail(&e.to_string()),
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -157,6 +316,20 @@ fn main() -> ExitCode {
         harness::runner::set_engine_mode(mode);
     }
     let scale = args.scale;
+    // checkpoint & replay subcommands run and exit before the figure loop
+    match args.target.as_str() {
+        "fingerprint" => return run_fingerprint(&args, scale),
+        "resume" => return run_resume(&args),
+        "bisect" => return run_bisect(&args),
+        _ => {}
+    }
+    if let Some(every) = args.checkpoint_every {
+        return run_record(&args, scale, every);
+    }
+    if args.capsule_dir.is_some() {
+        eprintln!("--capsule-dir needs --checkpoint-every (or the fingerprint subcommand)");
+        return ExitCode::FAILURE;
+    }
     let run_one = |name: &str| -> Result<(), String> {
         let steps_before = harness::runner::total_steps();
         let sim_before = harness::runner::total_sim_seconds();

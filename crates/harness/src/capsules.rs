@@ -1,0 +1,231 @@
+//! Checkpoint & replay wiring for `reproduce`: record a target's
+//! representative run as a capsule stream, resume a capsule from disk,
+//! and print replay fingerprints for the CI equivalence gate.
+//!
+//! Every target's *representative* run (the same configuration its
+//! dashboard records — [`crate::dashboard::representative`]) can be:
+//!
+//! * **fingerprinted** ([`fingerprint_target`]) — run straight through,
+//!   or snapshot-at-midpoint-then-resume, printing the auditor
+//!   fingerprint of the final report. The two must print identical
+//!   output; CI `cmp`s them.
+//! * **recorded** ([`record_target`]) — run once with `--checkpoint-every`
+//!   capture, writing the capsule stream into `--capsule-dir` for later
+//!   `reproduce resume` / `reproduce bisect`.
+
+use crate::dashboard;
+use crate::runner::{self, System};
+use crate::scale::Scale;
+use checkpoint::SimSnapshot;
+use mapreduce::auditor;
+use simgrid::time::SimDuration;
+use std::path::{Path, PathBuf};
+
+/// How `fingerprint` obtains the report it fingerprints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Via {
+    /// One uninterrupted run.
+    Straight,
+    /// Run with capsule capture, then re-run by resuming the midpoint
+    /// capsule — the replay path the equivalence gate exercises.
+    Resume,
+}
+
+impl Via {
+    pub fn parse(s: &str) -> Result<Via, String> {
+        match s {
+            "straight" => Ok(Via::Straight),
+            "resume" => Ok(Via::Resume),
+            other => Err(format!("--via must be straight|resume, got {other}")),
+        }
+    }
+}
+
+/// Capture period for the fingerprint replay path: long enough that quick
+/// runs take a handful of capsules, and a multiple of every config's
+/// sample period.
+fn fingerprint_every() -> SimDuration {
+    SimDuration::from_secs(30)
+}
+
+/// Fingerprint a target's representative run. The printed line is
+/// via-independent by construction: if the replay path diverges from the
+/// straight path, the fingerprints (and the CI `cmp`) differ.
+///
+/// With `capsule_dir` set, the resume path writes the full capsule
+/// stream there (the straight path writes nothing) — on a gate failure
+/// that stream is the artifact to bisect.
+pub fn fingerprint_target(
+    target: &str,
+    scale: Scale,
+    via: Via,
+    capsule_dir: Option<&Path>,
+) -> Result<String, String> {
+    let (mut cfg, jobs, system, _) =
+        dashboard::representative(target, scale).map_err(|e| e.to_string())?;
+    // fingerprints cover counters; event recording only bloats capsules
+    cfg.record_events = false;
+    let seed = cfg.seed;
+    let report = match via {
+        Via::Straight => runner::run_once(&cfg, jobs, &system, seed).map_err(|e| e.to_string())?,
+        Via::Resume => {
+            let (_, capsules) =
+                runner::run_once_with_snapshots(&cfg, jobs, &system, seed, fingerprint_every())
+                    .map_err(|e| e.to_string())?;
+            if let Some(dir) = capsule_dir {
+                checkpoint::write_stream(dir, &capsules).map_err(|e| e.to_string())?;
+            }
+            let mid = capsules[capsules.len() / 2].clone();
+            runner::resume_once(mid, &system).map_err(|e| e.to_string())?
+        }
+    };
+    Ok(format!(
+        "{target} {} seed {} fingerprint {:#018x}\n",
+        report.policy,
+        seed,
+        auditor::fingerprint(&report)
+    ))
+}
+
+/// Outcome of recording a target's representative run as a capsule
+/// stream.
+pub struct RecordOutcome {
+    pub dir: PathBuf,
+    pub capsules: usize,
+    pub every_s: f64,
+    pub makespan_s: f64,
+    pub fingerprint: u64,
+}
+
+/// Run a target's representative configuration with capsule capture every
+/// `every`, writing the stream into `dir`.
+pub fn record_target(
+    target: &str,
+    scale: Scale,
+    every: SimDuration,
+    dir: &Path,
+) -> Result<RecordOutcome, String> {
+    let (mut cfg, jobs, system, _) =
+        dashboard::representative(target, scale).map_err(|e| e.to_string())?;
+    cfg.record_events = false;
+    let seed = cfg.seed;
+    let (report, capsules) = runner::run_once_with_snapshots(&cfg, jobs, &system, seed, every)
+        .map_err(|e| e.to_string())?;
+    let paths = checkpoint::write_stream(dir, &capsules).map_err(|e| e.to_string())?;
+    Ok(RecordOutcome {
+        dir: dir.to_path_buf(),
+        capsules: paths.len(),
+        every_s: every.as_secs_f64(),
+        makespan_s: report.makespan().as_secs_f64(),
+        fingerprint: auditor::fingerprint(&report),
+    })
+}
+
+/// Resume a capsule file to completion. The policy is reconstructed from
+/// the capsule's recorded name (default configuration); the run is
+/// audited like any other.
+pub fn resume_capsule(path: &Path) -> Result<String, String> {
+    let snap: SimSnapshot = checkpoint::load(path).map_err(|e| e.to_string())?;
+    let name = snap.state.policy_name().to_string();
+    if name.is_empty() {
+        return Err(format!(
+            "{}: capsule is an unbound warm-start capture (Engine::prepare); \
+             it has no policy to resume under",
+            path.display()
+        ));
+    }
+    let system = System::from_label(&name)
+        .ok_or_else(|| format!("{}: unknown policy {name:?}", path.display()))?;
+    let from_s = snap.state.at().as_secs_f64();
+    let report = runner::resume_once(snap.state, &system).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "resumed {} from t={from_s:.0}s under {}\n\
+         makespan {:.1}s, fingerprint {:#018x}\n",
+        path.display(),
+        report.policy,
+        report.makespan().as_secs_f64(),
+        auditor::fingerprint(&report)
+    ))
+}
+
+/// Render a bisection outcome for the terminal.
+pub fn render_divergence(div: &Option<checkpoint::Divergence>) -> String {
+    match div {
+        None => "capsule streams are byte-identical\n".to_string(),
+        Some(d) => {
+            let mut out = format!(
+                "first divergent checkpoint: index {} at t={:.0}s\n  a: {}\n  b: {}\n",
+                d.index,
+                d.at.as_secs_f64(),
+                d.path_a.display(),
+                d.path_b.display()
+            );
+            const SHOWN: usize = 20;
+            for diff in d.diffs.iter().take(SHOWN) {
+                out.push_str(&format!("  {}: {} != {}\n", diff.path, diff.a, diff.b));
+            }
+            if d.diffs.len() > SHOWN {
+                out.push_str(&format!(
+                    "  … and {} more differing fields\n",
+                    d.diffs.len() - SHOWN
+                ));
+            }
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("smr-capsules-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn straight_and_resume_fingerprints_agree() {
+        let a = fingerprint_target("fig1", Scale::Quick, Via::Straight, None).expect("straight");
+        let dir = tmp("fp");
+        let b = fingerprint_target("fig1", Scale::Quick, Via::Resume, Some(&dir)).expect("resume");
+        assert_eq!(a, b, "replay fingerprint diverged from straight run");
+        assert!(
+            !checkpoint::list_capsules(&dir).expect("list").is_empty(),
+            "resume path wrote its capsule stream"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recorded_stream_resumes_and_bisects_clean() {
+        let dir_a = tmp("rec-a");
+        let dir_b = tmp("rec-b");
+        let every = SimDuration::from_secs(30);
+        let ra = record_target("ext-faults", Scale::Quick, every, &dir_a).expect("record a");
+        let rb = record_target("ext-faults", Scale::Quick, every, &dir_b).expect("record b");
+        assert_eq!(ra.fingerprint, rb.fingerprint, "recording is deterministic");
+        assert!(ra.capsules >= 2, "{} capsules", ra.capsules);
+        // identical reruns bisect to no divergence
+        let div = checkpoint::bisect_dirs(&dir_a, &dir_b).expect("bisect");
+        assert!(div.is_none(), "{}", render_divergence(&div));
+        // any capsule resumes to the recorded fingerprint
+        let capsules = checkpoint::list_capsules(&dir_a).expect("list");
+        let (_, mid_path) = &capsules[capsules.len() / 2];
+        let summary = resume_capsule(mid_path).expect("resume");
+        assert!(
+            summary.contains(&format!("{:#018x}", ra.fingerprint)),
+            "resume fingerprint missing from: {summary}"
+        );
+        let _ = std::fs::remove_dir_all(&dir_a);
+        let _ = std::fs::remove_dir_all(&dir_b);
+    }
+
+    #[test]
+    fn unknown_via_is_rejected() {
+        assert!(Via::parse("sideways").is_err());
+        assert_eq!(Via::parse("straight").unwrap(), Via::Straight);
+        assert_eq!(Via::parse("resume").unwrap(), Via::Resume);
+    }
+}

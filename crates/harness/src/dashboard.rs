@@ -43,8 +43,11 @@ pub fn render_for_target(target: &str, scale: Scale) -> Result<String, SimError>
     Ok(render_dashboard(&spec))
 }
 
-/// The single recorded run a target's dashboard shows.
-fn representative(
+/// The single recorded run a target's dashboard shows — also the run the
+/// checkpoint tooling (`reproduce fingerprint`, `--checkpoint-every`)
+/// captures and replays, so "the representative run of fig1" means the
+/// same configuration everywhere.
+pub fn representative(
     target: &str,
     scale: Scale,
 ) -> Result<(EngineConfig, Vec<JobSpec>, System, String), SimError> {

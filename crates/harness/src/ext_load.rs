@@ -16,7 +16,7 @@
 //! management needs workload stretches longer than its adaptation time —
 //! the flip side of Fig. 6's "the larger the input, the more benefit".
 
-use crate::runner::{run_once, System};
+use crate::runner::{prepare_warm, run_warm, System};
 use crate::scale::Scale;
 use crate::table;
 use mapreduce::EngineConfig;
@@ -63,8 +63,11 @@ pub fn run(scale: Scale) -> ExtLoad {
         );
         let jobs = spec.generate(17);
         let cfg = EngineConfig::paper_default();
+        // the three systems replay the same trace from one shared capsule
+        // of the common prefix (cluster boot + DFS load of every job)
+        let warm = prepare_warm(&cfg, jobs.clone(), cfg.seed).expect("warm capture");
         for sys in System::all() {
-            let r = run_once(&cfg, jobs.clone(), &sys, cfg.seed).expect("load run");
+            let r = run_warm(&warm, &cfg, &sys, cfg.seed).expect("load run");
             cells.push(LoadCell {
                 trace: label.to_string(),
                 system: r.policy.clone(),

@@ -15,10 +15,10 @@
 
 use mapreduce::auditor::{audit, AuditSetup};
 use mapreduce::policy::{SlotPolicy, StaticSlotPolicy};
-use mapreduce::{CounterLedger, Engine, EngineConfig, JobSpec, RunReport};
+use mapreduce::{CounterLedger, Engine, EngineConfig, EngineState, JobSpec, RunReport};
 use serde::{Deserialize, Serialize};
 use simgrid::error::SimError;
-use simgrid::time::SteppingMode;
+use simgrid::time::{SimDuration, SteppingMode};
 use smapreduce::{HeteroSlotManagerPolicy, SlotManagerPolicy, SmrConfig};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
@@ -114,7 +114,22 @@ impl System {
         }
     }
 
-    fn make_policy(&self) -> Box<dyn SlotPolicy> {
+    /// The system a capsule's recorded policy name maps back to — the
+    /// default configuration of that policy (capsules carry policy *state*
+    /// but not policy *configuration*, so an ablation run resumes under
+    /// the default `SmrConfig`).
+    pub fn from_label(label: &str) -> Option<System> {
+        match label {
+            "HadoopV1" => Some(System::HadoopV1),
+            "YARN" => Some(System::Yarn),
+            "SMapReduce" => Some(System::SMapReduce),
+            "SMapReduce-hetero" => Some(System::SMapReduceHetero),
+            _ => None,
+        }
+    }
+
+    /// A fresh policy instance for this system.
+    pub fn make_policy(&self) -> Box<dyn SlotPolicy> {
         match self {
             System::HadoopV1 => Box::new(StaticSlotPolicy),
             System::Yarn => Box::new(CapacityPolicy),
@@ -154,14 +169,82 @@ pub fn run_once(
     system: &System,
     seed: u64,
 ) -> Result<RunReport, SimError> {
+    let cfg = effective_config(cfg, seed);
+    let setup = AuditSetup::from_config(&cfg);
+    let mut policy = system.make_policy();
+    let report = Engine::new(cfg).run_with(jobs, policy.as_mut(), &active_telemetry())?;
+    account_and_audit(report, &setup)
+}
+
+/// [`run_once`], additionally capturing a state capsule at every multiple
+/// of `every` simulated time. The run is audited like any other.
+pub fn run_once_with_snapshots(
+    cfg: &EngineConfig,
+    jobs: Vec<JobSpec>,
+    system: &System,
+    seed: u64,
+    every: SimDuration,
+) -> Result<(RunReport, Vec<EngineState>), SimError> {
+    let cfg = effective_config(cfg, seed);
+    let setup = AuditSetup::from_config(&cfg);
+    let mut policy = system.make_policy();
+    let (report, capsules) = Engine::new(cfg).run_with_snapshots(jobs, policy.as_mut(), every)?;
+    Ok((account_and_audit(report, &setup)?, capsules))
+}
+
+/// Resume a capsule to completion under a fresh instance of `system`
+/// (which must match the capsule's recorded policy name), with the same
+/// auditing and accounting as [`run_once`].
+pub fn resume_once(state: EngineState, system: &System) -> Result<RunReport, SimError> {
+    let setup = AuditSetup::from_config(state.config());
+    let mut policy = system.make_policy();
+    let report = Engine::resume_with(state, policy.as_mut(), &active_telemetry())?;
+    account_and_audit(report, &setup)
+}
+
+/// Boot the cluster and DFS for `jobs` and capture the t=0 capsule sweeps
+/// warm-start from, under the process-wide engine-mode override and the
+/// given seed (the capsule can only be resumed under configs with this
+/// seed).
+pub fn prepare_warm(
+    cfg: &EngineConfig,
+    jobs: Vec<JobSpec>,
+    seed: u64,
+) -> Result<EngineState, SimError> {
+    Engine::new(effective_config(cfg, seed)).prepare(jobs)
+}
+
+/// Run one sweep cell from a shared warm capsule: bind the capsule to the
+/// cell's config (fault plan, knobs — cluster/seed/block size must match
+/// the capture) and `system`, then resume. Byte-identical to a cold
+/// [`run_once`] of the same cell — proven by `warm_start_equals_cold_run`
+/// below.
+pub fn run_warm(
+    warm: &EngineState,
+    cfg: &EngineConfig,
+    system: &System,
+    seed: u64,
+) -> Result<RunReport, SimError> {
+    let mut state = warm.clone();
+    state.override_config(effective_config(cfg, seed))?;
+    state.override_policy(system.label())?;
+    resume_once(state, system)
+}
+
+/// The per-run config: the cell's config with the trial seed and the
+/// process-wide `--engine` override applied.
+fn effective_config(cfg: &EngineConfig, seed: u64) -> EngineConfig {
     let mut cfg = cfg.clone();
     cfg.seed = seed;
     if let Some(mode) = engine_mode() {
         cfg.tick.mode = mode;
     }
-    let setup = AuditSetup::from_config(&cfg);
-    let mut policy = system.make_policy();
-    let report = Engine::new(cfg).run_with(jobs, policy.as_mut(), &active_telemetry())?;
+    cfg
+}
+
+/// Step accounting, invariant audit, process-counter merge — shared by
+/// every run variant so no report escapes unaudited.
+fn account_and_audit(report: RunReport, setup: &AuditSetup) -> Result<RunReport, SimError> {
     TOTAL_STEPS.fetch_add(report.steps, Ordering::Relaxed);
     let sim_ms = report
         .jobs
@@ -170,7 +253,7 @@ pub fn run_once(
         .max()
         .unwrap_or(0);
     TOTAL_SIM_MS.fetch_add(sim_ms, Ordering::Relaxed);
-    let violations = audit(&report, &setup);
+    let violations = audit(&report, setup);
     if !violations.is_empty() {
         return Err(SimError::AuditFailed {
             violations: violations.iter().map(|v| v.to_string()).collect(),
@@ -202,6 +285,32 @@ pub fn run_averaged(
     system: &System,
     trials: usize,
 ) -> Result<AveragedRun, SimError> {
+    run_averaged_by(cfg, system, trials, &|seed| {
+        run_once(cfg, jobs.to_vec(), system, seed)
+    })
+}
+
+/// [`run_averaged`] where every trial warm-starts from a shared capsule
+/// of the common prefix (cluster boot + DFS load) instead of redoing it:
+/// `warm_for_seed` hands back the [`prepare_warm`] capsule for a trial
+/// seed, and each trial binds it to this cell's `cfg` and `system`.
+pub fn run_averaged_warm(
+    cfg: &EngineConfig,
+    warm_for_seed: &dyn Fn(u64) -> EngineState,
+    system: &System,
+    trials: usize,
+) -> Result<AveragedRun, SimError> {
+    run_averaged_by(cfg, system, trials, &|seed| {
+        run_warm(&warm_for_seed(seed), cfg, system, seed)
+    })
+}
+
+fn run_averaged_by(
+    cfg: &EngineConfig,
+    system: &System,
+    trials: usize,
+    run: &dyn Fn(u64) -> Result<RunReport, SimError>,
+) -> Result<AveragedRun, SimError> {
     if trials == 0 {
         return Err(SimError::InvalidConfig(
             "run_averaged needs at least one trial".into(),
@@ -210,7 +319,17 @@ pub fn run_averaged(
     let mut reports = Vec::with_capacity(trials);
     for t in 0..trials {
         let seed = trial_seed(cfg.seed, t as u64);
-        reports.push(run_once(cfg, jobs.to_vec(), system, seed)?);
+        // a panicking run re-panics with the trial seed attached, so a
+        // sweep failure names the exact cell that died (run_comparison's
+        // join prefixes the system label)
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(seed))) {
+            Ok(report) => reports.push(report?),
+            Err(payload) => std::panic::panic_any(format!(
+                "{} trial with seed {seed} panicked: {}",
+                system.label(),
+                panic_message(payload.as_ref())
+            )),
+        }
     }
     let njobs = reports[0].jobs.len() as f64;
     let nt = trials as f64;
@@ -262,7 +381,7 @@ pub fn run_comparison(
             if let Err(payload) = handle.join() {
                 std::panic::panic_any(format!(
                     "{label} worker thread panicked: {}",
-                    panic_message(&payload)
+                    panic_message(payload.as_ref())
                 ));
             }
         }
@@ -369,6 +488,60 @@ mod tests {
         assert!(
             delta.get(mapreduce::Counter::TotalLaunchedMaps)
                 >= r.counters.get(mapreduce::Counter::TotalLaunchedMaps)
+        );
+    }
+
+    #[test]
+    fn warm_start_equals_cold_run() {
+        use simgrid::cluster::NodeId;
+        use simgrid::{FaultPlan, NodeFault};
+        // the sweep pattern: one shared prepare() capsule, per-cell fault
+        // plan bound at resume time — must be byte-identical to the cold run
+        let base = small_cfg();
+        let mut cell = base.clone();
+        cell.fault_plan = FaultPlan::new(vec![NodeFault::transient(
+            NodeId(1),
+            SimTime::from_secs(30),
+            simgrid::time::SimDuration::from_secs(60),
+        )]);
+        let seed = 77;
+        let warm = prepare_warm(&base, vec![small_job()], seed).expect("prepare");
+        for sys in [System::HadoopV1, System::SMapReduce] {
+            let warm_report = run_warm(&warm, &cell, &sys, seed).expect("warm run");
+            let cold_report = run_once(&cell, vec![small_job()], &sys, seed).expect("cold run");
+            assert_eq!(
+                serde_json::to_string(&warm_report).unwrap(),
+                serde_json::to_string(&cold_report).unwrap(),
+                "{} warm-start diverged from the cold run",
+                sys.label()
+            );
+        }
+    }
+
+    #[test]
+    fn averaged_panics_carry_system_and_trial_seed() {
+        let cfg = small_cfg();
+        let bad_seed = trial_seed(cfg.seed, 1);
+        let payload = std::panic::catch_unwind(|| {
+            let _ = run_averaged_by(&cfg, &System::SMapReduce, 2, &|seed| {
+                if seed == bad_seed {
+                    panic!("injected failure");
+                }
+                run_once(&cfg, vec![small_job()], &System::SMapReduce, seed)
+            });
+        })
+        .expect_err("second trial panics");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("re-panic carries a String");
+        assert!(msg.contains("SMapReduce"), "no system in: {msg}");
+        assert!(
+            msg.contains(&format!("seed {bad_seed}")),
+            "no trial seed in: {msg}"
+        );
+        assert!(
+            msg.contains("injected failure"),
+            "original message lost: {msg}"
         );
     }
 

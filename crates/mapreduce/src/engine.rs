@@ -2271,11 +2271,8 @@ impl<'p> Sim<'p> {
     /// pre-loop sample at t=0 has been recorded) and false for warm
     /// capsules taken before the run started.
     fn capture_state(&self, initial_sample_done: bool) -> EngineState {
-        let mut failure_points: Vec<(MapAttemptId, f64)> = self
-            .failure_points
-            .iter()
-            .map(|(k, v)| (*k, *v))
-            .collect();
+        let mut failure_points: Vec<(MapAttemptId, f64)> =
+            self.failure_points.iter().map(|(k, v)| (*k, *v)).collect();
         failure_points.sort_by_key(|&(k, _)| k);
         EngineState {
             config: self.cfg.clone(),
@@ -2543,7 +2540,7 @@ impl Engine {
             ));
         }
         let sample = self.config.sample_period.as_millis();
-        if sample == 0 || every.as_millis() % sample != 0 {
+        if sample == 0 || !every.as_millis().is_multiple_of(sample) {
             return Err(SimError::InvalidConfig(format!(
                 "checkpoint period {} ms must be a multiple of the sample period {} ms",
                 every.as_millis(),
@@ -2674,7 +2671,13 @@ mod tests {
                 cfg.tick.mode = SteppingMode::Fixed;
             }
             cfg.record_events = true;
-            let job = JobSpec::new(0, JobProfile::synthetic_map_heavy(), 1024.0, 8, SimTime::ZERO);
+            let job = JobSpec::new(
+                0,
+                JobProfile::synthetic_map_heavy(),
+                1024.0,
+                8,
+                SimTime::ZERO,
+            );
             let engine = Engine::new(cfg);
             let straight = engine
                 .run(vec![job.clone()], &mut StaticSlotPolicy)
@@ -2699,7 +2702,13 @@ mod tests {
     #[test]
     fn resume_rejects_mismatched_policy() {
         let cfg = EngineConfig::small_test(4, 9);
-        let job = JobSpec::new(0, JobProfile::synthetic_map_heavy(), 512.0, 8, SimTime::ZERO);
+        let job = JobSpec::new(
+            0,
+            JobProfile::synthetic_map_heavy(),
+            512.0,
+            8,
+            SimTime::ZERO,
+        );
         let (_, snaps) = Engine::new(cfg)
             .run_with_snapshots(vec![job], &mut StaticSlotPolicy, SimDuration::from_secs(10))
             .unwrap();
@@ -2719,7 +2728,13 @@ mod tests {
     #[test]
     fn snapshot_period_must_align_with_sampling() {
         let cfg = EngineConfig::small_test(4, 9);
-        let job = JobSpec::new(0, JobProfile::synthetic_map_heavy(), 512.0, 8, SimTime::ZERO);
+        let job = JobSpec::new(
+            0,
+            JobProfile::synthetic_map_heavy(),
+            512.0,
+            8,
+            SimTime::ZERO,
+        );
         let err = Engine::new(cfg)
             .run_with_snapshots(
                 vec![job],
@@ -2734,7 +2749,13 @@ mod tests {
     fn engine_state_serde_round_trip_preserves_replay() {
         let mut cfg = EngineConfig::small_test(4, 21);
         cfg.record_events = true;
-        let job = JobSpec::new(0, JobProfile::synthetic_reduce_heavy(), 1024.0, 8, SimTime::ZERO);
+        let job = JobSpec::new(
+            0,
+            JobProfile::synthetic_reduce_heavy(),
+            1024.0,
+            8,
+            SimTime::ZERO,
+        );
         let engine = Engine::new(cfg);
         let (straight, snaps) = engine
             .run_with_snapshots(vec![job], &mut StaticSlotPolicy, SimDuration::from_secs(10))
@@ -2754,7 +2775,13 @@ mod tests {
     #[test]
     fn prepared_capsule_resumes_like_a_fresh_run() {
         let cfg = EngineConfig::small_test(4, 13);
-        let job = JobSpec::new(0, JobProfile::synthetic_map_heavy(), 1024.0, 8, SimTime::ZERO);
+        let job = JobSpec::new(
+            0,
+            JobProfile::synthetic_map_heavy(),
+            1024.0,
+            8,
+            SimTime::ZERO,
+        );
         let engine = Engine::new(cfg);
         let straight = engine
             .run(vec![job.clone()], &mut StaticSlotPolicy)

@@ -1,0 +1,118 @@
+//! Serde round-trip properties for the state types capsules carry.
+//!
+//! A capsule is only trustworthy if deserializing it reconstructs the
+//! exact value that was saved — bit-equal floats included. These
+//! properties pin that for the counter ledger, fault plans, full run
+//! reports, and the capsule envelope itself.
+
+use checkpoint::SimSnapshot;
+use harness::runner::run_once_with_snapshots;
+use harness::{run_once, System};
+use mapreduce::{Counter, CounterLedger, EngineConfig, JobProfile, JobSpec, RunReport};
+use proptest::proptest;
+use simgrid::cluster::NodeId;
+use simgrid::time::{SimDuration, SimTime};
+use simgrid::{FaultPlan, NodeFault};
+
+proptest! {
+    /// Any ledger built from arbitrary adds survives a JSON round trip
+    /// with every counter bit-identical.
+    #[test]
+    fn counter_ledger_round_trips_bit_exact(
+        adds in proptest::collection::vec((0usize..17, 0.0f64..1.0e12), 0..24),
+    ) {
+        let mut ledger = CounterLedger::default();
+        for &(idx, amount) in &adds {
+            ledger.add(Counter::ALL[idx], amount);
+        }
+        let json = serde_json::to_string(&ledger).unwrap();
+        let back: CounterLedger = serde_json::from_str(&json).unwrap();
+        for c in Counter::ALL {
+            proptest::prop_assert_eq!(
+                ledger.get(c).to_bits(),
+                back.get(c).to_bits(),
+                "{} changed across the round trip",
+                c.name()
+            );
+        }
+        // and the round trip is a fixed point of serialization
+        proptest::prop_assert_eq!(json, serde_json::to_string(&back).unwrap());
+    }
+
+    /// Fault plans — any mix of permanent and transient crashes — round
+    /// trip to an equal plan.
+    #[test]
+    fn fault_plans_round_trip(
+        faults in proptest::collection::vec(
+            (0usize..6, 1u64..500_000, 0u32..2, 1u64..600), 0..6),
+    ) {
+        let plan = FaultPlan::new(
+            faults
+                .iter()
+                .map(|&(node, at_ms, perm, down_s)| {
+                    if perm == 1 {
+                        NodeFault::permanent(NodeId(node), SimTime::from_millis(at_ms))
+                    } else {
+                        NodeFault::transient(
+                            NodeId(node),
+                            SimTime::from_millis(at_ms),
+                            SimDuration::from_secs(down_s),
+                        )
+                    }
+                })
+                .collect(),
+        );
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        proptest::prop_assert_eq!(&plan, &back);
+        proptest::prop_assert_eq!(json, serde_json::to_string(&back).unwrap());
+    }
+
+    /// A full run report — series, events, counters, floats — survives a
+    /// JSON round trip byte-identically.
+    #[test]
+    fn run_reports_round_trip_byte_identical(seed in 0u64..500, smr in 0u32..2) {
+        let mut cfg = EngineConfig::small_test(3, seed);
+        cfg.record_events = seed % 2 == 0;
+        let job = JobSpec::new(
+            0,
+            JobProfile::synthetic_map_heavy(),
+            768.0,
+            4,
+            SimTime::ZERO,
+        );
+        let system = if smr == 1 { System::SMapReduce } else { System::HadoopV1 };
+        let report = run_once(&cfg, vec![job], &system, cfg.seed).expect("run completes");
+        let json = serde_json::to_string(&report).unwrap();
+        let back: RunReport = serde_json::from_str(&json).unwrap();
+        proptest::prop_assert_eq!(json, serde_json::to_string(&back).unwrap());
+    }
+}
+
+#[test]
+fn capsule_envelopes_round_trip_byte_identical() {
+    let cfg = EngineConfig::small_test(4, 23);
+    let job = JobSpec::new(
+        0,
+        JobProfile::synthetic_reduce_heavy(),
+        1024.0,
+        6,
+        SimTime::ZERO,
+    );
+    let (_, capsules) = run_once_with_snapshots(
+        &cfg,
+        vec![job],
+        &System::SMapReduce,
+        cfg.seed,
+        SimDuration::from_secs(10),
+    )
+    .expect("run completes");
+    assert!(!capsules.is_empty());
+    for state in capsules {
+        let snap = SimSnapshot::new(state);
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: SimSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(snap.at, back.at);
+        assert_eq!(json, serde_json::to_string(&back).unwrap());
+    }
+}
