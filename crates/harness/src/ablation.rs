@@ -13,7 +13,7 @@
 //! * **suspicion threshold** — one chance trigger-happily confirms wave
 //!   noise as thrashing, many chances ride the thrashing region too long.
 
-use crate::runner::{run_averaged, System};
+use crate::runner::{average_reports, run_cells, trial_seed, CellRequest, System};
 use crate::scale::Scale;
 use crate::table;
 use mapreduce::EngineConfig;
@@ -38,63 +38,26 @@ pub struct Ablations {
     pub points: Vec<AblationPoint>,
 }
 
-fn measure(
-    cfg: &EngineConfig,
-    bench: Puma,
-    scale: Scale,
-    knob: &str,
-    value: String,
-    smr: SmrConfig,
-) -> AblationPoint {
-    let job = bench.job(
-        0,
-        scale.input(bench.default_input_mb()),
-        30,
-        Default::default(),
-    );
-    let avg = run_averaged(cfg, &[job], &System::SMapReduceWith(smr), scale.trials())
-        .expect("ablation run");
-    AblationPoint {
-        knob: knob.to_string(),
-        value,
-        map_time_s: avg.map_time_s,
-        total_time_s: avg.total_time_s,
-    }
-}
-
 /// Run every sweep (WordCount: medium class, sensitive to all four knobs).
+/// All 17 knob points × trials go through the bounded pool as one batch.
 pub fn run(scale: Scale) -> Ablations {
     let bench = Puma::WordCount;
     let cfg = EngineConfig::paper_default();
-    let mut points = Vec::new();
+    let mut specs: Vec<(String, String, SmrConfig)> = Vec::new();
 
     for secs in [6u64, 12, 24, 48, 96] {
         let smr = SmrConfig {
             balance_window: SimDuration::from_secs(secs),
             ..SmrConfig::default()
         };
-        points.push(measure(
-            &cfg,
-            bench,
-            scale,
-            "balance_window",
-            format!("{secs}s"),
-            smr,
-        ));
+        specs.push(("balance_window".into(), format!("{secs}s"), smr));
     }
     for secs in [3u64, 6, 12, 24] {
         let smr = SmrConfig {
             period: SimDuration::from_secs(secs),
             ..SmrConfig::default()
         };
-        points.push(measure(
-            &cfg,
-            bench,
-            scale,
-            "period",
-            format!("{secs}s"),
-            smr,
-        ));
+        specs.push(("period".into(), format!("{secs}s"), smr));
     }
     for (lower, upper) in [(0.3, 0.7), (0.5, 0.88), (0.6, 0.95), (0.7, 1.05)] {
         let smr = SmrConfig {
@@ -102,29 +65,54 @@ pub fn run(scale: Scale) -> Ablations {
             f_upper: upper,
             ..SmrConfig::default()
         };
-        points.push(measure(
-            &cfg,
-            bench,
-            scale,
-            "f_bounds",
-            format!("[{lower},{upper}]"),
-            smr,
-        ));
+        specs.push(("f_bounds".into(), format!("[{lower},{upper}]"), smr));
     }
     for k in [1u32, 2, 3, 5] {
         let smr = SmrConfig {
             suspect_threshold: k,
             ..SmrConfig::default()
         };
-        points.push(measure(
-            &cfg,
-            bench,
-            scale,
-            "suspect_threshold",
-            k.to_string(),
-            smr,
-        ));
+        specs.push(("suspect_threshold".into(), k.to_string(), smr));
     }
+
+    let job = bench.job(
+        0,
+        scale.input(bench.default_input_mb()),
+        30,
+        Default::default(),
+    );
+    let trials = scale.trials();
+    let requests: Vec<CellRequest> = specs
+        .iter()
+        .flat_map(|(_, _, smr)| {
+            (0..trials).map(|t| {
+                CellRequest::cold(
+                    cfg.clone(),
+                    vec![job.clone()],
+                    System::SMapReduceWith(smr.clone()),
+                    trial_seed(cfg.seed, t as u64),
+                )
+            })
+        })
+        .collect();
+    let mut reports = run_cells(&requests).reports.into_iter();
+    let points = specs
+        .into_iter()
+        .map(|(knob, value, smr)| {
+            let chunk: Vec<_> = reports
+                .by_ref()
+                .take(trials)
+                .collect::<Result<_, _>>()
+                .expect("ablation run");
+            let avg = average_reports(&System::SMapReduceWith(smr), chunk);
+            AblationPoint {
+                knob,
+                value,
+                map_time_s: avg.map_time_s,
+                total_time_s: avg.total_time_s,
+            }
+        })
+        .collect();
     Ablations {
         benchmark: bench.name().to_string(),
         points,
@@ -157,6 +145,31 @@ pub fn render(a: &Ablations) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::run_averaged;
+
+    fn measure(
+        cfg: &EngineConfig,
+        bench: Puma,
+        scale: Scale,
+        knob: &str,
+        value: String,
+        smr: SmrConfig,
+    ) -> AblationPoint {
+        let job = bench.job(
+            0,
+            scale.input(bench.default_input_mb()),
+            30,
+            Default::default(),
+        );
+        let avg = run_averaged(cfg, &[job], &System::SMapReduceWith(smr), scale.trials())
+            .expect("ablation run");
+        AblationPoint {
+            knob: knob.to_string(),
+            value,
+            map_time_s: avg.map_time_s,
+            total_time_s: avg.total_time_s,
+        }
+    }
 
     #[test]
     fn sweep_covers_all_knobs() {

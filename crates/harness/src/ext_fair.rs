@@ -8,7 +8,7 @@
 //! under SMapReduce, showing that runtime slot management and fair job
 //! ordering are orthogonal and compose.
 
-use crate::runner::{run_once, System};
+use crate::runner::{run_cells, CellRequest, System};
 use crate::scale::Scale;
 use crate::table;
 use mapreduce::{EngineConfig, SchedKind};
@@ -61,28 +61,39 @@ pub fn workload(scale: Scale) -> Vec<mapreduce::JobSpec> {
     ]
 }
 
-/// Run the grid.
+/// Run the grid — four cold cells in one batch over the bounded pool.
 pub fn run(scale: Scale) -> ExtFair {
-    let mut cells = Vec::new();
+    let mut labels = Vec::new();
+    let mut requests = Vec::new();
     for (sched_label, kind) in [("FIFO", SchedKind::Fifo), ("Fair", SchedKind::Fair)] {
         for sys in [System::HadoopV1, System::SMapReduce] {
             let mut cfg = EngineConfig::paper_default();
             cfg.scheduler = kind;
-            let r = run_once(&cfg, workload(scale), &sys, cfg.seed).expect("fair run");
+            let seed = cfg.seed;
+            requests.push(CellRequest::cold(cfg, workload(scale), sys, seed));
+            labels.push(sched_label);
+        }
+    }
+    let reports = run_cells(&requests).reports;
+    let cells = labels
+        .into_iter()
+        .zip(reports)
+        .map(|(sched_label, r)| {
+            let r = r.expect("fair run");
             let small_mean_s = r.jobs[1..]
                 .iter()
                 .map(|j| j.execution_time().as_secs_f64())
                 .sum::<f64>()
                 / 3.0;
-            cells.push(FairCell {
+            FairCell {
                 scheduler: sched_label.to_string(),
                 system: r.policy.clone(),
                 small_mean_s,
                 large_s: r.jobs[0].execution_time().as_secs_f64(),
                 makespan_s: r.makespan().as_secs_f64(),
-            });
-        }
-    }
+            }
+        })
+        .collect();
     ExtFair { cells }
 }
 
@@ -123,6 +134,7 @@ pub fn render(e: &ExtFair) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::run_once;
 
     #[test]
     fn fair_rescues_small_jobs() {

@@ -10,7 +10,9 @@
 //! prevents: a crash that strands needed work surfaces a clean
 //! `NodeLost` error instead of hanging.
 
-use crate::runner::{prepare_warm, run_averaged_warm, run_once, trial_seed, System};
+use crate::runner::{
+    average_reports, prepare_warm, run_cells, run_once, trial_seed, CellRequest, System,
+};
 use crate::scale::Scale;
 use crate::table;
 use mapreduce::EngineConfig;
@@ -18,6 +20,8 @@ use serde::{Deserialize, Serialize};
 use simgrid::cluster::NodeId;
 use simgrid::time::{SimDuration, SimTime};
 use simgrid::{FaultPlan, NodeFault};
+use std::sync::Arc;
+use sweepengine::PrefixCache;
 use workloads::Puma;
 
 /// One (MTTF, system, recovery) cell.
@@ -117,16 +121,22 @@ pub fn run(scale: Scale) -> ExtFaults {
     let workers = cfg.cluster.workers;
     let mttfs: Vec<(&str, f64)> = vec![("none", 0.0), ("high", m / 2.0), ("low", m / 4.0)];
     // every cell of the grid shares the same cluster boot + DFS load per
-    // trial seed; capture that common prefix once per seed and let all 18
-    // cells warm-start from it (fault plan and policy bind at resume)
-    let warms: std::collections::HashMap<u64, mapreduce::EngineState> = (0..scale.trials())
+    // trial seed; capture that common prefix once per seed — interned by
+    // content fingerprint, so identical prefixes keep one resident
+    // capsule — and let all 18 cells warm-start from it (fault plan and
+    // policy bind at resume)
+    let prefixes = PrefixCache::new();
+    let warms: std::collections::HashMap<u64, Arc<mapreduce::EngineState>> = (0..scale.trials())
         .map(|t| {
             let seed = trial_seed(cfg.seed, t as u64);
             let capsule = prepare_warm(&cfg, vec![job()], seed).expect("warm capture");
-            (seed, capsule)
+            (seed, prefixes.intern(capsule))
         })
         .collect();
-    let mut cells = Vec::new();
+    // build the full grid — (MTTF × system × recovery) × trials — and
+    // drive it through the bounded pool in one batch
+    let mut grid = Vec::new();
+    let mut requests = Vec::new();
     for (label, mttf_s) in &mttfs {
         let plan = if *mttf_s > 0.0 {
             plan_for(*mttf_s, m, workers)
@@ -135,41 +145,56 @@ pub fn run(scale: Scale) -> ExtFaults {
         };
         for sys in System::all() {
             for recovery in [true, false] {
-                let mut cfg = cfg.clone();
-                cfg.fault_plan = plan.clone();
-                cfg.fault_recovery = recovery;
-                let cell = match run_averaged_warm(
-                    &cfg,
-                    &|seed| warms[&seed].clone(),
-                    &sys,
-                    scale.trials(),
-                ) {
-                    Ok(avg) => FaultCell {
-                        mttf: label.to_string(),
-                        mttf_s: *mttf_s,
-                        system: avg.system,
-                        recovery,
-                        outcome: "ok".to_string(),
-                        makespan_s: avg.makespan_s,
-                        node_crashes: avg.sample.node_crashes,
-                        crash_task_kills: avg.sample.crash_task_kills,
-                        lost_map_outputs: avg.sample.lost_map_outputs,
-                    },
-                    Err(e) => FaultCell {
-                        mttf: label.to_string(),
-                        mttf_s: *mttf_s,
-                        system: sys.label().to_string(),
-                        recovery,
-                        outcome: e.to_string(),
-                        makespan_s: 0.0,
-                        node_crashes: 0,
-                        crash_task_kills: 0,
-                        lost_map_outputs: 0,
-                    },
-                };
-                cells.push(cell);
+                let mut cell_cfg = cfg.clone();
+                cell_cfg.fault_plan = plan.clone();
+                cell_cfg.fault_recovery = recovery;
+                for t in 0..scale.trials() {
+                    let seed = trial_seed(cfg.seed, t as u64);
+                    requests.push(CellRequest::warm(
+                        Arc::clone(&warms[&seed]),
+                        cell_cfg.clone(),
+                        sys.clone(),
+                        seed,
+                    ));
+                }
+                grid.push((label.to_string(), *mttf_s, sys.clone(), recovery));
             }
         }
+    }
+    let mut reports = run_cells(&requests).reports.into_iter();
+    let mut cells = Vec::new();
+    for (label, mttf_s, sys, recovery) in grid {
+        // the first trial error (in trial order) turns the whole grid
+        // cell into an error row, exactly like the sequential path did
+        let chunk: Result<Vec<_>, _> = reports.by_ref().take(scale.trials()).collect();
+        let cell = match chunk {
+            Ok(trial_reports) => {
+                let avg = average_reports(&sys, trial_reports);
+                FaultCell {
+                    mttf: label,
+                    mttf_s,
+                    system: avg.system,
+                    recovery,
+                    outcome: "ok".to_string(),
+                    makespan_s: avg.makespan_s,
+                    node_crashes: avg.sample.node_crashes,
+                    crash_task_kills: avg.sample.crash_task_kills,
+                    lost_map_outputs: avg.sample.lost_map_outputs,
+                }
+            }
+            Err(e) => FaultCell {
+                mttf: label,
+                mttf_s,
+                system: sys.label().to_string(),
+                recovery,
+                outcome: e.to_string(),
+                makespan_s: 0.0,
+                node_crashes: 0,
+                crash_task_kills: 0,
+                lost_map_outputs: 0,
+            },
+        };
+        cells.push(cell);
     }
     ExtFaults {
         benchmark: bench.name().to_string(),

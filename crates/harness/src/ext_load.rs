@@ -16,11 +16,12 @@
 //! management needs workload stretches longer than its adaptation time —
 //! the flip side of Fig. 6's "the larger the input, the more benefit".
 
-use crate::runner::{prepare_warm, run_warm, System};
+use crate::runner::{prepare_warm, run_cells, CellRequest, System};
 use crate::scale::Scale;
 use crate::table;
 use mapreduce::EngineConfig;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 use workloads::TraceSpec;
 
 /// One system's outcome over one trace.
@@ -49,9 +50,12 @@ impl ExtLoad {
     }
 }
 
-/// Run both traces under the three systems.
+/// Run both traces under the three systems — one batched grid of six
+/// cells, each trace's systems warm-starting from one shared capsule of
+/// the common prefix (cluster boot + DFS load of every job).
 pub fn run(scale: Scale) -> ExtLoad {
-    let mut cells = Vec::new();
+    let mut traces = Vec::new();
+    let mut requests = Vec::new();
     for (label, mut spec) in [
         ("batch", TraceSpec::batch_load()),
         ("interactive", TraceSpec::mixed_load()),
@@ -63,21 +67,33 @@ pub fn run(scale: Scale) -> ExtLoad {
         );
         let jobs = spec.generate(17);
         let cfg = EngineConfig::paper_default();
-        // the three systems replay the same trace from one shared capsule
-        // of the common prefix (cluster boot + DFS load of every job)
-        let warm = prepare_warm(&cfg, jobs.clone(), cfg.seed).expect("warm capture");
+        let warm = Arc::new(prepare_warm(&cfg, jobs.clone(), cfg.seed).expect("warm capture"));
         for sys in System::all() {
-            let r = run_warm(&warm, &cfg, &sys, cfg.seed).expect("load run");
-            cells.push(LoadCell {
-                trace: label.to_string(),
+            requests.push(CellRequest::warm(
+                Arc::clone(&warm),
+                cfg.clone(),
+                sys,
+                cfg.seed,
+            ));
+            traces.push(label);
+        }
+    }
+    let reports = run_cells(&requests).reports;
+    let cells = traces
+        .into_iter()
+        .zip(reports)
+        .map(|(trace, r)| {
+            let r = r.expect("load run");
+            LoadCell {
+                trace: trace.to_string(),
                 system: r.policy.clone(),
                 jobs: r.jobs.len(),
                 mean_execution_s: r.mean_execution_time().as_secs_f64(),
                 makespan_s: r.makespan().as_secs_f64(),
                 cpu_utilisation: r.cpu_utilisation,
-            });
-        }
-    }
+            }
+        })
+        .collect();
     ExtLoad { cells }
 }
 

@@ -51,7 +51,11 @@ pub mod runner;
 pub mod scale;
 pub mod shapes;
 pub mod summary;
+pub mod sweep_bench;
 pub mod table;
 
-pub use runner::{run_averaged, run_comparison, run_once, AveragedRun, System};
+pub use runner::{
+    run_averaged, run_cells, run_cells_with, run_comparison, run_once, AveragedRun, CellRequest,
+    System,
+};
 pub use scale::Scale;

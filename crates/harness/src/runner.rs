@@ -2,9 +2,12 @@
 //! averaging.
 //!
 //! The paper averages two physical trials; we average `trials` seeded
-//! simulation runs (default 3). Sweeps fan out across OS threads with
-//! `std::thread::scope` — each run is independent and deterministic, so the
-//! parallelism changes wall-clock time only.
+//! simulation runs (default 3). Sweeps fan out over the bounded
+//! [`sweepengine::BatchedSweep`] worker pool — `available_parallelism`
+//! workers claiming cells from a shared cursor, each recycling engine
+//! scratch through its own [`EngineArena`] — so wall time and memory no
+//! longer scale with grid size × threads. Each cell is independent and
+//! deterministic, so the parallelism changes wall-clock time only.
 //!
 //! Every run is passed through the [`mapreduce::auditor`] before its
 //! report is handed back: a violated invariant turns the run into a
@@ -15,13 +18,16 @@
 
 use mapreduce::auditor::{audit, AuditSetup};
 use mapreduce::policy::{SlotPolicy, StaticSlotPolicy};
-use mapreduce::{CounterLedger, Engine, EngineConfig, EngineState, JobSpec, RunReport};
+use mapreduce::{
+    CounterLedger, Engine, EngineArena, EngineConfig, EngineState, JobSpec, RunReport,
+};
 use serde::{Deserialize, Serialize};
 use simgrid::error::SimError;
 use simgrid::time::{SimDuration, SteppingMode};
 use smapreduce::{HeteroSlotManagerPolicy, SlotManagerPolicy, SmrConfig};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
+use sweepengine::{BatchedSweep, SweepCell, SweepOutcome};
 use yarn::CapacityPolicy;
 
 /// Process-wide telemetry sink every [`run_once`] threads into the engine.
@@ -176,6 +182,23 @@ pub fn run_once(
     account_and_audit(report, &setup)
 }
 
+/// [`run_once`] drawing scratch from a recycled [`EngineArena`] — the
+/// pool-worker path. Byte-identical results; only allocation behaviour
+/// differs.
+pub fn run_once_in(
+    cfg: &EngineConfig,
+    jobs: Vec<JobSpec>,
+    system: &System,
+    seed: u64,
+    arena: &mut EngineArena,
+) -> Result<RunReport, SimError> {
+    let cfg = effective_config(cfg, seed);
+    let setup = AuditSetup::from_config(&cfg);
+    let mut policy = system.make_policy();
+    let report = Engine::new(cfg).run_in(jobs, policy.as_mut(), &active_telemetry(), arena)?;
+    account_and_audit(report, &setup)
+}
+
 /// [`run_once`], additionally capturing a state capsule at every multiple
 /// of `every` simulated time. The run is audited like any other.
 pub fn run_once_with_snapshots(
@@ -199,6 +222,18 @@ pub fn resume_once(state: EngineState, system: &System) -> Result<RunReport, Sim
     let setup = AuditSetup::from_config(state.config());
     let mut policy = system.make_policy();
     let report = Engine::resume_with(state, policy.as_mut(), &active_telemetry())?;
+    account_and_audit(report, &setup)
+}
+
+/// [`resume_once`] drawing scratch from a recycled [`EngineArena`].
+pub fn resume_once_in(
+    state: EngineState,
+    system: &System,
+    arena: &mut EngineArena,
+) -> Result<RunReport, SimError> {
+    let setup = AuditSetup::from_config(state.config());
+    let mut policy = system.make_policy();
+    let report = Engine::resume_in(state, policy.as_mut(), &active_telemetry(), arena)?;
     account_and_audit(report, &setup)
 }
 
@@ -229,6 +264,20 @@ pub fn run_warm(
     state.override_config(effective_config(cfg, seed))?;
     state.override_policy(system.label())?;
     resume_once(state, system)
+}
+
+/// [`run_warm`] drawing scratch from a recycled [`EngineArena`].
+pub fn run_warm_in(
+    warm: &EngineState,
+    cfg: &EngineConfig,
+    system: &System,
+    seed: u64,
+    arena: &mut EngineArena,
+) -> Result<RunReport, SimError> {
+    let mut state = warm.clone();
+    state.override_config(effective_config(cfg, seed))?;
+    state.override_policy(system.label())?;
+    resume_once_in(state, system, arena)
 }
 
 /// The per-run config: the cell's config with the trial seed and the
@@ -278,6 +327,80 @@ pub fn trial_seed(cell_seed: u64, trial: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// One grid cell, ready for the [`BatchedSweep`] pool: the cell's config,
+/// the system to run, its trial seed, and either a cold job list or a
+/// shared warm-start capsule. Grid drivers build a `Vec<CellRequest>` for
+/// the *whole* grid and hand it to [`run_cells`] in one call.
+#[derive(Debug, Clone)]
+pub struct CellRequest {
+    cfg: EngineConfig,
+    system: System,
+    seed: u64,
+    jobs: Vec<JobSpec>,
+    warm: Option<Arc<EngineState>>,
+}
+
+impl CellRequest {
+    /// A cold cell: boots the cluster and DFS itself.
+    pub fn cold(cfg: EngineConfig, jobs: Vec<JobSpec>, system: System, seed: u64) -> CellRequest {
+        CellRequest {
+            cfg,
+            system,
+            seed,
+            jobs,
+            warm: None,
+        }
+    }
+
+    /// A warm cell: resumes `warm` (a shared [`prepare_warm`] capsule,
+    /// typically interned through a [`sweepengine::PrefixCache`]) with the
+    /// cell's config and system bound at resume time.
+    pub fn warm(
+        warm: Arc<EngineState>,
+        cfg: EngineConfig,
+        system: System,
+        seed: u64,
+    ) -> CellRequest {
+        CellRequest {
+            cfg,
+            system,
+            seed,
+            jobs: Vec::new(),
+            warm: Some(warm),
+        }
+    }
+}
+
+impl SweepCell for CellRequest {
+    fn system(&self) -> &str {
+        self.system.label()
+    }
+
+    fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn run(&self, arena: &mut EngineArena) -> Result<RunReport, SimError> {
+        match &self.warm {
+            Some(warm) => run_warm_in(warm, &self.cfg, &self.system, self.seed, arena),
+            None => run_once_in(&self.cfg, self.jobs.clone(), &self.system, self.seed, arena),
+        }
+    }
+}
+
+/// Drive a grid of cells over the machine-sized pool. Reports come back
+/// in cell order; a panicking cell re-raises tagged with (system, cell
+/// index, trial seed).
+pub fn run_cells(cells: &[CellRequest]) -> SweepOutcome {
+    BatchedSweep::auto().run(cells)
+}
+
+/// [`run_cells`] with an explicit worker bound — the determinism suite
+/// runs identical grids at 1, 2, and `available_parallelism` workers.
+pub fn run_cells_with(workers: usize, cells: &[CellRequest]) -> SweepOutcome {
+    BatchedSweep::with_workers(workers).run(cells)
+}
+
 /// Run `jobs` under `system` for `trials` seeds and average the timings.
 pub fn run_averaged(
     cfg: &EngineConfig,
@@ -285,8 +408,8 @@ pub fn run_averaged(
     system: &System,
     trials: usize,
 ) -> Result<AveragedRun, SimError> {
-    run_averaged_by(cfg, system, trials, &|seed| {
-        run_once(cfg, jobs.to_vec(), system, seed)
+    run_averaged_by(cfg, system, trials, &|seed, arena| {
+        run_once_in(cfg, jobs.to_vec(), system, seed, arena)
     })
 }
 
@@ -296,43 +419,67 @@ pub fn run_averaged(
 /// seed, and each trial binds it to this cell's `cfg` and `system`.
 pub fn run_averaged_warm(
     cfg: &EngineConfig,
-    warm_for_seed: &dyn Fn(u64) -> EngineState,
+    warm_for_seed: &(dyn Fn(u64) -> EngineState + Sync),
     system: &System,
     trials: usize,
 ) -> Result<AveragedRun, SimError> {
-    run_averaged_by(cfg, system, trials, &|seed| {
-        run_warm(&warm_for_seed(seed), cfg, system, seed)
+    run_averaged_by(cfg, system, trials, &|seed, arena| {
+        run_warm_in(&warm_for_seed(seed), cfg, system, seed, arena)
     })
+}
+
+/// A closure-driven trial for [`run_averaged_by`]'s pool dispatch.
+struct TrialCell<'a> {
+    system: &'a System,
+    seed: u64,
+    run: &'a (dyn Fn(u64, &mut EngineArena) -> Result<RunReport, SimError> + Sync),
+}
+
+impl SweepCell for TrialCell<'_> {
+    fn system(&self) -> &str {
+        self.system.label()
+    }
+
+    fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    fn run(&self, arena: &mut EngineArena) -> Result<RunReport, SimError> {
+        (self.run)(self.seed, arena)
+    }
 }
 
 fn run_averaged_by(
     cfg: &EngineConfig,
     system: &System,
     trials: usize,
-    run: &dyn Fn(u64) -> Result<RunReport, SimError>,
+    run: &(dyn Fn(u64, &mut EngineArena) -> Result<RunReport, SimError> + Sync),
 ) -> Result<AveragedRun, SimError> {
     if trials == 0 {
         return Err(SimError::InvalidConfig(
             "run_averaged needs at least one trial".into(),
         ));
     }
-    let mut reports = Vec::with_capacity(trials);
-    for t in 0..trials {
-        let seed = trial_seed(cfg.seed, t as u64);
-        // a panicking run re-panics with the trial seed attached, so a
-        // sweep failure names the exact cell that died (run_comparison's
-        // join prefixes the system label)
-        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(seed))) {
-            Ok(report) => reports.push(report?),
-            Err(payload) => std::panic::panic_any(format!(
-                "{} trial with seed {seed} panicked: {}",
-                system.label(),
-                panic_message(payload.as_ref())
-            )),
-        }
-    }
+    // the pool re-raises a panicking trial tagged (system, index, seed),
+    // so a sweep failure still names the exact cell that died
+    let cells: Vec<TrialCell> = (0..trials)
+        .map(|t| TrialCell {
+            system,
+            seed: trial_seed(cfg.seed, t as u64),
+            run,
+        })
+        .collect();
+    let outcome = BatchedSweep::auto().run(&cells);
+    let reports = outcome.reports.into_iter().collect::<Result<Vec<_>, _>>()?;
+    Ok(average_reports(system, reports))
+}
+
+/// Trial-mean timings of one cell (callers guarantee `reports` is
+/// non-empty). Grid drivers use this to fold each cell's chunk of a
+/// batched sweep's reports back into an [`AveragedRun`].
+pub(crate) fn average_reports(system: &System, mut reports: Vec<RunReport>) -> AveragedRun {
     let njobs = reports[0].jobs.len() as f64;
-    let nt = trials as f64;
+    let nt = reports.len() as f64;
     let mean_over =
         |f: &dyn Fn(&RunReport) -> f64| -> f64 { reports.iter().map(f).sum::<f64>() / nt };
     let per_job = |f: &dyn Fn(&mapreduce::JobReport) -> f64| -> f64 {
@@ -342,7 +489,7 @@ fn run_averaged_by(
             .sum::<f64>()
             / nt
     };
-    Ok(AveragedRun {
+    AveragedRun {
         system: system.label().to_string(),
         map_time_s: per_job(&|j| j.map_time().as_secs_f64()),
         reduce_time_s: per_job(&|j| j.reduce_time().as_secs_f64()),
@@ -351,55 +498,47 @@ fn run_averaged_by(
         mean_execution_s: mean_over(&|r| r.mean_execution_time().as_secs_f64()),
         makespan_s: mean_over(&|r| r.makespan().as_secs_f64()),
         sample: reports.swap_remove(0),
-    })
+    }
 }
 
-/// Run the same workload under all three systems (in parallel threads).
+/// Run the same workload under all three systems. One batched grid —
+/// systems × trials cells — over the bounded pool, not a thread per
+/// system: an idle worker picks up another system's remaining trials.
 pub fn run_comparison(
     cfg: &EngineConfig,
     jobs: &[JobSpec],
     trials: usize,
 ) -> Result<Vec<AveragedRun>, SimError> {
-    let systems = System::all();
-    let mut out: Vec<Option<Result<AveragedRun, SimError>>> =
-        systems.iter().map(|_| None).collect();
-    std::thread::scope(|s| {
-        let handles: Vec<_> = out
-            .iter_mut()
-            .zip(systems.iter())
-            .map(|(slot, system)| {
-                let handle = s.spawn(move || {
-                    *slot = Some(run_averaged(cfg, jobs, system, trials));
-                });
-                (system.label(), handle)
-            })
-            .collect();
-        // join explicitly: a panicking worker used to surface later as a
-        // baffling "thread filled slot" expect failure — resurface it
-        // here with the system that died
-        for (label, handle) in handles {
-            if let Err(payload) = handle.join() {
-                std::panic::panic_any(format!(
-                    "{label} worker thread panicked: {}",
-                    panic_message(payload.as_ref())
-                ));
-            }
-        }
-    });
-    out.into_iter()
-        .map(|r| r.expect("joined thread filled its slot"))
-        .collect()
-}
-
-/// Best-effort extraction of a panic payload's message.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
+    if trials == 0 {
+        return Err(SimError::InvalidConfig(
+            "run_averaged needs at least one trial".into(),
+        ));
     }
+    let systems = System::all();
+    let cells: Vec<CellRequest> = systems
+        .iter()
+        .flat_map(|system| {
+            (0..trials).map(move |t| {
+                CellRequest::cold(
+                    cfg.clone(),
+                    jobs.to_vec(),
+                    system.clone(),
+                    trial_seed(cfg.seed, t as u64),
+                )
+            })
+        })
+        .collect();
+    let mut reports = run_cells(&cells).reports.into_iter();
+    systems
+        .iter()
+        .map(|system| {
+            let chunk = reports
+                .by_ref()
+                .take(trials)
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(average_reports(system, chunk))
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -436,6 +575,32 @@ mod tests {
             "map+reduce = total per definition"
         );
         assert!(avg.throughput > 0.0);
+    }
+
+    #[test]
+    fn batched_cells_match_the_legacy_sequential_path() {
+        // a mixed cold/warm grid through the pool must be byte-identical
+        // to running each cell on its own, the pre-pool way
+        let cfg = small_cfg();
+        let warm = Arc::new(prepare_warm(&cfg, vec![small_job()], 5).expect("prepare"));
+        let cells = vec![
+            CellRequest::cold(cfg.clone(), vec![small_job()], System::HadoopV1, 3),
+            CellRequest::warm(Arc::clone(&warm), cfg.clone(), System::SMapReduce, 5),
+            CellRequest::cold(cfg.clone(), vec![small_job()], System::Yarn, 4),
+        ];
+        let pooled = run_cells(&cells);
+        let legacy = [
+            run_once(&cfg, vec![small_job()], &System::HadoopV1, 3).unwrap(),
+            run_warm(&warm, &cfg, &System::SMapReduce, 5).unwrap(),
+            run_once(&cfg, vec![small_job()], &System::Yarn, 4).unwrap(),
+        ];
+        for (got, want) in pooled.reports.iter().zip(&legacy) {
+            assert_eq!(
+                serde_json::to_string(got.as_ref().unwrap()).unwrap(),
+                serde_json::to_string(want).unwrap()
+            );
+        }
+        assert!(pooled.stats.peak_resident_cells <= pooled.stats.workers);
     }
 
     #[test]
@@ -523,11 +688,11 @@ mod tests {
         let cfg = small_cfg();
         let bad_seed = trial_seed(cfg.seed, 1);
         let payload = std::panic::catch_unwind(|| {
-            let _ = run_averaged_by(&cfg, &System::SMapReduce, 2, &|seed| {
+            let _ = run_averaged_by(&cfg, &System::SMapReduce, 2, &|seed, arena| {
                 if seed == bad_seed {
                     panic!("injected failure");
                 }
-                run_once(&cfg, vec![small_job()], &System::SMapReduce, seed)
+                run_once_in(&cfg, vec![small_job()], &System::SMapReduce, seed, arena)
             });
         })
         .expect_err("second trial panics");

@@ -1,0 +1,271 @@
+//! Reusable per-cell engine allocations for batched sweeps.
+//!
+//! Each simulated cell needs a fixed family of scratch buffers: per-node
+//! rate arrays rewritten by every allocate phase, the per-node task lists
+//! and demand vector the node allocator walks, and the flow/purpose lists
+//! handed to the fabric. A thread-per-cell sweep pays for all of them on
+//! every cell; a pool worker driving thousands of cells should pay once.
+//!
+//! [`EngineArena`] owns that family between cells. The engine checks the
+//! buffers out at cell start (reset **in place**: cleared and re-sized
+//! into the existing backing allocation, never reconstructed), threads
+//! them through the run as its ordinary scratch fields, and checks them
+//! back in when the cell finishes. The arena counts **growth events** —
+//! any checkout or run that had to enlarge a backing allocation — so the
+//! steady state is testable: after one warm-up cell of a given shape,
+//! subsequent same-shape cells must report zero growth.
+//!
+//! Reset-in-place invariants (what makes recycled buffers bit-safe):
+//!
+//! * every checked-out buffer is cleared and refilled to exactly the
+//!   length a fresh `vec![fill; n]` would have, so reads never observe a
+//!   previous cell's values;
+//! * spare *capacity* beyond that length is invisible to the engine: all
+//!   consumers iterate by length, never by capacity;
+//! * no pointer, index, or id derived from a previous cell survives in
+//!   the arena — only raw allocations do.
+//!
+//! Consequently a run produces byte-identical reports whether its scratch
+//! came from a fresh allocation or a recycled arena; the determinism
+//! suite in `tests/sweep_determinism.rs` holds this to the letter.
+
+use crate::engine::{FlowPurpose, TaskRef};
+use simgrid::network::{Flow, FlowId};
+use simgrid::node::TaskDemand;
+
+/// The number of distinct buffer families an arena recycles (used to size
+/// the capacity-footprint snapshot taken at checkout).
+const FAMILIES: usize = 10;
+
+/// Reusable scratch allocations for one engine run at a time.
+///
+/// An arena is owned by one pool worker (or one sequential loop) and
+/// passed to [`crate::Engine::run_in`] / [`crate::Engine::resume_in`];
+/// it is not shareable across concurrent runs.
+#[derive(Debug, Default)]
+pub struct EngineArena {
+    node_cpu: Vec<f64>,
+    node_disk: Vec<f64>,
+    nic_in: Vec<f64>,
+    nic_out: Vec<f64>,
+    occ_map: Vec<usize>,
+    occ_reduce: Vec<usize>,
+    node_tasks: Vec<Vec<(TaskRef, TaskDemand)>>,
+    demands: Vec<TaskDemand>,
+    flows: Vec<Flow>,
+    purposes: Vec<(FlowId, FlowPurpose)>,
+    /// Capacity footprint of the buffers currently checked out, recorded
+    /// so check-in can detect growth that happened *during* the run.
+    handed_caps: [usize; FAMILIES],
+    growth_events: u64,
+    cells: u64,
+}
+
+/// The scratch family one run threads through its step loop. Fresh runs
+/// build it with [`Scratch::fresh`]; arena-backed runs check it out of an
+/// [`EngineArena`] and return it on completion.
+#[derive(Debug)]
+pub(crate) struct Scratch {
+    pub(crate) node_cpu: Vec<f64>,
+    pub(crate) node_disk: Vec<f64>,
+    pub(crate) nic_in: Vec<f64>,
+    pub(crate) nic_out: Vec<f64>,
+    pub(crate) occ_map: Vec<usize>,
+    pub(crate) occ_reduce: Vec<usize>,
+    pub(crate) node_tasks: Vec<Vec<(TaskRef, TaskDemand)>>,
+    pub(crate) demands: Vec<TaskDemand>,
+    pub(crate) flows: Vec<Flow>,
+    pub(crate) purposes: Vec<(FlowId, FlowPurpose)>,
+}
+
+impl Scratch {
+    /// Exactly the allocations a pre-arena run performed at construction.
+    pub(crate) fn fresh(workers: usize) -> Scratch {
+        Scratch {
+            node_cpu: vec![0.0; workers],
+            node_disk: vec![0.0; workers],
+            nic_in: vec![0.0; workers],
+            nic_out: vec![0.0; workers],
+            occ_map: vec![0; workers],
+            occ_reduce: vec![0; workers],
+            node_tasks: vec![Vec::new(); workers],
+            demands: Vec::new(),
+            flows: Vec::new(),
+            purposes: Vec::new(),
+        }
+    }
+
+    /// Capacity footprint per buffer family. For the nested task lists the
+    /// footprint folds the inner capacities in, so a run that grew any
+    /// per-node list is visible at check-in.
+    fn caps(&self) -> [usize; FAMILIES] {
+        [
+            self.node_cpu.capacity(),
+            self.node_disk.capacity(),
+            self.nic_in.capacity(),
+            self.nic_out.capacity(),
+            self.occ_map.capacity(),
+            self.occ_reduce.capacity(),
+            self.node_tasks.capacity()
+                + self.node_tasks.iter().map(|v| v.capacity()).sum::<usize>(),
+            self.demands.capacity(),
+            self.flows.capacity(),
+            self.purposes.capacity(),
+        ]
+    }
+}
+
+/// Clear `vec` and refill it in place to `len` copies of `fill`.
+/// Returns `true` when the backing allocation had to grow.
+fn reset_filled<T: Clone>(vec: &mut Vec<T>, len: usize, fill: T) -> bool {
+    let grew = vec.capacity() < len;
+    vec.clear();
+    vec.resize(len, fill);
+    grew
+}
+
+impl EngineArena {
+    pub fn new() -> EngineArena {
+        EngineArena::default()
+    }
+
+    /// Checkouts (cells) recycled through this arena so far.
+    pub fn cells_recycled(&self) -> u64 {
+        self.cells
+    }
+
+    /// Buffer-family growths observed so far: resizes at checkout plus
+    /// any in-run growth detected at check-in. Constant across a
+    /// steady-state loop of same-shape cells after the first.
+    pub fn growth_events(&self) -> u64 {
+        self.growth_events
+    }
+
+    /// Reset every buffer in place for a `workers`-node cell and hand the
+    /// family out. The caller returns it via [`EngineArena::check_in`].
+    pub(crate) fn checkout(&mut self, workers: usize) -> Scratch {
+        let mut grew = 0u64;
+        grew += u64::from(reset_filled(&mut self.node_cpu, workers, 0.0));
+        grew += u64::from(reset_filled(&mut self.node_disk, workers, 0.0));
+        grew += u64::from(reset_filled(&mut self.nic_in, workers, 0.0));
+        grew += u64::from(reset_filled(&mut self.nic_out, workers, 0.0));
+        grew += u64::from(reset_filled(&mut self.occ_map, workers, 0));
+        grew += u64::from(reset_filled(&mut self.occ_reduce, workers, 0));
+        grew += u64::from(self.node_tasks.capacity() < workers);
+        for tasks in &mut self.node_tasks {
+            tasks.clear();
+        }
+        self.node_tasks.resize_with(workers, Vec::new);
+        self.demands.clear();
+        self.flows.clear();
+        self.purposes.clear();
+        self.growth_events += grew;
+        let scratch = Scratch {
+            node_cpu: std::mem::take(&mut self.node_cpu),
+            node_disk: std::mem::take(&mut self.node_disk),
+            nic_in: std::mem::take(&mut self.nic_in),
+            nic_out: std::mem::take(&mut self.nic_out),
+            occ_map: std::mem::take(&mut self.occ_map),
+            occ_reduce: std::mem::take(&mut self.occ_reduce),
+            node_tasks: std::mem::take(&mut self.node_tasks),
+            demands: std::mem::take(&mut self.demands),
+            flows: std::mem::take(&mut self.flows),
+            purposes: std::mem::take(&mut self.purposes),
+        };
+        self.handed_caps = scratch.caps();
+        scratch
+    }
+
+    /// Take the family back after a run, folding in-run capacity growth
+    /// into the growth counter.
+    pub(crate) fn check_in(&mut self, scratch: Scratch) {
+        for (before, after) in self.handed_caps.iter().zip(scratch.caps()) {
+            if after > *before {
+                self.growth_events += 1;
+            }
+        }
+        self.node_cpu = scratch.node_cpu;
+        self.node_disk = scratch.node_disk;
+        self.nic_in = scratch.nic_in;
+        self.nic_out = scratch.nic_out;
+        self.occ_map = scratch.occ_map;
+        self.occ_reduce = scratch.occ_reduce;
+        self.node_tasks = scratch.node_tasks;
+        self.demands = scratch.demands;
+        self.flows = scratch.flows;
+        self.purposes = scratch.purposes;
+        self.cells += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkout_resets_lengths_and_counts_first_growth() {
+        let mut arena = EngineArena::new();
+        let s = arena.checkout(4);
+        assert_eq!(s.node_cpu, vec![0.0; 4]);
+        assert_eq!(s.occ_map, vec![0; 4]);
+        assert_eq!(s.node_tasks.len(), 4);
+        let first_growth = arena.growth_events();
+        assert!(first_growth > 0, "cold checkout must allocate");
+        arena.check_in(s);
+        assert_eq!(arena.cells_recycled(), 1);
+
+        // same shape again: everything fits in place, zero growth
+        let s = arena.checkout(4);
+        arena.check_in(s);
+        assert_eq!(arena.growth_events(), first_growth);
+        assert_eq!(arena.cells_recycled(), 2);
+    }
+
+    #[test]
+    fn checkout_scrubs_previous_cell_contents() {
+        let mut arena = EngineArena::new();
+        let mut s = arena.checkout(2);
+        s.node_cpu[0] = 7.5;
+        s.occ_map[1] = 3;
+        s.demands.push(TaskDemand {
+            cpu_cores: 1.0,
+            threads: 1,
+            mem_mb: 1.0,
+            disk_read: 1.0,
+            disk_write: 1.0,
+        });
+        arena.check_in(s);
+
+        let s = arena.checkout(2);
+        assert_eq!(s.node_cpu, vec![0.0; 2]);
+        assert_eq!(s.occ_map, vec![0; 2]);
+        assert!(s.demands.is_empty());
+        arena.check_in(s);
+    }
+
+    #[test]
+    fn in_run_growth_is_detected_at_check_in() {
+        let mut arena = EngineArena::new();
+        let s = arena.checkout(2);
+        arena.check_in(s);
+        let before = arena.growth_events();
+        let mut s = arena.checkout(2);
+        s.flows.reserve(1024); // a run that outgrew its flow list
+        arena.check_in(s);
+        assert!(arena.growth_events() > before);
+    }
+
+    #[test]
+    fn wider_cluster_grows_then_stabilises() {
+        let mut arena = EngineArena::new();
+        for workers in [2usize, 8, 8, 8] {
+            let s = arena.checkout(workers);
+            arena.check_in(s);
+        }
+        let after_wide = arena.growth_events();
+        // shrinking back re-uses the wide allocation: no growth
+        let s = arena.checkout(4);
+        arena.check_in(s);
+        assert_eq!(arena.growth_events(), after_wide);
+    }
+}

@@ -25,6 +25,7 @@
 //! deterministic for a given [`EngineConfig::seed`] and the two agree on
 //! every paper-shape outcome (cross-validated in `tests/`).
 
+use crate::arena::{EngineArena, Scratch};
 use crate::counters::{Counter, CounterLedger};
 use crate::events::{Event, EventLog};
 use crate::job::{JobProfile, JobSpec};
@@ -389,13 +390,13 @@ struct Tracker {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-enum TaskRef {
+pub(crate) enum TaskRef {
     Map(MapAttemptId),
     Reduce(ReduceTaskId),
 }
 
 #[derive(Debug, Clone, Copy)]
-enum FlowPurpose {
+pub(crate) enum FlowPurpose {
     /// Remote input stream feeding a non-local map task.
     MapRead(MapAttemptId),
     /// Shuffle fetch of `reduce` from source node.
@@ -465,6 +466,32 @@ impl Engine {
         policy.attach_telemetry(telem);
         let mut sim = Sim::new(&self.config, jobs, policy, telem.clone())?;
         sim.run_to_completion()
+    }
+
+    /// [`Engine::run_with`] drawing the run's scratch buffers from
+    /// `arena` instead of fresh allocations, and returning them to it
+    /// when the run finishes (successfully or not). The report is
+    /// byte-identical to the fresh-allocation path; only the allocation
+    /// behaviour differs.
+    pub fn run_in(
+        &self,
+        jobs: Vec<JobSpec>,
+        policy: &mut dyn SlotPolicy,
+        telem: &Telemetry,
+        arena: &mut EngineArena,
+    ) -> Result<RunReport, SimError> {
+        self.config.validate()?;
+        if jobs.is_empty() {
+            return Err(SimError::InvalidConfig("no jobs submitted".into()));
+        }
+        policy.attach_telemetry(telem);
+        let scratch = arena.checkout(self.config.cluster.workers);
+        // a construction error drops the scratch; the arena simply
+        // re-allocates (and counts a growth event) on its next checkout
+        let mut sim = Sim::new_in(&self.config, jobs, policy, telem.clone(), scratch)?;
+        let out = sim.run_to_completion();
+        arena.check_in(sim.take_scratch());
+        out
     }
 }
 
@@ -549,6 +576,14 @@ struct Sim<'p> {
     nic_out: Vec<f64>,
     occ_map: Vec<usize>,
     occ_reduce: Vec<usize>,
+    /// Per-node task lists and the flattened demand vector the node
+    /// allocator walks; cleared and refilled by every allocate phase.
+    task_scratch: Vec<Vec<(TaskRef, simgrid::node::TaskDemand)>>,
+    demand_scratch: Vec<simgrid::node::TaskDemand>,
+    /// Flow list (and the purpose tags indexing its grants) handed to the
+    /// fabric each step; cleared and rebuilt in place.
+    flow_scratch: Vec<Flow>,
+    purpose_scratch: Vec<(FlowId, FlowPurpose)>,
     /// Capture an [`EngineState`] capsule at every multiple of this period
     /// (must itself be a multiple of the sample period, so captures land on
     /// instants both stepping modes already stop at).
@@ -567,6 +602,21 @@ impl<'p> Sim<'p> {
         specs: Vec<JobSpec>,
         policy: &'p mut dyn SlotPolicy,
         telem: Telemetry,
+    ) -> Result<Sim<'p>, SimError> {
+        let scratch = Scratch::fresh(cfg.cluster.workers);
+        Sim::new_in(cfg, specs, policy, telem, scratch)
+    }
+
+    /// [`Sim::new`] with the scratch family supplied by the caller — the
+    /// arena-backed construction path. `scratch` must already be reset for
+    /// `cfg.cluster.workers` nodes (both [`Scratch::fresh`] and
+    /// [`EngineArena::checkout`] guarantee this).
+    fn new_in(
+        cfg: &EngineConfig,
+        specs: Vec<JobSpec>,
+        policy: &'p mut dyn SlotPolicy,
+        telem: Telemetry,
+        scratch: Scratch,
     ) -> Result<Sim<'p>, SimError> {
         let root = SimRng::new(cfg.seed);
         let placement = dfs::PlacementPolicy::default();
@@ -659,16 +709,37 @@ impl<'p> Sim<'p> {
             map_input_processed_mb: 0.0,
             job_counters,
             usage: NodeUsageSampler::new(&node_specs),
-            node_cpu: vec![0.0; node_specs.len()],
-            node_disk: vec![0.0; node_specs.len()],
-            nic_in: vec![0.0; node_specs.len()],
-            nic_out: vec![0.0; node_specs.len()],
-            occ_map: vec![0; node_specs.len()],
-            occ_reduce: vec![0; node_specs.len()],
+            node_cpu: scratch.node_cpu,
+            node_disk: scratch.node_disk,
+            nic_in: scratch.nic_in,
+            nic_out: scratch.nic_out,
+            occ_map: scratch.occ_map,
+            occ_reduce: scratch.occ_reduce,
+            task_scratch: scratch.node_tasks,
+            demand_scratch: scratch.demands,
+            flow_scratch: scratch.flows,
+            purpose_scratch: scratch.purposes,
             snap_every: None,
             snapshots: Vec::new(),
             resumed: false,
         })
+    }
+
+    /// Hand the scratch family back (for return to an [`EngineArena`])
+    /// once the run is over. The sim must not step again afterwards.
+    fn take_scratch(&mut self) -> Scratch {
+        Scratch {
+            node_cpu: std::mem::take(&mut self.node_cpu),
+            node_disk: std::mem::take(&mut self.node_disk),
+            nic_in: std::mem::take(&mut self.nic_in),
+            nic_out: std::mem::take(&mut self.nic_out),
+            occ_map: std::mem::take(&mut self.occ_map),
+            occ_reduce: std::mem::take(&mut self.occ_reduce),
+            node_tasks: std::mem::take(&mut self.task_scratch),
+            demands: std::mem::take(&mut self.demand_scratch),
+            flows: std::mem::take(&mut self.flow_scratch),
+            purposes: std::mem::take(&mut self.purpose_scratch),
+        }
     }
 
     fn run_to_completion(&mut self) -> Result<RunReport, SimError> {
@@ -1004,7 +1075,11 @@ impl<'p> Sim<'p> {
         let (scales, cpu_offered_rate, cpu_granted_rate) = self.allocate_nodes(fixed_dt.is_some());
         self.telem.record_span("step", "allocate_nodes", t0, sim_ms);
         let t0 = self.telem.clock_us();
-        let (flows, purposes) = self.build_flows(fixed_dt, &scales);
+        let mut flows = std::mem::take(&mut self.flow_scratch);
+        let mut purposes = std::mem::take(&mut self.purpose_scratch);
+        flows.clear();
+        purposes.clear();
+        self.build_flows_into(fixed_dt, &scales, &mut flows, &mut purposes);
         let rates = self.fabric.allocate(&flows);
         self.telem
             .record_span("step", "network_allocate", t0, sim_ms);
@@ -1034,6 +1109,8 @@ impl<'p> Sim<'p> {
                 }
             }
         }
+        self.flow_scratch = flows;
+        self.purpose_scratch = purposes;
         StepRates {
             scales,
             map_read_rate,
@@ -1191,8 +1268,13 @@ impl<'p> Sim<'p> {
         let workers = self.trackers.len();
         self.node_cpu.fill(0.0);
         self.node_disk.fill(0.0);
-        let mut node_tasks: Vec<Vec<(TaskRef, simgrid::node::TaskDemand)>> =
-            vec![Vec::new(); workers];
+        // recycle the per-node task lists: clear each inner list, keep the
+        // backing allocations from previous steps (and previous cells)
+        let mut node_tasks = std::mem::take(&mut self.task_scratch);
+        for tasks in &mut node_tasks {
+            tasks.clear();
+        }
+        node_tasks.resize_with(workers, Vec::new);
         for (id, t) in &self.running_maps {
             let profile = &self.profiles[id.task.job.0];
             node_tasks[t.node.0].push((TaskRef::Map(*id), profile.map_demand()));
@@ -1223,8 +1305,9 @@ impl<'p> Sim<'p> {
             if tasks.is_empty() {
                 continue;
             }
-            let demands: Vec<simgrid::node::TaskDemand> = tasks.iter().map(|t| t.1).collect();
-            let scales = allocate_node(self.cfg.cluster.node_spec(NodeId(n)), &demands);
+            self.demand_scratch.clear();
+            self.demand_scratch.extend(tasks.iter().map(|t| t.1));
+            let scales = allocate_node(self.cfg.cluster.node_spec(NodeId(n)), &self.demand_scratch);
             let stall_factor = if fixed {
                 1.0 - self.trackers[n].stall_ms.min(tick_ms as u64) as f64 / tick_ms
             } else if self.trackers[n].stall_ms > 0 {
@@ -1239,18 +1322,20 @@ impl<'p> Sim<'p> {
                 out.insert(*r, s * stall_factor);
             }
         }
+        self.task_scratch = node_tasks;
         (out, offered, granted)
     }
 
     /// Construct this step's network flows: remote map reads and shuffle
     /// fetches (the latter capped by each reduce's merge throughput).
-    fn build_flows(
+    /// Appends into caller-owned (recycled) lists; both arrive empty.
+    fn build_flows_into(
         &self,
         fixed_dt: Option<f64>,
         scales: &BTreeMap<TaskRef, f64>,
-    ) -> (Vec<Flow>, Vec<(FlowId, FlowPurpose)>) {
-        let mut flows = Vec::new();
-        let mut purposes = Vec::new();
+        flows: &mut Vec<Flow>,
+        purposes: &mut Vec<(FlowId, FlowPurpose)>,
+    ) {
         let mut next = 0u64;
 
         for (id, t) in &self.running_maps {
@@ -1352,7 +1437,6 @@ impl<'p> Sim<'p> {
                 purposes.push((fid, FlowPurpose::Fetch(*rid, src)));
             }
         }
-        (flows, purposes)
     }
 
     fn advance_maps(
@@ -2332,6 +2416,18 @@ impl<'p> Sim<'p> {
         policy: &'p mut dyn SlotPolicy,
         telem: Telemetry,
     ) -> Result<Sim<'p>, SimError> {
+        let scratch = Scratch::fresh(state.config.cluster.workers);
+        Sim::from_state_in(state, policy, telem, scratch)
+    }
+
+    /// [`Sim::from_state`] with caller-supplied scratch — the arena-backed
+    /// resume path.
+    fn from_state_in(
+        state: EngineState,
+        policy: &'p mut dyn SlotPolicy,
+        telem: Telemetry,
+        scratch: Scratch,
+    ) -> Result<Sim<'p>, SimError> {
         let cfg = state.config.clone();
         cfg.validate()?;
         if policy.name() != state.policy_name {
@@ -2406,12 +2502,16 @@ impl<'p> Sim<'p> {
             map_input_processed_mb: state.map_input_processed_mb,
             job_counters: state.job_counters,
             usage: state.usage,
-            node_cpu: vec![0.0; workers],
-            node_disk: vec![0.0; workers],
-            nic_in: vec![0.0; workers],
-            nic_out: vec![0.0; workers],
-            occ_map: vec![0; workers],
-            occ_reduce: vec![0; workers],
+            node_cpu: scratch.node_cpu,
+            node_disk: scratch.node_disk,
+            nic_in: scratch.nic_in,
+            nic_out: scratch.nic_out,
+            occ_map: scratch.occ_map,
+            occ_reduce: scratch.occ_reduce,
+            task_scratch: scratch.node_tasks,
+            demand_scratch: scratch.demands,
+            flow_scratch: scratch.flows,
+            purpose_scratch: scratch.purposes,
             snap_every: None,
             snapshots: Vec::new(),
             resumed: state.initial_sample_done,
@@ -2526,6 +2626,20 @@ impl EngineState {
         self.policy_state = serde::Value::Null;
         Ok(())
     }
+
+    /// FNV-1a hash of the capsule's canonical JSON encoding — a cheap
+    /// content identity for deduplicating shared warm-start prefixes:
+    /// sweep cells whose capsules fingerprint alike resume from one
+    /// in-memory capsule instead of re-preparing per cell.
+    pub fn fingerprint(&self) -> u64 {
+        let json = serde_json::to_string(self).expect("capsule serialises");
+        let mut h: u64 = 0xcbf29ce484222325;
+        for byte in json.as_bytes() {
+            h ^= *byte as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
 }
 
 impl Engine {
@@ -2607,6 +2721,22 @@ impl Engine {
         policy.attach_telemetry(telem);
         let mut sim = Sim::from_state(state, policy, telem.clone())?;
         sim.run_to_completion()
+    }
+
+    /// [`Engine::resume_with`] drawing scratch from (and returning it to)
+    /// `arena` — the warm-start path of an arena-backed sweep cell.
+    pub fn resume_in(
+        state: EngineState,
+        policy: &mut dyn SlotPolicy,
+        telem: &Telemetry,
+        arena: &mut EngineArena,
+    ) -> Result<RunReport, SimError> {
+        policy.attach_telemetry(telem);
+        let scratch = arena.checkout(state.config.cluster.workers);
+        let mut sim = Sim::from_state_in(state, policy, telem.clone(), scratch)?;
+        let out = sim.run_to_completion();
+        arena.check_in(sim.take_scratch());
+        out
     }
 
     /// Resume a captured run, continuing to capture capsules at every

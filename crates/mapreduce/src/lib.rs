@@ -34,6 +34,7 @@
 //! assert!(report.jobs[0].total_time().as_secs_f64() > 0.0);
 //! ```
 
+pub mod arena;
 pub mod auditor;
 pub mod counters;
 pub mod engine;
@@ -47,6 +48,7 @@ pub mod slots;
 pub mod stats;
 pub mod task;
 
+pub use arena::EngineArena;
 pub use auditor::{AuditSetup, Violation};
 pub use counters::{Counter, CounterLedger};
 pub use engine::{Engine, EngineConfig, EngineState};

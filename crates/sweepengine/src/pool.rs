@@ -1,0 +1,307 @@
+//! The bounded worker pool and its cell protocol.
+
+use crate::panic_message;
+use mapreduce::{EngineArena, RunReport};
+use simgrid::error::SimError;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// One independent unit of sweep work. Implementations hold everything
+/// the cell needs (config, jobs or a warm capsule, the system to run) and
+/// produce a fully audited `RunReport` when driven by a pool worker.
+///
+/// `system` and `seed` exist purely for failure attribution: when a cell
+/// panics, the executor re-raises with both attached so a 1000-cell grid
+/// failure names the exact cell that died.
+pub trait SweepCell: Sync {
+    /// Label of the system this cell runs (e.g. `"SMapReduce"`).
+    fn system(&self) -> &str;
+    /// The trial seed this cell runs under.
+    fn seed(&self) -> u64;
+    /// Execute the cell, drawing scratch allocations from `arena`.
+    fn run(&self, arena: &mut EngineArena) -> Result<RunReport, SimError>;
+}
+
+/// Aggregate execution metrics of one [`BatchedSweep::run`] call.
+#[derive(Debug, Clone)]
+pub struct SweepStats {
+    /// Cells in the grid.
+    pub cells: usize,
+    /// Workers the pool actually used (`min(bound, cells)`).
+    pub workers: usize,
+    /// Wall-clock duration of the whole grid (seconds).
+    pub wall_seconds: f64,
+    /// Grid throughput: `cells / wall_seconds`.
+    pub cells_per_sec: f64,
+    /// Most cells ever simultaneously in flight — bounded by `workers`,
+    /// unlike the thread-per-cell path where it equalled the grid size.
+    pub peak_resident_cells: usize,
+    /// Arena buffer growths summed over all workers (checkout resizes +
+    /// in-run growth); flat once every worker saw each cell shape once.
+    pub arena_growth_events: u64,
+    /// Cells that ran out of a recycled arena (every cell after each
+    /// worker's first reuses the previous cell's allocations).
+    pub arena_cells_recycled: u64,
+}
+
+/// The reports of a finished grid, in cell order, plus [`SweepStats`].
+#[derive(Debug)]
+pub struct SweepOutcome {
+    /// Per-cell results, indexed exactly like the input grid.
+    pub reports: Vec<Result<RunReport, SimError>>,
+    pub stats: SweepStats,
+}
+
+/// A recorded worker panic, held until the grid drains.
+struct CellPanic {
+    index: usize,
+    system: String,
+    seed: u64,
+    message: String,
+}
+
+/// Bounded-pool executor for sweep grids. See the crate docs for the
+/// execution model.
+#[derive(Debug, Clone)]
+pub struct BatchedSweep {
+    workers: usize,
+}
+
+impl BatchedSweep {
+    /// A pool sized to the machine: `available_parallelism` workers
+    /// (falling back to 1 when the count is unavailable).
+    pub fn auto() -> BatchedSweep {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        BatchedSweep::with_workers(workers)
+    }
+
+    /// A pool with an explicit worker bound (clamped to at least 1) —
+    /// the determinism suite runs the same grid at 1, 2, and N workers.
+    pub fn with_workers(workers: usize) -> BatchedSweep {
+        BatchedSweep {
+            workers: workers.max(1),
+        }
+    }
+
+    /// The configured worker bound.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Drive every cell to completion and return reports in cell order.
+    ///
+    /// Results are independent of the worker count and claim order: each
+    /// cell is a pure function of its own inputs, writes its result into
+    /// its own slot, and recycled arena buffers are indistinguishable
+    /// from fresh ones.
+    ///
+    /// If any cell panicked, the panic with the lowest cell index is
+    /// re-raised (deterministically, however many workers raced) as
+    /// `"{system} cell {index} with trial seed {seed} panicked: {msg}"`.
+    pub fn run<C: SweepCell>(&self, cells: &[C]) -> SweepOutcome {
+        let n = cells.len();
+        let workers = self.workers.min(n).max(1);
+        // one write-once slot per cell: finished cells publish here and
+        // move straight on, nothing joins until the whole grid drains
+        let slots: Vec<OnceLock<Result<RunReport, SimError>>> =
+            (0..n).map(|_| OnceLock::new()).collect();
+        let cursor = AtomicUsize::new(0);
+        let resident = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let growth = AtomicU64::new(0);
+        let recycled = AtomicU64::new(0);
+        let panics: Mutex<Vec<CellPanic>> = Mutex::new(Vec::new());
+        let started = Instant::now();
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    // one arena per worker, recycled across every cell
+                    // this worker claims
+                    let mut arena = EngineArena::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let now = resident.fetch_add(1, Ordering::Relaxed) + 1;
+                        peak.fetch_max(now, Ordering::Relaxed);
+                        let outcome = catch_unwind(AssertUnwindSafe(|| cells[i].run(&mut arena)));
+                        resident.fetch_sub(1, Ordering::Relaxed);
+                        match outcome {
+                            Ok(result) => {
+                                let _ = slots[i].set(result);
+                            }
+                            Err(payload) => panics.lock().expect("panic log").push(CellPanic {
+                                index: i,
+                                system: cells[i].system().to_string(),
+                                seed: cells[i].seed(),
+                                message: panic_message(payload.as_ref()),
+                            }),
+                        }
+                    }
+                    growth.fetch_add(arena.growth_events(), Ordering::Relaxed);
+                    recycled.fetch_add(arena.cells_recycled(), Ordering::Relaxed);
+                });
+            }
+        });
+
+        let wall_seconds = started.elapsed().as_secs_f64();
+        let mut panics = panics.into_inner().expect("panic log");
+        if !panics.is_empty() {
+            panics.sort_by_key(|p| p.index);
+            let p = &panics[0];
+            std::panic::panic_any(format!(
+                "{} cell {} with trial seed {} panicked: {}",
+                p.system, p.index, p.seed, p.message
+            ));
+        }
+        let reports = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("every claimed cell published a result")
+            })
+            .collect();
+        SweepOutcome {
+            reports,
+            stats: SweepStats {
+                cells: n,
+                workers,
+                wall_seconds,
+                cells_per_sec: if wall_seconds > 0.0 {
+                    n as f64 / wall_seconds
+                } else {
+                    0.0
+                },
+                peak_resident_cells: peak.load(Ordering::Relaxed),
+                arena_growth_events: growth.load(Ordering::Relaxed),
+                arena_cells_recycled: recycled.load(Ordering::Relaxed),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapreduce::policy::StaticSlotPolicy;
+    use mapreduce::{Engine, EngineConfig, JobProfile, JobSpec};
+    use simgrid::SimTime;
+
+    fn disabled() -> telemetry::Telemetry {
+        telemetry::Telemetry::disabled()
+    }
+
+    struct EngineCell {
+        seed: u64,
+        poison: bool,
+    }
+
+    impl SweepCell for EngineCell {
+        fn system(&self) -> &str {
+            "HadoopV1"
+        }
+
+        fn seed(&self) -> u64 {
+            self.seed
+        }
+
+        fn run(&self, arena: &mut EngineArena) -> Result<RunReport, SimError> {
+            if self.poison {
+                panic!("poisoned cell");
+            }
+            let cfg = EngineConfig::small_test(4, self.seed);
+            let job = JobSpec::new(
+                0,
+                JobProfile::synthetic_map_heavy(),
+                512.0,
+                8,
+                SimTime::ZERO,
+            );
+            Engine::new(cfg).run_in(vec![job], &mut StaticSlotPolicy, &disabled(), arena)
+        }
+    }
+
+    fn grid(seeds: &[u64]) -> Vec<EngineCell> {
+        seeds
+            .iter()
+            .map(|&seed| EngineCell {
+                seed,
+                poison: false,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pool_is_bounded_and_reports_land_in_cell_order() {
+        let cells = grid(&[1, 2, 3, 4, 5, 6]);
+        let out = BatchedSweep::with_workers(2).run(&cells);
+        assert_eq!(out.stats.workers, 2);
+        assert!(out.stats.peak_resident_cells <= 2);
+        assert_eq!(out.reports.len(), 6);
+        for r in &out.reports {
+            assert!(r.is_ok());
+        }
+        assert_eq!(out.stats.arena_cells_recycled, 6);
+    }
+
+    #[test]
+    fn results_are_identical_across_worker_counts() {
+        let cells = grid(&[10, 11, 12, 13]);
+        let one = BatchedSweep::with_workers(1).run(&cells);
+        let four = BatchedSweep::with_workers(4).run(&cells);
+        for (a, b) in one.reports.iter().zip(&four.reports) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(
+                serde_json::to_string(a).unwrap(),
+                serde_json::to_string(b).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn arena_growth_flattens_after_warmup() {
+        // a single worker sees the same cell shape repeatedly: all growth
+        // happens on the first cell
+        let cells = grid(&[1, 1, 1, 1, 1]);
+        let out = BatchedSweep::with_workers(1).run(&cells);
+        let single = BatchedSweep::with_workers(1).run(&grid(&[1]));
+        assert_eq!(
+            out.stats.arena_growth_events, single.stats.arena_growth_events,
+            "cells after the first must not grow the arena"
+        );
+    }
+
+    #[test]
+    fn lowest_indexed_panic_wins_and_carries_cell_identity() {
+        let mut cells = grid(&[20, 21, 22]);
+        cells[1].poison = true;
+        let payload = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            BatchedSweep::with_workers(2).run(&cells);
+        }))
+        .expect_err("poisoned grid panics");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("re-panic carries a String");
+        assert!(msg.contains("HadoopV1"), "no system in: {msg}");
+        assert!(msg.contains("cell 1"), "no cell index in: {msg}");
+        assert!(msg.contains("seed 21"), "no trial seed in: {msg}");
+        assert!(
+            msg.contains("poisoned cell"),
+            "original message lost: {msg}"
+        );
+    }
+
+    #[test]
+    fn empty_grid_is_a_noop() {
+        let out = BatchedSweep::auto().run(&grid(&[]));
+        assert!(out.reports.is_empty());
+        assert_eq!(out.stats.cells, 0);
+        assert_eq!(out.stats.peak_resident_cells, 0);
+    }
+}

@@ -1,0 +1,93 @@
+//! Warm-start prefix deduplication.
+//!
+//! Sweep cells that share a prefix — same cluster, seed, and job set, but
+//! a different fault plan, policy, or knob bound at resume time — can all
+//! warm-start from one `Engine::prepare` capsule (cluster booted, DFS
+//! layouts materialised, t = 0). The cache keys capsules by their content
+//! fingerprint ([`EngineState::fingerprint`]): however many grid axes
+//! independently prepare "the same" prefix, exactly one capsule stays
+//! resident and every cell resumes a clone of it.
+
+use mapreduce::EngineState;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A fingerprint-keyed pool of shared warm-start capsules. Cheap to share
+/// across pool workers (`&PrefixCache` is `Sync`).
+#[derive(Debug, Default)]
+pub struct PrefixCache {
+    by_fingerprint: Mutex<HashMap<u64, Arc<EngineState>>>,
+    hits: AtomicU64,
+}
+
+impl PrefixCache {
+    pub fn new() -> PrefixCache {
+        PrefixCache::default()
+    }
+
+    /// Deduplicate `state` against the cache: if a capsule with the same
+    /// fingerprint is already resident, drop `state` and return the
+    /// resident one (counting a hit); otherwise `state` becomes resident.
+    pub fn intern(&self, state: EngineState) -> Arc<EngineState> {
+        let fingerprint = state.fingerprint();
+        let mut map = self.by_fingerprint.lock().expect("prefix cache");
+        if let Some(existing) = map.get(&fingerprint) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            Arc::clone(existing)
+        } else {
+            let capsule = Arc::new(state);
+            map.insert(fingerprint, Arc::clone(&capsule));
+            capsule
+        }
+    }
+
+    /// Distinct capsules resident.
+    pub fn capsules(&self) -> usize {
+        self.by_fingerprint.lock().expect("prefix cache").len()
+    }
+
+    /// Interns that collapsed onto an already-resident capsule.
+    pub fn dedup_hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapreduce::{Engine, EngineConfig, JobProfile, JobSpec};
+    use simgrid::SimTime;
+
+    fn capsule(seed: u64) -> EngineState {
+        let cfg = EngineConfig::small_test(4, seed);
+        let job = JobSpec::new(
+            0,
+            JobProfile::synthetic_map_heavy(),
+            512.0,
+            8,
+            SimTime::ZERO,
+        );
+        Engine::new(cfg).prepare(vec![job]).expect("prepare")
+    }
+
+    #[test]
+    fn identical_prefixes_collapse_to_one_capsule() {
+        let cache = PrefixCache::new();
+        let a = cache.intern(capsule(7));
+        let b = cache.intern(capsule(7));
+        assert!(Arc::ptr_eq(&a, &b), "same prefix must share one capsule");
+        assert_eq!(cache.capsules(), 1);
+        assert_eq!(cache.dedup_hits(), 1);
+    }
+
+    #[test]
+    fn different_seeds_stay_distinct() {
+        let cache = PrefixCache::new();
+        let a = cache.intern(capsule(1));
+        let b = cache.intern(capsule(2));
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.capsules(), 2);
+        assert_eq!(cache.dedup_hits(), 0);
+    }
+}
