@@ -11,7 +11,8 @@
 //! `NodeLost` error instead of hanging.
 
 use crate::runner::{
-    average_reports, prepare_warm, run_cells, run_once, trial_seed, CellRequest, System,
+    average_reports, prepare_warm, run_cells, run_once, take_cell_reports, trial_seed, CellRequest,
+    System,
 };
 use crate::scale::Scale;
 use crate::table;
@@ -165,9 +166,10 @@ pub fn run(scale: Scale) -> ExtFaults {
     let mut cells = Vec::new();
     for (label, mttf_s, sys, recovery) in grid {
         // the first trial error (in trial order) turns the whole grid
-        // cell into an error row, exactly like the sequential path did
-        let chunk: Result<Vec<_>, _> = reports.by_ref().take(scale.trials()).collect();
-        let cell = match chunk {
+        // cell into an error row, exactly like the sequential path did;
+        // take_cell_reports drains the cell's full trial chunk either way,
+        // keeping the shared stream aligned for the next cell
+        let cell = match take_cell_reports(&mut reports, scale.trials()) {
             Ok(trial_reports) => {
                 let avg = average_reports(&sys, trial_reports);
                 FaultCell {

@@ -474,6 +474,22 @@ fn run_averaged_by(
     Ok(average_reports(system, reports))
 }
 
+/// Draw exactly `trials` reports from a pooled grid's report stream and
+/// fold them to the first error in trial order. The chunk is always
+/// consumed in full even when an early trial errored — error trials are
+/// an expected outcome (e.g. the recovery-off rows of ext-faults), and
+/// folding before the chunk is fully drawn would leave the shared
+/// iterator misaligned, handing this cell's leftover reports to the next
+/// grid cell.
+pub(crate) fn take_cell_reports(
+    reports: &mut dyn Iterator<Item = Result<RunReport, SimError>>,
+    trials: usize,
+) -> Result<Vec<RunReport>, SimError> {
+    let chunk: Vec<Result<RunReport, SimError>> = reports.take(trials).collect();
+    assert_eq!(chunk.len(), trials, "report stream exhausted mid-cell");
+    chunk.into_iter().collect()
+}
+
 /// Trial-mean timings of one cell (callers guarantee `reports` is
 /// non-empty). Grid drivers use this to fold each cell's chunk of a
 /// batched sweep's reports back into an [`AveragedRun`].
@@ -532,10 +548,7 @@ pub fn run_comparison(
     systems
         .iter()
         .map(|system| {
-            let chunk = reports
-                .by_ref()
-                .take(trials)
-                .collect::<Result<Vec<_>, _>>()?;
+            let chunk = take_cell_reports(&mut reports, trials)?;
             Ok(average_reports(system, chunk))
         })
         .collect()
@@ -708,6 +721,32 @@ mod tests {
             msg.contains("injected failure"),
             "original message lost: {msg}"
         );
+    }
+
+    #[test]
+    fn error_chunks_consume_their_full_trial_slice() {
+        // an error mid-chunk must not leave the report stream misaligned:
+        // the next cell reads its own trials, never the previous cell's
+        // leftovers (a Full-scale ext-faults grid hits exactly this — the
+        // recovery-off cells error on an early trial)
+        let cfg = small_cfg();
+        let h = run_once(&cfg, vec![small_job()], &System::HadoopV1, 1).unwrap();
+        let y = run_once(&cfg, vec![small_job()], &System::Yarn, 2).unwrap();
+        let s = run_once(&cfg, vec![small_job()], &System::SMapReduce, 3).unwrap();
+        let stream: Vec<Result<RunReport, SimError>> = vec![
+            Err(SimError::InvalidConfig("trial 0 died".into())),
+            Ok(h),
+            Ok(y),
+            Ok(s),
+        ];
+        let mut reports = stream.into_iter();
+        assert!(take_cell_reports(&mut reports, 2).is_err());
+        let next = take_cell_reports(&mut reports, 2).expect("second cell is clean");
+        assert_eq!(
+            next[0].policy, "YARN",
+            "second cell was handed the first cell's leftover report"
+        );
+        assert_eq!(next[1].policy, "SMapReduce");
     }
 
     #[test]

@@ -34,7 +34,8 @@ pub struct SweepBench {
     /// Arena buffer regrowths after a cell was handed its scratch; flat
     /// after warm-up when recycling works.
     pub arena_growth_events: u64,
-    /// Cells that drew scratch from a recycled arena.
+    /// Cells that drew scratch from a recycled arena (each pool worker's
+    /// fresh first cell excluded).
     pub arena_cells_recycled: u64,
     /// `prepare` calls made while building the grid.
     pub prefix_prepares: usize,
@@ -192,7 +193,9 @@ mod tests {
         assert_eq!(b.prefix_dedup_hits, 12);
         assert!(b.peak_resident_cells <= b.workers);
         assert!(b.cells_per_sec > 0.0);
-        assert_eq!(b.arena_cells_recycled as usize, b.cells);
+        // every cell beyond each worker's fresh first drew recycled scratch
+        assert!(b.arena_cells_recycled as usize >= b.cells - b.workers);
+        assert!((b.arena_cells_recycled as usize) < b.cells);
     }
 
     #[test]
@@ -204,7 +207,7 @@ mod tests {
             cells_per_sec: 504.0,
             peak_resident_cells: 8,
             arena_growth_events: 24,
-            arena_cells_recycled: 1008,
+            arena_cells_recycled: 1000,
             prefix_prepares: 336,
             prefix_capsules: 84,
             prefix_dedup_hits: 252,

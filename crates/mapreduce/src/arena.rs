@@ -129,8 +129,14 @@ impl EngineArena {
         EngineArena::default()
     }
 
-    /// Checkouts (cells) recycled through this arena so far.
+    /// Cells whose scratch came out of recycled buffers — every checkout
+    /// after this arena's first, which had to allocate fresh.
     pub fn cells_recycled(&self) -> u64 {
+        self.cells.saturating_sub(1)
+    }
+
+    /// Total cells this arena has served, the fresh first one included.
+    pub fn cells_served(&self) -> u64 {
         self.cells
     }
 
@@ -212,13 +218,15 @@ mod tests {
         let first_growth = arena.growth_events();
         assert!(first_growth > 0, "cold checkout must allocate");
         arena.check_in(s);
-        assert_eq!(arena.cells_recycled(), 1);
+        assert_eq!(arena.cells_served(), 1);
+        assert_eq!(arena.cells_recycled(), 0, "first cell allocated fresh");
 
         // same shape again: everything fits in place, zero growth
         let s = arena.checkout(4);
         arena.check_in(s);
         assert_eq!(arena.growth_events(), first_growth);
-        assert_eq!(arena.cells_recycled(), 2);
+        assert_eq!(arena.cells_served(), 2);
+        assert_eq!(arena.cells_recycled(), 1);
     }
 
     #[test]

@@ -2627,18 +2627,31 @@ impl EngineState {
         Ok(())
     }
 
+    /// The capsule's canonical JSON encoding — the exact byte string
+    /// [`EngineState::fingerprint`] hashes. The prefix cache keeps it
+    /// alongside each resident capsule and compares it in full on every
+    /// fingerprint hit, so a 64-bit collision can never silently alias
+    /// two distinct prefixes.
+    pub fn canonical_json(&self) -> String {
+        serde_json::to_string(self).expect("capsule serialises")
+    }
+
+    /// FNV-1a over a [`EngineState::canonical_json`] encoding.
+    pub fn fingerprint_of(canonical: &str) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for byte in canonical.as_bytes() {
+            h ^= *byte as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+
     /// FNV-1a hash of the capsule's canonical JSON encoding — a cheap
     /// content identity for deduplicating shared warm-start prefixes:
     /// sweep cells whose capsules fingerprint alike resume from one
     /// in-memory capsule instead of re-preparing per cell.
     pub fn fingerprint(&self) -> u64 {
-        let json = serde_json::to_string(self).expect("capsule serialises");
-        let mut h: u64 = 0xcbf29ce484222325;
-        for byte in json.as_bytes() {
-            h ^= *byte as u64;
-            h = h.wrapping_mul(0x100000001b3);
-        }
-        h
+        Self::fingerprint_of(&self.canonical_json())
     }
 }
 

@@ -41,8 +41,10 @@ pub struct SweepStats {
     /// Arena buffer growths summed over all workers (checkout resizes +
     /// in-run growth); flat once every worker saw each cell shape once.
     pub arena_growth_events: u64,
-    /// Cells that ran out of a recycled arena (every cell after each
-    /// worker's first reuses the previous cell's allocations).
+    /// Cells that ran out of a recycled arena. Each worker's first cell
+    /// allocates its arena fresh and is excluded, so this sits between
+    /// `cells - workers` (every worker claimed a cell) and `cells - 1`
+    /// (one worker claimed the whole grid).
     pub arena_cells_recycled: u64,
 }
 
@@ -247,7 +249,14 @@ mod tests {
         for r in &out.reports {
             assert!(r.is_ok());
         }
-        assert_eq!(out.stats.arena_cells_recycled, 6);
+        // each worker's first cell allocates its arena fresh: 4 of the 6
+        // cells recycled when both workers ran cells, 5 when one worker
+        // raced ahead and claimed the whole grid
+        assert!(
+            (4..=5).contains(&out.stats.arena_cells_recycled),
+            "recycled {} of 6 cells on 2 workers",
+            out.stats.arena_cells_recycled
+        );
     }
 
     #[test]

@@ -7,18 +7,35 @@
 //! fingerprint ([`EngineState::fingerprint`]): however many grid axes
 //! independently prepare "the same" prefix, exactly one capsule stays
 //! resident and every cell resumes a clone of it.
+//!
+//! The 64-bit fingerprint is a key, not a proof of identity: every hit is
+//! confirmed by comparing the full canonical JSON the fingerprint was
+//! computed from. A colliding pair of distinct prefixes therefore ends up
+//! as two resident capsules (and a bumped collision counter) instead of
+//! one cell silently resuming the other's state — which would break the
+//! byte-identical determinism contract with no diagnostic.
 
 use mapreduce::EngineState;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
+/// One interned capsule plus the canonical encoding that identifies it.
+#[derive(Debug)]
+struct Resident {
+    /// Canonical JSON the fingerprint was computed from, compared in full
+    /// on every fingerprint hit.
+    canonical: String,
+    capsule: Arc<EngineState>,
+}
+
 /// A fingerprint-keyed pool of shared warm-start capsules. Cheap to share
 /// across pool workers (`&PrefixCache` is `Sync`).
 #[derive(Debug, Default)]
 pub struct PrefixCache {
-    by_fingerprint: Mutex<HashMap<u64, Arc<EngineState>>>,
+    by_fingerprint: Mutex<HashMap<u64, Vec<Resident>>>,
     hits: AtomicU64,
+    collisions: AtomicU64,
 }
 
 impl PrefixCache {
@@ -27,29 +44,62 @@ impl PrefixCache {
     }
 
     /// Deduplicate `state` against the cache: if a capsule with the same
-    /// fingerprint is already resident, drop `state` and return the
-    /// resident one (counting a hit); otherwise `state` becomes resident.
+    /// fingerprint *and* the same canonical encoding is already resident,
+    /// drop `state` and return the resident one (counting a hit);
+    /// otherwise `state` becomes resident. A fingerprint hit whose
+    /// canonical encoding differs is a collision: the states stay
+    /// distinct and [`PrefixCache::fingerprint_collisions`] is bumped.
     pub fn intern(&self, state: EngineState) -> Arc<EngineState> {
-        let fingerprint = state.fingerprint();
+        let canonical = state.canonical_json();
+        let fingerprint = EngineState::fingerprint_of(&canonical);
+        self.intern_keyed(fingerprint, canonical, state)
+    }
+
+    /// [`PrefixCache::intern`] with the fingerprint supplied by the
+    /// caller — split out so tests can force a collision.
+    fn intern_keyed(
+        &self,
+        fingerprint: u64,
+        canonical: String,
+        state: EngineState,
+    ) -> Arc<EngineState> {
         let mut map = self.by_fingerprint.lock().expect("prefix cache");
-        if let Some(existing) = map.get(&fingerprint) {
+        let bucket = map.entry(fingerprint).or_default();
+        if let Some(resident) = bucket.iter().find(|r| r.canonical == canonical) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            Arc::clone(existing)
-        } else {
-            let capsule = Arc::new(state);
-            map.insert(fingerprint, Arc::clone(&capsule));
-            capsule
+            return Arc::clone(&resident.capsule);
         }
+        if !bucket.is_empty() {
+            self.collisions.fetch_add(1, Ordering::Relaxed);
+        }
+        let capsule = Arc::new(state);
+        bucket.push(Resident {
+            canonical,
+            capsule: Arc::clone(&capsule),
+        });
+        capsule
     }
 
     /// Distinct capsules resident.
     pub fn capsules(&self) -> usize {
-        self.by_fingerprint.lock().expect("prefix cache").len()
+        self.by_fingerprint
+            .lock()
+            .expect("prefix cache")
+            .values()
+            .map(Vec::len)
+            .sum()
     }
 
     /// Interns that collapsed onto an already-resident capsule.
     pub fn dedup_hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Fingerprint hits whose canonical encodings differed — distinct
+    /// prefixes that would have been silently aliased by a
+    /// fingerprint-only cache.
+    pub fn fingerprint_collisions(&self) -> u64 {
+        self.collisions.load(Ordering::Relaxed)
     }
 }
 
@@ -79,6 +129,7 @@ mod tests {
         assert!(Arc::ptr_eq(&a, &b), "same prefix must share one capsule");
         assert_eq!(cache.capsules(), 1);
         assert_eq!(cache.dedup_hits(), 1);
+        assert_eq!(cache.fingerprint_collisions(), 0);
     }
 
     #[test]
@@ -89,5 +140,28 @@ mod tests {
         assert!(!Arc::ptr_eq(&a, &b));
         assert_eq!(cache.capsules(), 2);
         assert_eq!(cache.dedup_hits(), 0);
+    }
+
+    #[test]
+    fn colliding_fingerprints_do_not_alias_distinct_prefixes() {
+        // force two different states onto one fingerprint key: the cache
+        // must keep them distinct instead of handing the second interner
+        // the first state's capsule
+        let cache = PrefixCache::new();
+        let (one, two) = (capsule(1), capsule(2));
+        let (canon_one, canon_two) = (one.canonical_json(), two.canonical_json());
+        assert_ne!(canon_one, canon_two, "states must actually differ");
+        let a = cache.intern_keyed(42, canon_one.clone(), one);
+        let b = cache.intern_keyed(42, canon_two, two);
+        assert!(!Arc::ptr_eq(&a, &b), "collision aliased distinct prefixes");
+        assert_eq!(cache.capsules(), 2);
+        assert_eq!(cache.dedup_hits(), 0);
+        assert_eq!(cache.fingerprint_collisions(), 1);
+
+        // a true re-intern under the colliding key still deduplicates
+        let c = cache.intern_keyed(42, canon_one, capsule(1));
+        assert!(Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.dedup_hits(), 1);
+        assert_eq!(cache.fingerprint_collisions(), 1);
     }
 }

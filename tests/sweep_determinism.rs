@@ -148,6 +148,7 @@ proptest! {
             serde_json::to_string(&fresh).unwrap(),
             "recycled arena changed cell B's result"
         );
-        assert_eq!(shared.cells_recycled(), 2);
+        assert_eq!(shared.cells_served(), 2);
+        assert_eq!(shared.cells_recycled(), 1, "cell B recycled A's arena");
     }
 }

@@ -133,5 +133,10 @@ fn step_loop_telemetry_calls_do_not_allocate() {
         after_warmup,
         "steady-state cells must reuse warm-up capacity, not regrow the arena"
     );
-    assert_eq!(arena.cells_recycled(), 9);
+    assert_eq!(arena.cells_served(), 9);
+    assert_eq!(
+        arena.cells_recycled(),
+        8,
+        "every cell after the fresh warm-up must recycle"
+    );
 }
