@@ -31,6 +31,22 @@ impl FileLayout {
     pub fn is_local(&self, block: BlockId, node: NodeId) -> bool {
         self.blocks[block.0].is_local_to(node)
     }
+
+    /// The namenode view inverted to per-node dense postings: for each of
+    /// the cluster's `workers` nodes, the ascending block indices it holds
+    /// a replica of. Placement and crash-time replica pruning walk one
+    /// node's posting list instead of scanning every block and hashing
+    /// membership — the layout stays the source of truth, postings are
+    /// derived (and rebuilt, never serialized).
+    pub fn node_postings(&self, workers: usize) -> Vec<Vec<u32>> {
+        let mut per_node: Vec<Vec<u32>> = vec![Vec::new(); workers];
+        for (bi, block) in self.blocks.iter().enumerate() {
+            for &n in &block.replicas {
+                per_node[n.slot(workers)].push(bi as u32);
+            }
+        }
+        per_node
+    }
 }
 
 /// Minimal name node: creates layouts. (The real name node also tracks
@@ -138,6 +154,23 @@ mod tests {
                 .unwrap();
             assert!(!f.is_local(b.id, non));
         }
+    }
+
+    #[test]
+    fn node_postings_invert_the_layout() {
+        let mut nn = namenode();
+        let f = nn.create_file(2048.0);
+        let postings = f.node_postings(8);
+        for (n, posts) in postings.iter().enumerate() {
+            assert!(posts.windows(2).all(|w| w[0] < w[1]), "postings ascend");
+            for &bi in posts {
+                assert!(f.is_local(BlockId(bi as usize), NodeId(n)));
+            }
+        }
+        // the inversion is complete: one posting per replica
+        let posted: usize = postings.iter().map(|p| p.len()).sum();
+        let replicas: usize = f.blocks.iter().map(|b| b.replicas.len()).sum();
+        assert_eq!(posted, replicas);
     }
 
     #[test]

@@ -34,7 +34,8 @@
 use harness::scale::Scale;
 use harness::{
     ablation, capsules, engine_bench, ext_fair, ext_faults, ext_hetero, ext_load, ext_stragglers,
-    fig1, fig3, fig4, fig5, fig6, fig7, fig89, model_check, output, summary, sweep_bench,
+    fig1, fig3, fig4, fig5, fig6, fig7, fig89, model_check, output, scale_bench, summary,
+    sweep_bench,
 };
 use simgrid::time::{SimDuration, SteppingMode};
 use std::path::{Path, PathBuf};
@@ -138,7 +139,7 @@ fn parse_args() -> Result<Args, String> {
     })
 }
 
-const USAGE: &str = "usage: reproduce [all|fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ext-hetero|ext-stragglers|ext-fair|ext-load|ext-faults|ablations|model-check|headline|engine-bench|sweep-bench] [--quick] [--out DIR] [--trace FILE] [--dashboard DIR] [--engine fixed|adaptive]
+const USAGE: &str = "usage: reproduce [all|fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ext-hetero|ext-stragglers|ext-fair|ext-load|ext-faults|ablations|model-check|headline|engine-bench|sweep-bench|scale-bench] [--quick] [--out DIR] [--trace FILE] [--dashboard DIR] [--engine fixed|adaptive]
        reproduce <target> --checkpoint-every SECS --capsule-dir DIR   # record the target's representative run as a capsule stream
        reproduce fingerprint <target> [--via straight|resume] [--capsule-dir DIR]   # print the representative run's auditor fingerprint
        reproduce resume CAPSULE.json                                  # resume a capsule to completion
@@ -477,6 +478,19 @@ fn main() -> ExitCode {
                 .map_err(|e| e.to_string())?;
                 println!("[wrote {}]", path.display());
                 (sweep_bench::render(&d), json)
+            }
+            "scale-bench" => {
+                let d = scale_bench::run(scale);
+                let json = serde_json::to_value(&d).expect("serialise");
+                let path = args.out.join("BENCH_scale.json");
+                std::fs::create_dir_all(&args.out).map_err(|e| e.to_string())?;
+                std::fs::write(
+                    &path,
+                    serde_json::to_string_pretty(&json).unwrap_or_default(),
+                )
+                .map_err(|e| e.to_string())?;
+                println!("[wrote {}]", path.display());
+                (scale_bench::render(&d), json)
             }
             other => return Err(format!("unknown target: {other}\n{USAGE}")),
         };

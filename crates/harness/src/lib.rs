@@ -49,6 +49,7 @@ pub mod model_check;
 pub mod output;
 pub mod runner;
 pub mod scale;
+pub mod scale_bench;
 pub mod shapes;
 pub mod summary;
 pub mod sweep_bench;

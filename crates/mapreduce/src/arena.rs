@@ -29,13 +29,16 @@
 //! came from a fresh allocation or a recycled arena; the determinism
 //! suite in `tests/sweep_determinism.rs` holds this to the letter.
 
-use crate::engine::{FlowPurpose, TaskRef};
-use simgrid::network::{Flow, FlowId};
+use crate::engine::{FetchPost, FlowPurpose, TaskRef};
+use crate::policy::TrackerSnapshot;
+use crate::task::MapAttemptId;
+use simgrid::cluster::NodeId;
+use simgrid::network::{FabricScratch, Flow, FlowId};
 use simgrid::node::TaskDemand;
 
 /// The number of distinct buffer families an arena recycles (used to size
 /// the capacity-footprint snapshot taken at checkout).
-const FAMILIES: usize = 10;
+const FAMILIES: usize = 17;
 
 /// Reusable scratch allocations for one engine run at a time.
 ///
@@ -54,6 +57,13 @@ pub struct EngineArena {
     demands: Vec<TaskDemand>,
     flows: Vec<Flow>,
     purposes: Vec<(FlowId, FlowPurpose)>,
+    fabric: FabricScratch,
+    rates: Vec<f64>,
+    scales: Vec<(TaskRef, f64)>,
+    map_posts: Vec<(MapAttemptId, f64)>,
+    fetch_posts: Vec<FetchPost>,
+    sources: Vec<(NodeId, f64)>,
+    snapshots: Vec<TrackerSnapshot>,
     /// Capacity footprint of the buffers currently checked out, recorded
     /// so check-in can detect growth that happened *during* the run.
     handed_caps: [usize; FAMILIES],
@@ -76,6 +86,13 @@ pub(crate) struct Scratch {
     pub(crate) demands: Vec<TaskDemand>,
     pub(crate) flows: Vec<Flow>,
     pub(crate) purposes: Vec<(FlowId, FlowPurpose)>,
+    pub(crate) fabric: FabricScratch,
+    pub(crate) rates: Vec<f64>,
+    pub(crate) scales: Vec<(TaskRef, f64)>,
+    pub(crate) map_posts: Vec<(MapAttemptId, f64)>,
+    pub(crate) fetch_posts: Vec<FetchPost>,
+    pub(crate) sources: Vec<(NodeId, f64)>,
+    pub(crate) snapshots: Vec<TrackerSnapshot>,
 }
 
 impl Scratch {
@@ -92,6 +109,13 @@ impl Scratch {
             demands: Vec::new(),
             flows: Vec::new(),
             purposes: Vec::new(),
+            fabric: FabricScratch::new(),
+            rates: Vec::new(),
+            scales: Vec::new(),
+            map_posts: Vec::new(),
+            fetch_posts: Vec::new(),
+            sources: Vec::new(),
+            snapshots: Vec::new(),
         }
     }
 
@@ -111,6 +135,13 @@ impl Scratch {
             self.demands.capacity(),
             self.flows.capacity(),
             self.purposes.capacity(),
+            self.fabric.footprint(),
+            self.rates.capacity(),
+            self.scales.capacity(),
+            self.map_posts.capacity(),
+            self.fetch_posts.capacity(),
+            self.sources.capacity(),
+            self.snapshots.capacity(),
         ]
     }
 }
@@ -147,6 +178,35 @@ impl EngineArena {
         self.growth_events
     }
 
+    /// Approximate resident bytes held by the recycled buffer families —
+    /// the scale bench's peak-memory proxy. Counts backing capacity, not
+    /// live length, because capacity is what the process actually keeps.
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.node_cpu.capacity() * size_of::<f64>()
+            + self.node_disk.capacity() * size_of::<f64>()
+            + self.nic_in.capacity() * size_of::<f64>()
+            + self.nic_out.capacity() * size_of::<f64>()
+            + self.occ_map.capacity() * size_of::<usize>()
+            + self.occ_reduce.capacity() * size_of::<usize>()
+            + self.node_tasks.capacity() * size_of::<Vec<(TaskRef, TaskDemand)>>()
+            + self
+                .node_tasks
+                .iter()
+                .map(|v| v.capacity() * size_of::<(TaskRef, TaskDemand)>())
+                .sum::<usize>()
+            + self.demands.capacity() * size_of::<TaskDemand>()
+            + self.flows.capacity() * size_of::<Flow>()
+            + self.purposes.capacity() * size_of::<(FlowId, FlowPurpose)>()
+            + self.fabric.approx_bytes()
+            + self.rates.capacity() * size_of::<f64>()
+            + self.scales.capacity() * size_of::<(TaskRef, f64)>()
+            + self.map_posts.capacity() * size_of::<(MapAttemptId, f64)>()
+            + self.fetch_posts.capacity() * size_of::<FetchPost>()
+            + self.sources.capacity() * size_of::<(NodeId, f64)>()
+            + self.snapshots.capacity() * size_of::<TrackerSnapshot>()
+    }
+
     /// Reset every buffer in place for a `workers`-node cell and hand the
     /// family out. The caller returns it via [`EngineArena::check_in`].
     pub(crate) fn checkout(&mut self, workers: usize) -> Scratch {
@@ -165,6 +225,14 @@ impl EngineArena {
         self.demands.clear();
         self.flows.clear();
         self.purposes.clear();
+        // the fabric scratch needs no reset: its slabs are epoch-stamped,
+        // so stale lanes are invisible to the next allocation
+        self.rates.clear();
+        self.scales.clear();
+        self.map_posts.clear();
+        self.fetch_posts.clear();
+        self.sources.clear();
+        self.snapshots.clear();
         self.growth_events += grew;
         let scratch = Scratch {
             node_cpu: std::mem::take(&mut self.node_cpu),
@@ -177,6 +245,13 @@ impl EngineArena {
             demands: std::mem::take(&mut self.demands),
             flows: std::mem::take(&mut self.flows),
             purposes: std::mem::take(&mut self.purposes),
+            fabric: std::mem::take(&mut self.fabric),
+            rates: std::mem::take(&mut self.rates),
+            scales: std::mem::take(&mut self.scales),
+            map_posts: std::mem::take(&mut self.map_posts),
+            fetch_posts: std::mem::take(&mut self.fetch_posts),
+            sources: std::mem::take(&mut self.sources),
+            snapshots: std::mem::take(&mut self.snapshots),
         };
         self.handed_caps = scratch.caps();
         scratch
@@ -200,6 +275,13 @@ impl EngineArena {
         self.demands = scratch.demands;
         self.flows = scratch.flows;
         self.purposes = scratch.purposes;
+        self.fabric = scratch.fabric;
+        self.rates = scratch.rates;
+        self.scales = scratch.scales;
+        self.map_posts = scratch.map_posts;
+        self.fetch_posts = scratch.fetch_posts;
+        self.sources = scratch.sources;
+        self.snapshots = scratch.snapshots;
         self.cells += 1;
     }
 }

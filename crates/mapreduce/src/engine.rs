@@ -40,12 +40,12 @@ use serde::{Deserialize, Serialize};
 use simgrid::cluster::{ClusterSpec, NodeId};
 use simgrid::error::SimError;
 use simgrid::metrics::RecordedSeries;
-use simgrid::network::{Fabric, FabricConfig, Flow, FlowId};
+use simgrid::network::{Fabric, FabricConfig, FabricScratch, Flow, FlowId};
 use simgrid::node::allocate_node;
 use simgrid::rng::SimRng;
 use simgrid::time::{EventHorizon, SimDuration, SimTime, SteppingMode, TickConfig};
 use simgrid::usage::NodeUsageSampler;
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use telemetry::Telemetry;
 
 /// All knobs of one simulated deployment.
@@ -403,24 +403,70 @@ pub(crate) enum FlowPurpose {
     Fetch(ReduceTaskId, NodeId),
 }
 
+/// One granted shuffle fetch: `reduce` pulling from source node `src` at
+/// `rate` MB/s. `contended` marks fetches granted less than they demanded
+/// (fabric contention): their depletion frees bandwidth other flows are
+/// queued for, so the adaptive horizon must cut there even before the
+/// shuffle endgame.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct FetchPost {
+    reduce: ReduceTaskId,
+    src: NodeId,
+    rate: f64,
+    contended: bool,
+}
+
 /// The allocate phase's output: every piecewise-constant rate in force for
 /// the coming step. The horizon phase reads these to find the next event;
 /// the integrate phase advances every task by exactly `rate × dt`.
+///
+/// All three indexes are sorted flat vectors recycled step over step (via
+/// [`Sim::reclaim`]) instead of hash/tree maps: lookups are binary
+/// searches or cursor walks over the same ascending order the consumers
+/// iterate in, so the allocate phase neither hashes `NodeId`s nor
+/// allocates in the steady state.
 struct StepRates {
-    /// Per-task node-contention scale (includes the management-stall factor).
-    scales: BTreeMap<TaskRef, f64>,
-    /// Granted fabric bandwidth per remote-reading map attempt (MB/s).
-    map_read_rate: HashMap<MapAttemptId, f64>,
-    /// Granted fabric bandwidth per (reduce, source-node) shuffle fetch (MB/s).
-    fetch_rate: HashMap<(ReduceTaskId, NodeId), f64>,
-    /// Fetches granted less than they demanded (fabric contention): their
-    /// depletion frees bandwidth other flows are queued for, so the
-    /// adaptive horizon must cut there even before the shuffle endgame.
-    fetch_contended: HashSet<(ReduceTaskId, NodeId)>,
+    /// Per-task node-contention scale (includes the management-stall
+    /// factor), sorted by `TaskRef`.
+    scales: Vec<(TaskRef, f64)>,
+    /// Granted fabric bandwidth per remote-reading map attempt (MB/s),
+    /// sorted by attempt id (the flow build order).
+    map_posts: Vec<(MapAttemptId, f64)>,
+    /// Granted shuffle fetches, sorted by `(reduce, src)`.
+    fetch_posts: Vec<FetchPost>,
     /// Offered CPU capacity rate (cores) while any job is active.
     cpu_offered_rate: f64,
     /// Granted CPU rate (cores) summed over running tasks.
     cpu_granted_rate: f64,
+}
+
+/// Binary-search lookup in a sorted scale table; absent tasks score 0.0
+/// (exactly the old `BTreeMap::get(..).unwrap_or(0.0)` contract).
+fn scale_of(scales: &[(TaskRef, f64)], r: TaskRef) -> f64 {
+    match scales.binary_search_by(|probe| probe.0.cmp(&r)) {
+        Ok(i) => scales[i].1,
+        Err(_) => 0.0,
+    }
+}
+
+/// Cursor walk over a sorted posting list: advance `cursor` past keys
+/// below `key`, then return the payload at `key` if present. Callers
+/// iterate keys in ascending order, so the walk is linear overall.
+fn posted<K: Ord + Copy, V: Copy>(posts: &[(K, V)], cursor: &mut usize, key: K) -> Option<V> {
+    while *cursor < posts.len() && posts[*cursor].0 < key {
+        *cursor += 1;
+    }
+    (*cursor < posts.len() && posts[*cursor].0 == key).then(|| posts[*cursor].1)
+}
+
+/// Invert every job's block→replica lists into per-node block postings
+/// (`result[job][node]` = block indices with a replica on `node`). Derived
+/// state: rebuilt here on construction and on capsule resume, so the
+/// serialized [`EngineState`] stays exactly the pre-dense format.
+fn build_replica_postings(jobs: &[JobInProgress], workers: usize) -> Vec<Vec<Vec<u32>>> {
+    jobs.iter()
+        .map(|job| job.layout.node_postings(workers))
+        .collect()
 }
 
 /// The engine. Construct with a config, then [`Engine::run`] a workload
@@ -584,6 +630,25 @@ struct Sim<'p> {
     /// fabric each step; cleared and rebuilt in place.
     flow_scratch: Vec<Flow>,
     purpose_scratch: Vec<(FlowId, FlowPurpose)>,
+    /// Dense water-filling state (cluster-sized slabs, epoch-reset) and
+    /// the positional rate vector the fabric writes grants into.
+    fabric_scratch: FabricScratch,
+    rate_scratch: Vec<f64>,
+    /// Recycled backing stores for [`StepRates`]; swapped out at allocate
+    /// and swapped back by [`Sim::reclaim`] after integrate.
+    scales_scratch: Vec<(TaskRef, f64)>,
+    map_post_scratch: Vec<(MapAttemptId, f64)>,
+    fetch_post_scratch: Vec<FetchPost>,
+    /// Per-reduce fetch-source list rebuilt by every flow build.
+    source_scratch: Vec<(NodeId, f64)>,
+    /// Live-tracker snapshots rebuilt by every heartbeat fan-in.
+    snapshot_scratch: Vec<TrackerSnapshot>,
+    /// Per-job, per-node replica postings: `replica_postings[job][node]`
+    /// lists the block indices of `job` holding a replica on `node`, so a
+    /// crash prunes exactly the affected blocks instead of scanning every
+    /// block of every job. Derived state — rebuilt from the layouts on
+    /// construction and on capsule resume, never serialized.
+    replica_postings: Vec<Vec<Vec<u32>>>,
     /// Capture an [`EngineState`] capsule at every multiple of this period
     /// (must itself be a multiple of the sample period, so captures land on
     /// instants both stepping modes already stop at).
@@ -663,6 +728,7 @@ impl<'p> Sim<'p> {
             .map(|n| *cfg.cluster.node_spec(n))
             .collect();
         let job_counters = vec![CounterLedger::new(); jobs.len()];
+        let replica_postings = build_replica_postings(&jobs, cfg.cluster.workers);
         Ok(Sim {
             sched: FifoScheduler {
                 reduce_slowstart: cfg.reduce_slowstart,
@@ -719,6 +785,14 @@ impl<'p> Sim<'p> {
             demand_scratch: scratch.demands,
             flow_scratch: scratch.flows,
             purpose_scratch: scratch.purposes,
+            fabric_scratch: scratch.fabric,
+            rate_scratch: scratch.rates,
+            scales_scratch: scratch.scales,
+            map_post_scratch: scratch.map_posts,
+            fetch_post_scratch: scratch.fetch_posts,
+            source_scratch: scratch.sources,
+            snapshot_scratch: scratch.snapshots,
+            replica_postings,
             snap_every: None,
             snapshots: Vec::new(),
             resumed: false,
@@ -739,7 +813,23 @@ impl<'p> Sim<'p> {
             demands: std::mem::take(&mut self.demand_scratch),
             flows: std::mem::take(&mut self.flow_scratch),
             purposes: std::mem::take(&mut self.purpose_scratch),
+            fabric: std::mem::take(&mut self.fabric_scratch),
+            rates: std::mem::take(&mut self.rate_scratch),
+            scales: std::mem::take(&mut self.scales_scratch),
+            map_posts: std::mem::take(&mut self.map_post_scratch),
+            fetch_posts: std::mem::take(&mut self.fetch_post_scratch),
+            sources: std::mem::take(&mut self.source_scratch),
+            snapshots: std::mem::take(&mut self.snapshot_scratch),
         }
+    }
+
+    /// Return a step's [`StepRates`] backing stores to the sim's scratch
+    /// fields once integrate has consumed them, so the next allocate phase
+    /// reuses the allocations instead of growing fresh ones.
+    fn reclaim(&mut self, rates: StepRates) {
+        self.scales_scratch = rates.scales;
+        self.map_post_scratch = rates.map_posts;
+        self.fetch_post_scratch = rates.fetch_posts;
     }
 
     fn run_to_completion(&mut self) -> Result<RunReport, SimError> {
@@ -781,6 +871,7 @@ impl<'p> Sim<'p> {
             }
             let rates = self.allocate_step(Some(dt));
             self.integrate(dt, dt_ms, &rates);
+            self.reclaim(rates);
             if self.now.is_multiple_of(self.cfg.sample_period) {
                 let t0 = self.telem.clock_us();
                 self.sample();
@@ -831,6 +922,7 @@ impl<'p> Sim<'p> {
             let dt = self.compute_horizon(&rates);
             self.telem.record_span("step", "event_horizon", t0, sim_ms);
             self.integrate(dt.as_secs_f64(), dt.as_millis(), &rates);
+            self.reclaim(rates);
             self.steps += 1;
             self.step_counter.inc();
             if telemetry::PROFILING_ENABLED {
@@ -888,20 +980,24 @@ impl<'p> Sim<'p> {
             .record_span("heartbeat", "aggregate_stats", t0, sim_ms);
         // dead and blacklisted trackers are invisible to the policy: slot
         // targets are recomputed over the live set only, so every policy
-        // (SMapReduce included) is fault-aware without its own crash logic
-        let snapshots: Vec<TrackerSnapshot> = self
-            .trackers
-            .iter()
-            .filter(|t| self.node_up[t.node.0] && !t.blacklisted)
-            .map(|t| TrackerSnapshot {
-                node: t.node,
-                cores: self.cfg.cluster.node_spec(t.node).cores,
-                map_target: t.map_slots.target(),
-                map_occupied: t.map_slots.occupied(),
-                reduce_target: t.reduce_slots.target(),
-                reduce_occupied: t.reduce_slots.occupied(),
-            })
-            .collect();
+        // (SMapReduce included) is fault-aware without its own crash logic.
+        // The snapshot list is a recycled cluster-sized buffer, so the
+        // heartbeat fan-in stops allocating once it has seen a full round.
+        let mut snapshots = std::mem::take(&mut self.snapshot_scratch);
+        snapshots.clear();
+        snapshots.extend(
+            self.trackers
+                .iter()
+                .filter(|t| self.node_up[t.node.0] && !t.blacklisted)
+                .map(|t| TrackerSnapshot {
+                    node: t.node,
+                    cores: self.cfg.cluster.node_spec(t.node).cores,
+                    map_target: t.map_slots.target(),
+                    map_occupied: t.map_slots.occupied(),
+                    reduce_target: t.reduce_slots.target(),
+                    reduce_occupied: t.reduce_slots.occupied(),
+                }),
+        );
         let ctx = PolicyContext {
             now: self.now,
             stats: &stats,
@@ -913,6 +1009,7 @@ impl<'p> Sim<'p> {
         let directives = self.policy.decide(&ctx);
         self.telem
             .record_span("heartbeat", "policy_decide", t0, sim_ms);
+        self.snapshot_scratch = snapshots;
         let overhead = self.policy.directive_overhead_ms();
         for d in directives {
             let tr = &mut self.trackers[d.node.0];
@@ -1077,45 +1174,54 @@ impl<'p> Sim<'p> {
         let t0 = self.telem.clock_us();
         let mut flows = std::mem::take(&mut self.flow_scratch);
         let mut purposes = std::mem::take(&mut self.purpose_scratch);
+        let mut sources = std::mem::take(&mut self.source_scratch);
         flows.clear();
         purposes.clear();
-        self.build_flows_into(fixed_dt, &scales, &mut flows, &mut purposes);
-        let rates = self.fabric.allocate(&flows);
+        self.build_flows_into(fixed_dt, &scales, &mut flows, &mut purposes, &mut sources);
+        let mut grants = std::mem::take(&mut self.rate_scratch);
+        let workers = self.trackers.len();
+        self.fabric
+            .allocate_into(&flows, workers, &mut self.fabric_scratch, &mut grants);
         self.telem
             .record_span("step", "network_allocate", t0, sim_ms);
 
-        // index flow grants by purpose; a fetch that got less than it asked
-        // for is *contended* — its depletion frees fabric bandwidth others
-        // are waiting on, so it must be a horizon event
-        let mut map_read_rate: HashMap<MapAttemptId, f64> = HashMap::new();
-        let mut fetch_rate: HashMap<(ReduceTaskId, NodeId), f64> = HashMap::new();
-        let mut fetch_contended: HashSet<(ReduceTaskId, NodeId)> = HashSet::new();
+        // index flow grants by purpose into sorted postings; a fetch that
+        // got less than it asked for is *contended* — its depletion frees
+        // fabric bandwidth others are waiting on, so it must be a horizon
+        // event
+        let mut map_posts = std::mem::take(&mut self.map_post_scratch);
+        let mut fetch_posts = std::mem::take(&mut self.fetch_post_scratch);
+        map_posts.clear();
+        fetch_posts.clear();
         self.nic_in.fill(0.0);
         self.nic_out.fill(0.0);
-        for (flow, (fid, purpose)) in flows.iter().zip(&purposes) {
+        for ((flow, (fid, purpose)), &rate) in flows.iter().zip(&purposes).zip(&grants) {
             debug_assert_eq!(flow.id, *fid);
-            let rate = rates.get(fid).copied().unwrap_or(0.0);
             self.nic_out[flow.src.0] += rate;
             self.nic_in[flow.dst.0] += rate;
             match *purpose {
-                FlowPurpose::MapRead(id) => {
-                    map_read_rate.insert(id, rate);
-                }
-                FlowPurpose::Fetch(rid, src) => {
-                    fetch_rate.insert((rid, src), rate);
-                    if rate + 1e-9 < flow.demand {
-                        fetch_contended.insert((rid, src));
-                    }
-                }
+                FlowPurpose::MapRead(id) => map_posts.push((id, rate)),
+                FlowPurpose::Fetch(rid, src) => fetch_posts.push(FetchPost {
+                    reduce: rid,
+                    src,
+                    rate,
+                    contended: rate + 1e-9 < flow.demand,
+                }),
             }
         }
+        // map-read flows are built in ascending `running_maps` order, so
+        // `map_posts` arrives sorted; fetch posts are grouped by ascending
+        // reduce but unsorted within a group (sources come backlog-first)
+        debug_assert!(map_posts.windows(2).all(|w| w[0].0 < w[1].0));
+        fetch_posts.sort_unstable_by_key(|p| (p.reduce, p.src));
         self.flow_scratch = flows;
         self.purpose_scratch = purposes;
+        self.source_scratch = sources;
+        self.rate_scratch = grants;
         StepRates {
             scales,
-            map_read_rate,
-            fetch_rate,
-            fetch_contended,
+            map_posts,
+            fetch_posts,
             cpu_offered_rate,
             cpu_granted_rate,
         }
@@ -1144,10 +1250,10 @@ impl<'p> Sim<'p> {
             &self.occ_reduce,
         );
         let t0 = self.telem.clock_us();
-        self.advance_maps(dt, &rates.scales, &rates.map_read_rate);
+        self.advance_maps(dt, &rates.scales, &rates.map_posts);
         self.telem.record_span("step", "advance_maps", t0, sim_ms);
         let t0 = self.telem.clock_us();
-        self.advance_reduces(dt, &rates.scales, &rates.fetch_rate);
+        self.advance_reduces(dt, &rates.scales, &rates.fetch_posts);
         self.telem
             .record_span("step", "advance_reduces", t0, sim_ms);
 
@@ -1194,10 +1300,11 @@ impl<'p> Sim<'p> {
             }
         }
 
+        let mut map_cursor = 0usize;
         for (id, t) in &self.running_maps {
             let profile = &self.profiles[id.task.job.0];
-            let scale = rates.scales.get(&TaskRef::Map(*id)).copied().unwrap_or(0.0);
-            let read_rate = rates.map_read_rate.get(id).copied().unwrap_or(0.0);
+            let scale = scale_of(&rates.scales, TaskRef::Map(*id));
+            let read_rate = posted(&rates.map_posts, &mut map_cursor, *id).unwrap_or(0.0);
             let work_rate = t.effective_work_rate(profile, scale, read_rate);
             if let Some(s) = t.time_to_completion(work_rate) {
                 horizon.propose_secs(s);
@@ -1209,14 +1316,11 @@ impl<'p> Sim<'p> {
             }
         }
 
+        let mut fetch_cursor = 0usize;
         for (rid, r) in &self.running_reduces {
             let profile = &self.profiles[rid.job.0];
             let job = &self.jobs[rid.job.0];
-            let scale = rates
-                .scales
-                .get(&TaskRef::Reduce(*rid))
-                .copied()
-                .unwrap_or(0.0);
+            let scale = scale_of(&rates.scales, TaskRef::Reduce(*rid));
             match r.phase {
                 ReducePhase::Shuffle => {
                     // pre-barrier, sources refill only at map completions —
@@ -1236,15 +1340,23 @@ impl<'p> Sim<'p> {
                     if endgame && local_rem > 0.0 {
                         horizon.propose_depletion(local_rem, self.cfg.local_copy_rate.min(budget));
                     }
-                    for ((owner, src), granted) in &rates.fetch_rate {
-                        if owner != rid {
-                            continue;
-                        }
-                        if endgame || rates.fetch_contended.contains(&(*rid, *src)) {
-                            horizon
-                                .propose_depletion(job.shuffle.remaining_from(r, *src), *granted);
+                    // the posts are sorted by (reduce, src) and reduces
+                    // iterate ascending, so one forward cursor visits each
+                    // reduce's contiguous run of posts exactly once
+                    while fetch_cursor < rates.fetch_posts.len()
+                        && rates.fetch_posts[fetch_cursor].reduce < *rid
+                    {
+                        fetch_cursor += 1;
+                    }
+                    let mut c = fetch_cursor;
+                    while c < rates.fetch_posts.len() && rates.fetch_posts[c].reduce == *rid {
+                        let p = rates.fetch_posts[c];
+                        c += 1;
+                        if endgame || p.contended {
+                            horizon.propose_depletion(job.shuffle.remaining_from(r, p.src), p.rate);
                         }
                     }
+                    fetch_cursor = c;
                 }
                 ReducePhase::Sort | ReducePhase::Reduce => {
                     if let Some(s) = r.time_to_phase_completion(r.phase_rate(profile) * scale) {
@@ -1264,7 +1376,7 @@ impl<'p> Sim<'p> {
     /// stall is amortised across the tick it partially covers; the
     /// adaptive stepper freezes the node outright and lets the horizon cut
     /// the step at stall expiry instead.
-    fn allocate_nodes(&mut self, fixed: bool) -> (BTreeMap<TaskRef, f64>, f64, f64) {
+    fn allocate_nodes(&mut self, fixed: bool) -> (Vec<(TaskRef, f64)>, f64, f64) {
         let workers = self.trackers.len();
         self.node_cpu.fill(0.0);
         self.node_disk.fill(0.0);
@@ -1285,7 +1397,8 @@ impl<'p> Sim<'p> {
         }
         let tick_ms = self.cfg.tick.tick.as_millis() as f64;
         let any_active = self.jobs.iter().any(|j| j.is_active(self.now));
-        let mut out = BTreeMap::new();
+        let mut out = std::mem::take(&mut self.scales_scratch);
+        out.clear();
         let mut offered = 0.0;
         let mut granted = 0.0;
         for (n, tasks) in node_tasks.iter().enumerate() {
@@ -1319,10 +1432,14 @@ impl<'p> Sim<'p> {
                 granted += d.cpu_cores * s * stall_factor;
                 self.node_cpu[n] += d.cpu_cores * s * stall_factor;
                 self.node_disk[n] += (d.disk_read + d.disk_write) * s * stall_factor;
-                out.insert(*r, s * stall_factor);
+                out.push((*r, s * stall_factor));
             }
         }
         self.task_scratch = node_tasks;
+        // tasks were gathered per node, not in `TaskRef` order; sort so the
+        // consumers can binary-search (unique keys ⇒ unstable sort is
+        // deterministic)
+        out.sort_unstable_by_key(|a| a.0);
         (out, offered, granted)
     }
 
@@ -1332,9 +1449,10 @@ impl<'p> Sim<'p> {
     fn build_flows_into(
         &self,
         fixed_dt: Option<f64>,
-        scales: &BTreeMap<TaskRef, f64>,
+        scales: &[(TaskRef, f64)],
         flows: &mut Vec<Flow>,
         purposes: &mut Vec<(FlowId, FlowPurpose)>,
+        sources: &mut Vec<(NodeId, f64)>,
     ) {
         let mut next = 0u64;
 
@@ -1347,7 +1465,7 @@ impl<'p> Sim<'p> {
                 continue; // either endpoint dead: nothing flows
             }
             let profile = &self.profiles[id.task.job.0];
-            let scale = scales.get(&TaskRef::Map(*id)).copied().unwrap_or(0.0);
+            let scale = scale_of(scales, TaskRef::Map(*id));
             // input consumption rate implied by the granted work rate
             let work_rate = profile.map_rate * scale;
             let input_rate = if t.work_total > 0.0 {
@@ -1382,7 +1500,7 @@ impl<'p> Sim<'p> {
             }
             let profile = &self.profiles[rid.job.0];
             let job = &self.jobs[rid.job.0];
-            let scale = scales.get(&TaskRef::Reduce(*rid)).copied().unwrap_or(0.0);
+            let scale = scale_of(scales, TaskRef::Reduce(*rid));
             // merge-throughput budget for this tick, shared across sources;
             // T_r2 > T_r1: the cap rises once the barrier frees the sources
             let boost = if job.shuffle.maps_all_done() {
@@ -1400,18 +1518,15 @@ impl<'p> Sim<'p> {
                 };
                 budget -= local_rate.min(budget);
             }
-            let sources: Vec<(NodeId, f64)> = job
-                .shuffle
-                .fetch_sources(r, profile.shuffle_fetchers as usize)
-                .into_iter()
-                .filter(|&(src, _)| src != r.node && self.node_up[src.0])
-                .collect();
+            job.shuffle
+                .fetch_sources_into(r, profile.shuffle_fetchers as usize, sources);
+            sources.retain(|&(src, _)| src != r.node && self.node_up[src.0]);
             // adaptive mode splits the budget proportionally to each
             // source's remaining data, so every granted source depletes at
             // the *same* instant — one horizon event per drain instead of
             // one per source
             let remote_total: f64 = sources.iter().map(|s| s.1).sum();
-            for (src, rem) in sources {
+            for &(src, rem) in sources.iter() {
                 if budget <= 1e-9 {
                     continue;
                 }
@@ -1442,8 +1557,8 @@ impl<'p> Sim<'p> {
     fn advance_maps(
         &mut self,
         dt: f64,
-        scales: &BTreeMap<TaskRef, f64>,
-        map_read_rate: &HashMap<MapAttemptId, f64>,
+        scales: &[(TaskRef, f64)],
+        map_posts: &[(MapAttemptId, f64)],
     ) {
         let mut done = Vec::new();
         let mut failed = Vec::new();
@@ -1457,13 +1572,14 @@ impl<'p> Sim<'p> {
             job_counters,
             ..
         } = self;
+        let mut cursor = 0usize;
         for (id, t) in running_maps.iter_mut() {
             let profile = &profiles[id.task.job.0];
-            let scale = scales.get(&TaskRef::Map(*id)).copied().unwrap_or(0.0);
+            let scale = scale_of(scales, TaskRef::Map(*id));
             let mut work_step = profile.map_rate * scale * dt;
             if t.remote_src.is_some() && t.input_remaining > 1e-9 {
                 // input arrives over the network; cap work by delivery
-                let delivered = map_read_rate.get(id).copied().unwrap_or(0.0) * dt;
+                let delivered = posted(map_posts, &mut cursor, *id).unwrap_or(0.0) * dt;
                 let arrived = delivered.min(t.input_remaining);
                 *network_mb += arrived;
                 job_counters[id.task.job.0].add(Counter::RemoteBytesRead, arrived);
@@ -1747,12 +1863,7 @@ impl<'p> Sim<'p> {
         }
     }
 
-    fn advance_reduces(
-        &mut self,
-        dt: f64,
-        scales: &BTreeMap<TaskRef, f64>,
-        fetch_rate: &HashMap<(ReduceTaskId, NodeId), f64>,
-    ) {
+    fn advance_reduces(&mut self, dt: f64, scales: &[(TaskRef, f64)], fetch_posts: &[FetchPost]) {
         let mut done = Vec::new();
         let Sim {
             running_reduces,
@@ -1766,12 +1877,13 @@ impl<'p> Sim<'p> {
             job_counters,
             ..
         } = self;
+        let mut fetch_cursor = 0usize;
         for (rid, r) in running_reduces.iter_mut() {
             let profile = &profiles[rid.job.0];
             let job = &jobs[rid.job.0];
             match r.phase {
                 ReducePhase::Shuffle => {
-                    let scale = scales.get(&TaskRef::Reduce(*rid)).copied().unwrap_or(0.0);
+                    let scale = scale_of(scales, TaskRef::Reduce(*rid));
                     let boost = if job.shuffle.maps_all_done() {
                         profile.shuffle_barrier_boost
                     } else {
@@ -1792,22 +1904,29 @@ impl<'p> Sim<'p> {
                             used += mb;
                         }
                     }
-                    // granted fabric fetches
-                    for src in 0..trackers.len() {
-                        let src_id = NodeId(src);
-                        if src_id == r.node {
+                    // granted fabric fetches: this reduce's posts form a
+                    // contiguous, ascending-`src` run (the posts are sorted
+                    // by (reduce, src) and reduces iterate ascending), so a
+                    // forward cursor replaces the old per-node hash probes
+                    // while preserving the ascending-source apply order the
+                    // budget arithmetic depends on
+                    while fetch_cursor < fetch_posts.len()
+                        && fetch_posts[fetch_cursor].reduce < *rid
+                    {
+                        fetch_cursor += 1;
+                    }
+                    let mut c_ix = fetch_cursor;
+                    while c_ix < fetch_posts.len() && fetch_posts[c_ix].reduce == *rid {
+                        let p = fetch_posts[c_ix];
+                        c_ix += 1;
+                        debug_assert!(p.src != r.node, "no fetch flow targets its own node");
+                        if p.rate <= 0.0 {
                             continue;
                         }
-                        let Some(&rate) = fetch_rate.get(&(*rid, src_id)) else {
-                            continue;
-                        };
-                        if rate <= 0.0 {
-                            continue;
-                        }
-                        let rem = job.shuffle.remaining_from(r, src_id);
-                        let mb = (rate * dt).min(rem).min((budget - used).max(0.0));
+                        let rem = job.shuffle.remaining_from(r, p.src);
+                        let mb = (p.rate * dt).min(rem).min((budget - used).max(0.0));
                         if mb > 0.0 {
-                            r.record_fetch(src_id, mb);
+                            r.record_fetch(p.src, mb);
                             trackers[r.node.0].meters.shuffle.record(mb);
                             *network_mb += mb;
                             let c = &mut job_counters[rid.job.0];
@@ -1817,6 +1936,7 @@ impl<'p> Sim<'p> {
                             used += mb;
                         }
                     }
+                    fetch_cursor = c_ix;
                     if job.shuffle.shuffle_complete(r) {
                         let partition = job
                             .shuffle
@@ -1831,7 +1951,7 @@ impl<'p> Sim<'p> {
                     }
                 }
                 ReducePhase::Sort | ReducePhase::Reduce => {
-                    let scale = scales.get(&TaskRef::Reduce(*rid)).copied().unwrap_or(0.0);
+                    let scale = scale_of(scales, TaskRef::Reduce(*rid));
                     let work = r.phase_rate(profile) * scale * dt;
                     if r.advance_compute(work) {
                         done.push(*rid);
@@ -1946,18 +2066,24 @@ impl<'p> Sim<'p> {
 
     /// Drop the dead node from every unfinished job's replica lists and
     /// queue under-replicated blocks for re-replication (survivors first).
+    /// The per-node postings say exactly which blocks held a replica on
+    /// `d`, so the scan is O(blocks on d), not O(all blocks × replicas).
     fn lose_replicas(&mut self, d: NodeId) {
         let live = self.node_up.iter().filter(|&&u| u).count();
         for (ji, job) in self.jobs.iter_mut().enumerate() {
+            let mut posted = std::mem::take(&mut self.replica_postings[ji][d.0]);
             if job.is_finished() {
-                continue;
+                continue; // stale postings of a finished job are never read
             }
-            for (bi, block) in job.layout.blocks.iter_mut().enumerate() {
+            // re-replication appends out of block order; restore the
+            // ascending-block queueing order of the old full scan
+            posted.sort_unstable();
+            for &bi in &posted {
+                let bi = bi as usize;
+                let block = &mut job.layout.blocks[bi];
                 let before = block.replicas.len();
                 block.replicas.retain(|&n| n != d);
-                if block.replicas.len() == before {
-                    continue;
-                }
+                debug_assert!(block.replicas.len() < before, "posting without replica");
                 let desired = self.replication.min(live);
                 if self.cfg.rereplication_rate > 0.0
                     && !block.replicas.is_empty()
@@ -2217,6 +2343,7 @@ impl<'p> Sim<'p> {
             self.rerep_progress -= size;
             self.network_mb += size;
             self.jobs[ji].layout.blocks[bi].replicas.push(target);
+            self.replica_postings[ji][target.0].push(bi as u32);
             self.rerep_queue.pop_front();
             if nreps + 1 < desired {
                 self.rerep_queue.push_back((ji, bi));
@@ -2449,6 +2576,9 @@ impl<'p> Sim<'p> {
             .restore_state(&state.policy_state)
             .map_err(|e| SimError::InvalidConfig(format!("capsule policy state: {e}")))?;
         let profiles = state.jobs.iter().map(|j| j.spec.profile.clone()).collect();
+        // derived, deliberately absent from the capsule: rebuild the dense
+        // replica postings from the restored layouts
+        let replica_postings = build_replica_postings(&state.jobs, workers);
         let mut events = state.events;
         events.set_sink(telem.clone());
         Ok(Sim {
@@ -2512,6 +2642,14 @@ impl<'p> Sim<'p> {
             demand_scratch: scratch.demands,
             flow_scratch: scratch.flows,
             purpose_scratch: scratch.purposes,
+            fabric_scratch: scratch.fabric,
+            rate_scratch: scratch.rates,
+            scales_scratch: scratch.scales,
+            map_post_scratch: scratch.map_posts,
+            fetch_post_scratch: scratch.fetch_posts,
+            source_scratch: scratch.sources,
+            snapshot_scratch: scratch.snapshots,
+            replica_postings,
             snap_every: None,
             snapshots: Vec::new(),
             resumed: state.initial_sample_done,

@@ -104,16 +104,27 @@ impl ShuffleState {
     /// Source nodes with data still fetchable by `reduce`, largest backlog
     /// first, truncated to `max_sources` (the parallel-copies limit).
     pub fn fetch_sources(&self, reduce: &ReduceTask, max_sources: usize) -> Vec<(NodeId, f64)> {
-        let mut srcs: Vec<(NodeId, f64)> = (0..self.avail_by_src.len())
-            .filter_map(|s| {
-                let rem = self.remaining_from(reduce, NodeId(s));
-                (rem > 1e-9).then_some((NodeId(s), rem))
-            })
-            .collect();
-        // largest-first; tie-break on node id for determinism
-        srcs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0 .0.cmp(&b.0 .0)));
-        srcs.truncate(max_sources);
+        let mut srcs = Vec::new();
+        self.fetch_sources_into(reduce, max_sources, &mut srcs);
         srcs
+    }
+
+    /// [`ShuffleState::fetch_sources`] writing into a caller-owned
+    /// (recycled) buffer, so the per-step flow build allocates nothing.
+    pub fn fetch_sources_into(
+        &self,
+        reduce: &ReduceTask,
+        max_sources: usize,
+        out: &mut Vec<(NodeId, f64)>,
+    ) {
+        out.clear();
+        out.extend((0..self.avail_by_src.len()).filter_map(|s| {
+            let rem = self.remaining_from(reduce, NodeId(s));
+            (rem > 1e-9).then_some((NodeId(s), rem))
+        }));
+        // largest-first; tie-break on node id for determinism
+        out.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0 .0.cmp(&b.0 .0)));
+        out.truncate(max_sources);
     }
 }
 

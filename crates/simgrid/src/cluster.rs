@@ -11,6 +11,24 @@ use std::fmt;
 )]
 pub struct NodeId(pub usize);
 
+impl NodeId {
+    /// Checked dense index into a cluster-sized slab of `nodes` entries.
+    ///
+    /// Every per-node hot path (fabric water-filling, usage sampling,
+    /// replica postings, rate scratch) indexes flat vectors with this, so
+    /// an out-of-cluster id fails loudly here instead of corrupting a
+    /// neighbouring node's slot.
+    #[inline]
+    pub fn slot(self, nodes: usize) -> usize {
+        assert!(
+            self.0 < nodes,
+            "node{} outside dense cluster of {nodes} nodes",
+            self.0
+        );
+        self.0
+    }
+}
+
 impl fmt::Display for NodeId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "node{}", self.0)
@@ -116,6 +134,12 @@ mod tests {
     #[test]
     fn node_id_display() {
         assert_eq!(NodeId(7).to_string(), "node7");
+    }
+
+    #[test]
+    fn slot_checks_the_dense_bound() {
+        assert_eq!(NodeId(3).slot(4), 3);
+        assert!(std::panic::catch_unwind(|| NodeId(4).slot(4)).is_err());
     }
 
     #[test]

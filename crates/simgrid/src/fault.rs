@@ -106,6 +106,24 @@ impl FaultPlan {
         })
     }
 
+    /// Fill a dense per-node up-mask for instant `t`: `mask[n]` becomes
+    /// `is_up(NodeId(n), t)`. One pass over the schedule instead of one
+    /// `is_up` scan per node, so resumes and samplers can rebuild their
+    /// cluster-sized slabs in O(nodes + faults).
+    pub fn fill_up_mask(&self, t: SimTime, mask: &mut [bool]) {
+        mask.fill(true);
+        for f in &self.faults {
+            let down = t >= f.at
+                && match f.rejoin_at() {
+                    Some(r) => t < r,
+                    None => true,
+                };
+            if down {
+                mask[f.node.slot(mask.len())] = false;
+            }
+        }
+    }
+
     /// The earliest crash or rejoin instant strictly after `t`, if any.
     /// Simulation loops propose `next - now` as an *exact* event-horizon
     /// deadline so steps land on transitions precisely.
@@ -205,6 +223,22 @@ mod tests {
         assert_eq!(p.crashes_at(SimTime::from_secs(7)).count(), 1);
         assert_eq!(p.crashes_at(SimTime::from_secs(8)).count(), 0);
         assert_eq!(p.rejoins_at(SimTime::from_secs(10)).count(), 1);
+    }
+
+    #[test]
+    fn up_mask_matches_per_node_queries() {
+        let p = FaultPlan::new(vec![
+            NodeFault::permanent(NodeId(0), SimTime::from_secs(10)),
+            NodeFault::transient(NodeId(2), SimTime::from_secs(5), SimDuration::from_secs(10)),
+        ]);
+        let mut mask = vec![false; 4];
+        for secs in [0u64, 5, 10, 15, 20] {
+            let t = SimTime::from_secs(secs);
+            p.fill_up_mask(t, &mut mask);
+            for (n, &up) in mask.iter().enumerate() {
+                assert_eq!(up, p.is_up(NodeId(n), t), "node {n} at {secs}s");
+            }
+        }
     }
 
     #[test]

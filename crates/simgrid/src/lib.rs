@@ -46,7 +46,7 @@ pub mod usage;
 pub use cluster::{ClusterSpec, NodeId};
 pub use error::SimError;
 pub use fault::{FaultPlan, NodeFault};
-pub use network::{Fabric, FabricConfig, Flow, FlowId};
+pub use network::{Fabric, FabricConfig, FabricScratch, Flow, FlowId};
 pub use node::{allocate_node, NodeSpec, TaskDemand};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime, TickConfig};

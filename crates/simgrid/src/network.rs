@@ -21,6 +21,76 @@ use crate::cluster::NodeId;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
+/// Recycled dense scratch for [`Fabric::allocate_into`]: cluster-sized
+/// slabs indexed by `NodeId` plus a flow-sized worklist. Reset is O(1) via
+/// epoch/round stamps — slabs are never cleared, only re-stamped — so a
+/// warm scratch makes the whole allocate phase allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct FabricScratch {
+    /// Remaining egress capacity per node (valid where `cap_eg_stamp` is
+    /// the current epoch).
+    egress_cap: Vec<f64>,
+    /// Remaining ingress capacity per node.
+    ingress_cap: Vec<f64>,
+    cap_eg_stamp: Vec<u64>,
+    cap_in_stamp: Vec<u64>,
+    /// Total incoming flows per receiver (drives the incast model).
+    incoming: Vec<u32>,
+    /// Unfrozen flows per port this round (valid where the matching
+    /// `users_*_stamp` equals the current round).
+    eg_users: Vec<u32>,
+    in_users: Vec<u32>,
+    users_eg_stamp: Vec<u64>,
+    users_in_stamp: Vec<u64>,
+    /// Bottleneck marks: a port is bottlenecked this round iff its mark
+    /// equals the current round.
+    eg_mark: Vec<u64>,
+    in_mark: Vec<u64>,
+    /// Sorted worklist of unfrozen flow indices.
+    active: Vec<usize>,
+    /// Bumped once per allocate call; stamps cap/incoming validity.
+    epoch: u64,
+    /// Bumped once per filling round; stamps user counts and marks.
+    round: u64,
+}
+
+impl FabricScratch {
+    pub fn new() -> FabricScratch {
+        FabricScratch::default()
+    }
+
+    /// Grow every node slab to at least `nodes` entries (never shrinks).
+    fn ensure(&mut self, nodes: usize) {
+        if self.egress_cap.len() < nodes {
+            self.egress_cap.resize(nodes, 0.0);
+            self.ingress_cap.resize(nodes, 0.0);
+            self.cap_eg_stamp.resize(nodes, 0);
+            self.cap_in_stamp.resize(nodes, 0);
+            self.incoming.resize(nodes, 0);
+            self.eg_users.resize(nodes, 0);
+            self.in_users.resize(nodes, 0);
+            self.users_eg_stamp.resize(nodes, 0);
+            self.users_in_stamp.resize(nodes, 0);
+            self.eg_mark.resize(nodes, 0);
+            self.in_mark.resize(nodes, 0);
+        }
+    }
+
+    /// Capacity footprint in cells (node slab width + worklist capacity);
+    /// monotonic, so arenas can detect growth by comparing snapshots.
+    pub fn footprint(&self) -> usize {
+        self.egress_cap.capacity() + self.active.capacity()
+    }
+
+    /// Approximate resident bytes across all slabs (peak-RSS proxy).
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let node = self.egress_cap.capacity();
+        node * (2 * size_of::<f64>() + 3 * size_of::<u32>() + 6 * size_of::<u64>())
+            + self.active.capacity() * size_of::<usize>()
+    }
+}
+
 /// Identifier of a flow within one allocation round.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FlowId(pub u64);
@@ -118,18 +188,193 @@ impl Fabric {
 
     /// Max-min fair allocation of the given flows.
     ///
-    /// Guarantees (checked by unit and property tests):
+    /// Convenience wrapper over [`Fabric::allocate_into`] with a private
+    /// scratch; callers in a step loop should hold a [`FabricScratch`] and
+    /// a rate buffer instead and call `allocate_into` directly.
+    pub fn allocate(&self, flows: &[Flow]) -> FlowRates {
+        let nodes = flows
+            .iter()
+            .map(|f| f.src.0.max(f.dst.0) + 1)
+            .max()
+            .unwrap_or(0);
+        let mut scratch = FabricScratch::new();
+        let mut rates = Vec::new();
+        self.allocate_into(flows, nodes, &mut scratch, &mut rates);
+        flows.iter().zip(&rates).map(|(f, &r)| (f.id, r)).collect()
+    }
+
+    /// Max-min fair allocation over dense per-node slabs.
+    ///
+    /// `rates[i]` receives the rate of `flows[i]` (positional — callers
+    /// that need `FlowId` keys zip against their own flow list). Every
+    /// endpoint must be a valid dense index below `nodes`. The scratch is
+    /// reset in place via epoch stamps, so a warm call allocates nothing.
+    ///
+    /// Guarantees (checked by unit and property tests, plus a differential
+    /// proptest against the retired `HashMap` reference implementation):
     /// * no flow exceeds its demand;
     /// * per-port totals respect ingress/egress capacities;
     /// * the allocation is max-min fair: a flow's rate can only be below
-    ///   the fair share of every port it crosses if its demand caps it.
-    pub fn allocate(&self, flows: &[Flow]) -> FlowRates {
+    ///   the fair share of every port it crosses if its demand caps it;
+    /// * bit-identical results to the reference implementation.
+    pub fn allocate_into(
+        &self,
+        flows: &[Flow],
+        nodes: usize,
+        s: &mut FabricScratch,
+        rates: &mut Vec<f64>,
+    ) {
+        rates.clear();
+        rates.resize(flows.len(), 0.0);
+        if flows.is_empty() {
+            return;
+        }
+        s.ensure(nodes);
+        s.epoch += 1;
+        let epoch = s.epoch;
+
+        // Pass 1: validate endpoints, count incoming flows per receiver,
+        // stamp fresh egress capacities. Ports are (node, direction).
+        for f in flows {
+            let src = f.src.slot(nodes);
+            let dst = f.dst.slot(nodes);
+            if s.cap_eg_stamp[src] != epoch {
+                s.cap_eg_stamp[src] = epoch;
+                s.egress_cap[src] = self.config.egress_capacity();
+            }
+            if s.cap_in_stamp[dst] != epoch {
+                s.cap_in_stamp[dst] = epoch;
+                s.incoming[dst] = 0;
+            }
+            s.incoming[dst] += 1;
+        }
+        // Pass 2: ingress capacity depends on the *total* incoming count
+        // (incast), so it can only be stamped after pass 1. Recomputing
+        // per flow is idempotent — same pure function of the final count.
+        for f in flows {
+            let dst = f.dst.0;
+            s.ingress_cap[dst] = self.config.ingress_capacity(s.incoming[dst] as usize);
+        }
+
+        // Unfrozen flow indices; kept sorted by construction (forward
+        // compaction preserves order), which fixes the freeze order and
+        // hence bit-exact determinism.
+        s.active.clear();
+        s.active.extend(0..flows.len());
+
+        // Progressive filling: at each step compute the bottleneck fair
+        // share; freeze demand-limited flows below it first.
+        while !s.active.is_empty() {
+            s.round += 1;
+            let round = s.round;
+            // Count unfrozen flows per port (lazy round-stamped reset).
+            for &i in &s.active {
+                let (src, dst) = (flows[i].src.0, flows[i].dst.0);
+                if s.users_eg_stamp[src] != round {
+                    s.users_eg_stamp[src] = round;
+                    s.eg_users[src] = 0;
+                }
+                s.eg_users[src] += 1;
+                if s.users_in_stamp[dst] != round {
+                    s.users_in_stamp[dst] = round;
+                    s.in_users[dst] = 0;
+                }
+                s.in_users[dst] += 1;
+            }
+            // Bottleneck share = min over ports of remaining/users. Each
+            // active port's quotient is visited at least once (duplicates
+            // don't change a min), so this equals the per-port min.
+            let mut share = f64::INFINITY;
+            for &i in &s.active {
+                let (src, dst) = (flows[i].src.0, flows[i].dst.0);
+                share = share.min(s.egress_cap[src] / s.eg_users[src] as f64);
+                share = share.min(s.ingress_cap[dst] / s.in_users[dst] as f64);
+            }
+            // Guard against accumulated float error driving a port's
+            // remaining capacity a hair below zero.
+            let share_floor = share.max(0.0);
+
+            // Flows whose demand is at or below the share freeze at
+            // demand. Membership depends only on (demand, share), so the
+            // scan and the freeze can share one forward pass.
+            let any_demand_limited = s.active.iter().any(|&i| flows[i].demand <= share + 1e-12);
+            if any_demand_limited {
+                let mut kept = 0;
+                for k in 0..s.active.len() {
+                    let i = s.active[k];
+                    if flows[i].demand <= share + 1e-12 {
+                        let r = flows[i].demand.max(0.0);
+                        rates[i] = r;
+                        s.egress_cap[flows[i].src.0] -= r;
+                        s.ingress_cap[flows[i].dst.0] -= r;
+                    } else {
+                        s.active[kept] = i;
+                        kept += 1;
+                    }
+                }
+                s.active.truncate(kept);
+                continue; // recompute shares with capacity released
+            }
+
+            // Otherwise freeze every flow crossing a bottleneck port.
+            // Marks are computed before any capacity is subtracted.
+            for &i in &s.active {
+                let (src, dst) = (flows[i].src.0, flows[i].dst.0);
+                if (s.egress_cap[src] / s.eg_users[src] as f64 - share).abs() < 1e-9 {
+                    s.eg_mark[src] = round;
+                }
+                if (s.ingress_cap[dst] / s.in_users[dst] as f64 - share).abs() < 1e-9 {
+                    s.in_mark[dst] = round;
+                }
+            }
+            let mut kept = 0;
+            let mut froze_any = false;
+            for k in 0..s.active.len() {
+                let i = s.active[k];
+                if s.eg_mark[flows[i].src.0] == round || s.in_mark[flows[i].dst.0] == round {
+                    rates[i] = share_floor;
+                    s.egress_cap[flows[i].src.0] -= share_floor;
+                    s.ingress_cap[flows[i].dst.0] -= share_floor;
+                    froze_any = true;
+                } else {
+                    s.active[kept] = i;
+                    kept += 1;
+                }
+            }
+            s.active.truncate(kept);
+            debug_assert!(froze_any, "progressive filling must progress");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flows_of(specs: &[(u64, usize, usize, f64)]) -> Vec<Flow> {
+        specs
+            .iter()
+            .map(|&(id, s, d, dem)| Flow {
+                id: FlowId(id),
+                src: NodeId(s),
+                dst: NodeId(d),
+                demand: dem,
+            })
+            .collect()
+    }
+
+    fn fabric() -> Fabric {
+        Fabric::new(FabricConfig::paper_gbe())
+    }
+
+    /// The retired `HashMap`-keyed water-filling, kept verbatim as the
+    /// differential reference: the dense implementation must reproduce it
+    /// bit for bit on every topology, including crash-masked ones.
+    fn reference_allocate(fabric: &Fabric, flows: &[Flow]) -> FlowRates {
         let mut rates: FlowRates = HashMap::with_capacity(flows.len());
         if flows.is_empty() {
             return rates;
         }
-
-        // Remaining capacity per port. Ports are (node, direction).
         let mut egress_cap: HashMap<NodeId, f64> = HashMap::new();
         let mut ingress_cap: HashMap<NodeId, f64> = HashMap::new();
         let mut incoming_count: HashMap<NodeId, usize> = HashMap::new();
@@ -139,26 +384,19 @@ impl Fabric {
         for f in flows {
             egress_cap
                 .entry(f.src)
-                .or_insert_with(|| self.config.egress_capacity());
+                .or_insert_with(|| fabric.config.egress_capacity());
             ingress_cap
                 .entry(f.dst)
-                .or_insert_with(|| self.config.ingress_capacity(incoming_count[&f.dst]));
+                .or_insert_with(|| fabric.config.ingress_capacity(incoming_count[&f.dst]));
         }
-
-        // Unfrozen flow indices, sorted for determinism.
         let mut active: Vec<usize> = (0..flows.len()).collect();
-
-        // Progressive filling: at each step compute the bottleneck fair
-        // share; freeze demand-limited flows below it first.
         while !active.is_empty() {
-            // Count unfrozen flows per port.
             let mut eg_users: HashMap<NodeId, usize> = HashMap::new();
             let mut in_users: HashMap<NodeId, usize> = HashMap::new();
             for &i in &active {
                 *eg_users.entry(flows[i].src).or_insert(0) += 1;
                 *in_users.entry(flows[i].dst).or_insert(0) += 1;
             }
-            // Bottleneck share = min over ports of remaining/users.
             let mut share = f64::INFINITY;
             for (n, &u) in &eg_users {
                 share = share.min(egress_cap[n] / u as f64);
@@ -166,17 +404,12 @@ impl Fabric {
             for (n, &u) in &in_users {
                 share = share.min(ingress_cap[n] / u as f64);
             }
-            // Guard against accumulated float error driving a port's
-            // remaining capacity a hair below zero.
             let share_floor = share.max(0.0);
-
-            // Flows whose demand is at or below the share freeze at demand.
             let demand_limited: Vec<usize> = active
                 .iter()
                 .copied()
                 .filter(|&i| flows[i].demand <= share + 1e-12)
                 .collect();
-
             if !demand_limited.is_empty() {
                 for i in demand_limited {
                     let r = flows[i].demand.max(0.0);
@@ -185,10 +418,8 @@ impl Fabric {
                     *ingress_cap.get_mut(&flows[i].dst).expect("dst port") -= r;
                     active.retain(|&a| a != i);
                 }
-                continue; // recompute shares with capacity released
+                continue;
             }
-
-            // Otherwise freeze every flow crossing a bottleneck port.
             let mut bottleneck_ports_eg: Vec<NodeId> = Vec::new();
             let mut bottleneck_ports_in: Vec<NodeId> = Vec::new();
             for (n, &u) in &eg_users {
@@ -219,26 +450,24 @@ impl Fabric {
         }
         rates
     }
-}
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn flows_of(specs: &[(u64, usize, usize, f64)]) -> Vec<Flow> {
-        specs
-            .iter()
-            .map(|&(id, s, d, dem)| Flow {
-                id: FlowId(id),
-                src: NodeId(s),
-                dst: NodeId(d),
-                demand: dem,
-            })
-            .collect()
-    }
-
-    fn fabric() -> Fabric {
-        Fabric::new(FabricConfig::paper_gbe())
+    /// Bit-exact comparison of the dense allocator (through a deliberately
+    /// dirty, reused scratch) against the reference.
+    fn assert_matches_reference(f: &Fabric, flows: &[Flow], nodes: usize, s: &mut FabricScratch) {
+        let mut rates = Vec::new();
+        f.allocate_into(flows, nodes, s, &mut rates);
+        let reference = reference_allocate(f, flows);
+        assert_eq!(rates.len(), flows.len());
+        for (fl, r) in flows.iter().zip(&rates) {
+            assert_eq!(
+                r.to_bits(),
+                reference[&fl.id].to_bits(),
+                "flow {:?}: dense {} != reference {}",
+                fl.id,
+                r,
+                reference[&fl.id]
+            );
+        }
     }
 
     #[test]
@@ -472,6 +701,41 @@ mod tests {
             let rates = f.allocate(&flows);
             proptest::prop_assert_eq!(rates.len(), flows.len());
             check_feasible(&f, &flows, &rates);
+        }
+
+        /// Differential pinning: the dense slab allocator reproduces the
+        /// retired HashMap reference bit for bit on random topologies and
+        /// flow sets, with random crash masks applied the way the engine
+        /// applies them (flows touching a down node are never built), and
+        /// with the scratch deliberately reused dirty between cases.
+        #[test]
+        fn prop_dense_matches_hashmap_reference(
+            specs in proptest::collection::vec(
+                (0u64..1000, 0usize..10, 0usize..10, 0f64..300.0), 1..40),
+            down_mask in 0u32..1024,
+        ) {
+            let up = |n: NodeId| down_mask & (1u32 << n.0) == 0;
+            let mut seen = std::collections::HashSet::new();
+            let flows: Vec<Flow> = specs.iter()
+                .filter(|(id, s, d, _)| *s != *d && seen.insert(*id))
+                .map(|&(id, s, d, dem)| Flow {
+                    id: FlowId(id), src: NodeId(s), dst: NodeId(d),
+                    // fold the top of the demand range to "unbounded" so
+                    // infinite-demand flows are exercised too
+                    demand: if dem >= 290.0 { f64::INFINITY } else { dem },
+                })
+                .filter(|f| up(f.src) && up(f.dst))
+                .collect();
+            let f = fabric();
+            let mut scratch = FabricScratch::new();
+            // dirty the scratch with an unrelated allocation first: the
+            // epoch-stamped reset must make the second call independent
+            let mut junk = Vec::new();
+            let decoy = flows_of(&[(999, 0, 9, 17.0), (998, 9, 0, f64::INFINITY)]);
+            f.allocate_into(&decoy, 10, &mut scratch, &mut junk);
+            assert_matches_reference(&f, &flows, 10, &mut scratch);
+            // and again with the now-warm scratch, same flows
+            assert_matches_reference(&f, &flows, 10, &mut scratch);
         }
 
         #[test]

@@ -112,6 +112,61 @@ fn step_loop_telemetry_calls_do_not_allocate() {
         "counter and usage accumulation must add zero allocations per step"
     );
 
+    // --- dense allocate phase: once a warm-up round has sized the
+    // epoch-stamped fabric slabs and the positional rate buffer, the whole
+    // allocate → usage-sample path must stay allocation-free — at the
+    // paper's 16-node testbed and at 256 nodes alike, since slab sizing is
+    // the only thing cluster scale changes ---
+    use simgrid::cluster::NodeId;
+    use simgrid::network::{Fabric, FabricConfig, FabricScratch, Flow, FlowId};
+
+    for nodes in [16usize, 256] {
+        let fabric = Fabric::new(FabricConfig::paper_gbe());
+        // a shuffle-shaped flow set: a ring of bounded-demand transfers
+        // plus an unbounded fan-in hotspot on node 0 (exercises the
+        // incast degradation and the contended water-filling rounds)
+        let flows: Vec<Flow> = (0..nodes)
+            .map(|i| Flow {
+                id: FlowId(i as u64),
+                src: NodeId(i),
+                dst: NodeId((i + 1) % nodes),
+                demand: 40.0,
+            })
+            .chain((1..12).map(|i| Flow {
+                id: FlowId((nodes + i) as u64),
+                src: NodeId(i),
+                dst: NodeId(0),
+                demand: f64::INFINITY,
+            }))
+            .collect();
+        let node_specs = vec![NodeSpec::paper_worker(); nodes];
+        let mut usage = NodeUsageSampler::new(&node_specs);
+        let mut scratch = FabricScratch::new();
+        let mut rates = Vec::new();
+        let up = vec![true; nodes];
+        let cpu = vec![4.0; nodes];
+        let disk = vec![60.0; nodes];
+        let mut nic_in = vec![0.0; nodes];
+        let mut nic_out = vec![0.0; nodes];
+        let occ = vec![2usize; nodes];
+        // warm-up: sizes the slabs once
+        fabric.allocate_into(&flows, nodes, &mut scratch, &mut rates);
+        let before = allocs();
+        for _ in 0..1_000 {
+            fabric.allocate_into(&flows, nodes, &mut scratch, &mut rates);
+            for ((fin, fout), &r) in nic_in.iter_mut().zip(nic_out.iter_mut()).zip(&rates) {
+                *fout = r;
+                *fin = r;
+            }
+            usage.accumulate_all(0.1, &up, &cpu, &disk, &nic_in, &nic_out, &occ, &occ);
+        }
+        assert_eq!(
+            allocs() - before,
+            0,
+            "warm dense allocate phase must be allocation-free at {nodes} nodes"
+        );
+    }
+
     // --- arena recycling: after a warm-up cell has sized every scratch
     // buffer, a steady-state loop of same-shaped cells must never grow
     // them again — the sweep pool's per-worker arenas stay flat ---
