@@ -7,15 +7,27 @@
 //! directories, then bisect. Real divergences are **monotone** — once the
 //! two states differ, they stay different (state only accumulates) — so a
 //! binary search over the paired capsules finds the first divergent
-//! instant in `O(log n)` byte comparisons, and a field-by-field diff of
-//! that capsule names the subsystem that forked first.
+//! instant in `O(log n)` comparisons, and a field-by-field diff of that
+//! capsule names the subsystem that forked first.
+//!
+//! Two refinements on top of the plain search:
+//!
+//! * **mixed formats** — when a pair's files share an encoding they are
+//!   compared byte-for-byte (both encoders are deterministic); a
+//!   JSON-vs-binary pair is compared through its decoded value trees
+//!   (ignoring the envelope's `format_version`, which is metadata about
+//!   the writer, not the run);
+//! * **hash traces** — [`bisect_hash_traces`] scans the two runs'
+//!   per-step hash traces first (one u64 comparison per step, no capsule
+//!   I/O at all) and then parses only the single capsule pair at the
+//!   divergent instant.
 //!
 //! The binary search verifies its answer (the found capsule differs, its
 //! predecessor does not), so even on a non-monotone stream — e.g. one
 //! corrupted file in an otherwise identical pair — the result is still a
 //! genuine *locally first* divergence.
 
-use crate::{list_capsules, CapsuleError};
+use crate::{codec, list_capsules, read_hash_trace, CapsuleError, HASH_TRACE_FILE};
 use simgrid::time::SimTime;
 use std::path::{Path, PathBuf};
 
@@ -35,14 +47,38 @@ pub struct Divergence {
     pub index: usize,
     /// The capture instant of the divergent pair.
     pub at: SimTime,
+    /// The divergent capsule on each side. When `stream_truncated`, only
+    /// the longer stream has a capsule here — the other path is the
+    /// truncated stream's *directory* (there is no file to point at).
     pub path_a: PathBuf,
     pub path_b: PathBuf,
+    /// True when the streams are identical over their shared horizon and
+    /// the divergence is one stream simply ending early.
+    pub stream_truncated: bool,
     /// Leaf fields that disagree, in capsule order.
     pub diffs: Vec<FieldDiff>,
 }
 
+/// Parse one capsule file (either encoding, sniffed) into its JSON value
+/// tree, dropping the top-level `format_version` so that a JSON stream
+/// and a binary re-recording of the same run compare equal.
+fn capsule_value(path: &Path) -> Result<serde_json::Value, CapsuleError> {
+    let bytes = std::fs::read(path).map_err(|e| CapsuleError::Io(path.to_path_buf(), e))?;
+    let malformed = |why: String| CapsuleError::Malformed(path.to_path_buf(), why);
+    let mut value = if bytes.first() == Some(&codec::MAGIC[0]) {
+        codec::from_binary(&bytes).map_err(malformed)?
+    } else {
+        let text = std::str::from_utf8(&bytes).map_err(|e| malformed(e.to_string()))?;
+        serde_json::parse_value(text).map_err(|e| malformed(e.to_string()))?
+    };
+    if let serde_json::Value::Object(fields) = &mut value {
+        fields.retain(|(k, _)| k != "format_version");
+    }
+    Ok(value)
+}
+
 /// Bisect two capsule streams to their first divergent checkpoint.
-/// Returns `None` when every paired capsule is byte-identical and the
+/// Returns `None` when every paired capsule is equivalent and the
 /// streams have the same length.
 pub fn bisect_dirs(dir_a: &Path, dir_b: &Path) -> Result<Option<Divergence>, CapsuleError> {
     let list_a = list_capsules(dir_a)?;
@@ -68,24 +104,46 @@ pub fn bisect_dirs(dir_a: &Path, dir_b: &Path) -> Result<Option<Divergence>, Cap
         }
     }
     let differs = |i: usize| -> Result<bool, CapsuleError> {
-        let read = |p: &PathBuf| std::fs::read(p).map_err(|e| CapsuleError::Io(p.clone(), e));
-        Ok(read(&list_a[i].1)? != read(&list_b[i].1)?)
+        let (pa, pb) = (&list_a[i].1, &list_b[i].1);
+        if pa.extension() == pb.extension() {
+            // same encoding: both encoders are deterministic, so byte
+            // inequality is value inequality
+            let read = |p: &PathBuf| std::fs::read(p).map_err(|e| CapsuleError::Io(p.clone(), e));
+            Ok(read(pa)? != read(pb)?)
+        } else {
+            // mixed JSON/binary pair: compare the decoded value trees
+            let canon = |p: &PathBuf| -> Result<String, CapsuleError> {
+                serde_json::to_string(&capsule_value(p)?)
+                    .map_err(|e| CapsuleError::Malformed(p.clone(), e.to_string()))
+            };
+            Ok(canon(pa)? != canon(pb)?)
+        }
     };
 
     if !differs(common - 1)? {
         // identical up to the shared horizon; a length mismatch means one
         // run kept checkpointing past the other's end
         if list_a.len() != list_b.len() {
-            let (longer, longer_dir) = if list_a.len() > list_b.len() {
+            let a_longer = list_a.len() > list_b.len();
+            let (extra, longer_dir) = if a_longer {
                 (&list_a[common], dir_a)
             } else {
                 (&list_b[common], dir_b)
             };
             return Ok(Some(Divergence {
                 index: common,
-                at: longer.0,
-                path_a: dir_a.to_path_buf(),
-                path_b: dir_b.to_path_buf(),
+                at: extra.0,
+                path_a: if a_longer {
+                    extra.1.clone()
+                } else {
+                    dir_a.to_path_buf()
+                },
+                path_b: if a_longer {
+                    dir_b.to_path_buf()
+                } else {
+                    extra.1.clone()
+                },
+                stream_truncated: true,
                 diffs: vec![FieldDiff {
                     path: "(stream length)".into(),
                     a: format!("{} capsules", list_a.len()),
@@ -93,7 +151,7 @@ pub fn bisect_dirs(dir_a: &Path, dir_b: &Path) -> Result<Option<Divergence>, Cap
                         "{} capsules ({} continues at {} ms)",
                         list_b.len(),
                         longer_dir.display(),
-                        longer.0.as_millis()
+                        extra.0.as_millis()
                     ),
                 }],
             }));
@@ -114,12 +172,8 @@ pub fn bisect_dirs(dir_a: &Path, dir_b: &Path) -> Result<Option<Divergence>, Cap
         }
     }
 
-    let parse = |p: &PathBuf| -> Result<serde_json::Value, CapsuleError> {
-        let text = std::fs::read_to_string(p).map_err(|e| CapsuleError::Io(p.clone(), e))?;
-        serde_json::from_str(&text).map_err(|e| CapsuleError::Malformed(p.clone(), e.to_string()))
-    };
-    let va = parse(&list_a[lo].1)?;
-    let vb = parse(&list_b[lo].1)?;
+    let va = capsule_value(&list_a[lo].1)?;
+    let vb = capsule_value(&list_b[lo].1)?;
     let mut diffs = Vec::new();
     diff_value("", &va, &vb, &mut diffs);
     Ok(Some(Divergence {
@@ -127,8 +181,123 @@ pub fn bisect_dirs(dir_a: &Path, dir_b: &Path) -> Result<Option<Divergence>, Cap
         at: list_a[lo].0,
         path_a: list_a[lo].1.clone(),
         path_b: list_b[lo].1.clone(),
+        stream_truncated: false,
         diffs,
     }))
+}
+
+/// The first step at which two runs' hash traces disagree — found without
+/// reading any capsule except the one divergent pair.
+#[derive(Debug, Clone)]
+pub struct TraceDivergence {
+    /// First step whose hashes disagree (or the first step past the
+    /// shorter trace, when one trace is a prefix of the other).
+    pub step: u64,
+    pub at: SimTime,
+    /// The rolling digests on each side; 0 for a side whose trace ended
+    /// before `step`.
+    pub hash_a: u64,
+    pub hash_b: u64,
+    /// Field-level diff of the first capsule pair captured at or after
+    /// the divergent step — the only capsules parsed. `None` when the
+    /// streams hold no paired capsule at or past that instant (the
+    /// divergence happened after the last checkpoint).
+    pub capsule_diff: Option<Divergence>,
+}
+
+/// Compare the hash traces recorded alongside two capsule streams
+/// (`<dir>/hash-trace.txt`), and on divergence parse only the first
+/// capsule pair at or after the divergent instant. One u64 comparison
+/// per step, `O(1)` capsule reads.
+pub fn bisect_hash_traces(
+    dir_a: &Path,
+    dir_b: &Path,
+) -> Result<Option<TraceDivergence>, CapsuleError> {
+    let trace_a = read_hash_trace(&dir_a.join(HASH_TRACE_FILE))?;
+    let trace_b = read_hash_trace(&dir_b.join(HASH_TRACE_FILE))?;
+    let common = trace_a.len().min(trace_b.len());
+    for i in 0..common {
+        let (pa, pb) = (trace_a[i], trace_b[i]);
+        if pa.step != pb.step || pa.at_ms != pb.at_ms {
+            return Err(CapsuleError::Malformed(
+                dir_b.join(HASH_TRACE_FILE),
+                format!(
+                    "traces run on different step grids at line {}: \
+                     step {} @ {} ms vs step {} @ {} ms",
+                    i + 1,
+                    pa.step,
+                    pa.at_ms,
+                    pb.step,
+                    pb.at_ms
+                ),
+            ));
+        }
+        if pa.hash != pb.hash {
+            let at = SimTime::from_millis(pa.at_ms);
+            return Ok(Some(TraceDivergence {
+                step: pa.step,
+                at,
+                hash_a: pa.hash,
+                hash_b: pb.hash,
+                capsule_diff: diff_pair_at(dir_a, dir_b, at)?,
+            }));
+        }
+    }
+    if trace_a.len() != trace_b.len() {
+        let extra = if trace_a.len() > trace_b.len() {
+            trace_a[common]
+        } else {
+            trace_b[common]
+        };
+        return Ok(Some(TraceDivergence {
+            step: extra.step,
+            at: SimTime::from_millis(extra.at_ms),
+            hash_a: if trace_a.len() > common {
+                extra.hash
+            } else {
+                0
+            },
+            hash_b: if trace_b.len() > common {
+                extra.hash
+            } else {
+                0
+            },
+            capsule_diff: diff_pair_at(dir_a, dir_b, SimTime::from_millis(extra.at_ms))?,
+        }));
+    }
+    Ok(None)
+}
+
+/// Diff the first capsule pair captured at or after `at`: the earliest
+/// checkpoint that can exhibit the divergence.
+fn diff_pair_at(
+    dir_a: &Path,
+    dir_b: &Path,
+    at: SimTime,
+) -> Result<Option<Divergence>, CapsuleError> {
+    let list_a = list_capsules(dir_a)?;
+    let list_b = list_capsules(dir_b)?;
+    for (index, (instant_a, path_a)) in list_a.iter().enumerate() {
+        if *instant_a < at {
+            continue;
+        }
+        let Some((_, path_b)) = list_b.iter().find(|(instant_b, _)| instant_b == instant_a) else {
+            continue;
+        };
+        let va = capsule_value(path_a)?;
+        let vb = capsule_value(path_b)?;
+        let mut diffs = Vec::new();
+        diff_value("", &va, &vb, &mut diffs);
+        return Ok(Some(Divergence {
+            index,
+            at: *instant_a,
+            path_a: path_a.clone(),
+            path_b: path_b.clone(),
+            stream_truncated: false,
+            diffs,
+        }));
+    }
+    Ok(None)
 }
 
 /// Recursively collect leaf-level differences between two JSON values.
@@ -211,6 +380,8 @@ fn render(v: &serde_json::Value) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::CapsuleFormat;
+    use mapreduce::HashPoint;
     use serde_json::Value;
 
     fn obj(fields: Vec<(&str, Value)>) -> Value {
@@ -220,6 +391,10 @@ mod tests {
                 .map(|(k, v)| (k.to_string(), v))
                 .collect(),
         )
+    }
+
+    fn json_name(secs: u64) -> String {
+        crate::capsule_file_name(SimTime::from_secs(secs), CapsuleFormat::Json)
     }
 
     #[test]
@@ -277,7 +452,7 @@ mod tests {
         std::fs::create_dir_all(&dir_b).unwrap();
         // eight paired capsules, diverging from index 5 onwards
         for i in 0..8u64 {
-            let name = crate::capsule_file_name(SimTime::from_secs(i * 10));
+            let name = json_name(i * 10);
             let a = format!("{{\"at\":{},\"x\":{}}}", i * 10_000, i);
             let b = if i >= 5 {
                 format!("{{\"at\":{},\"x\":{}}}", i * 10_000, i + 100)
@@ -292,10 +467,61 @@ mod tests {
             .expect("streams diverge");
         assert_eq!(div.index, 5);
         assert_eq!(div.at, SimTime::from_secs(50));
+        assert!(!div.stream_truncated);
         assert_eq!(div.diffs.len(), 1);
         assert_eq!(div.diffs[0].path, "x");
         assert_eq!(div.diffs[0].a, "5");
         assert_eq!(div.diffs[0].b, "105");
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn mixed_format_pairs_compare_by_value_not_bytes() {
+        let base = std::env::temp_dir().join(format!("smr-bisect-mixed-{}", std::process::id()));
+        let (dir_a, dir_b) = (base.join("a"), base.join("b"));
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(&dir_a).unwrap();
+        std::fs::create_dir_all(&dir_b).unwrap();
+        // stream A: JSON capsules; stream B: the same values re-encoded
+        // as binary — genuinely diverging from pair 2 onwards
+        for i in 0..4u64 {
+            let a_val = obj(vec![
+                ("format_version", Value::U64(1)),
+                ("at", Value::U64(i * 10_000)),
+                ("x", Value::U64(i)),
+            ]);
+            let b_x = if i >= 2 { i + 97 } else { i };
+            let b_val = obj(vec![
+                // a different envelope version must NOT count as a
+                // divergence — it is writer metadata, not run state
+                ("format_version", Value::U64(2)),
+                ("at", Value::U64(i * 10_000)),
+                ("x", Value::U64(b_x)),
+            ]);
+            std::fs::write(
+                dir_a.join(json_name(i * 10)),
+                serde_json::to_string(&a_val).unwrap(),
+            )
+            .unwrap();
+            std::fs::write(
+                dir_b.join(crate::capsule_file_name(
+                    SimTime::from_secs(i * 10),
+                    CapsuleFormat::Binary,
+                )),
+                codec::to_binary(&b_val),
+            )
+            .unwrap();
+        }
+        let div = bisect_dirs(&dir_a, &dir_b)
+            .expect("bisect runs")
+            .expect("pair 2 diverges");
+        assert_eq!(div.index, 2);
+        assert_eq!(div.diffs.len(), 1, "{:?}", div.diffs);
+        assert_eq!(div.diffs[0].path, "x");
+        assert_eq!(div.diffs[0].a, "2");
+        assert_eq!(div.diffs[0].b, "99");
+        assert_eq!(div.path_a.extension().unwrap(), "json");
+        assert_eq!(div.path_b.extension().unwrap(), "bin");
         let _ = std::fs::remove_dir_all(&base);
     }
 
@@ -307,36 +533,65 @@ mod tests {
         std::fs::create_dir_all(&dir_a).unwrap();
         std::fs::create_dir_all(&dir_b).unwrap();
         for i in 0..4u64 {
-            let name = crate::capsule_file_name(SimTime::from_secs(i));
+            let name = json_name(i);
             std::fs::write(dir_a.join(&name), format!("{{\"x\":{i}}}")).unwrap();
             std::fs::write(dir_b.join(&name), format!("{{\"x\":{i}}}")).unwrap();
         }
         assert!(bisect_dirs(&dir_a, &dir_b).expect("runs").is_none());
         // a truncated (but otherwise identical) stream diverges at the cut
-        std::fs::remove_file(dir_b.join(crate::capsule_file_name(SimTime::from_secs(3)))).unwrap();
+        std::fs::remove_file(dir_b.join(json_name(3))).unwrap();
         let div = bisect_dirs(&dir_a, &dir_b)
             .expect("runs")
             .expect("length mismatch is a divergence");
         assert_eq!(div.index, 3);
+        assert!(div.stream_truncated);
+        // the longer stream's first unmatched capsule is a real file; the
+        // truncated side is represented by its directory
+        assert_eq!(div.path_a, dir_a.join(json_name(3)));
+        assert_eq!(div.path_b, dir_b);
         assert_eq!(div.diffs[0].path, "(stream length)");
         let _ = std::fs::remove_dir_all(&base);
     }
 
     #[test]
-    fn empty_stream_is_an_error() {
-        let base = std::env::temp_dir().join(format!("smr-bisect-empty-{}", std::process::id()));
+    fn hash_trace_bisect_parses_only_the_divergent_pair() {
+        let base = std::env::temp_dir().join(format!("smr-trace-bisect-{}", std::process::id()));
+        let (dir_a, dir_b) = (base.join("a"), base.join("b"));
         let _ = std::fs::remove_dir_all(&base);
-        std::fs::create_dir_all(base.join("a")).unwrap();
-        std::fs::create_dir_all(base.join("b")).unwrap();
-        std::fs::write(
-            base.join("a").join(crate::capsule_file_name(SimTime::ZERO)),
-            "{}",
-        )
-        .unwrap();
-        assert!(matches!(
-            bisect_dirs(&base.join("a"), &base.join("b")),
-            Err(CapsuleError::EmptyStream(_))
-        ));
+        std::fs::create_dir_all(&dir_a).unwrap();
+        std::fs::create_dir_all(&dir_b).unwrap();
+        let mk = |hashes: &[u64]| -> Vec<HashPoint> {
+            hashes
+                .iter()
+                .enumerate()
+                .map(|(i, h)| HashPoint {
+                    step: i as u64 + 1,
+                    at_ms: (i as u64 + 1) * 5_000,
+                    hash: *h,
+                })
+                .collect()
+        };
+        crate::write_hash_trace(&dir_a, &mk(&[10, 20, 30, 40, 50])).unwrap();
+        crate::write_hash_trace(&dir_b, &mk(&[10, 20, 31, 41, 51])).unwrap();
+        // capsules only exist at 10 s and 20 s; step 3 diverges at 15 s,
+        // so the pair at 20 s is the one that gets parsed. A deliberately
+        // corrupt capsule at 10 s proves nothing earlier is read.
+        std::fs::write(dir_a.join(json_name(10)), "{corrupt").unwrap();
+        std::fs::write(dir_b.join(json_name(10)), "{corrupt").unwrap();
+        std::fs::write(dir_a.join(json_name(20)), "{\"x\":1}").unwrap();
+        std::fs::write(dir_b.join(json_name(20)), "{\"x\":2}").unwrap();
+        let div = bisect_hash_traces(&dir_a, &dir_b)
+            .expect("runs")
+            .expect("traces diverge");
+        assert_eq!(div.step, 3);
+        assert_eq!(div.at, SimTime::from_millis(15_000));
+        assert_eq!((div.hash_a, div.hash_b), (30, 31));
+        let pair = div.capsule_diff.expect("capsule pair at 20 s");
+        assert_eq!(pair.at, SimTime::from_secs(20));
+        assert_eq!(pair.diffs[0].path, "x");
+        // identical traces bisect to none without touching any capsule
+        crate::write_hash_trace(&dir_b, &mk(&[10, 20, 30, 40, 50])).unwrap();
+        assert!(bisect_hash_traces(&dir_a, &dir_b).expect("runs").is_none());
         let _ = std::fs::remove_dir_all(&base);
     }
 }

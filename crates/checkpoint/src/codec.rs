@@ -1,0 +1,854 @@
+//! Binary capsule codec: a compact, self-describing encoding of the
+//! capsule JSON value tree.
+//!
+//! The format is two independent layers:
+//!
+//! 1. a **packed tree** encoding ([`pack_value`]/[`unpack_value`]) that
+//!    deduplicates every object key, string, float and integer into three
+//!    frequency-ordered constant pools (small pool indices get one-byte
+//!    inline tags), and
+//! 2. an **LZ layer** ([`compress`]/[`decompress`]) — an LZ4-block-style
+//!    byte compressor (token nibbles, literal runs, 16-bit match offsets)
+//!    with no external dependencies — that squeezes the structural
+//!    repetition the pools cannot see (per-node record shapes repeat
+//!    every few dozen bytes).
+//!
+//! [`to_binary`]/[`from_binary`] wrap both layers in the `SMRB` envelope:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic b"SMRB"
+//! 4       1     codec version (1)
+//! 5       var   LEB128 length of the *packed* (uncompressed) payload
+//! ...     rest  LZ-compressed packed payload
+//! ```
+//!
+//! The first byte (`S`, 0x53) can never begin a JSON capsule (`{`), which
+//! is what lets `checkpoint::load` sniff the format. Every decode path is
+//! bounds-checked and returns an error — truncated or corrupted inputs
+//! must never panic, because the bisector's whole job is reading capsule
+//! files of questionable provenance.
+//!
+//! Integers are normalised on encode (non-negative → `U64`, negative →
+//! `I64`) so a value round-tripped through the binary codec is
+//! bit-identical to the same value round-tripped through JSON text.
+
+use serde::Value;
+
+/// Multiply-rotate hasher (the rustc/Firefox "Fx" scheme). The pool
+/// builders hash every tree node once per pass; the default SipHash is
+/// the dominant cost of `pack_value`, and pool keys are internal (no
+/// HashDoS surface), so the fast non-cryptographic hash is safe here.
+#[derive(Default, Clone, Copy)]
+struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
+
+impl std::hash::Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.mix(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let mut tail = 0u64;
+        for (i, &b) in chunks.remainder().iter().enumerate() {
+            tail |= (b as u64) << (8 * i);
+        }
+        // always fold the tail (with a length marker) so "ab" and
+        // "ab\0" hash differently
+        self.mix(tail ^ ((bytes.len() as u64) << 56));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.mix(n);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.mix(n as u64);
+        self.mix((n >> 64) as u64);
+    }
+}
+
+type FxMap<K> = std::collections::HashMap<K, usize, std::hash::BuildHasherDefault<FxHasher>>;
+
+/// Envelope magic; `b"SMRB"[0]` doubles as the format-sniffing byte.
+pub const MAGIC: [u8; 4] = *b"SMRB";
+/// Version of the packed-tree + LZ layout inside the envelope.
+pub const CODEC_VERSION: u8 = 1;
+
+/// Refuse to allocate more than this for a decoded payload, no matter
+/// what a (possibly corrupted) header claims.
+const MAX_PACKED_LEN: u64 = 1 << 31;
+/// Maximum value-tree nesting on decode; real capsules are < 20 deep.
+const MAX_DEPTH: u32 = 128;
+
+// --- tag space -----------------------------------------------------------
+// 0x00..=0x3F  int pool ref 0..=63
+// 0x40..=0x7F  f64 pool ref 0..=63
+// 0x80..=0x9F  string pool ref 0..=31
+// 0xA0..=0xAF  array, len 0..=15
+// 0xB0..=0xBF  object, len 0..=15
+// 0xC0 true · 0xC1 false · 0xC2 null
+// 0xC4 string ref (varint) · 0xC5 object (varint len) · 0xC6 array
+// (varint len) · 0xC7 f64 ref (varint) · 0xC8 int ref (varint)
+const TAG_TRUE: u8 = 0xC0;
+const TAG_FALSE: u8 = 0xC1;
+const TAG_NULL: u8 = 0xC2;
+const TAG_STR_REF: u8 = 0xC4;
+const TAG_OBJECT: u8 = 0xC5;
+const TAG_ARRAY: u8 = 0xC6;
+const TAG_F64_REF: u8 = 0xC7;
+const TAG_INT_REF: u8 = 0xC8;
+
+/// Encode + envelope + compress: the bytes [`crate::save`] writes for
+/// binary capsules.
+pub fn to_binary(v: &Value) -> Vec<u8> {
+    let packed = pack_value(v);
+    let mut out = Vec::with_capacity(packed.len() / 2 + 16);
+    out.extend_from_slice(&MAGIC);
+    out.push(CODEC_VERSION);
+    push_varint(&mut out, packed.len() as u128);
+    compress_into(&packed, &mut out);
+    out
+}
+
+/// Sniff, decompress and unpack an `SMRB` envelope.
+pub fn from_binary(bytes: &[u8]) -> Result<Value, String> {
+    if bytes.len() < MAGIC.len() + 1 || bytes[..MAGIC.len()] != MAGIC {
+        return Err("not an SMRB binary capsule (bad magic)".into());
+    }
+    let version = bytes[MAGIC.len()];
+    if version != CODEC_VERSION {
+        return Err(format!(
+            "binary codec v{version}, this build reads v{CODEC_VERSION}"
+        ));
+    }
+    let mut pos = MAGIC.len() + 1;
+    let packed_len = read_varint(bytes, &mut pos)?;
+    if packed_len > MAX_PACKED_LEN as u128 {
+        return Err(format!("implausible packed length {packed_len}"));
+    }
+    let packed = decompress(&bytes[pos..], packed_len as usize)?;
+    unpack_value(&packed)
+}
+
+// --- packed tree ---------------------------------------------------------
+
+/// Normalised integer identity: JSON text parses every non-negative
+/// integer as `U64`, so the binary codec stores the same normalisation.
+fn int_key(v: &Value) -> Option<u128> {
+    // extended zigzag over u128: non-negative n -> n<<1, negative n ->
+    // (magnitude-1)<<1 | 1, which covers the full u64 *and* i64 ranges
+    match v {
+        Value::U64(n) => Some((*n as u128) << 1),
+        Value::I64(n) if *n >= 0 => Some((*n as u128) << 1),
+        Value::I64(n) => Some(((!*n as u64 as u128) << 1) | 1),
+        _ => None,
+    }
+}
+
+fn int_from_key(zig: u128) -> Result<Value, String> {
+    let mag = zig >> 1;
+    if mag > u64::MAX as u128 {
+        return Err(format!("integer out of range: zigzag {zig}"));
+    }
+    Ok(if zig & 1 == 1 {
+        if mag > i64::MAX as u128 {
+            return Err(format!("negative integer out of range: zigzag {zig}"));
+        }
+        Value::I64(-(mag as i64) - 1)
+    } else {
+        Value::U64(mag as u64)
+    })
+}
+
+#[derive(Default)]
+struct Pools {
+    strings: PoolBuilder<String>,
+    floats: PoolBuilder<u64>,
+    ints: PoolBuilder<u128>,
+}
+
+/// Frequency counter preserving first-seen order for deterministic ties.
+struct PoolBuilder<K> {
+    index: FxMap<K>,
+    entries: Vec<(K, u64)>,
+}
+
+impl<K: std::hash::Hash + Eq + Clone> Default for PoolBuilder<K> {
+    fn default() -> Self {
+        PoolBuilder {
+            index: FxMap::default(),
+            entries: Vec::new(),
+        }
+    }
+}
+
+impl<K: std::hash::Hash + Eq + Clone> PoolBuilder<K> {
+    fn note(&mut self, key: &K) {
+        match self.index.get(key) {
+            Some(&i) => self.entries[i].1 += 1,
+            None => {
+                self.index.insert(key.clone(), self.entries.len());
+                self.entries.push((key.clone(), 1));
+            }
+        }
+    }
+
+    /// Final pool order: count descending, first-seen ascending — the
+    /// hottest entries land in the one-byte inline tag ranges.
+    fn finish(mut self) -> (Vec<K>, FxMap<K>) {
+        let mut order: Vec<usize> = (0..self.entries.len()).collect();
+        order.sort_by_key(|&i| (std::cmp::Reverse(self.entries[i].1), i));
+        let pool: Vec<K> = order.iter().map(|&i| self.entries[i].0.clone()).collect();
+        for (rank, key) in pool.iter().enumerate() {
+            self.index.insert(key.clone(), rank);
+        }
+        (pool, self.index)
+    }
+}
+
+fn collect_pools(v: &Value, pools: &mut Pools) {
+    match v {
+        Value::Null | Value::Bool(_) => {}
+        Value::U64(_) | Value::I64(_) => pools.ints.note(&int_key(v).expect("int")),
+        Value::F64(x) => pools.floats.note(&x.to_bits()),
+        Value::String(s) => pools.strings.note(s),
+        Value::Array(xs) => xs.iter().for_each(|x| collect_pools(x, pools)),
+        Value::Object(fields) => {
+            for (k, x) in fields {
+                pools.strings.note(k);
+                collect_pools(x, pools);
+            }
+        }
+    }
+}
+
+/// Pack a value tree: pools first, then the tagged tree.
+pub fn pack_value(v: &Value) -> Vec<u8> {
+    let mut pools = Pools::default();
+    collect_pools(v, &mut pools);
+    let (strings, str_index) = pools.strings.finish();
+    let (floats, f64_index) = pools.floats.finish();
+    let (ints, int_index) = pools.ints.finish();
+
+    let mut out = Vec::new();
+    push_varint(&mut out, strings.len() as u128);
+    for s in &strings {
+        push_varint(&mut out, s.len() as u128);
+        out.extend_from_slice(s.as_bytes());
+    }
+    push_varint(&mut out, floats.len() as u128);
+    for bits in &floats {
+        out.extend_from_slice(&bits.to_le_bytes());
+    }
+    push_varint(&mut out, ints.len() as u128);
+    for zig in &ints {
+        push_varint(&mut out, *zig);
+    }
+    pack_tree(v, &str_index, &f64_index, &int_index, &mut out);
+    out
+}
+
+fn pack_tree(
+    v: &Value,
+    strs: &FxMap<String>,
+    floats: &FxMap<u64>,
+    ints: &FxMap<u128>,
+    out: &mut Vec<u8>,
+) {
+    match v {
+        Value::Null => out.push(TAG_NULL),
+        Value::Bool(true) => out.push(TAG_TRUE),
+        Value::Bool(false) => out.push(TAG_FALSE),
+        Value::U64(_) | Value::I64(_) => {
+            let r = ints[&int_key(v).expect("int")];
+            if r <= 0x3F {
+                out.push(r as u8);
+            } else {
+                out.push(TAG_INT_REF);
+                push_varint(out, r as u128);
+            }
+        }
+        Value::F64(x) => {
+            let r = floats[&x.to_bits()];
+            if r <= 0x3F {
+                out.push(0x40 + r as u8);
+            } else {
+                out.push(TAG_F64_REF);
+                push_varint(out, r as u128);
+            }
+        }
+        Value::String(s) => {
+            let r = strs[s];
+            if r <= 0x1F {
+                out.push(0x80 + r as u8);
+            } else {
+                out.push(TAG_STR_REF);
+                push_varint(out, r as u128);
+            }
+        }
+        Value::Array(xs) => {
+            if xs.len() <= 0x0F {
+                out.push(0xA0 + xs.len() as u8);
+            } else {
+                out.push(TAG_ARRAY);
+                push_varint(out, xs.len() as u128);
+            }
+            for x in xs {
+                pack_tree(x, strs, floats, ints, out);
+            }
+        }
+        Value::Object(fields) => {
+            if fields.len() <= 0x0F {
+                out.push(0xB0 + fields.len() as u8);
+            } else {
+                out.push(TAG_OBJECT);
+                push_varint(out, fields.len() as u128);
+            }
+            for (k, x) in fields {
+                // keys are bare string-pool refs: no tag byte needed
+                push_varint(out, strs[k] as u128);
+                pack_tree(x, strs, floats, ints, out);
+            }
+        }
+    }
+}
+
+struct Unpacker<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    strings: Vec<String>,
+    floats: Vec<u64>,
+    ints: Vec<u128>,
+}
+
+/// Unpack a packed payload back into the value tree.
+pub fn unpack_value(bytes: &[u8]) -> Result<Value, String> {
+    let mut pos = 0usize;
+    let nstr = checked_len(read_varint(bytes, &mut pos)?, "string pool")?;
+    let mut strings = Vec::new();
+    for _ in 0..nstr {
+        let len = checked_len(read_varint(bytes, &mut pos)?, "string")?;
+        let end = pos
+            .checked_add(len)
+            .filter(|&e| e <= bytes.len())
+            .ok_or("truncated string pool")?;
+        let s = std::str::from_utf8(&bytes[pos..end]).map_err(|e| format!("bad UTF-8: {e}"))?;
+        strings.push(s.to_string());
+        pos = end;
+    }
+    let nf = checked_len(read_varint(bytes, &mut pos)?, "f64 pool")?;
+    let mut floats = Vec::new();
+    for _ in 0..nf {
+        let end = pos
+            .checked_add(8)
+            .filter(|&e| e <= bytes.len())
+            .ok_or("truncated f64 pool")?;
+        floats.push(u64::from_le_bytes(bytes[pos..end].try_into().unwrap()));
+        pos = end;
+    }
+    let ni = checked_len(read_varint(bytes, &mut pos)?, "int pool")?;
+    let mut ints = Vec::new();
+    for _ in 0..ni {
+        ints.push(read_varint(bytes, &mut pos)?);
+    }
+    let mut up = Unpacker {
+        bytes,
+        pos,
+        strings,
+        floats,
+        ints,
+    };
+    let v = up.tree(0)?;
+    if up.pos != up.bytes.len() {
+        return Err(format!(
+            "{} trailing bytes after the value tree",
+            up.bytes.len() - up.pos
+        ));
+    }
+    Ok(v)
+}
+
+impl Unpacker<'_> {
+    fn tree(&mut self, depth: u32) -> Result<Value, String> {
+        if depth > MAX_DEPTH {
+            return Err(format!("value tree deeper than {MAX_DEPTH}"));
+        }
+        let tag = *self
+            .bytes
+            .get(self.pos)
+            .ok_or("truncated value tree (missing tag)")?;
+        self.pos += 1;
+        match tag {
+            0x00..=0x3F => self.int_ref(tag as usize),
+            0x40..=0x7F => self.f64_ref((tag - 0x40) as usize),
+            0x80..=0x9F => self.str_ref((tag - 0x80) as usize),
+            0xA0..=0xAF => self.array((tag - 0xA0) as usize, depth),
+            0xB0..=0xBF => self.object((tag - 0xB0) as usize, depth),
+            TAG_TRUE => Ok(Value::Bool(true)),
+            TAG_FALSE => Ok(Value::Bool(false)),
+            TAG_NULL => Ok(Value::Null),
+            TAG_STR_REF => {
+                let r = self.varint_len("string ref")?;
+                self.str_ref(r)
+            }
+            TAG_OBJECT => {
+                let n = self.varint_len("object length")?;
+                self.object(n, depth)
+            }
+            TAG_ARRAY => {
+                let n = self.varint_len("array length")?;
+                self.array(n, depth)
+            }
+            TAG_F64_REF => {
+                let r = self.varint_len("f64 ref")?;
+                self.f64_ref(r)
+            }
+            TAG_INT_REF => {
+                let r = self.varint_len("int ref")?;
+                self.int_ref(r)
+            }
+            other => Err(format!("unknown tag byte {other:#04x}")),
+        }
+    }
+
+    fn varint_len(&mut self, what: &str) -> Result<usize, String> {
+        checked_len(read_varint(self.bytes, &mut self.pos)?, what)
+    }
+
+    fn int_ref(&self, r: usize) -> Result<Value, String> {
+        let zig = *self
+            .ints
+            .get(r)
+            .ok_or_else(|| format!("int pool ref {r} out of range"))?;
+        int_from_key(zig)
+    }
+
+    fn f64_ref(&self, r: usize) -> Result<Value, String> {
+        self.floats
+            .get(r)
+            .map(|bits| Value::F64(f64::from_bits(*bits)))
+            .ok_or_else(|| format!("f64 pool ref {r} out of range"))
+    }
+
+    fn str_ref(&self, r: usize) -> Result<Value, String> {
+        self.strings
+            .get(r)
+            .map(|s| Value::String(s.clone()))
+            .ok_or_else(|| format!("string pool ref {r} out of range"))
+    }
+
+    fn array(&mut self, n: usize, depth: u32) -> Result<Value, String> {
+        // no with_capacity(n): a corrupted length must hit EOF, not OOM
+        let mut xs = Vec::new();
+        for _ in 0..n {
+            xs.push(self.tree(depth + 1)?);
+        }
+        Ok(Value::Array(xs))
+    }
+
+    fn object(&mut self, n: usize, depth: u32) -> Result<Value, String> {
+        let mut fields = Vec::new();
+        for _ in 0..n {
+            let kref = self.varint_len("object key ref")?;
+            let key = self
+                .strings
+                .get(kref)
+                .ok_or_else(|| format!("object key ref {kref} out of range"))?
+                .clone();
+            fields.push((key, self.tree(depth + 1)?));
+        }
+        Ok(Value::Object(fields))
+    }
+}
+
+fn checked_len(n: u128, what: &str) -> Result<usize, String> {
+    if n > MAX_PACKED_LEN as u128 {
+        return Err(format!("implausible {what} length {n}"));
+    }
+    Ok(n as usize)
+}
+
+// --- varints -------------------------------------------------------------
+
+fn push_varint(out: &mut Vec<u8>, mut n: u128) {
+    loop {
+        let byte = (n & 0x7F) as u8;
+        n >>= 7;
+        if n == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u128, String> {
+    let mut n: u128 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *bytes.get(*pos).ok_or("truncated varint")?;
+        *pos += 1;
+        if shift >= 128 {
+            return Err("varint overflows u128".into());
+        }
+        n |= ((byte & 0x7F) as u128) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(n);
+        }
+        shift += 7;
+    }
+}
+
+// --- LZ layer ------------------------------------------------------------
+
+const HASH_BITS: u32 = 15;
+const MIN_MATCH: usize = 4;
+const MAX_OFFSET: usize = 65535;
+
+fn lz_hash(window: &[u8]) -> usize {
+    let w = u32::from_le_bytes(window[..4].try_into().unwrap());
+    (w.wrapping_mul(2_654_435_761) >> (32 - HASH_BITS)) as usize
+}
+
+/// LZ4-block-style greedy compressor. Sequence layout: token byte
+/// (literal-run nibble ≪ 4 | match-length−4 nibble, 15 = extended with
+/// 255-run bytes), literal bytes, 2-byte LE offset, extended match
+/// length. The final sequence is literals-only (no offset) — the decoder
+/// detects it by input exhaustion, exactly like LZ4.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    compress_into(input, &mut out);
+    out
+}
+
+fn compress_into(input: &[u8], out: &mut Vec<u8>) {
+    // LZ4-style acceleration: each failed probe lengthens the stride a
+    // little (step = misses >> 6), so incompressible stretches — the f64
+    // pool, mostly — are skimmed instead of probed byte by byte. Matches
+    // reset the stride.
+    const SKIP_TRIGGER: u32 = 6;
+    let mut table = vec![u32::MAX; 1 << HASH_BITS];
+    let mut anchor = 0usize; // start of pending literals
+    let mut pos = 0usize;
+    let mut misses = 1usize << SKIP_TRIGGER;
+    while pos + MIN_MATCH <= input.len() {
+        let h = lz_hash(&input[pos..]);
+        let candidate = table[h] as usize;
+        table[h] = pos as u32;
+        if candidate != u32::MAX as usize
+            && pos - candidate <= MAX_OFFSET
+            && input[candidate..candidate + MIN_MATCH] == input[pos..pos + MIN_MATCH]
+        {
+            let mut mlen = MIN_MATCH;
+            // extend word-at-a-time, then settle the tail byte-wise
+            while pos + mlen + 8 <= input.len() {
+                let a = u64::from_le_bytes(input[candidate + mlen..][..8].try_into().unwrap());
+                let b = u64::from_le_bytes(input[pos + mlen..][..8].try_into().unwrap());
+                if a == b {
+                    mlen += 8;
+                } else {
+                    mlen += ((a ^ b).trailing_zeros() / 8) as usize;
+                    break;
+                }
+            }
+            while pos + mlen < input.len() && input[candidate + mlen] == input[pos + mlen] {
+                mlen += 1;
+            }
+            emit_sequence(out, &input[anchor..pos], Some((pos - candidate, mlen)));
+            // index a strided sample of the match interior so nearby
+            // repeats are still found without rehashing every byte
+            let interior_end = (pos + mlen).min(input.len().saturating_sub(MIN_MATCH - 1));
+            let mut p = pos + 1;
+            while p < interior_end {
+                table[lz_hash(&input[p..])] = p as u32;
+                p += 3;
+            }
+            pos += mlen;
+            anchor = pos;
+            misses = 1 << SKIP_TRIGGER;
+        } else {
+            pos += misses >> SKIP_TRIGGER;
+            misses += 1;
+        }
+    }
+    emit_sequence(out, &input[anchor..], None);
+}
+
+fn emit_sequence(out: &mut Vec<u8>, literals: &[u8], m: Option<(usize, usize)>) {
+    let lit_nibble = literals.len().min(15) as u8;
+    let match_nibble = m
+        .map(|(_, len)| (len - MIN_MATCH).min(15) as u8)
+        .unwrap_or(0);
+    out.push((lit_nibble << 4) | match_nibble);
+    if literals.len() >= 15 {
+        push_run(out, literals.len() - 15);
+    }
+    out.extend_from_slice(literals);
+    if let Some((offset, len)) = m {
+        out.extend_from_slice(&(offset as u16).to_le_bytes());
+        if len - MIN_MATCH >= 15 {
+            push_run(out, len - MIN_MATCH - 15);
+        }
+    }
+}
+
+fn push_run(out: &mut Vec<u8>, mut n: usize) {
+    while n >= 255 {
+        out.push(255);
+        n -= 255;
+    }
+    out.push(n as u8);
+}
+
+/// Decompress an LZ stream produced by [`compress`]. Fully
+/// bounds-checked: truncated or corrupted inputs return errors.
+pub fn decompress(input: &[u8], expected_len: usize) -> Result<Vec<u8>, String> {
+    // capacity is a hint only — a corrupted header must not drive a
+    // multi-gigabyte allocation before the first bounds check fires
+    let mut out: Vec<u8> = Vec::with_capacity(expected_len.min(1 << 20));
+    let mut pos = 0usize;
+    if input.is_empty() && expected_len == 0 {
+        return Ok(out);
+    }
+    loop {
+        let token = *input
+            .get(pos)
+            .ok_or("truncated LZ stream (missing token)")?;
+        pos += 1;
+        let mut litlen = (token >> 4) as usize;
+        if litlen == 15 {
+            litlen += read_run(input, &mut pos)?;
+        }
+        let end = pos
+            .checked_add(litlen)
+            .filter(|&e| e <= input.len())
+            .ok_or("truncated LZ literals")?;
+        out.extend_from_slice(&input[pos..end]);
+        pos = end;
+        if pos == input.len() {
+            break; // final, literals-only sequence
+        }
+        let off_end = pos
+            .checked_add(2)
+            .filter(|&e| e <= input.len())
+            .ok_or("truncated LZ offset")?;
+        let offset = u16::from_le_bytes(input[pos..off_end].try_into().unwrap()) as usize;
+        pos = off_end;
+        if offset == 0 || offset > out.len() {
+            return Err(format!(
+                "LZ offset {offset} out of range at output length {}",
+                out.len()
+            ));
+        }
+        let mut mlen = MIN_MATCH + (token & 0x0F) as usize;
+        if token & 0x0F == 15 {
+            mlen += read_run(input, &mut pos)?;
+        }
+        if out.len() + mlen > expected_len {
+            return Err("LZ output exceeds the promised length".into());
+        }
+        // byte-by-byte: matches may overlap their own output (RLE-style)
+        let start = out.len() - offset;
+        for i in 0..mlen {
+            let b = out[start + i];
+            out.push(b);
+        }
+    }
+    if out.len() != expected_len {
+        return Err(format!(
+            "LZ stream decoded to {} bytes, envelope promised {expected_len}",
+            out.len()
+        ));
+    }
+    Ok(out)
+}
+
+fn read_run(input: &[u8], pos: &mut usize) -> Result<usize, String> {
+    let mut n = 0usize;
+    loop {
+        let byte = *input.get(*pos).ok_or("truncated LZ run length")?;
+        *pos += 1;
+        n = n
+            .checked_add(byte as usize)
+            .ok_or("LZ run length overflow")?;
+        if byte != 255 {
+            return Ok(n);
+        }
+        if n > MAX_PACKED_LEN as usize {
+            return Err("implausible LZ run length".into());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge_value() -> Value {
+        Value::Object(vec![
+            ("zero".into(), Value::U64(0)),
+            ("max_u64".into(), Value::U64(u64::MAX)),
+            ("min_i64".into(), Value::I64(i64::MIN)),
+            ("neg_one".into(), Value::I64(-1)),
+            ("normalised".into(), Value::I64(42)),
+            (
+                "floats".into(),
+                Value::Array(vec![
+                    Value::F64(0.0),
+                    Value::F64(-0.0),
+                    Value::F64(f64::MIN_POSITIVE),
+                    Value::F64(1.0 / 3.0),
+                    Value::F64(f64::INFINITY),
+                ]),
+            ),
+            (
+                "nested".into(),
+                Value::Object(vec![
+                    ("flag".into(), Value::Bool(true)),
+                    ("off".into(), Value::Bool(false)),
+                    ("nothing".into(), Value::Null),
+                    ("text".into(), Value::String("héllo → wörld".into())),
+                    ("empty".into(), Value::Array(vec![])),
+                ]),
+            ),
+            (
+                "wide".into(),
+                // force the varint (non-inline) tag paths: >64 distinct
+                // ints, >64 distinct floats, >32 distinct strings, and a
+                // >15-element array/object
+                Value::Array(
+                    (0..80u64)
+                        .flat_map(|i| {
+                            [
+                                Value::U64(1_000_000 + i),
+                                Value::F64(i as f64 + 0.5),
+                                Value::String(format!("s{i}")),
+                            ]
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    #[test]
+    fn packed_round_trip_is_exact() {
+        let v = edge_value();
+        let packed = pack_value(&v);
+        let back = unpack_value(&packed).expect("unpacks");
+        // compare through the canonical JSON printer: normalisation means
+        // the trees must print identically (I64(42) became U64(42))
+        let mut norm = v.clone();
+        normalize(&mut norm);
+        assert_eq!(
+            serde_json::to_string(&norm).unwrap(),
+            serde_json::to_string(&back).unwrap()
+        );
+    }
+
+    fn normalize(v: &mut Value) {
+        match v {
+            Value::I64(n) if *n >= 0 => *v = Value::U64(*n as u64),
+            Value::Array(xs) => xs.iter_mut().for_each(normalize),
+            Value::Object(fields) => fields.iter_mut().for_each(|(_, x)| normalize(x)),
+            _ => {}
+        }
+    }
+
+    #[test]
+    fn envelope_round_trip_is_exact() {
+        let v = edge_value();
+        let bytes = to_binary(&v);
+        assert_eq!(&bytes[..4], b"SMRB");
+        let back = from_binary(&bytes).expect("decodes");
+        let mut norm = v;
+        normalize(&mut norm);
+        assert_eq!(
+            serde_json::to_string(&norm).unwrap(),
+            serde_json::to_string(&back).unwrap()
+        );
+    }
+
+    #[test]
+    fn float_bits_survive_exactly() {
+        let v = Value::Array(vec![Value::F64(-0.0), Value::F64(f64::NAN)]);
+        let back = from_binary(&to_binary(&v)).expect("decodes");
+        let Value::Array(xs) = back else {
+            panic!("expected array")
+        };
+        let bits: Vec<u64> = xs
+            .iter()
+            .map(|x| match x {
+                Value::F64(f) => f.to_bits(),
+                other => panic!("expected f64, got {other:?}"),
+            })
+            .collect();
+        assert_eq!(bits, vec![(-0.0f64).to_bits(), f64::NAN.to_bits()]);
+    }
+
+    #[test]
+    fn lz_round_trips_incompressible_and_repetitive_data() {
+        // pseudo-random bytes (incompressible path: mostly literals)
+        let mut x = 0x243F_6A88_85A3_08D3u64;
+        let noise: Vec<u8> = (0..10_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x >> 32) as u8
+            })
+            .collect();
+        assert_eq!(decompress(&compress(&noise), noise.len()).unwrap(), noise);
+        // highly repetitive (overlapping-match path)
+        let runs: Vec<u8> = b"abcabcabc".iter().cycle().take(50_000).copied().collect();
+        let packed = compress(&runs);
+        assert!(packed.len() < runs.len() / 10, "run data should crush");
+        assert_eq!(decompress(&packed, runs.len()).unwrap(), runs);
+        // empty input
+        assert_eq!(decompress(&compress(&[]), 0).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn every_truncation_of_a_valid_capsule_is_rejected_not_panicking() {
+        let bytes = to_binary(&edge_value());
+        for cut in 0..bytes.len() {
+            assert!(
+                from_binary(&bytes[..cut]).is_err(),
+                "truncation at {cut}/{} decoded successfully",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_bytes_are_rejected_not_panicking() {
+        let clean = to_binary(&edge_value());
+        for i in 0..clean.len() {
+            let mut bad = clean.clone();
+            bad[i] ^= 0xA5;
+            // any outcome but a panic is fine; decoded-but-different is
+            // possible when the flip lands in a literal run
+            let _ = from_binary(&bad);
+        }
+        assert!(from_binary(b"SMRBx").is_err());
+        assert!(from_binary(b"{\"format_version\":1}").is_err());
+        assert!(from_binary(&[]).is_err());
+    }
+}

@@ -31,11 +31,12 @@
 //! (per-node task Gantt, slot occupancy, utilization timelines, decision
 //! markers, counters, auditor verdict).
 
+use checkpoint::CapsuleFormat;
 use harness::scale::Scale;
 use harness::{
-    ablation, capsules, engine_bench, ext_fair, ext_faults, ext_hetero, ext_load, ext_stragglers,
-    fig1, fig3, fig4, fig5, fig6, fig7, fig89, model_check, output, scale_bench, summary,
-    sweep_bench,
+    ablation, capsule_bench, capsules, engine_bench, ext_fair, ext_faults, ext_hetero, ext_load,
+    ext_stragglers, fig1, fig3, fig4, fig5, fig6, fig7, fig89, model_check, output, scale_bench,
+    summary, sweep_bench,
 };
 use simgrid::time::{SimDuration, SteppingMode};
 use std::path::{Path, PathBuf};
@@ -53,7 +54,9 @@ struct Args {
     engine: Option<SteppingMode>,
     checkpoint_every: Option<SimDuration>,
     capsule_dir: Option<PathBuf>,
+    capsule_format: CapsuleFormat,
     via: capsules::Via,
+    hash_trace: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -65,7 +68,9 @@ fn parse_args() -> Result<Args, String> {
     let mut engine = None;
     let mut checkpoint_every = None;
     let mut capsule_dir = None;
+    let mut capsule_format = CapsuleFormat::Json;
     let mut via = capsules::Via::Straight;
+    let mut hash_trace = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -111,6 +116,12 @@ fn parse_args() -> Result<Args, String> {
             "--via" => {
                 via = capsules::Via::parse(&it.next().ok_or("--via needs straight|resume")?)?;
             }
+            "--capsule-format" => {
+                let s = it.next().ok_or("--capsule-format needs json|bin")?;
+                capsule_format = CapsuleFormat::parse(&s)
+                    .ok_or_else(|| format!("--capsule-format must be json|bin, got {s}"))?;
+            }
+            "--hash-trace" => hash_trace = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other if other.starts_with("--") => {
                 return Err(format!("unexpected argument: {other}\n{USAGE}"))
@@ -135,15 +146,17 @@ fn parse_args() -> Result<Args, String> {
         engine,
         checkpoint_every,
         capsule_dir,
+        capsule_format,
         via,
+        hash_trace,
     })
 }
 
-const USAGE: &str = "usage: reproduce [all|fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ext-hetero|ext-stragglers|ext-fair|ext-load|ext-faults|ablations|model-check|headline|engine-bench|sweep-bench|scale-bench] [--quick] [--out DIR] [--trace FILE] [--dashboard DIR] [--engine fixed|adaptive]
-       reproduce <target> --checkpoint-every SECS --capsule-dir DIR   # record the target's representative run as a capsule stream
-       reproduce fingerprint <target> [--via straight|resume] [--capsule-dir DIR]   # print the representative run's auditor fingerprint
-       reproduce resume CAPSULE.json                                  # resume a capsule to completion
-       reproduce bisect DIR_A DIR_B                                   # first divergent checkpoint of two streams (exit 1 if diverged)";
+const USAGE: &str = "usage: reproduce [all|fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ext-hetero|ext-stragglers|ext-fair|ext-load|ext-faults|ablations|model-check|headline|engine-bench|sweep-bench|scale-bench|capsule-bench] [--quick] [--out DIR] [--trace FILE] [--dashboard DIR] [--engine fixed|adaptive]
+       reproduce <target> --checkpoint-every SECS --capsule-dir DIR [--capsule-format json|bin]   # record the target's representative run as a capsule stream + hash trace
+       reproduce fingerprint <target> [--via straight|resume] [--capsule-dir DIR] [--capsule-format json|bin] [--hash-trace]   # print the representative run's auditor fingerprint (+ per-step hash digest)
+       reproduce resume CAPSULE.{json,bin}                            # resume a capsule to completion
+       reproduce bisect DIR_A DIR_B [--hash-trace]                    # first divergent checkpoint (or hash-trace step) of two streams (exit 1 if diverged)";
 
 /// The perf-summary block every figure JSON carries.
 fn perf_block(steps: u64, sim_seconds: f64, wall: std::time::Duration) -> serde_json::Value {
@@ -227,7 +240,14 @@ fn run_fingerprint(args: &Args, scale: Scale) -> ExitCode {
     if let Err(msg) = check_capsule_target(target) {
         return fail(&msg);
     }
-    match capsules::fingerprint_target(target, scale, args.via, args.capsule_dir.as_deref()) {
+    match capsules::fingerprint_target(
+        target,
+        scale,
+        args.via,
+        args.capsule_dir.as_deref(),
+        args.capsule_format,
+        args.hash_trace,
+    ) {
         Ok(line) => {
             print!("{line}");
             ExitCode::SUCCESS
@@ -247,14 +267,17 @@ fn run_record(args: &Args, scale: Scale, every: SimDuration) -> ExitCode {
     if let Err(msg) = check_capsule_target(&args.target) {
         return fail(&msg);
     }
-    match capsules::record_target(&args.target, scale, every, dir) {
+    match capsules::record_target(&args.target, scale, every, dir, args.capsule_format) {
         Ok(rec) => {
             println!(
-                "[wrote {} capsules (every {:.0}s of a {:.1}s run) to {}]\n\
+                "[wrote {} {} capsules (every {:.0}s of a {:.1}s run) and a \
+                 {}-step hash trace to {}]\n\
                  fingerprint {:#018x}",
                 rec.capsules,
+                args.capsule_format,
                 rec.every_s,
                 rec.makespan_s,
+                rec.hash_points,
                 rec.dir.display(),
                 rec.fingerprint
             );
@@ -285,6 +308,19 @@ fn run_bisect(args: &Args) -> ExitCode {
     let [dir_a, dir_b] = args.operands.as_slice() else {
         return fail(&format!("bisect needs two capsule directories\n{USAGE}"));
     };
+    if args.hash_trace {
+        return match checkpoint::bisect_hash_traces(Path::new(dir_a), Path::new(dir_b)) {
+            Ok(div) => {
+                print!("{}", capsules::render_trace_divergence(&div));
+                if div.is_none() {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => fail(&e.to_string()),
+        };
+    }
     match checkpoint::bisect_dirs(Path::new(dir_a), Path::new(dir_b)) {
         Ok(div) => {
             print!("{}", capsules::render_divergence(&div));
@@ -491,6 +527,19 @@ fn main() -> ExitCode {
                 .map_err(|e| e.to_string())?;
                 println!("[wrote {}]", path.display());
                 (scale_bench::render(&d), json)
+            }
+            "capsule-bench" => {
+                let d = capsule_bench::run(scale);
+                let json = serde_json::to_value(&d).expect("serialise");
+                let path = args.out.join("BENCH_capsule.json");
+                std::fs::create_dir_all(&args.out).map_err(|e| e.to_string())?;
+                std::fs::write(
+                    &path,
+                    serde_json::to_string_pretty(&json).unwrap_or_default(),
+                )
+                .map_err(|e| e.to_string())?;
+                println!("[wrote {}]", path.display());
+                (capsule_bench::render(&d), json)
             }
             other => return Err(format!("unknown target: {other}\n{USAGE}")),
         };

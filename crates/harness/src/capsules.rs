@@ -8,15 +8,19 @@
 //! * **fingerprinted** ([`fingerprint_target`]) — run straight through,
 //!   or snapshot-at-midpoint-then-resume, printing the auditor
 //!   fingerprint of the final report. The two must print identical
-//!   output; CI `cmp`s them.
+//!   output; CI `cmp`s them. With the hash trace enabled, the replay
+//!   path additionally verifies the resumed run's *per-step* state
+//!   hashes against the straight run's — a divergence is pinned to the
+//!   exact step it first happened rather than discovered at the end.
 //! * **recorded** ([`record_target`]) — run once with `--checkpoint-every`
-//!   capture, writing the capsule stream into `--capsule-dir` for later
+//!   capture, writing the capsule stream (JSON or binary) plus the
+//!   per-step hash trace into `--capsule-dir` for later
 //!   `reproduce resume` / `reproduce bisect`.
 
 use crate::dashboard;
 use crate::runner::{self, System};
 use crate::scale::Scale;
-use checkpoint::SimSnapshot;
+use checkpoint::{CapsuleFormat, SimSnapshot};
 use mapreduce::auditor;
 use simgrid::time::SimDuration;
 use std::path::{Path, PathBuf};
@@ -48,43 +52,112 @@ fn fingerprint_every() -> SimDuration {
     SimDuration::from_secs(30)
 }
 
-/// Fingerprint a target's representative run. The printed line is
+/// Fingerprint a target's representative run. The printed output is
 /// via-independent by construction: if the replay path diverges from the
-/// straight path, the fingerprints (and the CI `cmp`) differ.
+/// straight path, the fingerprints (and the CI `cmp`) differ — and with
+/// `hash_trace`, a per-step divergence fails the resume invocation
+/// outright, naming the first divergent step.
 ///
 /// With `capsule_dir` set, the resume path writes the full capsule
-/// stream there (the straight path writes nothing) — on a gate failure
-/// that stream is the artifact to bisect.
+/// stream there in `format` (the straight path writes nothing) — on a
+/// gate failure that stream is the artifact to bisect.
 pub fn fingerprint_target(
     target: &str,
     scale: Scale,
     via: Via,
     capsule_dir: Option<&Path>,
+    format: CapsuleFormat,
+    hash_trace: bool,
 ) -> Result<String, String> {
     let (mut cfg, jobs, system, _) =
         dashboard::representative(target, scale).map_err(|e| e.to_string())?;
     // fingerprints cover counters; event recording only bloats capsules
     cfg.record_events = false;
     let seed = cfg.seed;
-    let report = match via {
-        Via::Straight => runner::run_once(&cfg, jobs, &system, seed).map_err(|e| e.to_string())?,
-        Via::Resume => {
-            let (_, capsules) =
-                runner::run_once_with_snapshots(&cfg, jobs, &system, seed, fingerprint_every())
-                    .map_err(|e| e.to_string())?;
+    let (report, trace) = match (via, hash_trace) {
+        (Via::Straight, false) => (
+            runner::run_once(&cfg, jobs, &system, seed).map_err(|e| e.to_string())?,
+            None,
+        ),
+        (Via::Straight, true) => {
+            // snapshot capture is observational (proven by the resume
+            // equivalence gate), so tracing through the snapshotting run
+            // keeps this line identical to the plain straight line
+            let (report, _, trace) = runner::run_once_with_snapshots_traced(
+                &cfg,
+                jobs,
+                &system,
+                seed,
+                fingerprint_every(),
+            )
+            .map_err(|e| e.to_string())?;
+            (report, Some(trace))
+        }
+        (Via::Resume, _) => {
+            let (_, capsules, straight_trace) = runner::run_once_with_snapshots_traced(
+                &cfg,
+                jobs,
+                &system,
+                seed,
+                fingerprint_every(),
+            )
+            .map_err(|e| e.to_string())?;
+            if capsules.is_empty() {
+                return Err(format!(
+                    "{target}: straight run captured no capsules to resume from \
+                     (snapshot period {}s longer than the run?)",
+                    fingerprint_every().as_secs_f64()
+                ));
+            }
             if let Some(dir) = capsule_dir {
-                checkpoint::write_stream(dir, &capsules).map_err(|e| e.to_string())?;
+                checkpoint::write_stream_as(dir, &capsules, format).map_err(|e| e.to_string())?;
+                checkpoint::write_hash_trace(dir, &straight_trace).map_err(|e| e.to_string())?;
             }
             let mid = capsules[capsules.len() / 2].clone();
-            runner::resume_once(mid, &system).map_err(|e| e.to_string())?
+            if hash_trace {
+                let (report, resumed_trace) =
+                    runner::resume_once_traced(mid, &system).map_err(|e| e.to_string())?;
+                let (compared, mismatch) =
+                    checkpoint::compare_traces(&straight_trace, &resumed_trace);
+                if let Some(m) = mismatch {
+                    return Err(format!(
+                        "{target}: resumed run diverged from the straight run at step {} \
+                         (t={}ms): straight {:#018x} != resumed {:#018x} \
+                         ({compared} steps agreed before it)",
+                        m.step, m.at_ms, m.straight, m.resumed
+                    ));
+                }
+                if compared == 0 {
+                    return Err(format!(
+                        "{target}: resume verified zero steps — midpoint capsule \
+                         resumed at the end of the run"
+                    ));
+                }
+                // verified step-for-step, so the straight trace digest is
+                // the resumed run's digest too: both lines cmp equal
+                (report, Some(straight_trace))
+            } else {
+                (
+                    runner::resume_once(mid, &system).map_err(|e| e.to_string())?,
+                    None,
+                )
+            }
         }
     };
-    Ok(format!(
+    let mut out = format!(
         "{target} {} seed {} fingerprint {:#018x}\n",
         report.policy,
         seed,
         auditor::fingerprint(&report)
-    ))
+    );
+    if let Some(trace) = trace {
+        out.push_str(&format!(
+            "{target} hash-trace {} steps digest {:#018x}\n",
+            trace.len(),
+            checkpoint::trace_digest(&trace)
+        ));
+    }
+    Ok(out)
 }
 
 /// Outcome of recording a target's representative run as a capsule
@@ -95,29 +168,36 @@ pub struct RecordOutcome {
     pub every_s: f64,
     pub makespan_s: f64,
     pub fingerprint: u64,
+    /// Steps in the hash trace written alongside the capsules.
+    pub hash_points: usize,
 }
 
 /// Run a target's representative configuration with capsule capture every
-/// `every`, writing the stream into `dir`.
+/// `every`, writing the stream (in `format`) and the per-step hash trace
+/// into `dir`.
 pub fn record_target(
     target: &str,
     scale: Scale,
     every: SimDuration,
     dir: &Path,
+    format: CapsuleFormat,
 ) -> Result<RecordOutcome, String> {
     let (mut cfg, jobs, system, _) =
         dashboard::representative(target, scale).map_err(|e| e.to_string())?;
     cfg.record_events = false;
     let seed = cfg.seed;
-    let (report, capsules) = runner::run_once_with_snapshots(&cfg, jobs, &system, seed, every)
-        .map_err(|e| e.to_string())?;
-    let paths = checkpoint::write_stream(dir, &capsules).map_err(|e| e.to_string())?;
+    let (report, capsules, trace) =
+        runner::run_once_with_snapshots_traced(&cfg, jobs, &system, seed, every)
+            .map_err(|e| e.to_string())?;
+    let paths = checkpoint::write_stream_as(dir, &capsules, format).map_err(|e| e.to_string())?;
+    checkpoint::write_hash_trace(dir, &trace).map_err(|e| e.to_string())?;
     Ok(RecordOutcome {
         dir: dir.to_path_buf(),
         capsules: paths.len(),
         every_s: every.as_secs_f64(),
         makespan_s: report.makespan().as_secs_f64(),
         fingerprint: auditor::fingerprint(&report),
+        hash_points: trace.len(),
     })
 }
 
@@ -151,7 +231,20 @@ pub fn resume_capsule(path: &Path) -> Result<String, String> {
 /// Render a bisection outcome for the terminal.
 pub fn render_divergence(div: &Option<checkpoint::Divergence>) -> String {
     match div {
-        None => "capsule streams are byte-identical\n".to_string(),
+        None => "capsule streams are equivalent\n".to_string(),
+        Some(d) if d.stream_truncated => {
+            let mut out = format!(
+                "streams identical until one ends early: pair {} at t={:.0}s\n  a: {}\n  b: {}\n",
+                d.index,
+                d.at.as_secs_f64(),
+                d.path_a.display(),
+                d.path_b.display()
+            );
+            for diff in &d.diffs {
+                out.push_str(&format!("  {}: {} != {}\n", diff.path, diff.a, diff.b));
+            }
+            out
+        }
         Some(d) => {
             let mut out = format!(
                 "first divergent checkpoint: index {} at t={:.0}s\n  a: {}\n  b: {}\n",
@@ -175,6 +268,27 @@ pub fn render_divergence(div: &Option<checkpoint::Divergence>) -> String {
     }
 }
 
+/// Render a hash-trace bisection outcome for the terminal.
+pub fn render_trace_divergence(div: &Option<checkpoint::TraceDivergence>) -> String {
+    match div {
+        None => "hash traces are identical\n".to_string(),
+        Some(d) => {
+            let mut out = format!(
+                "hash traces diverge at step {} (t={:.0}s): {:#018x} != {:#018x}\n",
+                d.step,
+                d.at.as_secs_f64(),
+                d.hash_a,
+                d.hash_b
+            );
+            match &d.capsule_diff {
+                Some(pair) => out.push_str(&render_divergence(&Some(pair.clone()))),
+                None => out.push_str("  (no capsule pair captured at or after that step)\n"),
+            }
+            out
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,9 +301,25 @@ mod tests {
 
     #[test]
     fn straight_and_resume_fingerprints_agree() {
-        let a = fingerprint_target("fig1", Scale::Quick, Via::Straight, None).expect("straight");
+        let a = fingerprint_target(
+            "fig1",
+            Scale::Quick,
+            Via::Straight,
+            None,
+            CapsuleFormat::Json,
+            false,
+        )
+        .expect("straight");
         let dir = tmp("fp");
-        let b = fingerprint_target("fig1", Scale::Quick, Via::Resume, Some(&dir)).expect("resume");
+        let b = fingerprint_target(
+            "fig1",
+            Scale::Quick,
+            Via::Resume,
+            Some(&dir),
+            CapsuleFormat::Json,
+            false,
+        )
+        .expect("resume");
         assert_eq!(a, b, "replay fingerprint diverged from straight run");
         assert!(
             !checkpoint::list_capsules(&dir).expect("list").is_empty(),
@@ -199,20 +329,73 @@ mod tests {
     }
 
     #[test]
+    fn hash_traced_fingerprints_agree_per_step() {
+        let a = fingerprint_target(
+            "fig1",
+            Scale::Quick,
+            Via::Straight,
+            None,
+            CapsuleFormat::Binary,
+            true,
+        )
+        .expect("straight");
+        assert!(a.contains("hash-trace"), "digest line missing: {a}");
+        let dir = tmp("fp-hash");
+        let b = fingerprint_target(
+            "fig1",
+            Scale::Quick,
+            Via::Resume,
+            Some(&dir),
+            CapsuleFormat::Binary,
+            true,
+        )
+        .expect("resume verified every post-resume step");
+        assert_eq!(a, b, "hash-trace output diverged between vias");
+        assert!(
+            dir.join(checkpoint::HASH_TRACE_FILE).exists(),
+            "resume path wrote the hash trace"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn recorded_stream_resumes_and_bisects_clean() {
         let dir_a = tmp("rec-a");
         let dir_b = tmp("rec-b");
         let every = SimDuration::from_secs(30);
-        let ra = record_target("ext-faults", Scale::Quick, every, &dir_a).expect("record a");
-        let rb = record_target("ext-faults", Scale::Quick, every, &dir_b).expect("record b");
+        // one stream JSON, the other binary: same run, and both the
+        // mixed-format bisect and the hash-trace bisect must see through
+        // the encoding difference
+        let ra = record_target(
+            "ext-faults",
+            Scale::Quick,
+            every,
+            &dir_a,
+            CapsuleFormat::Json,
+        )
+        .expect("record a");
+        let rb = record_target(
+            "ext-faults",
+            Scale::Quick,
+            every,
+            &dir_b,
+            CapsuleFormat::Binary,
+        )
+        .expect("record b");
         assert_eq!(ra.fingerprint, rb.fingerprint, "recording is deterministic");
         assert!(ra.capsules >= 2, "{} capsules", ra.capsules);
-        // identical reruns bisect to no divergence
+        assert_eq!(ra.hash_points, rb.hash_points);
+        assert!(ra.hash_points > 0, "hash trace recorded");
+        // identical reruns bisect to no divergence, whatever the encoding
         let div = checkpoint::bisect_dirs(&dir_a, &dir_b).expect("bisect");
         assert!(div.is_none(), "{}", render_divergence(&div));
+        let tdiv = checkpoint::bisect_hash_traces(&dir_a, &dir_b).expect("trace bisect");
+        assert!(tdiv.is_none(), "{}", render_trace_divergence(&tdiv));
         // any capsule resumes to the recorded fingerprint
         let capsules = checkpoint::list_capsules(&dir_a).expect("list");
-        let (_, mid_path) = &capsules[capsules.len() / 2];
+        let (_, mid_path) = capsules
+            .get(capsules.len() / 2)
+            .expect("recorded stream has capsules");
         let summary = resume_capsule(mid_path).expect("resume");
         assert!(
             summary.contains(&format!("{:#018x}", ra.fingerprint)),

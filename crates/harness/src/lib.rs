@@ -30,6 +30,7 @@
 //! paper-vs-measured results.
 
 pub mod ablation;
+pub mod capsule_bench;
 pub mod capsules;
 pub mod dashboard;
 pub mod engine_bench;

@@ -19,7 +19,7 @@
 use mapreduce::auditor::{audit, AuditSetup};
 use mapreduce::policy::{SlotPolicy, StaticSlotPolicy};
 use mapreduce::{
-    CounterLedger, Engine, EngineArena, EngineConfig, EngineState, JobSpec, RunReport,
+    CounterLedger, Engine, EngineArena, EngineConfig, EngineState, HashPoint, JobSpec, RunReport,
 };
 use serde::{Deserialize, Serialize};
 use simgrid::error::SimError;
@@ -215,6 +215,24 @@ pub fn run_once_with_snapshots(
     Ok((account_and_audit(report, &setup)?, capsules))
 }
 
+/// [`run_once_with_snapshots`], additionally recording the engine's
+/// per-step hash trace — the replay-verification path of the CI
+/// equivalence gate.
+pub fn run_once_with_snapshots_traced(
+    cfg: &EngineConfig,
+    jobs: Vec<JobSpec>,
+    system: &System,
+    seed: u64,
+    every: SimDuration,
+) -> Result<(RunReport, Vec<EngineState>, Vec<HashPoint>), SimError> {
+    let cfg = effective_config(cfg, seed);
+    let setup = AuditSetup::from_config(&cfg);
+    let mut policy = system.make_policy();
+    let (report, capsules, trace) =
+        Engine::new(cfg).run_with_snapshots_traced(jobs, policy.as_mut(), every)?;
+    Ok((account_and_audit(report, &setup)?, capsules, trace))
+}
+
 /// Resume a capsule to completion under a fresh instance of `system`
 /// (which must match the capsule's recorded policy name), with the same
 /// auditing and accounting as [`run_once`].
@@ -223,6 +241,18 @@ pub fn resume_once(state: EngineState, system: &System) -> Result<RunReport, Sim
     let mut policy = system.make_policy();
     let report = Engine::resume_with(state, policy.as_mut(), &active_telemetry())?;
     account_and_audit(report, &setup)
+}
+
+/// [`resume_once`], additionally recording the resumed run's per-step
+/// hash trace for comparison against the straight run's.
+pub fn resume_once_traced(
+    state: EngineState,
+    system: &System,
+) -> Result<(RunReport, Vec<HashPoint>), SimError> {
+    let setup = AuditSetup::from_config(state.config());
+    let mut policy = system.make_policy();
+    let (report, trace) = Engine::resume_traced(state, policy.as_mut())?;
+    Ok((account_and_audit(report, &setup)?, trace))
 }
 
 /// [`resume_once`] drawing scratch from a recycled [`EngineArena`].

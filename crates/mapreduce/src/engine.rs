@@ -542,6 +542,38 @@ impl Engine {
 }
 
 /// Mutable state of one run.
+/// One splitmix64-style avalanche round folding word `w` into digest `h`.
+/// This is the engine's hash-fold primitive: `state_hash` starts at
+/// [`initial_state_hash`] and absorbs one word at a time, every step.
+pub fn fold_hash(h: u64, w: u64) -> u64 {
+    let mut z = (h ^ w).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The rolling state hash before any step has run: the FNV offset basis
+/// folded with the run's seed, so two runs that differ only in seed
+/// already differ at step zero.
+pub fn initial_state_hash(seed: u64) -> u64 {
+    fold_hash(0xcbf2_9ce4_8422_2325, seed)
+}
+
+/// One entry of a run's **hash trace**: the rolling state digest as it
+/// stood after step `step` completed (time already advanced to `at_ms`).
+/// A straight run and a capsule-resumed run of the same cell must produce
+/// identical hashes at identical steps — one u64 comparison per step
+/// replaces re-serializing full reports in equivalence proofs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashPoint {
+    /// 1-based count of completed steps.
+    pub step: u64,
+    /// Simulated milliseconds after the step's time advance.
+    pub at_ms: u64,
+    /// The rolling digest after this step's fold.
+    pub hash: u64,
+}
+
 struct Sim<'p> {
     cfg: EngineConfig,
     policy: &'p mut dyn SlotPolicy,
@@ -659,6 +691,16 @@ struct Sim<'p> {
     /// step loop: the adaptive pre-loop sample at t=0 is already in the
     /// recorded series and must not be taken again.
     resumed: bool,
+    /// Rolling per-step state digest (see [`fold_hash`]): seeded from the
+    /// run's seed, folded once per completed step, carried by every
+    /// capsule and restored on resume so a resumed run's digests line up
+    /// with the straight run's.
+    state_hash: u64,
+    /// When set, every step's fold is also recorded into `hash_trace`.
+    /// Off by default: the push below is the only step-loop allocation
+    /// tracing adds, and the zero-alloc telemetry gate runs untraced.
+    trace_hashes: bool,
+    hash_trace: Vec<HashPoint>,
 }
 
 impl<'p> Sim<'p> {
@@ -796,6 +838,9 @@ impl<'p> Sim<'p> {
             snap_every: None,
             snapshots: Vec::new(),
             resumed: false,
+            state_hash: initial_state_hash(cfg.seed),
+            trace_hashes: false,
+            hash_trace: Vec::new(),
         })
     }
 
@@ -853,6 +898,86 @@ impl<'p> Sim<'p> {
         }
     }
 
+    /// Fold this step's state delta into the rolling digest. Called once
+    /// per step, immediately after the step's time advance, in both
+    /// stepping modes — so a resumed run (which restores `state_hash`
+    /// from the capsule) produces the same digest sequence as the
+    /// straight run from the first post-resume step onwards.
+    ///
+    /// The fold covers the words that move every step (time, step count,
+    /// the full RNG position, per-task progress floats bit-exactly) plus
+    /// every monotone counter a divergence could first show up in. It
+    /// deliberately allocates nothing: O(jobs + running tasks + nodes/64)
+    /// folds over fields already resident.
+    fn fold_step_hash(&mut self) {
+        let mut h = self.state_hash;
+        h = fold_hash(h, self.now.as_millis());
+        h = fold_hash(h, self.steps);
+        for w in self.rng.state_words() {
+            h = fold_hash(h, w);
+        }
+        h = fold_hash(h, self.running_maps.len() as u64);
+        h = fold_hash(h, self.running_reduces.len() as u64);
+        for j in &self.jobs {
+            h = fold_hash(
+                h,
+                (j.completed_maps as u64) ^ ((j.completed_reduces as u64) << 32),
+            );
+            h = fold_hash(
+                h,
+                (j.running_maps as u64) ^ ((j.running_reduces as u64) << 32),
+            );
+        }
+        for t in self.running_maps.values() {
+            h = fold_hash(h, t.work_remaining.to_bits());
+        }
+        for t in self.running_reduces.values() {
+            h = fold_hash(h, t.fetched_mb.to_bits());
+            h = fold_hash(h, t.phase_remaining.to_bits());
+        }
+        h = fold_hash(h, self.cpu_granted_core_s.to_bits());
+        h = fold_hash(h, self.cpu_offered_core_s.to_bits());
+        h = fold_hash(h, self.network_mb.to_bits());
+        h = fold_hash(h, self.map_input_processed_mb.to_bits());
+        h = fold_hash(h, self.rerep_progress.to_bits());
+        h = fold_hash(h, self.slot_changes ^ self.heartbeat_round.rotate_left(32));
+        h = fold_hash(
+            h,
+            self.map_failures
+                ^ self.node_crashes.rotate_left(16)
+                ^ self.crash_task_kills.rotate_left(32)
+                ^ self.lost_map_outputs.rotate_left(48),
+        );
+        h = fold_hash(
+            h,
+            self.trackers_blacklisted
+                ^ self.speculative_attempts.rotate_left(21)
+                ^ self.speculative_wins.rotate_left(42),
+        );
+        h = fold_hash(h, self.rerep_queue.len() as u64);
+        let mut mask = 0u64;
+        for (i, up) in self.node_up.iter().enumerate() {
+            if *up {
+                mask |= 1 << (i % 64);
+            }
+            if i % 64 == 63 {
+                h = fold_hash(h, mask);
+                mask = 0;
+            }
+        }
+        if !self.node_up.len().is_multiple_of(64) {
+            h = fold_hash(h, mask);
+        }
+        self.state_hash = h;
+        if self.trace_hashes {
+            self.hash_trace.push(HashPoint {
+                step: self.steps,
+                at_ms: self.now.as_millis(),
+                hash: h,
+            });
+        }
+    }
+
     /// The fixed-tick reference loop: every step is exactly one tick.
     fn run_fixed(&mut self) -> Result<RunReport, SimError> {
         let dt = self.cfg.tick.dt_secs();
@@ -884,6 +1009,7 @@ impl<'p> Sim<'p> {
                 self.step_duration_us.record(end.saturating_sub(step_start));
             }
             self.now += self.cfg.tick.tick;
+            self.fold_step_hash();
             if self.jobs.iter().all(|j| j.is_finished()) {
                 self.sample();
                 break;
@@ -930,6 +1056,7 @@ impl<'p> Sim<'p> {
                 self.step_duration_us.record(end.saturating_sub(step_start));
             }
             self.now += dt;
+            self.fold_step_hash();
             let finished = self.jobs.iter().all(|j| j.is_finished());
             if finished || self.now.is_multiple_of(self.cfg.sample_period) {
                 let t0 = self.telem.clock_us();
@@ -2530,6 +2657,7 @@ impl<'p> Sim<'p> {
             map_input_processed_mb: self.map_input_processed_mb,
             job_counters: self.job_counters.clone(),
             usage: self.usage.clone(),
+            state_hash: self.state_hash,
         }
     }
 
@@ -2653,6 +2781,9 @@ impl<'p> Sim<'p> {
             snap_every: None,
             snapshots: Vec::new(),
             resumed: state.initial_sample_done,
+            state_hash: state.state_hash,
+            trace_hashes: false,
+            hash_trace: Vec::new(),
         })
     }
 }
@@ -2711,6 +2842,12 @@ pub struct EngineState {
     map_input_processed_mb: f64,
     job_counters: Vec<CounterLedger>,
     usage: NodeUsageSampler,
+    /// Rolling per-step digest as of the capture instant (see
+    /// [`fold_hash`]). `#[serde(default)]`: format-v1 capsules predate the
+    /// digest and restore it as 0 — their resumed hash traces then simply
+    /// start from a different basis, still internally consistent.
+    #[serde(default)]
+    state_hash: u64,
 }
 
 impl EngineState {
@@ -2722,6 +2859,11 @@ impl EngineState {
     /// Name of the policy that was driving the captured run.
     pub fn policy_name(&self) -> &str {
         &self.policy_name
+    }
+
+    /// The rolling per-step state digest as of the capture instant.
+    pub fn state_hash(&self) -> u64 {
+        self.state_hash
     }
 
     /// The configuration the captured run was started with.
@@ -2776,8 +2918,16 @@ impl EngineState {
 
     /// FNV-1a over a [`EngineState::canonical_json`] encoding.
     pub fn fingerprint_of(canonical: &str) -> u64 {
+        Self::fingerprint_of_bytes(canonical.as_bytes())
+    }
+
+    /// FNV-1a over any serialized capsule encoding — the prefix cache
+    /// interns by the packed binary encoding, which is several times
+    /// shorter than canonical JSON and so several times cheaper to hash
+    /// and to confirm on a fingerprint hit.
+    pub fn fingerprint_of_bytes(encoding: &[u8]) -> u64 {
         let mut h: u64 = 0xcbf29ce484222325;
-        for byte in canonical.as_bytes() {
+        for byte in encoding {
             h ^= *byte as u64;
             h = h.wrapping_mul(0x100000001b3);
         }
@@ -2855,6 +3005,34 @@ impl Engine {
         Ok((report, std::mem::take(&mut sim.snapshots)))
     }
 
+    /// [`Engine::run_with_snapshots`], additionally recording the per-step
+    /// hash trace ([`HashPoint`] per completed step). Tracing is strictly
+    /// observational: the report and capsules are identical to the
+    /// untraced run's.
+    pub fn run_with_snapshots_traced(
+        &self,
+        jobs: Vec<JobSpec>,
+        policy: &mut dyn SlotPolicy,
+        every: SimDuration,
+    ) -> Result<(RunReport, Vec<EngineState>, Vec<HashPoint>), SimError> {
+        self.config.validate()?;
+        self.validate_snapshot_period(every)?;
+        if jobs.is_empty() {
+            return Err(SimError::InvalidConfig("no jobs submitted".into()));
+        }
+        let telem = Telemetry::disabled();
+        policy.attach_telemetry(&telem);
+        let mut sim = Sim::new(&self.config, jobs, policy, telem)?;
+        sim.snap_every = Some(every);
+        sim.trace_hashes = true;
+        let report = sim.run_to_completion()?;
+        Ok((
+            report,
+            std::mem::take(&mut sim.snapshots),
+            std::mem::take(&mut sim.hash_trace),
+        ))
+    }
+
     /// Resume a captured run to completion. The configuration comes from
     /// the capsule; `policy` must be a fresh instance of the captured
     /// policy (matched by name) and is handed the captured state.
@@ -2888,6 +3066,23 @@ impl Engine {
         let out = sim.run_to_completion();
         arena.check_in(sim.take_scratch());
         out
+    }
+
+    /// [`Engine::resume`], additionally recording the per-step hash trace
+    /// of the replayed suffix. The first trace entry continues from the
+    /// capsule's restored `state_hash`, so when replay is equivalent the
+    /// trace is exactly the straight run's trace restricted to the steps
+    /// after the capture instant.
+    pub fn resume_traced(
+        state: EngineState,
+        policy: &mut dyn SlotPolicy,
+    ) -> Result<(RunReport, Vec<HashPoint>), SimError> {
+        let telem = Telemetry::disabled();
+        policy.attach_telemetry(&telem);
+        let mut sim = Sim::from_state(state, policy, telem)?;
+        sim.trace_hashes = true;
+        let report = sim.run_to_completion()?;
+        Ok((report, std::mem::take(&mut sim.hash_trace)))
     }
 
     /// Resume a captured run, continuing to capture capsules at every

@@ -51,7 +51,7 @@ pub mod task;
 pub use arena::EngineArena;
 pub use auditor::{AuditSetup, Violation};
 pub use counters::{Counter, CounterLedger};
-pub use engine::{Engine, EngineConfig, EngineState};
+pub use engine::{fold_hash, initial_state_hash, Engine, EngineConfig, EngineState, HashPoint};
 pub use events::{Event, EventLog};
 pub use job::{JobId, JobProfile, JobSpec};
 pub use policy::{

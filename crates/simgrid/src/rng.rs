@@ -54,6 +54,13 @@ impl SimRng {
         SimRng::new(child_seed)
     }
 
+    /// The four raw xoshiro256++ state words — the stream's complete
+    /// position. Folded into the engine's per-step state hash so any
+    /// divergence in draw order shows up the same step it happens.
+    pub fn state_words(&self) -> [u64; 4] {
+        self.inner.state()
+    }
+
     /// Uniform `f64` in `[0, 1)`.
     pub fn unit(&mut self) -> f64 {
         self.inner.random::<f64>()

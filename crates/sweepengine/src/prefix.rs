@@ -8,8 +8,14 @@
 //! independently prepare "the same" prefix, exactly one capsule stays
 //! resident and every cell resumes a clone of it.
 //!
+//! Capsules are interned by their packed *binary* encoding
+//! ([`checkpoint::state_encoding`]) rather than canonical JSON — the same
+//! deterministic value-tree walk, at roughly a third of the bytes held
+//! resident per capsule and without JSON float formatting on the hot
+//! sweep path.
+//!
 //! The 64-bit fingerprint is a key, not a proof of identity: every hit is
-//! confirmed by comparing the full canonical JSON the fingerprint was
+//! confirmed by comparing the full encoding the fingerprint was
 //! computed from. A colliding pair of distinct prefixes therefore ends up
 //! as two resident capsules (and a bumped collision counter) instead of
 //! one cell silently resuming the other's state — which would break the
@@ -23,9 +29,9 @@ use std::sync::{Arc, Mutex};
 /// One interned capsule plus the canonical encoding that identifies it.
 #[derive(Debug)]
 struct Resident {
-    /// Canonical JSON the fingerprint was computed from, compared in full
-    /// on every fingerprint hit.
-    canonical: String,
+    /// Packed binary encoding the fingerprint was computed from, compared
+    /// in full on every fingerprint hit.
+    canonical: Vec<u8>,
     capsule: Arc<EngineState>,
 }
 
@@ -50,8 +56,8 @@ impl PrefixCache {
     /// canonical encoding differs is a collision: the states stay
     /// distinct and [`PrefixCache::fingerprint_collisions`] is bumped.
     pub fn intern(&self, state: EngineState) -> Arc<EngineState> {
-        let canonical = state.canonical_json();
-        let fingerprint = EngineState::fingerprint_of(&canonical);
+        let canonical = checkpoint::state_encoding(&state);
+        let fingerprint = EngineState::fingerprint_of_bytes(&canonical);
         self.intern_keyed(fingerprint, canonical, state)
     }
 
@@ -60,7 +66,7 @@ impl PrefixCache {
     fn intern_keyed(
         &self,
         fingerprint: u64,
-        canonical: String,
+        canonical: Vec<u8>,
         state: EngineState,
     ) -> Arc<EngineState> {
         let mut map = self.by_fingerprint.lock().expect("prefix cache");
@@ -149,7 +155,10 @@ mod tests {
         // the first state's capsule
         let cache = PrefixCache::new();
         let (one, two) = (capsule(1), capsule(2));
-        let (canon_one, canon_two) = (one.canonical_json(), two.canonical_json());
+        let (canon_one, canon_two) = (
+            checkpoint::state_encoding(&one),
+            checkpoint::state_encoding(&two),
+        );
         assert_ne!(canon_one, canon_two, "states must actually differ");
         let a = cache.intern_keyed(42, canon_one.clone(), one);
         let b = cache.intern_keyed(42, canon_two, two);

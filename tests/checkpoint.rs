@@ -3,7 +3,10 @@
 //! random instants of random-fault-plan runs, and divergence bisection on
 //! a deliberately corrupted capsule stream.
 
-use checkpoint::{bisect_dirs, prove_resume_equivalence, SimSnapshot};
+use checkpoint::{
+    bisect_dirs, codec, prove_resume_equivalence, prove_resume_equivalence_full, CapsuleFormat,
+    SimSnapshot,
+};
 use harness::dashboard::representative;
 use harness::runner::{resume_once, run_once_with_snapshots};
 use harness::{Scale, System};
@@ -187,6 +190,110 @@ fn bisect_pinpoints_a_deliberately_corrupted_stream() {
     let snap: SimSnapshot =
         checkpoint::load(&bad.join(good_files[k].file_name().unwrap())).expect("still loads");
     assert_eq!(snap.at, capsules[k].at());
+
+    let _ = std::fs::remove_dir_all(&good);
+    let _ = std::fs::remove_dir_all(&bad);
+}
+
+/// The per-step hash trace (one u64 per step) and the full byte-level
+/// report comparison must agree: on the fig1 and ext-faults
+/// representative runs, both the cheap proof and the exhaustive proof
+/// hold, and they see the same run (same fingerprints, same step count).
+#[test]
+fn hash_trace_agrees_with_full_report_comparison() {
+    for target in ["fig1", "ext-faults"] {
+        let (cfg, jobs, system, _) =
+            representative(target, Scale::Quick).expect("representative run");
+        let cheap = prove_resume_equivalence(&cfg, &jobs, SimDuration::from_secs(30), &mut || {
+            system.make_policy()
+        })
+        .unwrap_or_else(|e| panic!("{target}: {e}"));
+        let full =
+            prove_resume_equivalence_full(&cfg, &jobs, SimDuration::from_secs(30), &mut || {
+                system.make_policy()
+            })
+            .unwrap_or_else(|e| panic!("{target}: {e}"));
+        assert!(
+            cheap.holds(),
+            "{target}: hash-trace proof failed at {:?}",
+            cheap.first_divergence
+        );
+        assert!(full.holds(), "{target}: full proof failed");
+        assert_eq!(
+            cheap.byte_identical, None,
+            "{target}: cheap proof did bytes"
+        );
+        assert_eq!(
+            full.byte_identical,
+            Some(true),
+            "{target}: resumed report not byte-identical"
+        );
+        assert_eq!(
+            (cheap.straight_fingerprint, cheap.resumed_fingerprint),
+            (full.straight_fingerprint, full.resumed_fingerprint),
+            "{target}: the two proofs saw different runs"
+        );
+        assert_eq!(
+            cheap.steps_compared, full.steps_compared,
+            "{target}: the two proofs compared different step ranges"
+        );
+        assert!(cheap.steps_compared > 0, "{target}: no steps compared");
+    }
+}
+
+/// Bisection works across mixed encodings: the good stream on disk as
+/// JSON, the bad stream as binary capsules corrupted from index `k`
+/// onward, and `bisect_dirs` still pins pair `k` and names the field.
+#[test]
+fn bisect_pinpoints_corruption_across_mixed_formats() {
+    let cfg = EngineConfig::small_test(4, 13);
+    let job = JobSpec::new(
+        0,
+        JobProfile::synthetic_map_heavy(),
+        2048.0,
+        8,
+        SimTime::ZERO,
+    );
+    let (_, capsules) = run_once_with_snapshots(
+        &cfg,
+        vec![job],
+        &System::SMapReduce,
+        cfg.seed,
+        SimDuration::from_secs(5),
+    )
+    .expect("recorded run");
+    assert!(capsules.len() >= 4, "need a few checkpoints to bisect");
+    let good = tmp_dir("mixed-good");
+    let bad = tmp_dir("mixed-bad");
+    checkpoint::write_stream_as(&good, &capsules, CapsuleFormat::Json).expect("write good");
+    let bad_files =
+        checkpoint::write_stream_as(&bad, &capsules, CapsuleFormat::Binary).expect("write bad");
+
+    let k = capsules.len() / 2;
+    for path in &bad_files[k..] {
+        let bytes = std::fs::read(path).unwrap();
+        let mut v = codec::from_binary(&bytes).expect("own capsule decodes");
+        let mut state = v.get("state").unwrap().clone();
+        let steps = state.get("steps").unwrap().as_u64().unwrap();
+        state.set("steps", serde_json::Value::U64(steps + 7));
+        v.set("state", state);
+        std::fs::write(path, codec::to_binary(&v)).unwrap();
+    }
+
+    let div = bisect_dirs(&good, &bad)
+        .expect("bisect runs")
+        .expect("corruption must be found");
+    assert_eq!(div.index, k, "first divergent checkpoint");
+    assert_eq!(div.at, capsules[k].at());
+    assert!(!div.stream_truncated);
+    assert!(
+        div.diffs.iter().any(|d| d.path == "state.steps"),
+        "diff must name the corrupted field, got {:?}",
+        div.diffs,
+    );
+    // the paths prove the comparison really crossed encodings
+    assert_eq!(div.path_a.extension().unwrap(), "json");
+    assert_eq!(div.path_b.extension().unwrap(), "bin");
 
     let _ = std::fs::remove_dir_all(&good);
     let _ = std::fs::remove_dir_all(&bad);

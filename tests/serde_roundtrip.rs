@@ -5,7 +5,7 @@
 //! properties pin that for the counter ledger, fault plans, full run
 //! reports, and the capsule envelope itself.
 
-use checkpoint::SimSnapshot;
+use checkpoint::{codec, CapsuleFormat, SimSnapshot};
 use harness::runner::run_once_with_snapshots;
 use harness::{run_once, System};
 use mapreduce::{Counter, CounterLedger, EngineConfig, JobProfile, JobSpec, RunReport};
@@ -87,6 +87,174 @@ proptest! {
         let back: RunReport = serde_json::from_str(&json).unwrap();
         proptest::prop_assert_eq!(json, serde_json::to_string(&back).unwrap());
     }
+
+    /// Arbitrary value trees — every leaf type, nested arrays and
+    /// objects, extreme integers, raw float bit patterns — survive the
+    /// packed binary codec and its envelope exactly. Identity is checked
+    /// on the packed bytes (the deterministic canonical form), which
+    /// also covers NaN payloads that `f64` equality cannot.
+    #[test]
+    fn arbitrary_values_survive_the_binary_codec(seed in 0u64..u64::MAX) {
+        let mut state = seed;
+        let value = random_value(&mut state, 3);
+        let packed = codec::pack_value(&value);
+        let unpacked = codec::unpack_value(&packed).expect("own packing unpacks");
+        proptest::prop_assert_eq!(
+            &packed,
+            &codec::pack_value(&unpacked),
+            "packed form is not a fixed point"
+        );
+        let envelope = codec::to_binary(&value);
+        let back = codec::from_binary(&envelope).expect("own envelope decodes");
+        proptest::prop_assert_eq!(&packed, &codec::pack_value(&back));
+    }
+
+    /// Real engine snapshots pass bit-exact through both codecs: decoding
+    /// the binary capsule and re-encoding as JSON reproduces the JSON
+    /// capsule byte for byte (and both codecs are deterministic).
+    #[test]
+    fn engine_snapshots_round_trip_json_and_binary(seed in 0u64..10_000) {
+        let cfg = EngineConfig::small_test(3, seed);
+        let job = JobSpec::new(
+            0,
+            JobProfile::synthetic_map_heavy(),
+            512.0,
+            4,
+            SimTime::ZERO,
+        );
+        let (_, capsules) = run_once_with_snapshots(
+            &cfg,
+            vec![job],
+            &System::SMapReduce,
+            cfg.seed,
+            SimDuration::from_secs(20),
+        )
+        .expect("run completes");
+        let state = capsules.into_iter().next_back().expect("capsules captured");
+        let snap = SimSnapshot::new(state);
+        let json = checkpoint::to_bytes(&snap, CapsuleFormat::Json);
+        let binary = checkpoint::to_bytes(&snap, CapsuleFormat::Binary);
+        let origin = std::path::Path::new("proptest");
+        let from_json = checkpoint::from_bytes(origin, &json).expect("json decodes");
+        let from_binary = checkpoint::from_bytes(origin, &binary).expect("binary decodes");
+        proptest::prop_assert_eq!(
+            &json,
+            &checkpoint::to_bytes(&from_binary, CapsuleFormat::Json),
+            "binary round trip changed the state"
+        );
+        proptest::prop_assert_eq!(
+            &binary,
+            &checkpoint::to_bytes(&from_json, CapsuleFormat::Binary),
+            "json round trip changed the state"
+        );
+    }
+}
+
+/// SplitMix64 step for the deterministic value generator below.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// An arbitrary JSON value tree in the codec's canonical domain:
+/// negative `I64`s only (non-negative integers canonicalise to `U64`,
+/// so a non-negative `I64` input would not round-trip as itself).
+fn random_value(state: &mut u64, depth: u32) -> serde_json::Value {
+    use serde_json::Value;
+    let kinds = if depth == 0 { 7 } else { 9 };
+    match mix(state) % kinds {
+        0 => Value::Null,
+        1 => Value::Bool(mix(state) & 1 == 0),
+        2 => Value::U64(match mix(state) % 4 {
+            0 => u64::MAX,
+            1 => mix(state) % 64, // exercise the inline-ref tags
+            _ => mix(state),
+        }),
+        3 => Value::I64(match mix(state) % 4 {
+            0 => i64::MIN,
+            _ => -((mix(state) >> 1) as i64) - 1,
+        }),
+        4 => Value::F64(match mix(state) % 4 {
+            0 => f64::from_bits(mix(state)), // any bits, NaN included
+            1 => -0.0,
+            _ => (mix(state) % 100_000) as f64 / 100.0,
+        }),
+        5 => Value::String(random_string(state)),
+        6 => Value::String(String::new()),
+        7 => {
+            let len = (mix(state) % 5) as usize;
+            Value::Array((0..len).map(|_| random_value(state, depth - 1)).collect())
+        }
+        _ => {
+            let len = (mix(state) % 5) as usize;
+            Value::Object(
+                (0..len)
+                    .map(|i| {
+                        (
+                            format!("{}{i}", random_string(state)),
+                            random_value(state, depth - 1),
+                        )
+                    })
+                    .collect(),
+            )
+        }
+    }
+}
+
+fn random_string(state: &mut u64) -> String {
+    let len = (mix(state) % 12) as usize;
+    (0..len)
+        .map(|_| char::from(b'a' + (mix(state) % 26) as u8))
+        .collect()
+}
+
+/// Truncated, bit-flipped, or garbage binary capsules must be rejected
+/// with an error (or, for single flipped bits, at worst decode to some
+/// other value) — never panic, never allocate unboundedly.
+#[test]
+fn corrupt_binary_capsules_never_panic() {
+    let cfg = EngineConfig::small_test(3, 5);
+    let job = JobSpec::new(
+        0,
+        JobProfile::synthetic_map_heavy(),
+        512.0,
+        4,
+        SimTime::ZERO,
+    );
+    let (_, capsules) = run_once_with_snapshots(
+        &cfg,
+        vec![job],
+        &System::HadoopV1,
+        cfg.seed,
+        SimDuration::from_secs(30),
+    )
+    .expect("run completes");
+    let snap = SimSnapshot::new(capsules.into_iter().next_back().expect("capsules"));
+    let bytes = checkpoint::to_bytes(&snap, CapsuleFormat::Binary);
+    let origin = std::path::Path::new("corrupt-test");
+    // every truncation is an error, not a panic
+    for cut in 0..bytes.len() {
+        assert!(
+            checkpoint::from_bytes(origin, &bytes[..cut]).is_err(),
+            "truncation to {cut} bytes was accepted"
+        );
+    }
+    // single flipped bytes must not panic (decoding to an error — or, in
+    // the string pool, to some other valid value — are both acceptable)
+    let mut state = 99u64;
+    for _ in 0..256 {
+        let mut corrupt = bytes.clone();
+        let at = (mix(&mut state) as usize) % corrupt.len();
+        corrupt[at] ^= (mix(&mut state) % 255) as u8 + 1;
+        let _ = checkpoint::from_bytes(origin, &corrupt);
+    }
+    // garbage behind a valid magic byte is an error
+    let mut garbage = vec![codec::MAGIC[0]];
+    garbage.extend((0..64).map(|_| (mix(&mut state) & 0xFF) as u8));
+    assert!(checkpoint::from_bytes(origin, &garbage).is_err());
 }
 
 /// Capsules recorded *before* the dense-substrate refactor (PR 6 code,
