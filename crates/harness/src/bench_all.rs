@@ -1,0 +1,196 @@
+//! `reproduce bench-all` — aggregate every `results/BENCH_*.json` into one
+//! summary.
+//!
+//! Each bench target writes its own JSON (`BENCH_engine.json`,
+//! `BENCH_sweep.json`, `BENCH_scale.json`, `BENCH_capsule.json`,
+//! `BENCH_serve.json`, …). This target scans the output directory for all
+//! of them, lifts every top-level scalar metric, and writes
+//! `BENCH_summary.json` plus a markdown table (`BENCH_summary.md`) — one
+//! place to diff a whole bench suite between commits.
+
+use serde_json::Value;
+use std::path::{Path, PathBuf};
+
+#[derive(Debug)]
+pub struct BenchSummary {
+    /// `(bench name, metrics)` per input file, sorted by name.
+    pub benches: Vec<(String, Vec<(String, Value)>)>,
+    pub skipped: Vec<String>,
+    pub json_path: PathBuf,
+    pub md_path: PathBuf,
+}
+
+/// A value worth a row in the summary: scalars verbatim; everything else
+/// summarised by shape.
+fn scalarize(v: &Value) -> Option<Value> {
+    match v {
+        Value::Null | Value::Object(_) => None,
+        Value::Array(items) => Some(Value::String(format!("[{} items]", items.len()))),
+        scalar => Some(scalar.clone()),
+    }
+}
+
+fn render_value(v: &Value) -> String {
+    match v {
+        Value::String(s) => s.clone(),
+        Value::F64(f) => format!("{f:.3}"),
+        other => serde_json::to_string(other).unwrap_or_default(),
+    }
+}
+
+/// Scan `out` for `BENCH_*.json` (excluding the summary itself), lift
+/// their top-level scalar metrics, and write the combined JSON + markdown.
+pub fn run(out: &Path) -> Result<BenchSummary, String> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(out)
+        .map_err(|e| format!("read {}: {e}", out.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name().and_then(|n| n.to_str()).is_some_and(|n| {
+                n.starts_with("BENCH_") && n.ends_with(".json") && n != "BENCH_summary.json"
+            })
+        })
+        .collect();
+    files.sort();
+    if files.is_empty() {
+        return Err(format!(
+            "no BENCH_*.json under {} — run the bench targets first \
+             (engine-bench, sweep-bench, scale-bench, capsule-bench, serve-bench)",
+            out.display()
+        ));
+    }
+
+    let mut benches: Vec<(String, Vec<(String, Value)>)> = Vec::new();
+    let mut skipped = Vec::new();
+    for path in &files {
+        let name = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("?")
+            .trim_start_matches("BENCH_")
+            .to_string();
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                skipped.push(format!("{}: {e}", path.display()));
+                continue;
+            }
+        };
+        let value = match serde_json::parse_value(&text) {
+            Ok(v) => v,
+            Err(e) => {
+                skipped.push(format!("{}: {e}", path.display()));
+                continue;
+            }
+        };
+        let Value::Object(fields) = value else {
+            skipped.push(format!("{}: top level is not an object", path.display()));
+            continue;
+        };
+        let metrics: Vec<(String, Value)> = fields
+            .iter()
+            .filter_map(|(k, v)| scalarize(v).map(|s| (k.clone(), s)))
+            .collect();
+        benches.push((name, metrics));
+    }
+
+    // combined JSON
+    let mut summary = Value::Object(Vec::new());
+    for (name, metrics) in &benches {
+        summary.set(
+            name,
+            Value::Object(
+                metrics
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.clone()))
+                    .collect(),
+            ),
+        );
+    }
+    let json_path = out.join("BENCH_summary.json");
+    std::fs::write(
+        &json_path,
+        serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?,
+    )
+    .map_err(|e| e.to_string())?;
+
+    // markdown table
+    let md_path = out.join("BENCH_summary.md");
+    std::fs::write(&md_path, render_markdown(&benches)).map_err(|e| e.to_string())?;
+
+    Ok(BenchSummary {
+        benches,
+        skipped,
+        json_path,
+        md_path,
+    })
+}
+
+fn render_markdown(benches: &[(String, Vec<(String, Value)>)]) -> String {
+    let mut md = String::from("# Bench summary\n\n");
+    md.push_str("| bench | metric | value |\n|---|---|---|\n");
+    for (name, metrics) in benches {
+        for (k, v) in metrics {
+            md.push_str(&format!("| {name} | {k} | {} |\n", render_value(v)));
+        }
+    }
+    md
+}
+
+pub fn render(s: &BenchSummary) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "bench-all: {} bench file(s) aggregated\n",
+        s.benches.len()
+    ));
+    for (name, metrics) in &s.benches {
+        out.push_str(&format!("  {name}: {} metric(s)\n", metrics.len()));
+    }
+    for skip in &s.skipped {
+        out.push_str(&format!("  skipped {skip}\n"));
+    }
+    out.push_str(&format!(
+        "  wrote {} and {}\n",
+        s.json_path.display(),
+        s.md_path.display()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_scalar_metrics_and_writes_both_outputs() {
+        let dir = std::env::temp_dir().join(format!("bench-all-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("BENCH_alpha.json"),
+            r#"{"ticks": 100, "rate": 2.5, "name": "x", "nested": {"a": 1}, "list": [1,2]}"#,
+        )
+        .unwrap();
+        std::fs::write(dir.join("BENCH_beta.json"), r#"{"ok": true}"#).unwrap();
+        std::fs::write(dir.join("BENCH_bad.json"), "not json").unwrap();
+        std::fs::write(dir.join("other.json"), r#"{"ignored": 1}"#).unwrap();
+
+        let s = run(&dir).unwrap();
+        assert_eq!(s.benches.len(), 2);
+        assert_eq!(s.skipped.len(), 1);
+        let (name, metrics) = &s.benches[0];
+        assert_eq!(name, "alpha");
+        // nested objects are dropped, arrays summarised, scalars kept
+        assert!(metrics.iter().any(|(k, _)| k == "ticks"));
+        assert!(!metrics.iter().any(|(k, _)| k == "nested"));
+        let md = std::fs::read_to_string(&s.md_path).unwrap();
+        assert!(md.contains("| alpha | ticks | 100 |"));
+        assert!(md.contains("| beta | ok | true |"));
+        let json = std::fs::read_to_string(&s.json_path).unwrap();
+        let v = serde_json::parse_value(&json).unwrap();
+        assert!(v.get("alpha").and_then(|a| a.get("rate")).is_some());
+
+        // the summary file itself is excluded on re-runs
+        let s2 = run(&dir).unwrap();
+        assert_eq!(s2.benches.len(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

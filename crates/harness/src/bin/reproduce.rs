@@ -34,9 +34,9 @@
 use checkpoint::CapsuleFormat;
 use harness::scale::Scale;
 use harness::{
-    ablation, capsule_bench, capsules, engine_bench, ext_fair, ext_faults, ext_hetero, ext_load,
-    ext_stragglers, fig1, fig3, fig4, fig5, fig6, fig7, fig89, model_check, output, scale_bench,
-    summary, sweep_bench,
+    ablation, bench_all, capsule_bench, capsules, engine_bench, ext_fair, ext_faults, ext_hetero,
+    ext_load, ext_stragglers, fig1, fig3, fig4, fig5, fig6, fig7, fig89, model_check, output,
+    scale_bench, serve_bench, summary, sweep_bench, targets,
 };
 use simgrid::time::{SimDuration, SteppingMode};
 use std::path::{Path, PathBuf};
@@ -57,6 +57,10 @@ struct Args {
     capsule_format: CapsuleFormat,
     via: capsules::Via,
     hash_trace: bool,
+    /// `serve`: wall-clock tick interval (ms).
+    tick_ms: u64,
+    /// `serve`: simulated seconds advanced per wall second.
+    dilation: f64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -71,6 +75,8 @@ fn parse_args() -> Result<Args, String> {
     let mut capsule_format = CapsuleFormat::Json;
     let mut via = capsules::Via::Straight;
     let mut hash_trace = false;
+    let mut tick_ms = 20u64;
+    let mut dilation = 50.0f64;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -122,7 +128,27 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or_else(|| format!("--capsule-format must be json|bin, got {s}"))?;
             }
             "--hash-trace" => hash_trace = true,
-            "--help" | "-h" => return Err(USAGE.to_string()),
+            "--tick-ms" => {
+                tick_ms = it
+                    .next()
+                    .ok_or("--tick-ms needs milliseconds")?
+                    .parse()
+                    .map_err(|_| "--tick-ms needs a whole number of milliseconds")?;
+                if tick_ms == 0 {
+                    return Err("--tick-ms must be non-zero".into());
+                }
+            }
+            "--dilation" => {
+                dilation = it
+                    .next()
+                    .ok_or("--dilation needs a factor")?
+                    .parse()
+                    .map_err(|_| "--dilation needs a number")?;
+                if !dilation.is_finite() || dilation <= 0.0 {
+                    return Err("--dilation must be a positive number".into());
+                }
+            }
+            "--help" | "-h" => return Err(format!("{USAGE}\n\n{}", targets::render_list())),
             other if other.starts_with("--") => {
                 return Err(format!("unexpected argument: {other}\n{USAGE}"))
             }
@@ -132,7 +158,10 @@ fn parse_args() -> Result<Args, String> {
     let mut positionals = positionals.into_iter();
     let target = positionals.next().unwrap_or_else(|| "all".to_string());
     let operands: Vec<String> = positionals.collect();
-    let takes_operands = matches!(target.as_str(), "fingerprint" | "resume" | "bisect");
+    let takes_operands = matches!(
+        target.as_str(),
+        "fingerprint" | "resume" | "bisect" | "serve"
+    );
     if !takes_operands && !operands.is_empty() {
         return Err(format!("unexpected argument: {}\n{USAGE}", operands[0]));
     }
@@ -149,14 +178,18 @@ fn parse_args() -> Result<Args, String> {
         capsule_format,
         via,
         hash_trace,
+        tick_ms,
+        dilation,
     })
 }
 
-const USAGE: &str = "usage: reproduce [all|fig1|fig3|fig4|fig5|fig6|fig7|fig8|fig9|ext-hetero|ext-stragglers|ext-fair|ext-load|ext-faults|ablations|model-check|headline|engine-bench|sweep-bench|scale-bench|capsule-bench] [--quick] [--out DIR] [--trace FILE] [--dashboard DIR] [--engine fixed|adaptive]
+const USAGE: &str = "usage: reproduce [TARGET] [--quick] [--out DIR] [--trace FILE] [--dashboard DIR] [--engine fixed|adaptive]
        reproduce <target> --checkpoint-every SECS --capsule-dir DIR [--capsule-format json|bin]   # record the target's representative run as a capsule stream + hash trace
        reproduce fingerprint <target> [--via straight|resume] [--capsule-dir DIR] [--capsule-format json|bin] [--hash-trace]   # print the representative run's auditor fingerprint (+ per-step hash digest)
        reproduce resume CAPSULE.{json,bin}                            # resume a capsule to completion
-       reproduce bisect DIR_A DIR_B [--hash-trace]                    # first divergent checkpoint (or hash-trace step) of two streams (exit 1 if diverged)";
+       reproduce bisect DIR_A DIR_B [--hash-trace]                    # first divergent checkpoint (or hash-trace step) of two streams (exit 1 if diverged)
+       reproduce serve [ADDR] [--tick-ms MS] [--dilation X]           # realtime NDJSON service (default 127.0.0.1:7700)
+       reproduce --help                                               # full target list with descriptions";
 
 /// The perf-summary block every figure JSON carries.
 fn perf_block(steps: u64, sim_seconds: f64, wall: std::time::Duration) -> serde_json::Value {
@@ -301,6 +334,71 @@ fn run_resume(args: &Args) -> ExitCode {
     }
 }
 
+/// `reproduce serve [ADDR]` — run the realtime service until a client
+/// sends `shutdown` (or the process is killed).
+fn run_serve(args: &Args) -> ExitCode {
+    let addr = args
+        .operands
+        .first()
+        .map(String::as_str)
+        .unwrap_or("127.0.0.1:7700");
+    let cfg = realtime::ServiceConfig {
+        tick_interval: std::time::Duration::from_millis(args.tick_ms),
+        dilation: args.dilation,
+        ..realtime::ServiceConfig::default()
+    };
+    let quantum_ms = cfg.quantum_ms();
+    let handle = realtime::RealtimeService::spawn(cfg);
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let result = realtime::wire::serve(handle.clone(), addr, stop, |bound| {
+        println!(
+            "[realtime service on {bound}: {} ms/tick, {quantum_ms} sim-ms quantum; \
+             NDJSON commands: create_tenant submit_job inject_fault pause resume \
+             snapshot observe stats tenants shutdown]",
+            args.tick_ms
+        );
+    });
+    match result {
+        Ok(()) => {
+            if let Ok(summary) = handle.shutdown() {
+                println!(
+                    "[served {} tick(s), {} tenant(s), {} command(s)]",
+                    summary.ticks,
+                    summary.tenants.len(),
+                    summary.commands_applied
+                );
+                if let Some(script) = &summary.script {
+                    let outcome = script.replay();
+                    if outcome.verified {
+                        println!(
+                            "[replay verified: {} hash point(s) across {} tenant(s)]",
+                            outcome.points_checked, outcome.tenants
+                        );
+                    } else {
+                        for m in &outcome.mismatches {
+                            eprintln!("replay mismatch: {m}");
+                        }
+                        return fail("recorded ingress script did not replay to the live hashes");
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(msg) => fail(&msg),
+    }
+}
+
+/// `reproduce bench-all` — aggregate every BENCH_*.json in the out dir.
+fn run_bench_all(args: &Args) -> ExitCode {
+    match bench_all::run(&args.out) {
+        Ok(summary) => {
+            print!("{}", bench_all::render(&summary));
+            ExitCode::SUCCESS
+        }
+        Err(msg) => fail(&msg),
+    }
+}
+
 /// `reproduce bisect DIR_A DIR_B` — exit 0 when the streams are
 /// identical, 1 when they diverge (with the first divergent checkpoint
 /// and its field diff on stdout).
@@ -358,6 +456,8 @@ fn main() -> ExitCode {
         "fingerprint" => return run_fingerprint(&args, scale),
         "resume" => return run_resume(&args),
         "bisect" => return run_bisect(&args),
+        "serve" => return run_serve(&args),
+        "bench-all" => return run_bench_all(&args),
         _ => {}
     }
     if let Some(every) = args.checkpoint_every {
@@ -541,7 +641,28 @@ fn main() -> ExitCode {
                 println!("[wrote {}]", path.display());
                 (capsule_bench::render(&d), json)
             }
-            other => return Err(format!("unknown target: {other}\n{USAGE}")),
+            "serve-bench" => {
+                let d = serve_bench::run(scale);
+                let json = serde_json::to_value(&d).expect("serialise");
+                let path = args.out.join("BENCH_serve.json");
+                std::fs::create_dir_all(&args.out).map_err(|e| e.to_string())?;
+                std::fs::write(
+                    &path,
+                    serde_json::to_string_pretty(&json).unwrap_or_default(),
+                )
+                .map_err(|e| e.to_string())?;
+                println!("[wrote {}]", path.display());
+                let violations = serve_bench::gate(&d);
+                if !violations.is_empty() {
+                    println!("{}", serve_bench::render(&d));
+                    return Err(format!(
+                        "serve-bench gate violations: {}",
+                        violations.join("; ")
+                    ));
+                }
+                (serve_bench::render(&d), json)
+            }
+            other => return Err(targets::unknown(other)),
         };
         let perf = perf_block(
             harness::runner::total_steps() - steps_before,

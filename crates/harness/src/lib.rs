@@ -30,6 +30,7 @@
 //! paper-vs-measured results.
 
 pub mod ablation;
+pub mod bench_all;
 pub mod capsule_bench;
 pub mod capsules;
 pub mod dashboard;
@@ -51,10 +52,12 @@ pub mod output;
 pub mod runner;
 pub mod scale;
 pub mod scale_bench;
+pub mod serve_bench;
 pub mod shapes;
 pub mod summary;
 pub mod sweep_bench;
 pub mod table;
+pub mod targets;
 
 pub use runner::{
     run_averaged, run_cells, run_cells_with, run_comparison, run_once, AveragedRun, CellRequest,

@@ -1,0 +1,315 @@
+//! `reproduce serve-bench` — the realtime service under scripted
+//! multi-tenant load.
+//!
+//! Spins up N tenant clusters (≥ 32 at either scale; that floor is a hard
+//! gate, not a tuning knob) across the four system labels, submits a PUMA
+//! job mix in two waves with faults and pause/resume sprinkled between,
+//! and hammers the observation pool from reader threads the whole time.
+//! Measures what the service contracts promise:
+//!
+//! - **ticks/sec** — tick-thread throughput under full tenant load;
+//! - **p99 command-to-apply latency** — ingress commands block only until
+//!   the next tick boundary;
+//! - **reader staleness bound** — the max ticks any reader ever saw a
+//!   live (still-advancing) tenant's frame lag the tick counter, which
+//!   the skip-don't-block publish rule keeps small;
+//! - **replay verification** — the recorded ingress script is replayed
+//!   offline after shutdown and must land on the exact per-tenant rolling
+//!   state hashes the live run published.
+
+use crate::scale::Scale;
+use realtime::{RealtimeService, ServiceConfig, ServiceHandle};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The job mix: (benchmark, input MB, reduces), cycled across tenants.
+const JOB_MIX: &[(&str, f64, usize)] = &[
+    ("grep", 1024.0, 4),
+    ("terasort", 768.0, 4),
+    ("wordcount", 512.0, 2),
+    ("kmeans", 384.0, 2),
+    ("invertedindex", 512.0, 4),
+];
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeBench {
+    pub tenants: usize,
+    pub workers_per_tenant: usize,
+    pub ticks: u64,
+    pub quantum_ms: u64,
+    pub wall_seconds: f64,
+    pub ticks_per_sec: f64,
+    pub sim_seconds_per_wall_second: f64,
+    pub commands_applied: u64,
+    pub p50_command_apply_us: u64,
+    pub p99_command_apply_us: u64,
+    pub frames_published: u64,
+    pub frames_reclaimed: u64,
+    pub publish_skips: u64,
+    pub missed_ticks: u64,
+    pub reader_reads: u64,
+    pub torn_frames: u64,
+    pub max_reader_staleness_ticks: u64,
+    pub jobs_submitted: u64,
+    pub jobs_completed: u64,
+    pub replay_verified: bool,
+    pub replay_points_checked: usize,
+    pub replay_mismatches: Vec<String>,
+}
+
+struct ReaderStats {
+    reads: AtomicU64,
+    torn: AtomicU64,
+    max_staleness: AtomicU64,
+}
+
+fn reader_loop(handle: &ServiceHandle, tenants: usize, stop: &AtomicBool, stats: &ReaderStats) {
+    let obs = handle.observations();
+    while !stop.load(Ordering::Acquire) {
+        for id in 0..tenants {
+            let Some(frame) = obs.frame(id) else { continue };
+            stats.reads.fetch_add(1, Ordering::Relaxed);
+            if !frame.is_consistent() {
+                stats.torn.fetch_add(1, Ordering::Relaxed);
+            }
+            // staleness only means something for tenants that are still
+            // advancing: finished/paused tenants legitimately stop
+            // publishing, so their frames age without bound by design
+            if frame.epoch > 0 && !frame.paused && !frame.obs.all_finished && frame.error.is_none()
+            {
+                let now = obs.tick();
+                let lag = now.saturating_sub(frame.tick + 1);
+                stats.max_staleness.fetch_max(lag, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+pub fn run(scale: Scale) -> ServeBench {
+    let tenants: usize = match scale {
+        Scale::Full => 40,
+        Scale::Quick => 32, // the ≥32-tenant gate holds at every scale
+    };
+    let workers_per_tenant = 8;
+    let readers = 4;
+    let cfg = ServiceConfig {
+        tick_interval: Duration::from_millis(2),
+        dilation: 4000.0, // 8 sim-seconds per tick
+        record_script: true,
+        ..ServiceConfig::default()
+    };
+    let quantum_ms = cfg.quantum_ms();
+    let handle = RealtimeService::spawn(cfg);
+
+    // boot the fleet round-robin across the four systems
+    let mut jobs_submitted = 0u64;
+    for i in 0..tenants {
+        let system = realtime::SYSTEM_LABELS[i % realtime::SYSTEM_LABELS.len()];
+        let id = handle
+            .create_tenant(
+                &format!("bench-{i:02}"),
+                workers_per_tenant,
+                1000 + i as u64,
+                system,
+            )
+            .expect("create tenant");
+        assert_eq!(id, i);
+        let (bench, mb, reduces) = JOB_MIX[i % JOB_MIX.len()];
+        handle
+            .submit_job(id, bench, mb, reduces)
+            .expect("submit job");
+        jobs_submitted += 1;
+    }
+
+    // readers hammer the pool for the whole run
+    let stop = Arc::new(AtomicBool::new(false));
+    let stats = Arc::new(ReaderStats {
+        reads: AtomicU64::new(0),
+        torn: AtomicU64::new(0),
+        max_staleness: AtomicU64::new(0),
+    });
+    let reader_threads: Vec<_> = (0..readers)
+        .map(|_| {
+            let handle = handle.clone();
+            let stop = stop.clone();
+            let stats = stats.clone();
+            std::thread::spawn(move || reader_loop(&handle, tenants, &stop, &stats))
+        })
+        .collect();
+
+    // mid-run churn: faults on a few tenants, pause/resume on others, and
+    // a second job wave so finished tenants re-enter the ready set
+    let started = Instant::now();
+    for i in (0..tenants).step_by(7) {
+        handle
+            .inject_fault(i, (i % workers_per_tenant).max(1), 20_000, Some(40_000))
+            .expect("inject fault");
+    }
+    for i in (0..tenants).step_by(11) {
+        handle.pause(i).expect("pause");
+    }
+    while handle.tick() < 50 {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    for i in (0..tenants).step_by(11) {
+        handle.resume(i).expect("resume");
+    }
+    for i in 0..tenants {
+        let (bench, mb, reduces) = JOB_MIX[(i + 2) % JOB_MIX.len()];
+        handle
+            .submit_job(i, bench, mb * 0.5, reduces)
+            .expect("submit second-wave job");
+        jobs_submitted += 1;
+    }
+
+    // run until every tenant drained its queue (bounded by wall time)
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let all_done = (0..tenants).all(|id| {
+            handle
+                .frame(id)
+                .is_some_and(|f| f.obs.all_finished && f.error.is_none())
+        });
+        if all_done || Instant::now() > deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    stop.store(true, Ordering::Release);
+    for r in reader_threads {
+        r.join().expect("reader thread");
+    }
+    let summary = handle.shutdown().expect("service summary");
+    let wall_seconds = started.elapsed().as_secs_f64();
+
+    // offline replay of the recorded script is the bench's core gate
+    let script = summary.script.as_ref().expect("script recorded");
+    let outcome = script.replay();
+
+    let jobs_completed: u64 = summary.tenants.iter().map(|t| t.jobs_completed).sum();
+    let sim_ms: u64 = summary
+        .tenants
+        .iter()
+        .map(|t| t.sim_now_ms)
+        .max()
+        .unwrap_or(0);
+    ServeBench {
+        tenants,
+        workers_per_tenant,
+        ticks: summary.ticks,
+        quantum_ms,
+        wall_seconds,
+        ticks_per_sec: if wall_seconds > 0.0 {
+            summary.ticks as f64 / wall_seconds
+        } else {
+            0.0
+        },
+        sim_seconds_per_wall_second: if wall_seconds > 0.0 {
+            sim_ms as f64 / 1000.0 / wall_seconds
+        } else {
+            0.0
+        },
+        commands_applied: summary.commands_applied,
+        p50_command_apply_us: summary.latency_quantile_us(0.50),
+        p99_command_apply_us: summary.latency_quantile_us(0.99),
+        frames_published: summary.frames_published,
+        frames_reclaimed: summary.frames_reclaimed,
+        publish_skips: summary.publish_skips,
+        missed_ticks: summary.missed_ticks,
+        reader_reads: stats.reads.load(Ordering::Relaxed),
+        torn_frames: stats.torn.load(Ordering::Relaxed),
+        max_reader_staleness_ticks: stats.max_staleness.load(Ordering::Relaxed),
+        jobs_submitted,
+        jobs_completed,
+        replay_verified: outcome.verified,
+        replay_points_checked: outcome.points_checked,
+        replay_mismatches: outcome.mismatches,
+    }
+}
+
+/// Structural gates: what must hold for the bench to count at all.
+/// Returns the violated claims (empty = pass).
+pub fn gate(b: &ServeBench) -> Vec<String> {
+    let mut violations = Vec::new();
+    if b.tenants < 32 {
+        violations.push(format!("only {} tenants (gate: >= 32)", b.tenants));
+    }
+    if b.torn_frames > 0 {
+        violations.push(format!("{} torn frames observed", b.torn_frames));
+    }
+    if !b.replay_verified {
+        violations.push(format!(
+            "ingress script replay diverged: {:?}",
+            b.replay_mismatches
+        ));
+    }
+    if b.jobs_completed < b.jobs_submitted {
+        violations.push(format!(
+            "only {}/{} jobs completed before the wall deadline",
+            b.jobs_completed, b.jobs_submitted
+        ));
+    }
+    // staleness bound: a reader may lag while readers themselves hold
+    // slots, but a live tenant's frame must never fall a whole second of
+    // wall time behind the tick counter
+    let staleness_cap = 500;
+    if b.max_reader_staleness_ticks > staleness_cap {
+        violations.push(format!(
+            "reader staleness {} ticks (gate: <= {staleness_cap})",
+            b.max_reader_staleness_ticks
+        ));
+    }
+    if b.reader_reads == 0 {
+        violations.push("readers never ran".into());
+    }
+    violations
+}
+
+pub fn render(b: &ServeBench) -> String {
+    let mut out = String::new();
+    out.push_str("serve-bench: realtime service under multi-tenant load\n");
+    out.push_str(&format!(
+        "  {} tenants x {} workers, quantum {} ms/tick\n",
+        b.tenants, b.workers_per_tenant, b.quantum_ms
+    ));
+    out.push_str(&format!(
+        "  {} ticks in {:.2}s wall ({:.0} ticks/s, {:.0} sim-s per wall-s)\n",
+        b.ticks, b.wall_seconds, b.ticks_per_sec, b.sim_seconds_per_wall_second
+    ));
+    out.push_str(&format!(
+        "  {} commands applied, apply latency p50 {} us / p99 {} us\n",
+        b.commands_applied, b.p50_command_apply_us, b.p99_command_apply_us
+    ));
+    out.push_str(&format!(
+        "  {} frames published ({} recycled bodies, {} skips, {} missed ticks)\n",
+        b.frames_published, b.frames_reclaimed, b.publish_skips, b.missed_ticks
+    ));
+    out.push_str(&format!(
+        "  readers: {} reads, {} torn, max staleness {} ticks\n",
+        b.reader_reads, b.torn_frames, b.max_reader_staleness_ticks
+    ));
+    out.push_str(&format!(
+        "  jobs: {}/{} completed\n",
+        b.jobs_completed, b.jobs_submitted
+    ));
+    out.push_str(&format!(
+        "  replay: {} ({} hash points checked)\n",
+        if b.replay_verified {
+            "verified"
+        } else {
+            "DIVERGED"
+        },
+        b.replay_points_checked
+    ));
+    let violations = gate(b);
+    if violations.is_empty() {
+        out.push_str("  gates: all pass\n");
+    } else {
+        for v in &violations {
+            out.push_str(&format!("  GATE VIOLATION: {v}\n"));
+        }
+    }
+    out
+}

@@ -28,7 +28,7 @@
 use crate::arena::{EngineArena, Scratch};
 use crate::counters::{Counter, CounterLedger};
 use crate::events::{Event, EventLog};
-use crate::job::{JobProfile, JobSpec};
+use crate::job::{JobId, JobProfile, JobSpec};
 use crate::policy::{PolicyContext, SlotPolicy, TrackerSnapshot};
 use crate::report::{JobReport, RunReport};
 use crate::scheduler::{FifoScheduler, JobInProgress};
@@ -878,9 +878,25 @@ impl<'p> Sim<'p> {
     }
 
     fn run_to_completion(&mut self) -> Result<RunReport, SimError> {
+        let finished = self.advance(None)?;
+        debug_assert!(finished, "unbounded advance only returns on completion");
+        Ok(self.build_report())
+    }
+
+    /// Advance the run until every job finishes or the sim clock reaches
+    /// `until` (whichever comes first); `None` means run to completion.
+    /// Returns `true` when all jobs have finished.
+    ///
+    /// The stop check sits at the very top of the step loop — the same
+    /// point [`Sim::maybe_capture`] captures at — so a capsule captured
+    /// at the stop instant resumes with that instant's fault transitions
+    /// and heartbeat still pending and replays them identically. Step
+    /// boundaries are pure functions of sim state, so an interrupted run
+    /// advances through exactly the steps an uninterrupted one would.
+    fn advance(&mut self, until: Option<SimTime>) -> Result<bool, SimError> {
         match self.cfg.tick.mode {
-            SteppingMode::Fixed => self.run_fixed(),
-            SteppingMode::Adaptive => self.run_adaptive(),
+            SteppingMode::Fixed => self.advance_fixed(until),
+            SteppingMode::Adaptive => self.advance_adaptive(until),
         }
     }
 
@@ -979,10 +995,16 @@ impl<'p> Sim<'p> {
     }
 
     /// The fixed-tick reference loop: every step is exactly one tick.
-    fn run_fixed(&mut self) -> Result<RunReport, SimError> {
+    fn advance_fixed(&mut self, until: Option<SimTime>) -> Result<bool, SimError> {
+        if self.jobs.iter().all(|j| j.is_finished()) {
+            return Ok(true); // idle run: the sim clock stays frozen
+        }
         let dt = self.cfg.tick.dt_secs();
         let dt_ms = self.cfg.tick.tick.as_millis();
         loop {
+            if until.is_some_and(|stop| self.now >= stop) {
+                return Ok(false);
+            }
             self.maybe_capture();
             let step_start = self.telem.clock_us();
             let sim_ms = self.now.as_millis();
@@ -1012,26 +1034,32 @@ impl<'p> Sim<'p> {
             self.fold_step_hash();
             if self.jobs.iter().all(|j| j.is_finished()) {
                 self.sample();
-                break;
+                return Ok(true);
             }
             if self.now > self.cfg.tick.horizon {
                 return Err(self.horizon_error());
             }
         }
-        Ok(self.build_report())
     }
 
     /// The adaptive event-horizon loop: after each allocation, advance by
     /// the earliest instant at which any rate can change. Heartbeat and
     /// sample boundaries cap every step, so periodic logic (and with it
     /// every RNG draw) lands on exactly the same instants as in fixed mode.
-    fn run_adaptive(&mut self) -> Result<RunReport, SimError> {
+    fn advance_adaptive(&mut self, until: Option<SimTime>) -> Result<bool, SimError> {
+        if self.jobs.iter().all(|j| j.is_finished()) {
+            return Ok(true); // idle run: the sim clock stays frozen
+        }
         // record the initial state so slot/progress series start at t=0
         // (already recorded when resuming from an in-loop capture)
         if !self.resumed {
             self.sample();
+            self.resumed = true;
         }
         loop {
+            if until.is_some_and(|stop| self.now >= stop) {
+                return Ok(false);
+            }
             self.maybe_capture();
             let step_start = self.telem.clock_us();
             let sim_ms = self.now.as_millis();
@@ -1064,13 +1092,12 @@ impl<'p> Sim<'p> {
                 self.telem.record_span("engine", "sample", t0, sim_ms);
             }
             if finished {
-                break;
+                return Ok(true);
             }
             if self.now > self.cfg.tick.horizon {
                 return Err(self.horizon_error());
             }
         }
-        Ok(self.build_report())
     }
 
     fn horizon_error(&self) -> SimError {
@@ -2941,6 +2968,221 @@ impl EngineState {
     pub fn fingerprint(&self) -> u64 {
         Self::fingerprint_of(&self.canonical_json())
     }
+
+    /// Submit a new job into the captured run at its capture instant.
+    ///
+    /// The DFS placement is decided by **deterministic NameNode replay**:
+    /// the NameNode's RNG position is a pure function of the files created
+    /// so far, so re-creating every existing job's file in submission
+    /// order leaves the placement stream exactly where the live run left
+    /// it — the injected job's blocks land where they would have landed
+    /// had it been in the original submission list. Replicas placed on
+    /// currently-down nodes are pruned at injection (mirroring the crash
+    /// path); a block left with no live replica rejects the submission.
+    ///
+    /// The submission is folded into the rolling state digest so two runs
+    /// that differ only in an injected command diverge immediately.
+    pub fn inject_job(
+        &mut self,
+        profile: JobProfile,
+        input_mb: f64,
+        num_reduces: usize,
+    ) -> Result<JobId, SimError> {
+        if input_mb.is_nan() || input_mb <= 0.0 {
+            return Err(SimError::InvalidConfig(
+                "injected job input must be positive".into(),
+            ));
+        }
+        if num_reduces == 0 {
+            return Err(SimError::InvalidConfig(
+                "injected job needs at least one reduce".into(),
+            ));
+        }
+        let workers = self.config.cluster.workers;
+        let root = SimRng::new(self.config.seed);
+        let placement = dfs::PlacementPolicy::default();
+        let mut namenode = NameNode::new(
+            self.config.cluster.clone(),
+            placement,
+            self.config.block_mb,
+            root.derive("dfs"),
+        );
+        for j in &self.jobs {
+            namenode.create_file(j.spec.input_mb);
+        }
+        let mut layout = namenode.create_file(input_mb);
+        let live = self.node_up.iter().filter(|&&u| u).count();
+        let desired = self.replication.min(live);
+        let ji = self.jobs.len();
+        // validate every block before mutating any shared state, so a
+        // rejected submission leaves the capsule exactly as it was
+        for (bi, block) in layout.blocks.iter_mut().enumerate() {
+            block.replicas.retain(|&n| self.node_up[n.0]);
+            if block.replicas.is_empty() {
+                return Err(SimError::InvalidConfig(format!(
+                    "injected job rejected: block {bi} has no replica on a live node"
+                )));
+            }
+        }
+        for (bi, block) in layout.blocks.iter().enumerate() {
+            if self.config.rereplication_rate > 0.0
+                && block.replicas.len() < desired
+                && !self.rerep_queue.contains(&(ji, bi))
+            {
+                self.rerep_queue.push_back((ji, bi));
+            }
+        }
+        let spec = JobSpec::new(ji, profile, input_mb, num_reduces, self.now);
+        self.jobs.push(JobInProgress::new(spec, layout, workers));
+        self.job_counters.push(CounterLedger::new());
+        self.state_hash = fold_hash(
+            fold_hash(fold_hash(self.state_hash, ji as u64), input_mb.to_bits()),
+            num_reduces as u64,
+        );
+        Ok(JobId(ji))
+    }
+
+    /// Schedule a node fault into the captured run. The fault instant must
+    /// lie strictly after the capture instant: transitions at or before
+    /// `now` are already marked applied and would never fire. The extended
+    /// plan is re-validated before it is committed.
+    pub fn inject_fault(&mut self, fault: simgrid::fault::NodeFault) -> Result<(), SimError> {
+        if fault.node.0 >= self.config.cluster.workers {
+            return Err(SimError::InvalidConfig(format!(
+                "fault node {} out of range for {} workers",
+                fault.node.0, self.config.cluster.workers
+            )));
+        }
+        if fault.at <= self.now {
+            return Err(SimError::InvalidConfig(format!(
+                "fault at {} ms must be strictly after the capture instant {} ms",
+                fault.at.as_millis(),
+                self.now.as_millis()
+            )));
+        }
+        let mut cfg = self.config.clone();
+        cfg.fault_plan.push(fault);
+        cfg.validate()?;
+        self.config = cfg;
+        self.state_hash = fold_hash(
+            fold_hash(self.state_hash, fault.at.as_millis() ^ (1 << 63)),
+            fault.node.0 as u64,
+        );
+        Ok(())
+    }
+
+    /// Project the capsule into a serializable observation frame: sim
+    /// clock, per-job progress, and per-node slot split / occupancy /
+    /// liveness. Strictly read-only — observing never perturbs the run.
+    pub fn observe(&self) -> EngineObservation {
+        let jobs = self
+            .jobs
+            .iter()
+            .map(|j| JobObservation {
+                id: j.spec.id.0,
+                name: j.spec.profile.name.clone(),
+                submit_at_ms: j.spec.submit_at.as_millis(),
+                finished: j.is_finished(),
+                completed_maps: j.completed_maps,
+                total_maps: j.total_maps(),
+                completed_reduces: j.completed_reduces,
+                total_reduces: j.total_reduces(),
+                progress_pct: j.progress.last().map(|(_, v)| v).unwrap_or(0.0),
+            })
+            .collect();
+        let nodes = self
+            .trackers
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let target = t.map_slots.target() + t.reduce_slots.target();
+                let occupied = t.map_slots.occupied() + t.reduce_slots.occupied();
+                NodeObservation {
+                    up: self.node_up[i],
+                    map_target: t.map_slots.target(),
+                    map_occupied: t.map_slots.occupied(),
+                    reduce_target: t.reduce_slots.target(),
+                    reduce_occupied: t.reduce_slots.occupied(),
+                    utilization: if target > 0 {
+                        occupied as f64 / target as f64
+                    } else {
+                        0.0
+                    },
+                }
+            })
+            .collect();
+        EngineObservation {
+            at_ms: self.now.as_millis(),
+            steps: self.steps,
+            state_hash: self.state_hash,
+            heartbeat_rounds: self.heartbeat_round,
+            slot_changes: self.slot_changes,
+            all_finished: self.jobs.iter().all(|j| j.is_finished()),
+            jobs,
+            nodes,
+        }
+    }
+}
+
+/// A read-only projection of one [`EngineState`] for live observers (the
+/// realtime service's observation frames are built from these).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineObservation {
+    /// Sim clock of the projected instant (ms).
+    pub at_ms: u64,
+    /// Integration steps executed so far.
+    pub steps: u64,
+    /// Rolling per-step state digest at this instant.
+    pub state_hash: u64,
+    /// Heartbeat rounds executed so far.
+    pub heartbeat_rounds: u64,
+    /// Cumulative slot-change commands applied by the policy.
+    pub slot_changes: u64,
+    /// Every job has finished (the run is idle).
+    pub all_finished: bool,
+    pub jobs: Vec<JobObservation>,
+    pub nodes: Vec<NodeObservation>,
+}
+
+/// One job's progress inside an [`EngineObservation`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JobObservation {
+    pub id: usize,
+    pub name: String,
+    pub submit_at_ms: u64,
+    pub finished: bool,
+    pub completed_maps: usize,
+    pub total_maps: usize,
+    pub completed_reduces: usize,
+    pub total_reduces: usize,
+    /// Last recorded progress sample: map% + reduce% in `[0, 200]`.
+    pub progress_pct: f64,
+}
+
+/// One node's slot split and occupancy inside an [`EngineObservation`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NodeObservation {
+    pub up: bool,
+    pub map_target: usize,
+    pub map_occupied: usize,
+    pub reduce_target: usize,
+    pub reduce_occupied: usize,
+    /// Occupied fraction of the current slot targets, both kinds pooled.
+    pub utilization: f64,
+}
+
+/// Outcome of one bounded [`Engine::advance_until_in`] advance.
+#[derive(Debug)]
+pub struct Advanced {
+    /// The run re-captured at the stop instant (or at the finish instant
+    /// with the clock frozen, once every job has completed).
+    pub state: EngineState,
+    /// Every job has finished; further advances are no-ops.
+    pub finished: bool,
+    /// Integration steps executed by this advance.
+    pub steps_run: u64,
+    /// The full run report, available once `finished` is true.
+    pub report: Option<RunReport>,
 }
 
 impl Engine {
@@ -3068,6 +3310,54 @@ impl Engine {
         out
     }
 
+    /// Advance a captured run until its sim clock reaches `target` (or
+    /// every job finishes, whichever comes first) and re-capture it — the
+    /// incremental stepping primitive behind the realtime service's tick
+    /// loop. Scratch is drawn from (and returned to) `arena`.
+    ///
+    /// The stop lands at the top of the step loop, exactly where periodic
+    /// captures land, so chaining bounded advances replays the identical
+    /// step/draw/hash sequence of one straight run: step boundaries are
+    /// pure functions of sim state, and an interrupted run resumes with
+    /// the stop instant's fault transitions and heartbeat still pending.
+    /// Once every job has finished the sim clock freezes (further
+    /// advances return immediately) and the full [`RunReport`] is built.
+    pub fn advance_until_in(
+        state: EngineState,
+        policy: &mut dyn SlotPolicy,
+        target: SimTime,
+        telem: &Telemetry,
+        arena: &mut EngineArena,
+    ) -> Result<Advanced, SimError> {
+        policy.attach_telemetry(telem);
+        let scratch = arena.checkout(state.config.cluster.workers);
+        let mut sim = Sim::from_state_in(state, policy, telem.clone(), scratch)?;
+        let steps_before = sim.steps;
+        let outcome = sim.advance(Some(target));
+        match outcome {
+            Ok(finished) => {
+                let state = sim.capture_state(true);
+                let report = if finished {
+                    Some(sim.build_report())
+                } else {
+                    None
+                };
+                let steps_run = sim.steps - steps_before;
+                arena.check_in(sim.take_scratch());
+                Ok(Advanced {
+                    state,
+                    finished,
+                    steps_run,
+                    report,
+                })
+            }
+            Err(e) => {
+                arena.check_in(sim.take_scratch());
+                Err(e)
+            }
+        }
+    }
+
     /// [`Engine::resume`], additionally recording the per-step hash trace
     /// of the replayed suffix. The first trace entry continues from the
     /// capsule's restored `state_hash`, so when replay is equivalent the
@@ -3137,6 +3427,166 @@ mod tests {
         assert!((j.shuffle_mb - 1024.0).abs() < 1e-6);
         // reduce-heavy: the tail (sort+reduce of the full input) dominates
         assert!(j.reduce_time().as_secs_f64() > 1.0);
+    }
+
+    #[test]
+    fn chunked_advance_until_matches_straight_run_in_both_modes() {
+        for fixed in [false, true] {
+            let mut cfg = EngineConfig::small_test(4, 17);
+            if fixed {
+                cfg.tick.mode = SteppingMode::Fixed;
+            }
+            let job = JobSpec::new(
+                0,
+                JobProfile::synthetic_map_heavy(),
+                1024.0,
+                8,
+                SimTime::ZERO,
+            );
+            let engine = Engine::new(cfg);
+            let straight = engine
+                .run(vec![job.clone()], &mut StaticSlotPolicy)
+                .unwrap();
+
+            // same run, advanced in 5-sim-second quanta through the
+            // capsule path the realtime service uses per tick
+            let telem = Telemetry::disabled();
+            let mut arena = EngineArena::new();
+            let mut state = engine.prepare(vec![job]).unwrap();
+            state.override_policy("HadoopV1").unwrap();
+            let mut report = None;
+            let mut chunks = 0u32;
+            while report.is_none() {
+                let target = state.at() + SimDuration::from_secs(5);
+                let adv = Engine::advance_until_in(
+                    state,
+                    &mut StaticSlotPolicy,
+                    target,
+                    &telem,
+                    &mut arena,
+                )
+                .unwrap();
+                state = adv.state;
+                report = adv.report;
+                chunks += 1;
+                assert!(chunks < 10_000, "fixed={fixed}: run never converged");
+            }
+            assert!(chunks > 2, "fixed={fixed}: want a genuinely chunked run");
+            let json = |r: &RunReport| serde_json::to_string(r).unwrap();
+            assert_eq!(
+                json(&straight),
+                json(&report.unwrap()),
+                "fixed={fixed}: chunked advance must be invisible"
+            );
+
+            // further advances of a finished run are no-ops that leave the
+            // sim clock frozen
+            let at = state.at();
+            let adv = Engine::advance_until_in(
+                state,
+                &mut StaticSlotPolicy,
+                at + SimDuration::from_secs(100),
+                &telem,
+                &mut arena,
+            )
+            .unwrap();
+            assert!(adv.finished);
+            assert_eq!(adv.steps_run, 0);
+            assert_eq!(adv.state.at(), at);
+        }
+    }
+
+    #[test]
+    fn injected_job_is_deterministic_and_audits_clean() {
+        let run_with_injection = || {
+            let telem = Telemetry::disabled();
+            let mut arena = EngineArena::new();
+            let mut state = Engine::new(EngineConfig::small_test(4, 23))
+                .prepare(vec![JobSpec::new(
+                    0,
+                    JobProfile::synthetic_map_heavy(),
+                    4096.0,
+                    8,
+                    SimTime::ZERO,
+                )])
+                .unwrap();
+            state.override_policy("HadoopV1").unwrap();
+            // advance a while, then inject a second job mid-run
+            let adv = Engine::advance_until_in(
+                state,
+                &mut StaticSlotPolicy,
+                SimTime::from_secs(15),
+                &telem,
+                &mut arena,
+            )
+            .unwrap();
+            let mut state = adv.state;
+            assert!(!adv.finished, "first job must still be running");
+            let id = state
+                .inject_job(JobProfile::synthetic_reduce_heavy(), 512.0, 4)
+                .unwrap();
+            assert_eq!(id.0, 1);
+            loop {
+                let target = state.at() + SimDuration::from_secs(20);
+                let adv = Engine::advance_until_in(
+                    state,
+                    &mut StaticSlotPolicy,
+                    target,
+                    &telem,
+                    &mut arena,
+                )
+                .unwrap();
+                state = adv.state;
+                if let Some(report) = adv.report {
+                    return (state.state_hash(), report);
+                }
+            }
+        };
+        let (hash_a, report_a) = run_with_injection();
+        let (hash_b, report_b) = run_with_injection();
+        assert_eq!(hash_a, hash_b, "injection must be deterministic");
+        assert_eq!(
+            serde_json::to_string(&report_a).unwrap(),
+            serde_json::to_string(&report_b).unwrap()
+        );
+        assert_eq!(report_a.jobs.len(), 2);
+        assert!(report_a.jobs[1].submit_at > SimTime::ZERO);
+        // the injected job went through the same bookkeeping as a
+        // prepared one: the full invariant audit holds
+        let setup = crate::auditor::AuditSetup::from_config(&EngineConfig::small_test(4, 23));
+        let violations = crate::auditor::audit(&report_a, &setup);
+        assert!(violations.is_empty(), "unexpected: {violations:?}");
+    }
+
+    #[test]
+    fn inject_rejects_bad_input_and_leaves_state_untouched() {
+        let mut state = Engine::new(EngineConfig::small_test(4, 5))
+            .prepare(vec![JobSpec::new(
+                0,
+                JobProfile::synthetic_map_heavy(),
+                512.0,
+                4,
+                SimTime::ZERO,
+            )])
+            .unwrap();
+        state.override_policy("HadoopV1").unwrap();
+        let before = state.state_hash();
+        assert!(state
+            .inject_job(JobProfile::synthetic_map_heavy(), 0.0, 4)
+            .is_err());
+        assert!(state
+            .inject_job(JobProfile::synthetic_map_heavy(), 512.0, 0)
+            .is_err());
+        // faults must be strictly in the future and on a real node
+        use simgrid::cluster::NodeId;
+        use simgrid::fault::NodeFault;
+        assert!(state
+            .inject_fault(NodeFault::permanent(NodeId(99), SimTime::from_secs(10)))
+            .is_err());
+        assert!(state
+            .inject_fault(NodeFault::permanent(NodeId(1), SimTime::ZERO))
+            .is_err());
+        assert_eq!(before, state.state_hash(), "rejections must not mutate");
     }
 
     #[test]

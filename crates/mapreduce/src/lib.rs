@@ -49,9 +49,12 @@ pub mod stats;
 pub mod task;
 
 pub use arena::EngineArena;
-pub use auditor::{AuditSetup, Violation};
+pub use auditor::{audit_phase_spans, phase_means, AuditSetup, PhaseBudget, PhaseMeans, Violation};
 pub use counters::{Counter, CounterLedger};
-pub use engine::{fold_hash, initial_state_hash, Engine, EngineConfig, EngineState, HashPoint};
+pub use engine::{
+    fold_hash, initial_state_hash, Advanced, Engine, EngineConfig, EngineObservation, EngineState,
+    HashPoint, JobObservation, NodeObservation,
+};
 pub use events::{Event, EventLog};
 pub use job::{JobId, JobProfile, JobSpec};
 pub use policy::{

@@ -104,6 +104,81 @@ impl BatchedSweep {
     /// If any cell panicked, the panic with the lowest cell index is
     /// re-raised (deterministically, however many workers raced) as
     /// `"{system} cell {index} with trial seed {seed} panicked: {msg}"`.
+    /// Drive a batch of **mutable** tasks through the pool once and return
+    /// `f`'s results in task order — the realtime service's per-tick
+    /// primitive, where each "cell" is a long-lived tenant advanced in
+    /// place rather than a pure run-to-completion job.
+    ///
+    /// Each task is claimed by exactly one worker (atomic cursor, same
+    /// claim protocol as [`BatchedSweep::run`]) which takes its lock
+    /// uncontended and gets `&mut T` plus that worker's recycled
+    /// [`EngineArena`]. Small batches skip thread spawning entirely: with
+    /// one effective worker or one task the batch runs inline on the
+    /// caller's thread against `inline_arena`, so a lightly-loaded tick
+    /// pays no synchronisation at all.
+    ///
+    /// Panics re-raise like [`BatchedSweep::run`]: the lowest-index
+    /// panicking task wins deterministically, labelled
+    /// `"batch task {index} panicked: {msg}"`.
+    pub fn run_mut<T, R, F>(&self, tasks: &mut [T], inline_arena: &mut EngineArena, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send + Sync,
+        F: Fn(usize, &mut T, &mut EngineArena) -> R + Sync,
+    {
+        let n = tasks.len();
+        let workers = self.workers.min(n).max(1);
+        if workers == 1 {
+            return tasks
+                .iter_mut()
+                .enumerate()
+                .map(|(i, t)| f(i, t, inline_arena))
+                .collect();
+        }
+        let cells: Vec<Mutex<&mut T>> = tasks.iter_mut().map(Mutex::new).collect();
+        let slots: Vec<OnceLock<R>> = (0..n).map(|_| OnceLock::new()).collect();
+        let cursor = AtomicUsize::new(0);
+        let panics: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut arena = EngineArena::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let mut task = cells[i].try_lock().expect("task claimed exactly once");
+                        let outcome =
+                            catch_unwind(AssertUnwindSafe(|| f(i, &mut task, &mut arena)));
+                        match outcome {
+                            Ok(result) => {
+                                let _ = slots[i].set(result);
+                            }
+                            Err(payload) => panics
+                                .lock()
+                                .expect("panic log")
+                                .push((i, panic_message(payload.as_ref()))),
+                        }
+                    }
+                });
+            }
+        });
+        let mut panics = panics.into_inner().expect("panic log");
+        if !panics.is_empty() {
+            panics.sort_by_key(|&(i, _)| i);
+            let (i, msg) = &panics[0];
+            std::panic::panic_any(format!("batch task {i} panicked: {msg}"));
+        }
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("every claimed task published a result")
+            })
+            .collect()
+    }
+
     pub fn run<C: SweepCell>(&self, cells: &[C]) -> SweepOutcome {
         let n = cells.len();
         let workers = self.workers.min(n).max(1);
@@ -304,6 +379,104 @@ mod tests {
             msg.contains("poisoned cell"),
             "original message lost: {msg}"
         );
+    }
+
+    #[test]
+    fn run_mut_visits_every_task_once_and_keeps_order() {
+        let mut tasks: Vec<u64> = (0..37).collect();
+        let mut arena = EngineArena::new();
+        let results =
+            BatchedSweep::with_workers(4).run_mut(&mut tasks, &mut arena, |i, t, _arena| {
+                *t += 100;
+                (i as u64, *t)
+            });
+        assert_eq!(results.len(), 37);
+        for (i, (idx, val)) in results.iter().enumerate() {
+            assert_eq!(*idx, i as u64);
+            assert_eq!(*val, i as u64 + 100);
+        }
+        assert!(tasks.iter().enumerate().all(|(i, t)| *t == i as u64 + 100));
+    }
+
+    #[test]
+    fn run_mut_inline_path_matches_pooled_path() {
+        let mut a: Vec<u64> = (0..9).collect();
+        let mut b = a.clone();
+        let mut arena = EngineArena::new();
+        let one = BatchedSweep::with_workers(1).run_mut(&mut a, &mut arena, |i, t, _| {
+            *t = t.wrapping_mul(7) ^ i as u64;
+            *t
+        });
+        let four = BatchedSweep::with_workers(4).run_mut(&mut b, &mut arena, |i, t, _| {
+            *t = t.wrapping_mul(7) ^ i as u64;
+            *t
+        });
+        assert_eq!(one, four);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn run_mut_advances_real_engine_tenants() {
+        // two capsules advanced one bounded slice through the pool must
+        // match the same advances run inline
+        let prepare = |seed: u64| {
+            let cfg = EngineConfig::small_test(4, seed);
+            let job = JobSpec::new(
+                0,
+                JobProfile::synthetic_map_heavy(),
+                256.0,
+                4,
+                SimTime::ZERO,
+            );
+            let mut state = Engine::new(cfg).prepare(vec![job]).unwrap();
+            state.override_policy("HadoopV1").unwrap();
+            state
+        };
+        let advance = |state: mapreduce::EngineState, arena: &mut EngineArena| {
+            Engine::advance_until_in(
+                state,
+                &mut StaticSlotPolicy,
+                SimTime::from_secs(30),
+                &disabled(),
+                arena,
+            )
+            .unwrap()
+        };
+        let mut pooled: Vec<Option<mapreduce::EngineState>> =
+            vec![Some(prepare(1)), Some(prepare(2))];
+        let mut arena = EngineArena::new();
+        let hashes =
+            BatchedSweep::with_workers(2).run_mut(&mut pooled, &mut arena, |_, slot, a| {
+                let out = advance(slot.take().unwrap(), a);
+                let h = out.state.state_hash();
+                *slot = Some(out.state);
+                h
+            });
+        let mut inline_arena = EngineArena::new();
+        for (i, seed) in [1u64, 2].iter().enumerate() {
+            let out = advance(prepare(*seed), &mut inline_arena);
+            assert_eq!(hashes[i], out.state.state_hash(), "tenant {i} diverged");
+        }
+    }
+
+    #[test]
+    fn run_mut_panic_names_the_lowest_task() {
+        let mut tasks: Vec<u64> = (0..8).collect();
+        let mut arena = EngineArena::new();
+        let payload = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            BatchedSweep::with_workers(3).run_mut(&mut tasks, &mut arena, |i, _t, _| {
+                if i >= 2 {
+                    panic!("task blew up");
+                }
+                i
+            });
+        }))
+        .expect_err("poisoned batch panics");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("re-panic carries a String");
+        assert!(msg.contains("task 2"), "lowest index lost: {msg}");
+        assert!(msg.contains("task blew up"), "message lost: {msg}");
     }
 
     #[test]

@@ -6,29 +6,44 @@
 //! Those calls must be allocation-free: a disabled handle is a single
 //! branch, an enabled handle pushes `Copy` records into preallocated
 //! rings, and counter/usage accumulation is flat array arithmetic. This
-//! binary holds exactly one test so no concurrent test thread pollutes the
-//! allocation counter.
+//! binary holds exactly one test, and the counter only tracks the test's
+//! own thread: the libtest harness's main thread lazily initialises its
+//! result-channel thread-locals at an arbitrary instant while the test
+//! body runs, and those harness allocations are not ours to forbid.
 
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 struct CountingAlloc;
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
+thread_local! {
+    /// Raised by the test thread only; allocations on any other thread
+    /// (the libtest harness) leave the counter untouched.
+    static COUNTED: Cell<bool> = const { Cell::new(false) };
+}
+
+fn count() {
+    if COUNTED.try_with(Cell::get).unwrap_or(false) {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        count();
         System.alloc(layout)
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        count();
         System.alloc_zeroed(layout)
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        count();
         System.realloc(ptr, layout, new_size)
     }
 
@@ -47,6 +62,8 @@ fn allocs() -> u64 {
 #[test]
 fn step_loop_telemetry_calls_do_not_allocate() {
     use telemetry::ArgValue;
+
+    COUNTED.with(|c| c.set(true));
 
     // --- disabled handle: the default-build hot path ---
     let telem = telemetry::Telemetry::disabled();
